@@ -1,0 +1,85 @@
+// Experiment E18 (extension) — belief from isomorphism + plausibility
+// (Discussion §6): KD45 holds, knowledge implies belief, but the transfer
+// theorems fail — belief in a remote-local fact can be gained by a SEND,
+// and beliefs can be wrong.
+#include <cstdio>
+
+#include "bench/table.h"
+#include "core/belief.h"
+#include "core/random_system.h"
+#include "core/system.h"
+
+using namespace hpl;
+
+int main() {
+  std::printf("E18: belief vs knowledge (Discussion §6)\n\n");
+
+  RandomSystemOptions options;
+  options.num_processes = 3;
+  options.num_messages = 3;
+  options.internal_events = 1;
+  options.seed = 1801;
+  RandomSystem system(options);
+  auto space = ComputationSpace::Enumerate(system, {.max_depth = 24});
+  KnowledgeEvaluator eval(space);
+
+  const std::vector<Predicate> predicates = {
+      Predicate::CountOnAtLeast(0, 1), Predicate::Sent(0),
+      Predicate::Received(0)};
+
+  std::printf("KD45 axioms + K=>B over %zu computations:\n", space.size());
+  bench::Table axioms({"plausibility", "instances", "D viol", "K viol",
+                       "4 viol", "5 viol", "K=>B viol"});
+  for (const PlausibilityOrder& order :
+       {PlausibilityOrder::Uniform(), PlausibilityOrder::MinimalPending(),
+        PlausibilityOrder::MostAdvanced()}) {
+    BeliefEvaluator belief(space, order);
+    const auto report = belief.CheckAxioms(eval, predicates);
+    axioms.AddRow({order.name(), std::to_string(report.instances),
+                   std::to_string(report.consistency_violations),
+                   std::to_string(report.closure_violations),
+                   std::to_string(report.positive_introspection),
+                   std::to_string(report.negative_introspection),
+                   std::to_string(report.knowledge_implies_belief)});
+  }
+  axioms.Print();
+  std::printf("\nexpected: all violation columns zero (belief is KD45)\n");
+
+  // Where belief and knowledge diverge: false beliefs and send-gains.
+  std::printf("\nbelief pathologies (impossible for knowledge):\n");
+  bench::Table pathologies({"plausibility", "false beliefs",
+                            "belief gained by own send"});
+  for (const PlausibilityOrder& order :
+       {PlausibilityOrder::MinimalPending(),
+        PlausibilityOrder::MostAdvanced()}) {
+    BeliefEvaluator belief(space, order);
+    long wrong = 0, send_gains = 0;
+    for (std::size_t id = 0; id < space.size(); ++id) {
+      for (ProcessId p = 0; p < 3; ++p) {
+        for (const Predicate& b : predicates) {
+          if (belief.Believes(ProcessSet::Of(p), b, id) &&
+              !b.Eval(space.At(id)))
+            ++wrong;
+        }
+      }
+      for (const auto& succ : space.SuccessorsOf(id)) {
+        if (!succ.event.IsSend()) continue;
+        const ProcessSet p = ProcessSet::Of(succ.event.process);
+        // A fact local to the *other* processes.
+        const Predicate remote = Predicate::Received(succ.event.message);
+        if (!belief.Believes(p, remote, id) &&
+            belief.Believes(p, remote, succ.class_id))
+          ++send_gains;
+      }
+    }
+    pathologies.AddRow({order.name(), std::to_string(wrong),
+                        std::to_string(send_gains)});
+  }
+  pathologies.Print();
+  std::printf(
+      "\nexpected: both columns NONZERO for non-uniform plausibility —\n"
+      "beliefs can be wrong, and sends create belief about remote facts\n"
+      "(Lemma 4 forbids both for knowledge).  This is why the paper's\n"
+      "Discussion says its results do not carry over to belief.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Experiment E11 — Section 5 failure detection: without timeouts a crash
+// is never detected (it is isomorphic, w.r.t. the monitor, to a slow run);
+// with timeouts, detection latency trades against false suspicion.
+#include <cstdio>
+
+#include "bench/table.h"
+#include "core/knowledge.h"
+#include "core/system.h"
+#include "protocols/heartbeat.h"
+
+using namespace hpl;
+using protocols::HeartbeatScenario;
+using protocols::RunHeartbeatScenario;
+
+int main() {
+  std::printf("E11: failure detection (Section 5)\n\n");
+
+  // Model-level impossibility: q either crashes or keeps working; "q
+  // crashed" is local to q and q sends nothing after crashing, so p can
+  // never know it.
+  {
+    LambdaSystem system(
+        2,
+        [](const Computation& x) {
+          std::vector<Event> out;
+          bool crashed = false;
+          int q_steps = 0;
+          for (const Event& e : x.events()) {
+            if (e.process == 1 && e.IsInternal() && e.label == "crash")
+              crashed = true;
+            if (e.process == 1) ++q_steps;
+          }
+          if (!crashed && q_steps < 3) {
+            out.push_back(Internal(1, "work" + std::to_string(q_steps)));
+            out.push_back(Internal(1, "crash"));
+          }
+          return out;
+        },
+        "crashable");
+    auto space = ComputationSpace::Enumerate(system, {.max_depth = 8});
+    KnowledgeEvaluator eval(space);
+    const Predicate crashed = Predicate::DidInternal(1, "crash");
+    auto p_knows = Formula::Knows(ProcessSet{0}, Formula::Atom(crashed));
+    auto p_knows_not =
+        Formula::Knows(ProcessSet{0}, Formula::Not(Formula::Atom(crashed)));
+    long crash_states = 0, detected = 0, sure_states = 0;
+    for (std::size_t id = 0; id < space.size(); ++id) {
+      if (crashed.Eval(space.At(id))) ++crash_states;
+      if (eval.Holds(p_knows, id)) ++detected;
+      if (eval.Holds(p_knows, id) || eval.Holds(p_knows_not, id))
+        ++sure_states;
+    }
+    std::printf(
+        "model check (no timeouts, %zu computations, %ld with a crash):\n"
+        "  states where p knows 'q crashed':      %ld (expected 0)\n"
+        "  states where p is sure either way:     %ld (expected 0)\n\n",
+        space.size(), crash_states, detected, sure_states);
+  }
+
+  // Simulation: detector quality vs timeout.
+  std::printf("timeout sweep (crash at t=100, heartbeat every 10):\n");
+  bench::Table table({"timeout", "crash detected", "latency",
+                      "false suspicion (slow net)"});
+  for (hpl::sim::Time timeout : {-1, 25, 50, 100, 200, 400}) {
+    HeartbeatScenario crash_case;
+    crash_case.crash_at = 100;
+    crash_case.timeout = timeout;
+    crash_case.seed = 11;
+    const auto crash_result = RunHeartbeatScenario(crash_case);
+
+    HeartbeatScenario slow_case;
+    slow_case.crash_at = -1;
+    slow_case.timeout = timeout;
+    slow_case.network.delay_base = 120;  // slow but alive
+    slow_case.network.delay_jitter = 0;
+    slow_case.seed = 11;
+    const auto slow_result = RunHeartbeatScenario(slow_case);
+
+    table.AddRow(
+        {timeout < 0 ? "none" : std::to_string(timeout),
+         crash_result.suspected ? "yes" : "no",
+         crash_result.suspected ? std::to_string(crash_result.detection_latency)
+                                : "-",
+         slow_result.false_suspicion ? "yes" : "no"});
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: no timeout => never detected; small timeouts =>\n"
+      "fast detection but false suspicion of slow-but-alive processes;\n"
+      "large timeouts => slow detection, fewer false alarms.  Detection\n"
+      "without timeouts is impossible (Section 5)\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Experiment E1 — Figure 3-1 (Example 1): regenerate the paper's
+// isomorphism diagram for four computations of a two-process system and
+// print both the edge table and the Graphviz DOT form.
+#include <cstdio>
+
+#include "bench/table.h"
+#include "core/diagram.h"
+#include "core/isomorphism.h"
+
+int main() {
+  using namespace hpl;
+
+  std::printf("E1: Figure 3-1 — isomorphism diagram of Example 1\n");
+  std::printf("system: two processes p(=p0), q(=p1)\n\n");
+
+  // Concrete realization of the figure's four computations (see
+  // tests/core/diagram_test.cc for the assertions):
+  const Computation x({Internal(0, "i1"), Internal(1, "j1")});
+  const Computation y({Internal(0, "i1"), Internal(1, "j2")});
+  const Computation z({Internal(1, "j1"), Internal(0, "i1")});
+  const Computation w({Internal(0, "i2"), Internal(1, "j1")});
+  IsomorphismDiagram diagram({x, y, z, w}, 2, {"x", "y", "z", "w"});
+
+  bench::Table table({"edge", "label (max P with a [P] b)",
+                      "paper (Fig. 3-1)"});
+  auto label = [&](std::size_t a, std::size_t b) {
+    return diagram.LabelBetween(a, b).ToString();
+  };
+  table.AddRow({"x -- y", label(0, 1), "[p]"});
+  table.AddRow({"x -- z", label(0, 2), "[{p,q}] (permutation)"});
+  table.AddRow({"y -- z", label(1, 2), "[p]"});
+  table.AddRow({"z -- w", label(2, 3), "[q]"});
+  table.AddRow({"y -- w",
+                diagram.LabelBetween(1, 3).IsEmpty() ? "(none)" : label(1, 3),
+                "(no direct edge)"});
+  table.Print();
+
+  std::printf("\nindirect relationship: y [p q] w via z — y[p]z=%s, z[q]w=%s\n",
+              IsomorphicWrt(y, z, ProcessId{0}) ? "yes" : "no",
+              IsomorphicWrt(z, w, ProcessId{1}) ? "yes" : "no");
+
+  std::printf("\nGraphviz DOT:\n%s\n", diagram.ToDot().c_str());
+  return 0;
+}

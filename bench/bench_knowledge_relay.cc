@@ -1,0 +1,62 @@
+// Experiment E14 — Theorem 5's relay corollary: establishing depth-(k+1)
+// nested knowledge K{p_k}...K{p_0} b requires a chain of k messages; the
+// relay achieves exactly that minimum, which the model checker confirms.
+#include <cstdio>
+
+#include "bench/table.h"
+#include "core/theorems.h"
+#include "protocols/relay.h"
+
+using namespace hpl;
+using protocols::RelaySystem;
+
+int main() {
+  std::printf("E14: knowledge relay — minimum messages for nested depth\n\n");
+
+  bench::Table table({"processes", "space", "depth", "min receives",
+                      "theorem-5 chain found"});
+
+  for (int n : {3, 4, 5, 6}) {
+    RelaySystem relay(n);
+    auto space = ComputationSpace::Enumerate(relay, {.max_depth = 2 * n});
+    KnowledgeEvaluator eval(space);
+
+    for (int hops = 1; hops < n; ++hops) {
+      auto nested = Formula::KnowsChain(relay.NestedChain(hops),
+                                        Formula::Atom(relay.Fact()));
+      // Minimum receives over satisfying computations.
+      std::size_t min_receives = SIZE_MAX;
+      std::size_t best = SIZE_MAX;
+      for (std::size_t id = 0; id < space.size(); ++id) {
+        if (!eval.Holds(nested, id)) continue;
+        std::size_t receives = 0;
+        for (const Event& e : space.At(id).events())
+          if (e.IsReceive()) ++receives;
+        if (receives < min_receives) {
+          min_receives = receives;
+          best = id;
+        }
+      }
+      std::string chain_found = "n/a";
+      if (best != SIZE_MAX) {
+        // Theorem 5: the gain from empty must come with a chain
+        // <p0 p1 ... p_hops>.
+        auto result = CheckTheorem5(eval, relay.NestedChain(hops),
+                                    relay.Fact(), Computation{},
+                                    space.At(best));
+        chain_found = result.holds() ? "yes" : "NO (violation)";
+      }
+      table.AddRow({std::to_string(n), std::to_string(space.size()),
+                    std::to_string(hops + 1),
+                    min_receives == SIZE_MAX
+                        ? "unreachable"
+                        : std::to_string(min_receives),
+                    chain_found});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nexpected: min receives == depth-1 (one message per hop, the\n"
+      "Theorem 5 minimum) and the witness chain always found\n");
+  return 0;
+}

@@ -1,0 +1,180 @@
+// Experiment E13 — performance micro-benchmarks (google-benchmark): space
+// enumeration, isomorphism checks, chain detection, knowledge evaluation
+// and fusion.  These back the library's own performance claims rather than
+// a figure in the paper.
+#include <benchmark/benchmark.h>
+
+#include "core/fusion.h"
+#include "core/isomorphism.h"
+#include "core/knowledge.h"
+#include "core/random_system.h"
+#include "core/theorems.h"
+
+namespace {
+
+using namespace hpl;
+
+RandomSystem MakeSystem(int messages, std::uint64_t seed) {
+  RandomSystemOptions options;
+  options.num_processes = 3;
+  options.num_messages = messages;
+  options.internal_events = 0;
+  options.seed = seed;
+  return RandomSystem(options);
+}
+
+void BM_SpaceEnumeration(benchmark::State& state) {
+  const auto messages = static_cast<int>(state.range(0));
+  RandomSystem system = MakeSystem(messages, 7);
+  std::size_t size = 0;
+  for (auto _ : state) {
+    auto space = ComputationSpace::Enumerate(system, {.max_depth = 40});
+    size = space.size();
+    benchmark::DoNotOptimize(size);
+  }
+  state.counters["classes"] = static_cast<double>(size);
+}
+BENCHMARK(BM_SpaceEnumeration)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_ProjectionIsomorphism(benchmark::State& state) {
+  const auto length = static_cast<int>(state.range(0));
+  // Build two long computations differing at the tail.
+  std::vector<Event> a, b;
+  for (int i = 0; i < length; ++i) {
+    a.push_back(Internal(i % 3, "e" + std::to_string(i)));
+    b.push_back(Internal(i % 3, "e" + std::to_string(i)));
+  }
+  b.back().label = "different";
+  const Computation x(std::move(a)), y(std::move(b));
+  for (auto _ : state) {
+    bool iso = IsomorphicWrt(x, y, ProcessSet{0, 1, 2});
+    benchmark::DoNotOptimize(iso);
+  }
+}
+BENCHMARK(BM_ProjectionIsomorphism)->Arg(64)->Arg(256)->Arg(1024);
+
+Computation LongTrace(int messages) {
+  RandomSystemOptions options;
+  options.num_processes = 6;
+  options.num_messages = messages;
+  options.internal_events = 0;
+  options.seed = 19;
+  RandomSystem system(options);
+  Computation z;
+  for (;;) {
+    auto enabled = system.EnabledEvents(z);
+    if (enabled.empty()) break;
+    z = z.Extended(enabled.front());
+  }
+  return z;
+}
+
+void BM_ChainDetectorBuild(benchmark::State& state) {
+  const Computation z = LongTrace(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ChainDetector detector(z, 6);
+    benchmark::DoNotOptimize(&detector);
+  }
+  state.counters["events"] = static_cast<double>(z.size());
+}
+BENCHMARK(BM_ChainDetectorBuild)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_ChainQuery(benchmark::State& state) {
+  const Computation z = LongTrace(static_cast<int>(state.range(0)));
+  ChainDetector detector(z, 6);
+  const std::vector<ProcessSet> stages{ProcessSet{0}, ProcessSet{1},
+                                       ProcessSet{2}, ProcessSet{3}};
+  for (auto _ : state) {
+    bool has = detector.HasChain(stages);
+    benchmark::DoNotOptimize(has);
+  }
+}
+BENCHMARK(BM_ChainQuery)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_ChainQueryNaive(benchmark::State& state) {
+  const Computation z = LongTrace(static_cast<int>(state.range(0)));
+  const std::vector<ProcessSet> stages{ProcessSet{0}, ProcessSet{1},
+                                       ProcessSet{2}, ProcessSet{3}};
+  for (auto _ : state) {
+    auto witness = FindChainNaive(z, 6, 0, stages);
+    benchmark::DoNotOptimize(witness);
+  }
+}
+BENCHMARK(BM_ChainQueryNaive)->Arg(32)->Arg(128);
+
+void BM_KnowledgeNesting(benchmark::State& state) {
+  const auto depth = static_cast<int>(state.range(0));
+  RandomSystem system = MakeSystem(3, 23);
+  auto space = ComputationSpace::Enumerate(system, {.max_depth = 24});
+  const Predicate b = Predicate::CountOnAtLeast(0, 1);
+  std::vector<ProcessSet> chain;
+  for (int i = 0; i < depth; ++i)
+    chain.push_back(ProcessSet::Of(i % 3));
+  auto formula = Formula::KnowsChain(chain, Formula::Atom(b));
+  for (auto _ : state) {
+    // Fresh evaluator each iteration: measures uncached evaluation.
+    KnowledgeEvaluator eval(space);
+    bool v = eval.Holds(formula, std::size_t{0});
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["space"] = static_cast<double>(space.size());
+}
+BENCHMARK(BM_KnowledgeNesting)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_KnowledgeMemoized(benchmark::State& state) {
+  RandomSystem system = MakeSystem(3, 23);
+  auto space = ComputationSpace::Enumerate(system, {.max_depth = 24});
+  const Predicate b = Predicate::CountOnAtLeast(0, 1);
+  auto formula = Formula::Knows(
+      ProcessSet{1}, Formula::Knows(ProcessSet{0}, Formula::Atom(b)));
+  KnowledgeEvaluator eval(space);
+  eval.Holds(formula, std::size_t{0});  // warm the cache
+  for (auto _ : state) {
+    bool v = eval.Holds(formula, std::size_t{0});
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_KnowledgeMemoized);
+
+void BM_CommonKnowledgeComponents(benchmark::State& state) {
+  RandomSystem system = MakeSystem(static_cast<int>(state.range(0)), 29);
+  auto space = ComputationSpace::Enumerate(system, {.max_depth = 40});
+  auto ck = Formula::Common(ProcessSet{0, 1, 2},
+                            Formula::Atom(Predicate::True()));
+  for (auto _ : state) {
+    KnowledgeEvaluator eval(space);
+    bool v = eval.Holds(ck, std::size_t{0});
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["space"] = static_cast<double>(space.size());
+}
+BENCHMARK(BM_CommonKnowledgeComponents)->Arg(3)->Arg(4);
+
+void BM_FusionTheorem2(benchmark::State& state) {
+  const Computation x({Send(0, 1, 0, "m")});
+  Computation y = x;
+  Computation z = x.Extended(Receive(1, 0, 0, "m"));
+  for (int i = 0; i < state.range(0); ++i) {
+    y = y.Extended(Internal(0, "a" + std::to_string(i)));
+    z = z.Extended(Internal(1, "b" + std::to_string(i)));
+  }
+  for (auto _ : state) {
+    auto fused = FuseTheorem2(x, y, z, ProcessSet{0}, 2);
+    benchmark::DoNotOptimize(fused);
+  }
+}
+BENCHMARK(BM_FusionTheorem2)->Arg(4)->Arg(32)->Arg(128);
+
+void BM_CanonicalForm(benchmark::State& state) {
+  const Computation z = LongTrace(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto canon = z.Canonical();
+    benchmark::DoNotOptimize(canon);
+  }
+  state.counters["events"] = static_cast<double>(z.size());
+}
+BENCHMARK(BM_CanonicalForm)->Arg(32)->Arg(128)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

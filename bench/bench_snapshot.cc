@@ -1,0 +1,54 @@
+// Experiment E17 (extension) — Chandy-Lamport snapshots: "a process
+// determines facts about the overall system computation" operationally.
+// Every recorded cut must be consistent (left-closed under happened-
+// before), overhead is exactly one marker per channel, and the recorded
+// global total is well-defined.
+#include <cstdio>
+
+#include "bench/table.h"
+#include "protocols/snapshot.h"
+
+using namespace hpl;
+using protocols::RunSnapshotScenario;
+using protocols::SnapshotScenario;
+
+int main() {
+  std::printf("E17: Chandy-Lamport snapshot consistency\n\n");
+
+  bench::Table table({"n", "snapshot at", "seeds", "consistent cuts",
+                      "markers (=n(n-1))", "avg in-flight recorded"});
+
+  for (int n : {3, 4, 6, 8}) {
+    for (hpl::sim::Time at : {5, 25, 80}) {
+      int consistent = 0;
+      const int kSeeds = 8;
+      double in_flight = 0;
+      std::size_t markers = 0;
+      for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        SnapshotScenario scenario;
+        scenario.num_processes = n;
+        scenario.messages_per_process = 6;
+        scenario.snapshot_at = at;
+        scenario.network.delay_jitter = 14;
+        scenario.seed = seed * 31 + n;
+        const auto result = RunSnapshotScenario(scenario);
+        if (result.completed && result.cut_consistent) ++consistent;
+        in_flight += static_cast<double>(result.recorded_in_flight);
+        markers = result.marker_messages;
+      }
+      table.AddRow({std::to_string(n), std::to_string(at),
+                    std::to_string(kSeeds),
+                    std::to_string(consistent) + "/" + std::to_string(kSeeds),
+                    std::to_string(markers),
+                    bench::Fmt(in_flight / kSeeds, 1)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nexpected: every cut consistent; marker overhead exactly n(n-1);\n"
+      "in-flight recordings grow when the snapshot races active traffic.\n"
+      "Ties to the paper: a consistent cut is precisely a computation the\n"
+      "system could have been in — an isomorphism-class fact assembled by\n"
+      "message chains (Theorem 5 requires those chains to exist).\n");
+  return 0;
+}

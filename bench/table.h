@@ -1,0 +1,59 @@
+// Minimal fixed-width table printer shared by the experiment binaries.
+// Each bench regenerates one of the paper's artifacts as a printed table;
+// EXPERIMENTS.md records the runs.
+#ifndef HPL_BENCH_TABLE_H_
+#define HPL_BENCH_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hpl::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+      width[i] = headers_[i].size();
+    for (const auto& row : rows_)
+      for (std::size_t i = 0; i < row.size() && i < width.size(); ++i)
+        width[i] = std::max(width[i], row[i].size());
+
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (std::size_t i = 0; i < width.size(); ++i) {
+        const std::string& cell = i < cells.size() ? cells[i] : "";
+        std::printf(" %-*s |", static_cast<int>(width[i]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (std::size_t i = 0; i < width.size(); ++i)
+      std::printf("%s|", std::string(width[i] + 2, '-').c_str());
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, int digits = 2) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", digits, v);
+  return buffer;
+}
+
+}  // namespace hpl::bench
+
+#endif  // HPL_BENCH_TABLE_H_

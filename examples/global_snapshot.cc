@@ -1,0 +1,52 @@
+// Chandy-Lamport snapshot: determine a fact about the overall computation
+// (a consistent global state) while it runs — the paper's motivating
+// problem, solved with markers and validated against happened-before.
+//
+//   $ ./global_snapshot [processes] [snapshot_time]
+#include <cstdio>
+#include <cstdlib>
+
+#include "protocols/snapshot.h"
+
+using namespace hpl;
+using protocols::RunSnapshotScenario;
+using protocols::SnapshotScenario;
+
+int main(int argc, char** argv) {
+  SnapshotScenario scenario;
+  scenario.num_processes = argc > 1 ? std::atoi(argv[1]) : 5;
+  scenario.snapshot_at = argc > 2 ? std::atoi(argv[2]) : 20;
+  scenario.messages_per_process = 6;
+  scenario.network.delay_jitter = 12;
+  scenario.seed = 7;
+
+  std::printf("== global snapshot: %d processes, initiated at t=%lld ==\n\n",
+              scenario.num_processes,
+              static_cast<long long>(scenario.snapshot_at));
+
+  const auto result = RunSnapshotScenario(scenario);
+  std::printf("run: %zu events, %zu marker messages (n(n-1) = %d)\n",
+              result.trace.size(), result.marker_messages,
+              scenario.num_processes * (scenario.num_processes - 1));
+  std::printf("snapshot %s\n",
+              result.completed ? "completed" : "DID NOT complete");
+
+  std::printf("\nrecorded local states (counters):\n");
+  for (std::size_t p = 0; p < result.recorded_counters.size(); ++p)
+    std::printf("  p%zu: counter=%lld, cut holds %zu of its events\n", p,
+                static_cast<long long>(result.recorded_counters[p]),
+                result.cut_sizes[p]);
+  std::printf("in-channel increments recorded: %zu\n",
+              result.recorded_in_flight);
+  std::printf("global total (counters + channels): %lld\n",
+              static_cast<long long>(result.recorded_total));
+
+  std::printf("\ncut consistent (left-closed under happened-before): %s\n",
+              result.cut_consistent ? "yes" : "NO — bug!");
+  std::printf(
+      "\nwhy it matters for the paper: a consistent cut is exactly a\n"
+      "computation the system passed through (up to isomorphism) — the\n"
+      "snapshot assembles knowledge of it via marker chains, the only way\n"
+      "knowledge can travel (Theorem 5).\n");
+  return result.cut_consistent ? 0 : 1;
+}

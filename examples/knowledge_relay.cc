@@ -1,0 +1,60 @@
+// Knowledge relay: watch nested knowledge deepen as a fact travels a chain
+// of processes, with Theorem 5's chain witness extracted from the run.
+//
+//   $ ./knowledge_relay [num_processes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/theorems.h"
+#include "protocols/relay.h"
+
+using namespace hpl;
+using protocols::RelaySystem;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 4;
+  std::printf("== knowledge relay: %d processes in a line ==\n\n", n);
+
+  RelaySystem relay(n);
+  auto space = ComputationSpace::Enumerate(relay, {.max_depth = 2 * n + 2});
+  KnowledgeEvaluator eval(space);
+  const Predicate fact = relay.Fact();
+
+  // Run the relay to completion, reporting knowledge at each step.
+  Computation x;
+  std::vector<Computation> milestones;
+  for (;;) {
+    const auto enabled = relay.EnabledEvents(x);
+    if (enabled.empty()) break;
+    x = x.Extended(enabled.front());
+    milestones.push_back(x);
+  }
+
+  std::printf("%-44s", "event");
+  for (int p = 0; p < n; ++p) std::printf(" K(p%d..)", p);
+  std::printf("\n");
+  for (const Computation& m : milestones) {
+    std::printf("%-44s", m.events().back().ToString().c_str());
+    for (int depth = 0; depth < n; ++depth) {
+      auto nested = Formula::KnowsChain(relay.NestedChain(depth),
+                                        Formula::Atom(fact));
+      std::printf("   %s  ",
+                  eval.Holds(nested, space.RequireIndex(m)) ? "yes" : " - ");
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\ncolumn k reads: K(p_k) K(p_k-1) ... K(p_0) fact — each receive\n"
+      "extends the nesting by one level, never more (Theorem 5's minimum)\n");
+
+  // Theorem 5's witness on the full run.
+  auto result = CheckTheorem5(eval, relay.NestedChain(n - 1), fact,
+                              Computation{}, x);
+  if (result.antecedent && result.chain.has_value()) {
+    std::printf("\nTheorem 5 witness chain <p0 ... p%d>:\n", n - 1);
+    for (std::size_t i = 0; i < result.chain->size(); ++i)
+      std::printf("  stage %zu: %s\n", i,
+                  x.at((*result.chain)[i]).ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Termination detection over a diffusing computation: run Dijkstra-Scholten
+// and Safra on the same workload shape and relate the overhead accounting
+// to the paper's Section-5 lower bound.
+//
+//   $ ./termination_detection [budget] [processes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "protocols/termination.h"
+
+using namespace hpl::protocols;
+
+int main(int argc, char** argv) {
+  const int budget = argc > 1 ? std::atoi(argv[1]) : 100;
+  const int n = argc > 2 ? std::atoi(argv[2]) : 8;
+  std::printf("== termination detection: %d processes, ~%d messages ==\n\n",
+              n, budget);
+
+  for (DetectorKind kind :
+       {DetectorKind::kDijkstraScholten, DetectorKind::kSafra}) {
+    TerminationExperimentOptions options;
+    options.detector = kind;
+    options.num_processes = n;
+    options.workload.budget = budget;
+    options.workload.fanout_zero_prob = 0.0;
+    options.seed = 42;
+    const auto result = RunTerminationExperiment(options);
+
+    std::printf("%s:\n", ToString(kind).c_str());
+    std::printf("  underlying messages (M): %zu\n",
+                result.underlying_messages);
+    std::printf("  overhead messages:       %zu (ratio %.2f)\n",
+                result.overhead_messages, result.overhead_ratio);
+    if (kind == DetectorKind::kSafra)
+      std::printf("  probe rounds:            %d\n", result.probe_rounds);
+    std::printf("  true termination at:     t=%lld\n",
+                static_cast<long long>(result.true_termination_time));
+    std::printf("  announced at:            t=%lld (%s)\n\n",
+                static_cast<long long>(result.announce_time),
+                result.safe ? "safe" : "UNSAFE — bug!");
+  }
+
+  std::printf(
+      "why overhead is unavoidable (paper Section 5): detecting\n"
+      "termination is gaining knowledge of a fact about every process, and\n"
+      "knowledge travels only along process chains (Theorem 5).  After the\n"
+      "computation quiesces, some process must still send an overhead\n"
+      "message unprompted; and because a live computation can be\n"
+      "isomorphic, to any one process, to a terminated one, detectors are\n"
+      "sometimes forced to probe uselessly — in the worst case once per\n"
+      "underlying message.  Dijkstra-Scholten's ack-per-message meets the\n"
+      "bound with equality.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Belief from isomorphism plus plausibility (paper Section 6, Discussion):
+//
+//   "we can define belief in terms of isomorphism ... Most of the results
+//    in this paper are applicable in the first case but not in the other
+//    two cases."
+//
+// We realize the standard construction: a PlausibilityOrder ranks
+// computations ("which worlds are most normal"); P *believes* b at x when
+// b holds in every most-plausible computation among those P cannot
+// distinguish from x.  Knowledge is the special case of a uniform order.
+//
+// The paper's caveat is then checkable: belief satisfies KD45 but NOT the
+// transfer theorems — e.g. a process can *gain* belief about a remote-
+// local fact merely by sending (it believes its message will be
+// delivered), which Lemma 4 forbids for knowledge.  The tests and bench
+// E18 exhibit those counterexamples.
+#ifndef HPL_CORE_BELIEF_H_
+#define HPL_CORE_BELIEF_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/knowledge.h"
+#include "core/space.h"
+
+namespace hpl {
+
+class PlausibilityOrder {
+ public:
+  // Lower rank = more plausible.  Ties allowed; the most-plausible set of
+  // a class is every member achieving the minimum rank.
+  using Fn = std::function<double(const Computation&)>;
+
+  PlausibilityOrder(std::string name, Fn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  double RankOf(const Computation& x) const { return fn_(x); }
+  const std::string& name() const noexcept { return name_; }
+
+  // All worlds equally plausible: belief collapses to knowledge.
+  static PlausibilityOrder Uniform();
+
+  // Worlds with fewer undelivered messages are more plausible ("the
+  // network usually delivers"): an optimistic sender believes delivery.
+  static PlausibilityOrder MinimalPending();
+
+  // Longer computations are more plausible ("others have probably made
+  // progress"): an optimist about remote activity.
+  static PlausibilityOrder MostAdvanced();
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+class BeliefEvaluator {
+ public:
+  BeliefEvaluator(const ComputationSpace& space, PlausibilityOrder order);
+
+  // (P believes b) at id: b holds at every minimal-rank member of id's
+  // [P]-class.
+  bool Believes(ProcessSet p, const Predicate& b, std::size_t id);
+
+  // The most-plausible worlds of id's [P]-class (ids, ascending).
+  std::vector<std::size_t> MostPlausible(ProcessSet p, std::size_t id) const;
+
+  // KD45 + relationship-to-knowledge checks over the whole space; returns
+  // the number of violations (0 expected).  `eval` supplies knowledge.
+  struct AxiomReport {
+    long consistency_violations = 0;     // B false  (D)
+    long closure_violations = 0;         // B b && B(b=>c) => B c  (K)
+    long positive_introspection = 0;     // B b => B B b  (4)
+    long negative_introspection = 0;     // !B b => B !B b  (5)
+    long knowledge_implies_belief = 0;   // K b => B b
+    long instances = 0;
+  };
+  AxiomReport CheckAxioms(KnowledgeEvaluator& eval,
+                          const std::vector<Predicate>& predicates);
+
+  const ComputationSpace& space() const noexcept { return space_; }
+
+ private:
+  const ComputationSpace& space_;
+  PlausibilityOrder order_;
+  std::vector<double> ranks_;
+};
+
+}  // namespace hpl
+
+#endif  // HPL_CORE_BELIEF_H_

@@ -1,0 +1,69 @@
+#include "core/causal_knowledge.h"
+
+namespace hpl {
+
+CausalKnowledge::CausalKnowledge(const Computation& z, int num_processes,
+                                 std::size_t fact_event)
+    : z_(z), fact_event_(fact_event), causality_(z_, num_processes) {
+  if (fact_event >= z_.size())
+    throw ModelError("CausalKnowledge: fact event out of range");
+}
+
+std::optional<std::size_t> CausalKnowledge::EarliestObserver(
+    ProcessId p, std::size_t source) const {
+  for (std::size_t j = source; j < z_.size(); ++j) {
+    if (z_.at(j).process != p) continue;
+    if (causality_.HappenedBefore(source, j)) return j;
+  }
+  return std::nullopt;
+}
+
+bool CausalKnowledge::KnowsAt(ProcessSet p, std::size_t prefix_len) const {
+  if (prefix_len > z_.size())
+    throw ModelError("CausalKnowledge::KnowsAt: prefix beyond computation");
+  // Distributed knowledge of the set: some member observes.  For the
+  // common singleton case this is exactly "p observes".
+  bool knows = false;
+  p.ForEach([&](ProcessId member) {
+    if (knows) return;
+    const auto j = EarliestObserver(member, fact_event_);
+    if (j.has_value() && *j < prefix_len) knows = true;
+  });
+  return knows;
+}
+
+std::optional<std::size_t> CausalKnowledge::EarliestKnowledge(
+    ProcessSet p) const {
+  std::optional<std::size_t> best;
+  p.ForEach([&](ProcessId member) {
+    const auto j = EarliestObserver(member, fact_event_);
+    if (j.has_value() && (!best.has_value() || *j + 1 < *best))
+      best = *j + 1;  // knowledge holds from the prefix including event j
+  });
+  return best;
+}
+
+std::optional<std::size_t> CausalKnowledge::EarliestNestedKnowledge(
+    const std::vector<ProcessId>& chain) const {
+  if (chain.empty())
+    throw ModelError("EarliestNestedKnowledge: empty chain");
+  // Innermost knower first: walk from the fact outward, each level
+  // observing the previous level's witness event.
+  std::size_t witness = fact_event_;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const auto j = EarliestObserver(*it, witness);
+    if (!j.has_value()) return std::nullopt;
+    witness = *j;
+  }
+  return witness + 1;
+}
+
+ProcessSet CausalKnowledge::KnowersAt(std::size_t prefix_len,
+                                      int num_processes) const {
+  ProcessSet out;
+  for (ProcessId p = 0; p < num_processes; ++p)
+    if (KnowsAt(ProcessSet::Of(p), prefix_len)) out.Insert(p);
+  return out;
+}
+
+}  // namespace hpl

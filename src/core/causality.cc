@@ -1,0 +1,47 @@
+#include "core/causality.h"
+
+#include <unordered_map>
+
+namespace hpl {
+
+CausalityIndex::CausalityIndex(const Computation& z, int num_processes)
+    : num_processes_(num_processes) {
+  const auto& events = z.events();
+  clocks_.reserve(events.size());
+  local_index_.reserve(events.size());
+  proc_.reserve(events.size());
+
+  std::vector<VectorClock> latest(num_processes, VectorClock(num_processes));
+  std::unordered_map<MessageId, std::size_t> send_of;
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    if (e.process >= num_processes)
+      throw ModelError("CausalityIndex: process id exceeds num_processes");
+    VectorClock clock = latest[e.process];
+    if (e.IsReceive()) {
+      auto it = send_of.find(e.message);
+      if (it == send_of.end())
+        throw ModelError("CausalityIndex: receive without send");
+      clock.MergeFrom(clocks_[it->second]);
+    }
+    clock.Increment(e.process);
+    if (e.IsSend()) send_of.emplace(e.message, i);
+    latest[e.process] = clock;
+    local_index_.push_back(clock.Get(e.process));
+    proc_.push_back(e.process);
+    clocks_.push_back(std::move(clock));
+  }
+}
+
+bool CausalityIndex::HappenedBefore(std::size_t i, std::size_t j) const {
+  if (i == j) return true;  // e -> e per the paper's definition
+  const ProcessId p = proc_.at(i);
+  return clocks_.at(i).Get(p) <= clocks_.at(j).Get(p);
+}
+
+bool CausalityIndex::Concurrent(std::size_t i, std::size_t j) const {
+  return i != j && !HappenedBefore(i, j) && !HappenedBefore(j, i);
+}
+
+}  // namespace hpl

@@ -1,0 +1,48 @@
+// Causality index over one computation: Lamport's happened-before relation
+// "e -> e'" exactly as defined in Section 3.1 of the paper:
+//   1. e' is a receive and e is the corresponding send, or
+//   2. e, e' are on the same process and e = e' or e occurs earlier, or
+//   3. transitive closure of the above.
+// Note e -> e for every event (the paper's arrow is reflexive).
+#ifndef HPL_CORE_CAUSALITY_H_
+#define HPL_CORE_CAUSALITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/computation.h"
+#include "core/vector_clock.h"
+
+namespace hpl {
+
+class CausalityIndex {
+ public:
+  // Builds clocks for every event of z.  `num_processes` must cover every
+  // process id appearing in z; pass the system's process count.
+  CausalityIndex(const Computation& z, int num_processes);
+
+  // e_i -> e_j (reflexive, as in the paper).
+  bool HappenedBefore(std::size_t i, std::size_t j) const;
+
+  // Neither e_i -> e_j nor e_j -> e_i (and i != j).
+  bool Concurrent(std::size_t i, std::size_t j) const;
+
+  const VectorClock& ClockOf(std::size_t i) const { return clocks_.at(i); }
+
+  int num_processes() const noexcept { return num_processes_; }
+  std::size_t num_events() const noexcept { return clocks_.size(); }
+
+  // 1-based index of event i among the events of its own process ("this is
+  // the k-th event on p").  Used by the chain-detection frontier DP.
+  std::uint32_t LocalIndex(std::size_t i) const { return local_index_.at(i); }
+
+ private:
+  int num_processes_;
+  std::vector<VectorClock> clocks_;
+  std::vector<std::uint32_t> local_index_;
+  std::vector<ProcessId> proc_;
+};
+
+}  // namespace hpl
+
+#endif  // HPL_CORE_CAUSALITY_H_

@@ -1,0 +1,64 @@
+// Isomorphism diagrams (paper Section 3, Figure 3-1).
+//
+// "An undirected labelled graph whose vertices are computations and there
+// is an edge labelled [P] between vertices x, y if P is the largest set of
+// processes for which x [P] y."  Every vertex carries the self loop [D].
+// We build diagrams over explicit computation lists or whole spaces and
+// export Graphviz DOT for inspection.
+#ifndef HPL_CORE_DIAGRAM_H_
+#define HPL_CORE_DIAGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/computation.h"
+#include "core/space.h"
+#include "core/types.h"
+
+namespace hpl {
+
+struct DiagramEdge {
+  std::size_t from = 0;  // index into vertices
+  std::size_t to = 0;
+  ProcessSet label;      // maximal P with x [P] y
+};
+
+class IsomorphismDiagram {
+ public:
+  // Builds the diagram over the given computations.  Edges are included for
+  // every pair with a non-empty maximal label (plus, optionally, empty
+  // labels when include_empty is set — the paper's x [{}] y always holds,
+  // so empty edges are usually noise).
+  IsomorphismDiagram(std::vector<Computation> vertices, int num_processes,
+                     std::vector<std::string> names = {},
+                     bool include_empty = false);
+
+  // Diagram over an entire (small) space.
+  static IsomorphismDiagram FromSpace(const ComputationSpace& space,
+                                      bool include_empty = false);
+
+  const std::vector<Computation>& vertices() const noexcept {
+    return vertices_;
+  }
+  const std::vector<DiagramEdge>& edges() const noexcept { return edges_; }
+  int num_processes() const noexcept { return num_processes_; }
+
+  // The maximal label between two vertices (by index).
+  ProcessSet LabelBetween(std::size_t a, std::size_t b) const;
+
+  // Graphviz DOT rendering (undirected graph; self loops omitted).
+  std::string ToDot() const;
+
+  // Compact text table "x -- {p,q} -- y" for terminal output.
+  std::string ToTable() const;
+
+ private:
+  std::vector<Computation> vertices_;
+  std::vector<std::string> names_;
+  std::vector<DiagramEdge> edges_;
+  int num_processes_;
+};
+
+}  // namespace hpl
+
+#endif  // HPL_CORE_DIAGRAM_H_

@@ -1,0 +1,59 @@
+// Events: the atoms of process and system computations (paper Section 2).
+//
+// "An event on a process is either a send, a receive or an internal event."
+// Events are *distinguished*: two send events of the same payload differ in
+// their MessageId.  Equality is structural; a process computation is a
+// sequence of Event values, and isomorphism [p] compares those sequences.
+#ifndef HPL_CORE_EVENT_H_
+#define HPL_CORE_EVENT_H_
+
+#include <cstddef>
+#include <string>
+
+#include "core/types.h"
+
+namespace hpl {
+
+enum class EventKind : std::uint8_t { kInternal, kSend, kReceive };
+
+const char* ToString(EventKind kind) noexcept;
+
+// A single event on a process.
+//
+//  - internal: peer/message unset; `label` names the action (used by
+//    predicates, e.g. "flip", "crash", "token_arrived").
+//  - send:    `peer` is the destination process, `message` the (unique)
+//    message id, `label` the payload tag.
+//  - receive: `peer` is the *sender*, `message` matches the corresponding
+//    send, `label` the payload tag (must equal the send's label).
+struct Event {
+  ProcessId process = kNoProcess;
+  EventKind kind = EventKind::kInternal;
+  MessageId message = kNoMessage;
+  ProcessId peer = kNoProcess;
+  std::string label;
+
+  bool operator==(const Event&) const = default;
+
+  bool IsInternal() const noexcept { return kind == EventKind::kInternal; }
+  bool IsSend() const noexcept { return kind == EventKind::kSend; }
+  bool IsReceive() const noexcept { return kind == EventKind::kReceive; }
+
+  // "e is on P": the event's process belongs to the set.
+  bool IsOn(ProcessSet set) const { return set.Contains(process); }
+
+  std::string ToString() const;
+};
+
+// Convenience constructors used pervasively in tests and examples.
+Event Internal(ProcessId p, std::string label = "");
+Event Send(ProcessId from, ProcessId to, MessageId m, std::string label = "");
+Event Receive(ProcessId at, ProcessId from, MessageId m,
+              std::string label = "");
+
+// Stable hash of an event (structural).
+std::size_t HashEvent(const Event& e) noexcept;
+
+}  // namespace hpl
+
+#endif  // HPL_CORE_EVENT_H_

@@ -1,0 +1,288 @@
+#include "core/formula.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace hpl {
+
+// Formula's fields are private with only static factories as writers; the
+// factories funnel through this builder (a friend of Formula).
+struct FormulaBuilder {
+  static FormulaPtr Build(FormulaKind kind, Predicate atom, FormulaPtr left,
+                          FormulaPtr right, ProcessSet group) {
+    auto node = std::shared_ptr<Formula>(new Formula());
+    node->kind_ = kind;
+    node->atom_ = std::move(atom);
+    node->left_ = std::move(left);
+    node->right_ = std::move(right);
+    node->group_ = group;
+    return node;
+  }
+};
+
+FormulaPtr Formula::Atom(Predicate b) {
+  if (!b.valid()) throw ModelError("Formula::Atom: empty predicate");
+  return FormulaBuilder::Build(FormulaKind::kAtom, std::move(b), nullptr,
+                               nullptr, ProcessSet{});
+}
+
+FormulaPtr Formula::Not(FormulaPtr f) {
+  if (!f) throw ModelError("Formula::Not: null operand");
+  return FormulaBuilder::Build(FormulaKind::kNot, Predicate{}, std::move(f),
+                               nullptr, ProcessSet{});
+}
+
+FormulaPtr Formula::And(FormulaPtr a, FormulaPtr b) {
+  if (!a || !b) throw ModelError("Formula::And: null operand");
+  return FormulaBuilder::Build(FormulaKind::kAnd, Predicate{}, std::move(a),
+                               std::move(b), ProcessSet{});
+}
+
+FormulaPtr Formula::Or(FormulaPtr a, FormulaPtr b) {
+  if (!a || !b) throw ModelError("Formula::Or: null operand");
+  return FormulaBuilder::Build(FormulaKind::kOr, Predicate{}, std::move(a),
+                               std::move(b), ProcessSet{});
+}
+
+FormulaPtr Formula::Implies(FormulaPtr a, FormulaPtr b) {
+  if (!a || !b) throw ModelError("Formula::Implies: null operand");
+  return FormulaBuilder::Build(FormulaKind::kImplies, Predicate{},
+                               std::move(a), std::move(b), ProcessSet{});
+}
+
+FormulaPtr Formula::Knows(ProcessSet p, FormulaPtr f) {
+  if (!f) throw ModelError("Formula::Knows: null operand");
+  return FormulaBuilder::Build(FormulaKind::kKnows, Predicate{}, std::move(f),
+                               nullptr, p);
+}
+
+FormulaPtr Formula::Knows(ProcessId p, FormulaPtr f) {
+  return Knows(ProcessSet::Of(p), std::move(f));
+}
+
+FormulaPtr Formula::Sure(ProcessSet p, FormulaPtr f) {
+  if (!f) throw ModelError("Formula::Sure: null operand");
+  return FormulaBuilder::Build(FormulaKind::kSure, Predicate{}, std::move(f),
+                               nullptr, p);
+}
+
+FormulaPtr Formula::Common(ProcessSet g, FormulaPtr f) {
+  if (!f) throw ModelError("Formula::Common: null operand");
+  if (g.IsEmpty()) throw ModelError("Formula::Common: empty group");
+  return FormulaBuilder::Build(FormulaKind::kCommon, Predicate{},
+                               std::move(f), nullptr, g);
+}
+
+FormulaPtr Formula::Everyone(ProcessSet g, FormulaPtr f) {
+  if (!f) throw ModelError("Formula::Everyone: null operand");
+  if (g.IsEmpty()) throw ModelError("Formula::Everyone: empty group");
+  return FormulaBuilder::Build(FormulaKind::kEveryone, Predicate{},
+                               std::move(f), nullptr, g);
+}
+
+FormulaPtr Formula::EveryoneIterated(ProcessSet g, int k, FormulaPtr f) {
+  if (k < 0) throw ModelError("Formula::EveryoneIterated: negative depth");
+  FormulaPtr out = std::move(f);
+  for (int i = 0; i < k; ++i) out = Everyone(g, std::move(out));
+  return out;
+}
+
+FormulaPtr Formula::Possible(ProcessSet p, FormulaPtr f) {
+  if (!f) throw ModelError("Formula::Possible: null operand");
+  return FormulaBuilder::Build(FormulaKind::kPossible, Predicate{},
+                               std::move(f), nullptr, p);
+}
+
+FormulaPtr Formula::KnowsChain(const std::vector<ProcessSet>& chain,
+                               FormulaPtr f) {
+  FormulaPtr out = std::move(f);
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it)
+    out = Knows(*it, std::move(out));
+  return out;
+}
+
+std::string Formula::ToString() const {
+  switch (kind_) {
+    case FormulaKind::kAtom:
+      return atom_.name();
+    case FormulaKind::kNot:
+      return "!" + left_->ToString();
+    case FormulaKind::kAnd:
+      return "(" + left_->ToString() + " && " + right_->ToString() + ")";
+    case FormulaKind::kOr:
+      return "(" + left_->ToString() + " || " + right_->ToString() + ")";
+    case FormulaKind::kImplies:
+      return "(" + left_->ToString() + " => " + right_->ToString() + ")";
+    case FormulaKind::kKnows:
+      return "K" + group_.ToString() + " " + left_->ToString();
+    case FormulaKind::kSure:
+      return "Sure" + group_.ToString() + " " + left_->ToString();
+    case FormulaKind::kCommon:
+      return "CK" + group_.ToString() + " " + left_->ToString();
+    case FormulaKind::kEveryone:
+      return "E" + group_.ToString() + " " + left_->ToString();
+    case FormulaKind::kPossible:
+      return "M" + group_.ToString() + " " + left_->ToString();
+  }
+  return "?";
+}
+
+int Formula::ModalDepth() const {
+  const int l = left_ ? left_->ModalDepth() : 0;
+  const int r = right_ ? right_->ModalDepth() : 0;
+  const int sub = std::max(l, r);
+  switch (kind_) {
+    case FormulaKind::kKnows:
+    case FormulaKind::kSure:
+    case FormulaKind::kCommon:
+    case FormulaKind::kEveryone:
+    case FormulaKind::kPossible:
+      return sub + 1;
+    default:
+      return sub;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parser for the text syntax.
+// ---------------------------------------------------------------------------
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, const std::vector<Predicate>& atoms)
+      : text_(text), atoms_(atoms) {}
+
+  FormulaPtr Parse() {
+    FormulaPtr f = ParseImplies();
+    SkipSpace();
+    if (pos_ != text_.size())
+      throw ModelError("Formula parse: trailing input at " +
+                       std::to_string(pos_));
+    return f;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(
+                                      text_[pos_])))
+      ++pos_;
+  }
+
+  bool Eat(const std::string& token) {
+    SkipSpace();
+    if (text_.compare(pos_, token.size(), token) == 0) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  // implies is right-associative and lowest precedence.
+  FormulaPtr ParseImplies() {
+    FormulaPtr lhs = ParseOr();
+    if (Eat("=>")) return Formula::Implies(lhs, ParseImplies());
+    return lhs;
+  }
+
+  FormulaPtr ParseOr() {
+    FormulaPtr lhs = ParseAnd();
+    while (Eat("||")) lhs = Formula::Or(lhs, ParseAnd());
+    return lhs;
+  }
+
+  FormulaPtr ParseAnd() {
+    FormulaPtr lhs = ParseUnary();
+    while (Eat("&&")) lhs = Formula::And(lhs, ParseUnary());
+    return lhs;
+  }
+
+  FormulaPtr ParseUnary() {
+    SkipSpace();
+    if (Eat("!")) return Formula::Not(ParseUnary());
+    // The group must be parsed before the operand (argument evaluation
+    // order is unspecified, so sequence explicitly).
+    if (Eat("CK")) {
+      const ProcessSet group = ParseGroup();
+      return Formula::Common(group, ParseUnary());
+    }
+    if (Eat("E{")) {
+      --pos_;  // give the '{' back to ParseGroup
+      const ProcessSet group = ParseGroup();
+      return Formula::Everyone(group, ParseUnary());
+    }
+    if (Eat("M{")) {
+      --pos_;
+      const ProcessSet group = ParseGroup();
+      return Formula::Possible(group, ParseUnary());
+    }
+    if (Eat("Sure")) {
+      const ProcessSet group = ParseGroup();
+      return Formula::Sure(group, ParseUnary());
+    }
+    if (Eat("K")) {
+      const ProcessSet group = ParseGroup();
+      return Formula::Knows(group, ParseUnary());
+    }
+    if (Eat("(")) {
+      FormulaPtr f = ParseImplies();
+      if (!Eat(")")) throw ModelError("Formula parse: expected ')'");
+      return f;
+    }
+    return ParseAtom();
+  }
+
+  ProcessSet ParseGroup() {
+    if (!Eat("{")) throw ModelError("Formula parse: expected '{'");
+    ProcessSet set;
+    for (;;) {
+      SkipSpace();
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+      if (pos_ == start) throw ModelError("Formula parse: expected process id");
+      set.Insert(std::stoi(text_.substr(start, pos_ - start)));
+      if (Eat(",")) continue;
+      if (Eat("}")) break;
+      throw ModelError("Formula parse: expected ',' or '}'");
+    }
+    return set;
+  }
+
+  FormulaPtr ParseAtom() {
+    SkipSpace();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_'))
+      ++pos_;
+    if (pos_ == start)
+      throw ModelError("Formula parse: expected atom at " +
+                       std::to_string(pos_));
+    const std::string name = text_.substr(start, pos_ - start);
+    if (name == "true") return Formula::Atom(Predicate::True());
+    if (name == "false") return Formula::Atom(Predicate::False());
+    for (const Predicate& p : atoms_)
+      if (p.name() == name) return Formula::Atom(p);
+    throw ModelError("Formula parse: unknown atom '" + name + "'");
+  }
+
+  const std::string& text_;
+  const std::vector<Predicate>& atoms_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+FormulaPtr Formula::Parse(const std::string& text,
+                          const std::vector<Predicate>& atoms) {
+  return Parser(text, atoms).Parse();
+}
+
+}  // namespace hpl

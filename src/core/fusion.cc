@@ -1,0 +1,83 @@
+#include "core/fusion.h"
+
+#include "core/isomorphism.h"
+#include "core/process_chain.h"
+
+namespace hpl {
+
+Computation FuseLemma1(const Computation& x, const Computation& y,
+                       const Computation& z, ProcessSet p, ProcessSet q,
+                       int num_processes) {
+  const ProcessSet universe = ProcessSet::All(num_processes);
+  if (p.Union(q) != universe)
+    throw ModelError("FuseLemma1: P u Q must equal D");
+  if (!x.IsPrefixOf(y) || !x.IsPrefixOf(z))
+    throw ModelError("FuseLemma1: x must be a prefix of y and of z");
+  if (!IsomorphicWrt(x, y, p))
+    throw ModelError("FuseLemma1: x [P] y must hold");
+  if (!IsomorphicWrt(x, z, q))
+    throw ModelError("FuseLemma1: x [Q] z must hold");
+
+  // w = x; (x,y); (x,z).  The suffix (x,y) has events only on P̄ and (x,z)
+  // only on Q̄; P u Q = D makes them disjoint, so w validates.
+  std::vector<Event> events = x.events();
+  const auto sy = y.SuffixAfter(x);
+  const auto sz = z.SuffixAfter(x);
+  events.insert(events.end(), sy.begin(), sy.end());
+  events.insert(events.end(), sz.begin(), sz.end());
+  return Computation(std::move(events));
+}
+
+std::optional<FusionResult> FuseTheorem2(const Computation& x,
+                                         const Computation& y,
+                                         const Computation& z, ProcessSet p,
+                                         int num_processes,
+                                         std::string* why) {
+  auto fail = [&](const std::string& msg) -> std::optional<FusionResult> {
+    if (why != nullptr) *why = msg;
+    return std::nullopt;
+  };
+  const ProcessSet universe = ProcessSet::All(num_processes);
+  const ProcessSet pbar = p.ComplementIn(universe);
+  if (!x.IsPrefixOf(y) || !x.IsPrefixOf(z))
+    throw ModelError("FuseTheorem2: x must be a prefix of y and of z");
+
+  // Precondition (1): no chain <P̄ P> in (x, y) — P's suffix events in y
+  // must not depend on P̄'s suffix events, so "all events on P from y" can
+  // run without P̄'s suffix.
+  {
+    ChainDetector detector(y, num_processes, x.size());
+    if (detector.HasChain({pbar, p}))
+      return fail("chain <P̄ P> present in (x,y)");
+  }
+  // Precondition (2): no chain <P P̄> in (x, z).
+  {
+    ChainDetector detector(z, num_processes, x.size());
+    if (detector.HasChain({p, pbar}))
+      return fail("chain <P P̄> present in (x,z)");
+  }
+
+  // Diagram intermediates (proof of Theorem 2 via Theorem 1 + Lemma 1):
+  //   u = x; (x,y)|P   — x [P̄] u and u [P] y
+  //   v = x; (x,z)|P̄   — x [P] v and v [P̄] z
+  std::vector<Event> ue = x.events();
+  for (const Event& e : y.SuffixAfter(x))
+    if (e.IsOn(p)) ue.push_back(e);
+  std::vector<Event> ve = x.events();
+  for (const Event& e : z.SuffixAfter(x))
+    if (e.IsOn(pbar)) ve.push_back(e);
+
+  // Both validate because the absent chains guarantee every receive kept
+  // has its send kept (a cross-set message inside the suffix would be a
+  // forbidden chain).
+  Computation u(std::move(ue));
+  Computation v(std::move(ve));
+
+  // Lemma 1 applied to x, u, v with (P := P̄, Q := P): x [P̄] u, x [P] v.
+  Computation w = FuseLemma1(x, u, v, pbar, p, num_processes);
+
+  FusionResult result{std::move(w), std::move(u), std::move(v)};
+  return result;
+}
+
+}  // namespace hpl

@@ -1,0 +1,48 @@
+// Fusion of computations (paper Section 3.3, Lemma 1 and Theorem 2).
+//
+// Lemma 1: for computations x <= y and x <= z with x [P] y, x [Q] z and
+// P u Q = D, the sequence w = x; (x,y); (x,z) is a computation with
+// y [Q] w and z [P] w.
+//
+// Theorem 2 (Fusion): for x <= y and x <= z and a process set P such that
+// (x,y) has no chain <P̄ P> and (x,z) has no chain <P P̄>, there is a
+// computation w with x <= w, y [P] w and z [P̄] w — w consists of all
+// events on P from y and all events on P̄ from z.
+#ifndef HPL_CORE_FUSION_H_
+#define HPL_CORE_FUSION_H_
+
+#include <optional>
+#include <string>
+
+#include "core/computation.h"
+#include "core/types.h"
+
+namespace hpl {
+
+struct FusionResult {
+  Computation fused;
+  // The intermediate computations u = x;(x,y)|P and v = x;(x,z)|P̄ of the
+  // commutative diagram (Figure 3-3).
+  Computation u;
+  Computation v;
+};
+
+// Lemma 1.  Throws ModelError if the preconditions do not hold
+// (x must be a prefix of both, (x,y) only on P̄... i.e. x [P] y, x [Q] z,
+// P u Q = D).
+Computation FuseLemma1(const Computation& x, const Computation& y,
+                       const Computation& z, ProcessSet p, ProcessSet q,
+                       int num_processes);
+
+// Theorem 2.  Returns the fused computation (plus diagram intermediates) if
+// the chain preconditions hold; otherwise returns nullopt and, if `why` is
+// non-null, stores which precondition failed.
+std::optional<FusionResult> FuseTheorem2(const Computation& x,
+                                         const Computation& y,
+                                         const Computation& z, ProcessSet p,
+                                         int num_processes,
+                                         std::string* why = nullptr);
+
+}  // namespace hpl
+
+#endif  // HPL_CORE_FUSION_H_

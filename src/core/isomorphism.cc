@@ -1,0 +1,63 @@
+#include "core/isomorphism.h"
+
+namespace hpl {
+
+bool IsomorphicWrt(const Computation& x, const Computation& y, ProcessId p) {
+  // Cheap pre-check on counts before materializing projections.
+  if (x.CountOn(p) != y.CountOn(p)) return false;
+  return x.Projection(p) == y.Projection(p);
+}
+
+bool IsomorphicWrt(const Computation& x, const Computation& y,
+                   ProcessSet set) {
+  bool ok = true;
+  set.ForEach([&](ProcessId p) {
+    if (ok && !IsomorphicWrt(x, y, p)) ok = false;
+  });
+  return ok;
+}
+
+ProcessSet MaxIsomorphismLabel(const Computation& x, const Computation& y,
+                               ProcessSet universe) {
+  ProcessSet label;
+  universe.ForEach([&](ProcessId p) {
+    if (IsomorphicWrt(x, y, p)) label.Insert(p);
+  });
+  return label;
+}
+
+bool CheckEquivalenceProperty(const std::vector<Computation>& sample,
+                              ProcessSet set) {
+  const std::size_t n = sample.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!IsomorphicWrt(sample[i], sample[i], set)) return false;  // reflexive
+    for (std::size_t j = 0; j < n; ++j) {
+      const bool ij = IsomorphicWrt(sample[i], sample[j], set);
+      const bool ji = IsomorphicWrt(sample[j], sample[i], set);
+      if (ij != ji) return false;  // symmetric
+      if (!ij) continue;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (IsomorphicWrt(sample[j], sample[k], set) &&
+            !IsomorphicWrt(sample[i], sample[k], set))
+          return false;  // transitive
+      }
+    }
+  }
+  return true;
+}
+
+bool CheckUnionProperty(const Computation& x, const Computation& y,
+                        ProcessSet p, ProcessSet q) {
+  const bool lhs = IsomorphicWrt(x, y, p.Union(q));
+  const bool rhs = IsomorphicWrt(x, y, p) && IsomorphicWrt(x, y, q);
+  return lhs == rhs;
+}
+
+bool CheckMonotonicityProperty(const Computation& x, const Computation& y,
+                               ProcessSet p, ProcessSet q) {
+  if (!p.IsSubsetOf(q)) return true;  // vacuous
+  if (IsomorphicWrt(x, y, q) && !IsomorphicWrt(x, y, p)) return false;
+  return true;
+}
+
+}  // namespace hpl

@@ -1,0 +1,56 @@
+// Isomorphism between system computations (paper Section 3).
+//
+//   x [p] y  ==  x_p = y_p          (p cannot distinguish x from y)
+//   x [P] y  ==  for all p in P: x [p] y
+//   x [P0 P1 ... Pn] y  ==  exists y0..: x [P0] y0 [P1] y1 ... [Pn] y
+//
+// The composed relation quantifies over *all* system computations, so
+// deciding it needs a computation space (see space.h); the plain relations
+// are decidable from the two computations alone and live here, together
+// with checkable statements of the paper's ten algebraic properties.
+#ifndef HPL_CORE_ISOMORPHISM_H_
+#define HPL_CORE_ISOMORPHISM_H_
+
+#include <vector>
+
+#include "core/computation.h"
+#include "core/types.h"
+
+namespace hpl {
+
+// x [p] y.
+bool IsomorphicWrt(const Computation& x, const Computation& y, ProcessId p);
+
+// x [P] y.
+bool IsomorphicWrt(const Computation& x, const Computation& y, ProcessSet set);
+
+// The largest P with x [P] y, intersected with `universe` — the edge label
+// of the isomorphism diagram (Figure 3-1).
+ProcessSet MaxIsomorphismLabel(const Computation& x, const Computation& y,
+                               ProcessSet universe);
+
+// --- The paper's properties 1..10 as checkable predicates. ---------------
+//
+// Each function checks one algebraic property on concrete computations (and,
+// where the property quantifies over computations, on a caller-supplied
+// sample).  They return true when no violation is found; property tests feed
+// them randomized systems.  Properties involving composed relations are
+// checked against a ComputationSpace in knowledge/space tests instead.
+
+// Property 1: [P] is an equivalence relation (reflexive, symmetric,
+// transitive) over the given sample of computations.
+bool CheckEquivalenceProperty(const std::vector<Computation>& sample,
+                              ProcessSet set);
+
+// Property 7: [P u Q] = [P] intersect [Q] on the given pair.
+bool CheckUnionProperty(const Computation& x, const Computation& y,
+                        ProcessSet p, ProcessSet q);
+
+// Property 8 direction (Q superset of P) implies ([Q] subset of [P]): if
+// x [Q] y then x [P] y for P subset of Q.
+bool CheckMonotonicityProperty(const Computation& x, const Computation& y,
+                               ProcessSet p, ProcessSet q);
+
+}  // namespace hpl
+
+#endif  // HPL_CORE_ISOMORPHISM_H_

@@ -1,0 +1,201 @@
+#include "core/knowledge.h"
+
+#include <numeric>
+
+namespace hpl {
+namespace {
+
+// Union-find over dense ids.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+  std::uint32_t Find(std::uint32_t a) {
+    while (parent_[a] != a) {
+      parent_[a] = parent_[parent_[a]];
+      a = parent_[a];
+    }
+    return a;
+  }
+  void Union(std::uint32_t a, std::uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[b] = a;
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+}  // namespace
+
+KnowledgeEvaluator::KnowledgeEvaluator(const ComputationSpace& space)
+    : space_(space) {}
+
+bool KnowledgeEvaluator::Holds(const FormulaPtr& f, std::size_t id) {
+  if (!f) throw ModelError("KnowledgeEvaluator::Holds: null formula");
+  retained_.push_back(f);
+  return Eval(f.get(), id);
+}
+
+bool KnowledgeEvaluator::Holds(const FormulaPtr& f, const Computation& x) {
+  return Holds(f, space_.RequireIndex(x));
+}
+
+std::vector<std::size_t> KnowledgeEvaluator::SatisfyingSet(
+    const FormulaPtr& f) {
+  std::vector<std::size_t> out;
+  for (std::size_t id = 0; id < space_.size(); ++id)
+    if (Holds(f, id)) out.push_back(id);
+  return out;
+}
+
+bool KnowledgeEvaluator::Knows(ProcessSet p, const Predicate& b,
+                               std::size_t id) {
+  return Holds(Formula::Knows(p, Formula::Atom(b)), id);
+}
+
+bool KnowledgeEvaluator::Sure(ProcessSet p, const Predicate& b,
+                              std::size_t id) {
+  return Holds(Formula::Sure(p, Formula::Atom(b)), id);
+}
+
+bool KnowledgeEvaluator::IsLocalTo(const Predicate& b, ProcessSet p) {
+  return IsLocalTo(Formula::Atom(b), p);
+}
+
+bool KnowledgeEvaluator::IsLocalTo(const FormulaPtr& f, ProcessSet p) {
+  FormulaPtr sure = Formula::Sure(p, f);
+  for (std::size_t id = 0; id < space_.size(); ++id)
+    if (!Holds(sure, id)) return false;
+  return true;
+}
+
+bool KnowledgeEvaluator::IsConstant(const FormulaPtr& f) {
+  if (space_.size() == 0) return true;
+  const bool v0 = Holds(f, 0);
+  for (std::size_t id = 1; id < space_.size(); ++id)
+    if (Holds(f, id) != v0) return false;
+  return true;
+}
+
+std::uint32_t KnowledgeEvaluator::CommonComponent(ProcessSet g,
+                                                  std::size_t id) {
+  return Components(g).at(id);
+}
+
+const std::vector<std::uint32_t>& KnowledgeEvaluator::Components(
+    ProcessSet g) {
+  auto it = components_.find(g.bits());
+  if (it != components_.end()) return it->second;
+
+  UnionFind uf(space_.size());
+  g.ForEach([&](ProcessId p) {
+    // All members of one [p]-bucket are mutually indistinguishable to p.
+    std::uint32_t num_classes = 0;
+    for (std::size_t id = 0; id < space_.size(); ++id)
+      num_classes =
+          std::max(num_classes, space_.ProjectionClass(id, p) + 1);
+    for (std::uint32_t cls = 0; cls < num_classes; ++cls) {
+      const auto& bucket = space_.Bucket(p, cls);
+      for (std::size_t i = 1; i < bucket.size(); ++i)
+        uf.Union(bucket[0], bucket[i]);
+    }
+  });
+  std::vector<std::uint32_t> roots(space_.size());
+  for (std::size_t id = 0; id < space_.size(); ++id)
+    roots[id] = uf.Find(static_cast<std::uint32_t>(id));
+  return components_.emplace(g.bits(), std::move(roots)).first->second;
+}
+
+KnowledgeEvaluator::NodeCache& KnowledgeEvaluator::CacheFor(
+    const Formula* f) {
+  NodeCache& c = cache_[f];
+  if (c.value.empty()) c.value.assign(space_.size(), 0);
+  return c;
+}
+
+bool KnowledgeEvaluator::Eval(const Formula* f, std::size_t id) {
+  NodeCache& c = CacheFor(f);
+  if (c.value[id] != 0) return c.value[id] == 2;
+
+  bool result = false;
+  switch (f->kind()) {
+    case FormulaKind::kAtom:
+      result = f->atom().Eval(space_.At(id));
+      break;
+    case FormulaKind::kNot:
+      result = !Eval(f->left().get(), id);
+      break;
+    case FormulaKind::kAnd:
+      result = Eval(f->left().get(), id) && Eval(f->right().get(), id);
+      break;
+    case FormulaKind::kOr:
+      result = Eval(f->left().get(), id) || Eval(f->right().get(), id);
+      break;
+    case FormulaKind::kImplies:
+      result = !Eval(f->left().get(), id) || Eval(f->right().get(), id);
+      break;
+    case FormulaKind::kKnows: {
+      result = true;
+      space_.ForEachIsomorphic(id, f->group(), [&](std::size_t y) {
+        if (result && !Eval(f->left().get(), y)) result = false;
+      });
+      break;
+    }
+    case FormulaKind::kSure: {
+      // K_P f || K_P !f, evaluated in one bucket pass.
+      bool all_true = true, all_false = true;
+      space_.ForEachIsomorphic(id, f->group(), [&](std::size_t y) {
+        if (!all_true && !all_false) return;
+        if (Eval(f->left().get(), y))
+          all_false = false;
+        else
+          all_true = false;
+      });
+      result = all_true || all_false;
+      break;
+    }
+    case FormulaKind::kCommon: {
+      // Greatest fixpoint: f must hold on the entire G-component of id.
+      const auto& roots = Components(f->group());
+      const std::uint32_t root = roots[id];
+      result = true;
+      for (std::size_t y = 0; y < space_.size() && result; ++y)
+        if (roots[y] == root && !Eval(f->left().get(), y)) result = false;
+      break;
+    }
+    case FormulaKind::kEveryone: {
+      // Conjunction of the individual K{p} over the group.
+      result = true;
+      f->group().ForEach([&](ProcessId p) {
+        if (!result) return;
+        space_.ForEachIsomorphic(id, ProcessSet::Of(p), [&](std::size_t y) {
+          if (result && !Eval(f->left().get(), y)) result = false;
+        });
+      });
+      break;
+    }
+    case FormulaKind::kPossible: {
+      // !K{P}!f: some [P]-isomorphic computation satisfies f.
+      result = false;
+      space_.ForEachIsomorphic(id, f->group(), [&](std::size_t y) {
+        if (!result && Eval(f->left().get(), y)) result = true;
+      });
+      break;
+    }
+  }
+  c.value[id] = result ? 2 : 1;
+  return result;
+}
+
+std::size_t KnowledgeEvaluator::memo_size() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [node, cache] : cache_)
+    for (std::uint8_t v : cache.value)
+      if (v != 0) ++n;
+  return n;
+}
+
+}  // namespace hpl

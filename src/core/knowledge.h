@@ -1,0 +1,81 @@
+// Knowledge evaluation (paper Section 4): a model checker for epistemic
+// formulas over the finite computation space of a system.
+//
+//   (P knows b) at x  ==  for all y: x [P] y : b at y
+//
+// with the quantifier ranging over *all* computations of the system — hence
+// evaluation happens against a fully enumerated ComputationSpace.
+// Evaluation is memoized per (formula node, [D]-class).  Common knowledge
+// CK{G} f is the greatest fixpoint "f and (p knows CK f) for all p in G",
+// computed as: f holds at every computation reachable from x through the
+// union of the [p] relations, p in G — i.e. on x's whole connected
+// component of the "G-indistinguishability" graph.
+#ifndef HPL_CORE_KNOWLEDGE_H_
+#define HPL_CORE_KNOWLEDGE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/formula.h"
+#include "core/space.h"
+
+namespace hpl {
+
+class KnowledgeEvaluator {
+ public:
+  explicit KnowledgeEvaluator(const ComputationSpace& space);
+
+  // Truth of `f` at the computation with class id `id`.
+  bool Holds(const FormulaPtr& f, std::size_t id);
+
+  // Truth at a computation given by value (must be in the space).
+  bool Holds(const FormulaPtr& f, const Computation& x);
+
+  // All class ids at which `f` holds.
+  std::vector<std::size_t> SatisfyingSet(const FormulaPtr& f);
+
+  // (P knows b) at id, for a plain predicate.
+  bool Knows(ProcessSet p, const Predicate& b, std::size_t id);
+
+  // (P sure b) at id  ==  K_P b || K_P !b.
+  bool Sure(ProcessSet p, const Predicate& b, std::size_t id);
+
+  // "b is local to P"  ==  for all x: (P sure b) at x   (Section 4.2).
+  bool IsLocalTo(const Predicate& b, ProcessSet p);
+  bool IsLocalTo(const FormulaPtr& f, ProcessSet p);
+
+  // "b is a constant"  ==  b at x == b at y for all x, y.
+  bool IsConstant(const FormulaPtr& f);
+
+  // Common knowledge components: id of the connected component of the
+  // G-indistinguishability graph containing `id`.
+  std::uint32_t CommonComponent(ProcessSet g, std::size_t id);
+
+  const ComputationSpace& space() const noexcept { return space_; }
+
+  // Number of distinct (formula, computation) pairs evaluated (cache size);
+  // exposed for the perf benchmarks.
+  std::size_t memo_size() const noexcept;
+
+ private:
+  struct NodeCache {
+    // 0 = unknown, 1 = false, 2 = true.
+    std::vector<std::uint8_t> value;
+  };
+
+  bool Eval(const Formula* f, std::size_t id);
+  NodeCache& CacheFor(const Formula* f);
+  const std::vector<std::uint32_t>& Components(ProcessSet g);
+
+  const ComputationSpace& space_;
+  std::unordered_map<const Formula*, NodeCache> cache_;
+  // Connected components of the union of [p] relations, keyed by group bits.
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> components_;
+  // Keeps parsed formula nodes alive while cached.
+  std::vector<FormulaPtr> retained_;
+};
+
+}  // namespace hpl
+
+#endif  // HPL_CORE_KNOWLEDGE_H_

@@ -1,0 +1,58 @@
+#include "core/logical_clock.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/causality.h"
+
+namespace hpl {
+
+LogicalClockAssignment::LogicalClockAssignment(const Computation& z,
+                                               int num_processes)
+    : z_(z) {
+  std::vector<std::uint64_t> local(num_processes, 0);
+  std::unordered_map<MessageId, std::uint64_t> send_stamp;
+  stamps_.reserve(z.size());
+  procs_.reserve(z.size());
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    const Event& e = z.at(i);
+    if (e.process >= num_processes)
+      throw ModelError("LogicalClockAssignment: process id out of range");
+    std::uint64_t stamp = local[e.process] + 1;
+    if (e.IsReceive()) {
+      auto it = send_stamp.find(e.message);
+      if (it == send_stamp.end())
+        throw ModelError("LogicalClockAssignment: receive without send");
+      stamp = std::max(stamp, it->second + 1);
+    }
+    if (e.IsSend()) send_stamp[e.message] = stamp;
+    local[e.process] = stamp;
+    stamps_.push_back(stamp);
+    procs_.push_back(e.process);
+  }
+}
+
+std::vector<std::size_t> LogicalClockAssignment::TotalOrder() const {
+  std::vector<std::size_t> order(stamps_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     if (stamps_[a] != stamps_[b])
+                       return stamps_[a] < stamps_[b];
+                     return procs_[a] < procs_[b];
+                   });
+  return order;
+}
+
+bool LogicalClockAssignment::SatisfiesClockCondition(
+    int num_processes) const {
+  CausalityIndex causality(z_, num_processes);
+  for (std::size_t i = 0; i < stamps_.size(); ++i)
+    for (std::size_t j = 0; j < stamps_.size(); ++j)
+      if (i != j && causality.HappenedBefore(i, j) &&
+          !(stamps_[i] < stamps_[j]))
+        return false;
+  return true;
+}
+
+}  // namespace hpl

@@ -1,0 +1,92 @@
+#include "core/predicate.h"
+
+namespace hpl {
+
+Predicate Predicate::operator!() const {
+  Fn self = fn_;
+  return Predicate("!(" + name_ + ")",
+                   [self](const Computation& x) { return !self(x); });
+}
+
+Predicate Predicate::operator&&(const Predicate& other) const {
+  Fn a = fn_, b = other.fn_;
+  return Predicate("(" + name_ + " && " + other.name_ + ")",
+                   [a, b](const Computation& x) { return a(x) && b(x); });
+}
+
+Predicate Predicate::operator||(const Predicate& other) const {
+  Fn a = fn_, b = other.fn_;
+  return Predicate("(" + name_ + " || " + other.name_ + ")",
+                   [a, b](const Computation& x) { return a(x) || b(x); });
+}
+
+Predicate Predicate::Implies(const Predicate& other) const {
+  Fn a = fn_, b = other.fn_;
+  return Predicate("(" + name_ + " => " + other.name_ + ")",
+                   [a, b](const Computation& x) { return !a(x) || b(x); });
+}
+
+Predicate Predicate::True() {
+  return Predicate("true", [](const Computation&) { return true; });
+}
+
+Predicate Predicate::False() {
+  return Predicate("false", [](const Computation&) { return false; });
+}
+
+Predicate Predicate::CountOnAtLeast(ProcessId p, int k) {
+  return Predicate(
+      "count(p" + std::to_string(p) + ")>=" + std::to_string(k),
+      [p, k](const Computation& x) { return x.CountOn(p) >= k; });
+}
+
+Predicate Predicate::DidInternal(ProcessId p, std::string label) {
+  return Predicate(
+      "did(p" + std::to_string(p) + "," + label + ")",
+      [p, label = std::move(label)](const Computation& x) {
+        for (const Event& e : x.events())
+          if (e.process == p && e.IsInternal() && e.label == label)
+            return true;
+        return false;
+      });
+}
+
+Predicate Predicate::HasLabel(std::string label) {
+  return Predicate("has(" + label + ")",
+                   [label = std::move(label)](const Computation& x) {
+                     for (const Event& e : x.events())
+                       if (e.label == label) return true;
+                     return false;
+                   });
+}
+
+Predicate Predicate::Sent(MessageId m) {
+  return Predicate("sent(m" + std::to_string(m) + ")",
+                   [m](const Computation& x) {
+                     for (const Event& e : x.events())
+                       if (e.IsSend() && e.message == m) return true;
+                     return false;
+                   });
+}
+
+Predicate Predicate::Received(MessageId m) {
+  return Predicate("received(m" + std::to_string(m) + ")",
+                   [m](const Computation& x) {
+                     for (const Event& e : x.events())
+                       if (e.IsReceive() && e.message == m) return true;
+                     return false;
+                   });
+}
+
+Predicate Predicate::AllMessagesDelivered() {
+  return Predicate("all_delivered", [](const Computation& x) {
+    int sends = 0, receives = 0;
+    for (const Event& e : x.events()) {
+      if (e.IsSend()) ++sends;
+      if (e.IsReceive()) ++receives;
+    }
+    return sends == receives;
+  });
+}
+
+}  // namespace hpl

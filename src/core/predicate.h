@@ -1,0 +1,74 @@
+// Predicates on system computations (paper Section 4.1).
+//
+// "Let b denote a predicate on system computations... We assume x [D] y
+// implies b at x = b at y" — predicate values depend only on the
+// [D]-equivalence class.  Our evaluator always applies predicates to
+// canonical representatives, which enforces that assumption; authors of
+// predicates should still write them in terms of projections / event
+// multisets, never in terms of absolute positions across processes.
+#ifndef HPL_CORE_PREDICATE_H_
+#define HPL_CORE_PREDICATE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/computation.h"
+#include "core/types.h"
+
+namespace hpl {
+
+class Predicate {
+ public:
+  using Fn = std::function<bool(const Computation&)>;
+
+  Predicate() = default;
+  Predicate(std::string name, Fn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  bool Eval(const Computation& x) const {
+    if (!fn_) throw ModelError("evaluating empty predicate");
+    return fn_(x);
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  bool valid() const noexcept { return static_cast<bool>(fn_); }
+
+  // --- Combinators -------------------------------------------------------
+  Predicate operator!() const;
+  Predicate operator&&(const Predicate& other) const;
+  Predicate operator||(const Predicate& other) const;
+  Predicate Implies(const Predicate& other) const;
+
+  // --- Common constructors ----------------------------------------------
+  // The constant predicates (paper: "a predicate is a constant means
+  // b at x = b at y for all x, y").
+  static Predicate True();
+  static Predicate False();
+
+  // Number of events on p (in any linearization) compared to k.
+  static Predicate CountOnAtLeast(ProcessId p, int k);
+
+  // Process p has performed an internal event with this label.
+  static Predicate DidInternal(ProcessId p, std::string label);
+
+  // Some event with the given label exists (on any process).
+  static Predicate HasLabel(std::string label);
+
+  // Message m has been sent / received.
+  static Predicate Sent(MessageId m);
+  static Predicate Received(MessageId m);
+
+  // The number of sends with label `label` that are still undelivered == 0
+  // and total events equals... (helper used by termination predicates): all
+  // sent messages have been received.
+  static Predicate AllMessagesDelivered();
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+}  // namespace hpl
+
+#endif  // HPL_CORE_PREDICATE_H_

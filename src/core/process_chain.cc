@@ -1,0 +1,166 @@
+#include "core/process_chain.h"
+
+#include <limits>
+
+namespace hpl {
+namespace {
+
+constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
+
+// Per-stage frontier: for each process p, the smallest local index (1-based
+// position within p's projection) of a reachable stage event on p, together
+// with the event index achieving it.  An event j is reachable from the
+// frontier iff clock(j)[p] >= min_local[p] for some p, because k -> j iff
+// clock(k)[proc k] <= clock(j)[proc k] and the frontier keeps the minimal
+// clock(k)[proc k] per process.
+struct Frontier {
+  std::vector<std::uint32_t> min_local;
+  std::vector<std::size_t> event_at;
+
+  explicit Frontier(int num_processes)
+      : min_local(num_processes, kUnset), event_at(num_processes, 0) {}
+
+  bool Empty() const {
+    for (auto v : min_local)
+      if (v != kUnset) return false;
+    return true;
+  }
+
+  void Offer(ProcessId p, std::uint32_t local, std::size_t event_index) {
+    if (local < min_local[p]) {
+      min_local[p] = local;
+      event_at[p] = event_index;
+    }
+  }
+
+  bool Reaches(const VectorClock& clock) const {
+    for (std::size_t p = 0; p < min_local.size(); ++p)
+      if (min_local[p] != kUnset && clock.Get(static_cast<ProcessId>(p)) >=
+                                        min_local[p])
+        return true;
+    return false;
+  }
+
+  // Any frontier event that happens-before the event with `clock`.
+  std::optional<std::size_t> WitnessFor(const VectorClock& clock) const {
+    for (std::size_t p = 0; p < min_local.size(); ++p)
+      if (min_local[p] != kUnset && clock.Get(static_cast<ProcessId>(p)) >=
+                                        min_local[p])
+        return event_at[p];
+    return std::nullopt;
+  }
+};
+
+}  // namespace
+
+ChainDetector::ChainDetector(const Computation& z, int num_processes,
+                             std::size_t suffix_begin)
+    : z_(z), suffix_begin_(suffix_begin), causality_(z, num_processes) {
+  if (suffix_begin > z.size())
+    throw ModelError("ChainDetector: suffix_begin beyond computation end");
+}
+
+bool ChainDetector::HasChain(const std::vector<ProcessSet>& stages) const {
+  return FindChain(stages).has_value();
+}
+
+std::optional<ChainWitness> ChainDetector::FindChain(
+    const std::vector<ProcessSet>& stages) const {
+  if (stages.empty()) throw ModelError("FindChain: no stages");
+  const int np = causality_.num_processes();
+  const auto& events = z_.events();
+
+  // Forward pass: frontier[i] summarizes S_i, the stage-i events reachable
+  // via e0 -> ... -> ei.
+  std::vector<Frontier> frontiers;
+  frontiers.reserve(stages.size());
+  {
+    Frontier f0(np);
+    for (std::size_t j = suffix_begin_; j < events.size(); ++j)
+      if (events[j].IsOn(stages[0]))
+        f0.Offer(events[j].process, causality_.LocalIndex(j), j);
+    if (f0.Empty()) return std::nullopt;
+    frontiers.push_back(std::move(f0));
+  }
+  for (std::size_t i = 1; i < stages.size(); ++i) {
+    Frontier fi(np);
+    for (std::size_t j = suffix_begin_; j < events.size(); ++j) {
+      if (!events[j].IsOn(stages[i])) continue;
+      if (frontiers[i - 1].Reaches(causality_.ClockOf(j)))
+        fi.Offer(events[j].process, causality_.LocalIndex(j), j);
+    }
+    if (fi.Empty()) return std::nullopt;
+    frontiers.push_back(std::move(fi));
+  }
+
+  // Backward pass: pick any event in the last frontier, then repeatedly find
+  // a predecessor-stage witness that happens-before it.
+  ChainWitness witness(stages.size());
+  std::size_t cur = 0;
+  {
+    bool found = false;
+    const Frontier& last = frontiers.back();
+    for (std::size_t p = 0; p < last.min_local.size() && !found; ++p) {
+      if (last.min_local[p] != kUnset) {
+        cur = last.event_at[p];
+        found = true;
+      }
+    }
+    if (!found) return std::nullopt;
+  }
+  witness.back() = cur;
+  for (std::size_t i = stages.size() - 1; i > 0; --i) {
+    auto prev = frontiers[i - 1].WitnessFor(causality_.ClockOf(cur));
+    if (!prev.has_value())
+      throw ModelError("FindChain: backtrack failed (internal error)");
+    cur = *prev;
+    witness[i - 1] = cur;
+  }
+  return witness;
+}
+
+std::optional<ChainWitness> FindChainNaive(
+    const Computation& z, int num_processes, std::size_t suffix_begin,
+    const std::vector<ProcessSet>& stages) {
+  if (stages.empty()) throw ModelError("FindChainNaive: no stages");
+  CausalityIndex causality(z, num_processes);
+  const auto& events = z.events();
+  const std::size_t n = events.size();
+
+  // reachable[i] = set of event indices usable as e_i.
+  std::vector<std::vector<std::size_t>> reachable(stages.size());
+  for (std::size_t j = suffix_begin; j < n; ++j)
+    if (events[j].IsOn(stages[0])) reachable[0].push_back(j);
+  for (std::size_t i = 1; i < stages.size(); ++i) {
+    for (std::size_t j = suffix_begin; j < n; ++j) {
+      if (!events[j].IsOn(stages[i])) continue;
+      for (std::size_t k : reachable[i - 1]) {
+        if (causality.HappenedBefore(k, j)) {
+          reachable[i].push_back(j);
+          break;
+        }
+      }
+    }
+    if (reachable[i].empty()) return std::nullopt;
+  }
+  if (reachable[0].empty()) return std::nullopt;
+
+  // Backtrack a witness.
+  ChainWitness witness(stages.size());
+  witness.back() = reachable.back().front();
+  for (std::size_t i = stages.size() - 1; i > 0; --i) {
+    bool found = false;
+    for (std::size_t k : reachable[i - 1]) {
+      if (causality.HappenedBefore(k, witness[i])) {
+        witness[i - 1] = k;
+        found = true;
+        break;
+      }
+    }
+    if (!found)
+      throw ModelError("FindChainNaive: backtrack failed (internal error)");
+  }
+  return witness;
+}
+
+}  // namespace hpl

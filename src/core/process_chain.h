@@ -1,0 +1,59 @@
+// Process chains (paper Section 3.1).
+//
+// A computation z has a process chain <P0 P1 ... Pn> in a suffix (x, z)
+// iff there exist events e0, e1, ..., en (not necessarily distinct) in the
+// suffix such that e_i is on P_i and e0 -> e1 -> ... -> en.
+//
+// Chains are the operational backbone the paper replaces with isomorphism:
+// Theorem 1 states x [P1 ... Pn] z holds *or* (x, z) contains the chain
+// <P1 ... Pn>.  We provide a fast frontier DP detector plus a naive
+// quadratic oracle used to cross-check it in tests.
+#ifndef HPL_CORE_PROCESS_CHAIN_H_
+#define HPL_CORE_PROCESS_CHAIN_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/causality.h"
+#include "core/computation.h"
+#include "core/types.h"
+
+namespace hpl {
+
+// Indices (into z.events()) of witness events e0..en, one per chain stage.
+using ChainWitness = std::vector<std::size_t>;
+
+class ChainDetector {
+ public:
+  // Detects chains of z restricted to the suffix starting at `suffix_begin`
+  // (pass 0 to search the whole computation, or |x| for the suffix (x, z)).
+  ChainDetector(const Computation& z, int num_processes,
+                std::size_t suffix_begin = 0);
+
+  // True iff the suffix contains a chain <stages[0] ... stages.back()>.
+  bool HasChain(const std::vector<ProcessSet>& stages) const;
+
+  // As HasChain, returning witness events when the chain exists.
+  std::optional<ChainWitness> FindChain(
+      const std::vector<ProcessSet>& stages) const;
+
+  const CausalityIndex& causality() const noexcept { return causality_; }
+  std::size_t suffix_begin() const noexcept { return suffix_begin_; }
+
+ private:
+  Computation z_;  // by value: detectors outlive caller temporaries
+  std::size_t suffix_begin_;
+  CausalityIndex causality_;
+};
+
+// Reference implementation: explicit DP over all event pairs, O(n^2 * stages).
+// Slow but obviously correct; used as a property-test oracle.
+std::optional<ChainWitness> FindChainNaive(const Computation& z,
+                                           int num_processes,
+                                           std::size_t suffix_begin,
+                                           const std::vector<ProcessSet>& stages);
+
+}  // namespace hpl
+
+#endif  // HPL_CORE_PROCESS_CHAIN_H_

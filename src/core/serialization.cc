@@ -1,0 +1,94 @@
+#include "core/serialization.h"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+namespace hpl {
+namespace {
+
+std::string EventToken(const Event& e) {
+  switch (e.kind) {
+    case EventKind::kSend: {
+      std::string out = std::to_string(e.process) + ">" +
+                        std::to_string(e.peer) + ":" +
+                        std::to_string(e.message);
+      if (!e.label.empty()) out += "/" + e.label;
+      return out;
+    }
+    case EventKind::kReceive: {
+      std::string out = std::to_string(e.process) + "<" +
+                        std::to_string(e.peer) + ":" +
+                        std::to_string(e.message);
+      if (!e.label.empty()) out += "/" + e.label;
+      return out;
+    }
+    case EventKind::kInternal:
+      return std::to_string(e.process) + "." + e.label;
+  }
+  throw ModelError("EventToken: bad kind");
+}
+
+Event TokenToEvent(const std::string& token) {
+  // Find the discriminating character after the leading process number.
+  std::size_t i = 0;
+  while (i < token.size() &&
+         std::isdigit(static_cast<unsigned char>(token[i])))
+    ++i;
+  if (i == 0 || i == token.size())
+    throw ModelError("ParseComputation: bad token '" + token + "'");
+  const int first = std::stoi(token.substr(0, i));
+  const char kind = token[i];
+  const std::string rest = token.substr(i + 1);
+
+  if (kind == '.') {
+    return Internal(first, rest);
+  }
+  if (kind == '>' || kind == '<') {
+    const auto colon = rest.find(':');
+    if (colon == std::string::npos)
+      throw ModelError("ParseComputation: missing ':' in '" + token + "'");
+    const int second = std::stoi(rest.substr(0, colon));
+    std::string tail = rest.substr(colon + 1);
+    std::string label;
+    const auto slash = tail.find('/');
+    if (slash != std::string::npos) {
+      label = tail.substr(slash + 1);
+      tail = tail.substr(0, slash);
+    }
+    const MessageId message = std::stoll(tail);
+    return kind == '>' ? Send(first, second, message, label)
+                       : Receive(first, second, message, label);
+  }
+  throw ModelError("ParseComputation: bad token '" + token + "'");
+}
+
+}  // namespace
+
+std::string FormatComputation(const Computation& x) {
+  std::string out;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (i) out += " ";
+    out += EventToken(x.at(i));
+  }
+  return out;
+}
+
+Computation ParseComputation(const std::string& text) {
+  std::istringstream stream(text);
+  std::vector<Event> events;
+  std::string token;
+  while (stream >> token) {
+    try {
+      events.push_back(TokenToEvent(token));
+    } catch (const std::invalid_argument&) {
+      throw ModelError("ParseComputation: bad number in '" + token + "'");
+    } catch (const std::out_of_range&) {
+      throw ModelError("ParseComputation: number out of range in '" + token +
+                       "'");
+    }
+  }
+  return Computation(std::move(events));  // validates
+}
+
+}  // namespace hpl

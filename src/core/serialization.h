@@ -1,0 +1,29 @@
+// Compact text serialization of computations, for CLI input, golden files
+// and debugging.
+//
+// Grammar (whitespace-separated tokens, one per event):
+//   send:      <from>'>'<to>':'<msg>[ '/'<label> ]      e.g.  0>1:0/ping
+//   receive:   <at>'<'<from>':'<msg>[ '/'<label> ]      e.g.  1<0:0/ping
+//   internal:  <proc>'.'<label>                          e.g.  2.crash
+// Labels may contain any characters except whitespace.  Parse validates
+// the result as a system computation; Format is its inverse.
+#ifndef HPL_CORE_SERIALIZATION_H_
+#define HPL_CORE_SERIALIZATION_H_
+
+#include <string>
+
+#include "core/computation.h"
+
+namespace hpl {
+
+// Renders a computation in the token format above (events separated by
+// single spaces).
+std::string FormatComputation(const Computation& x);
+
+// Parses the token format; throws ModelError on syntax errors or when the
+// event sequence is not a valid computation.
+Computation ParseComputation(const std::string& text);
+
+}  // namespace hpl
+
+#endif  // HPL_CORE_SERIALIZATION_H_

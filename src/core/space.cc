@@ -1,0 +1,254 @@
+#include "core/space.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace hpl {
+namespace {
+
+// Groups computations by equal projection on p, assigning dense class ids.
+struct ProjectionClassifier {
+  std::unordered_map<std::size_t, std::vector<std::uint32_t>> by_hash;
+};
+
+}  // namespace
+
+ComputationSpace ComputationSpace::Enumerate(const System& system,
+                                             const EnumerationLimits& limits) {
+  ComputationSpace space;
+  space.num_processes_ = system.NumProcesses();
+  space.system_name_ = system.Name();
+  space.canonicalize_ = limits.canonicalize;
+
+  // BFS over [D]-classes (or literal sequences when canonicalization is
+  // off): start from the empty computation; for each representative, ask
+  // the system for enabled events, and keep each extension if new.
+  auto canonical_key = [&limits](const Computation& c) {
+    return limits.canonicalize ? c.CanonicalHash() : c.SequenceHash();
+  };
+
+  auto find_class = [&space](const Computation& canon,
+                             std::size_t key) -> std::optional<std::size_t> {
+    auto it = space.canon_index_.find(key);
+    if (it == space.canon_index_.end()) return std::nullopt;
+    for (std::uint32_t id : it->second)
+      if (space.computations_[id] == canon) return id;
+    return std::nullopt;
+  };
+
+  Computation empty;
+  space.computations_.push_back(empty);
+  space.canon_index_[canonical_key(empty)].push_back(0);
+  space.successors_.emplace_back();
+
+  std::deque<std::size_t> frontier;
+  frontier.push_back(0);
+
+  while (!frontier.empty()) {
+    const std::size_t id = frontier.front();
+    frontier.pop_front();
+    // Copy: computations_ may reallocate while we extend.
+    const Computation x = space.computations_[id];
+
+    std::vector<Event> enabled = system.EnabledEvents(x);
+    if (static_cast<int>(x.size()) >= limits.max_depth && !enabled.empty()) {
+      if (!limits.allow_truncation)
+        throw ModelError(
+            "ComputationSpace::Enumerate: system '" + system.Name() +
+            "' still extendable at max_depth=" + std::to_string(limits.max_depth) +
+            "; raise the limit or pass allow_truncation");
+      space.truncated_ = true;
+      continue;
+    }
+
+    for (const Event& e : enabled) {
+      std::string why;
+      if (!CanExtend(x, e, &why))
+        throw ModelError("Enumerate: system '" + system.Name() +
+                         "' produced an illegal event " + e.ToString() + ": " +
+                         why);
+      Computation next = x.Extended(e);
+      if (limits.canonicalize) next = next.Canonical();
+      const std::size_t key = canonical_key(next);
+      std::optional<std::size_t> existing = find_class(next, key);
+      std::size_t next_id;
+      if (existing.has_value()) {
+        next_id = *existing;
+      } else {
+        if (space.computations_.size() >= limits.max_classes)
+          throw ModelError("Enumerate: class budget exhausted for system '" +
+                           system.Name() + "'");
+        next_id = space.computations_.size();
+        space.computations_.push_back(next);
+        space.canon_index_[key].push_back(
+            static_cast<std::uint32_t>(next_id));
+        space.successors_.emplace_back();
+        frontier.push_back(next_id);
+      }
+      auto& succ = space.successors_[id];
+      const bool seen = std::any_of(
+          succ.begin(), succ.end(),
+          [&](const Successor& s) { return s.class_id == next_id; });
+      if (!seen) succ.push_back(Successor{next_id, e});
+    }
+  }
+
+  // Projection classes per process.
+  const std::size_t n = space.computations_.size();
+  space.proj_class_.assign(n * space.num_processes_, 0);
+  space.buckets_.assign(space.num_processes_, {});
+  for (ProcessId p = 0; p < space.num_processes_; ++p) {
+    ProjectionClassifier classifier;
+    for (std::size_t id = 0; id < n; ++id) {
+      const std::size_t h = space.computations_[id].ProjectionHash(p);
+      classifier.by_hash[h].push_back(static_cast<std::uint32_t>(id));
+    }
+    auto& buckets = space.buckets_[p];
+    for (auto& [h, ids] : classifier.by_hash) {
+      // Hash buckets may (rarely) mix distinct projections; split exactly.
+      while (!ids.empty()) {
+        const std::uint32_t rep = ids.front();
+        std::vector<std::uint32_t> cls;
+        std::vector<std::uint32_t> rest;
+        const auto rep_proj = space.computations_[rep].Projection(p);
+        for (std::uint32_t id : ids) {
+          if (space.computations_[id].Projection(p) == rep_proj)
+            cls.push_back(id);
+          else
+            rest.push_back(id);
+        }
+        const auto cls_id = static_cast<std::uint32_t>(buckets.size());
+        for (std::uint32_t id : cls)
+          space.proj_class_[id * space.num_processes_ + p] = cls_id;
+        buckets.push_back(std::move(cls));
+        ids = std::move(rest);
+      }
+    }
+  }
+
+  space.by_length_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) space.by_length_[i] = i;
+  std::sort(space.by_length_.begin(), space.by_length_.end(),
+            [&](std::size_t a, std::size_t b) {
+              return space.computations_[a].size() <
+                     space.computations_[b].size();
+            });
+  return space;
+}
+
+std::optional<std::size_t> ComputationSpace::IndexOf(
+    const Computation& c) const {
+  const Computation key =
+      canonicalize_ ? c.Canonical() : c;
+  auto it = canon_index_.find(canonicalize_ ? key.CanonicalHash()
+                                            : key.SequenceHash());
+  if (it == canon_index_.end()) return std::nullopt;
+  for (std::uint32_t id : it->second)
+    if (computations_[id] == key) return id;
+  return std::nullopt;
+}
+
+std::size_t ComputationSpace::RequireIndex(const Computation& c) const {
+  auto id = IndexOf(c);
+  if (!id.has_value())
+    throw ModelError("computation not in the space of system '" +
+                     system_name_ + "': " + c.ToString());
+  return *id;
+}
+
+void ComputationSpace::ForEachIsomorphic(
+    std::size_t id, ProcessSet set,
+    const std::function<void(std::size_t)>& fn) const {
+  if (set.IsEmpty()) {
+    // x [{}] y holds for all computations.
+    for (std::size_t y = 0; y < size(); ++y) fn(y);
+    return;
+  }
+  // Scan the smallest per-process bucket and verify the other processes via
+  // class-id equality.
+  ProcessId best = set.First();
+  std::size_t best_size = SIZE_MAX;
+  set.ForEach([&](ProcessId p) {
+    const auto& bucket = Bucket(p, ProjectionClass(id, p));
+    if (bucket.size() < best_size) {
+      best_size = bucket.size();
+      best = p;
+    }
+  });
+  for (std::uint32_t y : Bucket(best, ProjectionClass(id, best))) {
+    if (Isomorphic(id, y, set)) fn(y);
+  }
+}
+
+bool ComputationSpace::Isomorphic(std::size_t a, std::size_t b,
+                                  ProcessSet set) const {
+  bool ok = true;
+  set.ForEach([&](ProcessId p) {
+    if (ok && ProjectionClass(a, p) != ProjectionClass(b, p)) ok = false;
+  });
+  return ok;
+}
+
+bool ComputationSpace::ComposedIsomorphic(
+    std::size_t a, std::size_t b,
+    const std::vector<ProcessSet>& stages) const {
+  std::vector<std::size_t> frontier = ComposedReachable(a, stages);
+  return std::find(frontier.begin(), frontier.end(), b) != frontier.end();
+}
+
+std::vector<std::size_t> ComputationSpace::ComposedPath(
+    std::size_t a, std::size_t b,
+    const std::vector<ProcessSet>& stages) const {
+  // Layered BFS recording a predecessor per (stage, node).
+  constexpr std::size_t kUnset = SIZE_MAX;
+  std::vector<std::vector<std::size_t>> pred(
+      stages.size() + 1, std::vector<std::size_t>(size(), kUnset));
+  std::vector<std::size_t> frontier{a};
+  pred[0][a] = a;
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    std::vector<std::size_t> next;
+    for (std::size_t x : frontier) {
+      ForEachIsomorphic(x, stages[i], [&](std::size_t y) {
+        if (pred[i + 1][y] == kUnset) {
+          pred[i + 1][y] = x;
+          next.push_back(y);
+        }
+      });
+    }
+    frontier.swap(next);
+  }
+  if (pred[stages.size()][b] == kUnset) return {};
+  std::vector<std::size_t> path(stages.size() + 1);
+  std::size_t cur = b;
+  for (std::size_t i = stages.size() + 1; i-- > 0;) {
+    path[i] = cur;
+    cur = pred[i][cur];
+  }
+  return path;
+}
+
+std::vector<std::size_t> ComputationSpace::ComposedReachable(
+    std::size_t a, const std::vector<ProcessSet>& stages) const {
+  std::vector<char> in_frontier(size(), 0);
+  std::vector<std::size_t> frontier{a};
+  in_frontier[a] = 1;
+  for (const ProcessSet& stage : stages) {
+    std::vector<char> next_in(size(), 0);
+    std::vector<std::size_t> next;
+    for (std::size_t x : frontier) {
+      ForEachIsomorphic(x, stage, [&](std::size_t y) {
+        if (!next_in[y]) {
+          next_in[y] = 1;
+          next.push_back(y);
+        }
+      });
+    }
+    in_frontier.swap(next_in);
+    frontier.swap(next);
+  }
+  std::sort(frontier.begin(), frontier.end());
+  return frontier;
+}
+
+}  // namespace hpl

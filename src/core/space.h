@@ -1,0 +1,138 @@
+// ComputationSpace: the (finite) set of all computations of a System,
+// organized for knowledge evaluation.
+//
+// "P knows b at x" quantifies over every system computation y with x [P] y
+// (paper Section 4.1), so deciding knowledge requires the whole computation
+// set.  Enumerate() explores the system exhaustively from the empty
+// computation.  Because every predicate must be [D]-invariant (the paper
+// assumes "x [D] y implies b at x = b at y"), the space stores exactly one
+// canonical representative per [D]-equivalence class; this both compresses
+// the space and enforces the invariance assumption by construction.
+//
+// Per-process buckets group computations with equal projections, so the
+// [p]-equivalence classes are materialized and "for all y: x [P] y" becomes
+// an intersection of bucket scans instead of a scan of the whole space.
+#ifndef HPL_CORE_SPACE_H_
+#define HPL_CORE_SPACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/computation.h"
+#include "core/system.h"
+#include "core/types.h"
+
+namespace hpl {
+
+struct EnumerationLimits {
+  // Hard cap on events per computation.  Enumeration throws if any branch
+  // is still extendable at this depth, unless `allow_truncation` is set —
+  // knowledge results on a truncated space are approximations and
+  // Enumerate() records the truncation in `ComputationSpace::truncated()`.
+  int max_depth = 64;
+  // Hard cap on the number of [D]-classes (guards against blow-up).
+  std::size_t max_classes = 5'000'000;
+  bool allow_truncation = false;
+  // When true (default), computations are deduplicated by [D]-canonical
+  // form — sound for the paper's asynchronous model, whose computation
+  // sets are closed under valid permutations.  Timed/synchronous systems
+  // (e.g. protocols/lockstep.h) are NOT permutation closed: they must set
+  // this to false so the space keeps their literal interleavings.
+  bool canonicalize = true;
+};
+
+class ComputationSpace {
+ public:
+  // Exhaustively enumerates the system's computations.
+  static ComputationSpace Enumerate(const System& system,
+                                    const EnumerationLimits& limits = {});
+
+  int num_processes() const noexcept { return num_processes_; }
+  ProcessSet AllProcesses() const { return ProcessSet::All(num_processes_); }
+  std::size_t size() const noexcept { return computations_.size(); }
+  bool truncated() const noexcept { return truncated_; }
+  const std::string& system_name() const noexcept { return system_name_; }
+
+  // Canonical representative of class `id`.
+  const Computation& At(std::size_t id) const { return computations_.at(id); }
+
+  // Index of the [D]-class of `c`, if `c` (or a permutation of it) is a
+  // computation of the system.
+  std::optional<std::size_t> IndexOf(const Computation& c) const;
+
+  // As IndexOf but throws with context when absent.
+  std::size_t RequireIndex(const Computation& c) const;
+
+  // Id of the [p]-equivalence class of computation `id` (dense ints).
+  std::uint32_t ProjectionClass(std::size_t id, ProcessId p) const {
+    return proj_class_.at(id * num_processes_ + p);
+  }
+
+  // All computations y with At(id) [p] y (including id itself).
+  const std::vector<std::uint32_t>& Bucket(ProcessId p,
+                                           std::uint32_t cls) const {
+    return buckets_.at(p).at(cls);
+  }
+
+  // Iterates ids of all y with At(id) [P] y.  P empty relates everything
+  // (the paper: x [{}] y for all x, y).
+  void ForEachIsomorphic(std::size_t id, ProcessSet set,
+                         const std::function<void(std::size_t)>& fn) const;
+
+  // True iff At(a) [P] At(b) — O(|P|) via class ids.
+  bool Isomorphic(std::size_t a, std::size_t b, ProcessSet set) const;
+
+  // Decides the composed relation At(a) [P0 P1 ... Pn] At(b) by BFS through
+  // the per-stage equivalence classes.
+  bool ComposedIsomorphic(std::size_t a, std::size_t b,
+                          const std::vector<ProcessSet>& stages) const;
+
+  // Constructive witness: intermediate computations y1..y_{n-1} with
+  // a [P0] y1 [P1] y2 ... [Pn] b (class ids, including both endpoints).
+  // Empty when the relation does not hold.  This realizes the existential
+  // in the paper's composed-isomorphism definition, and in Theorem 1.
+  std::vector<std::size_t> ComposedPath(
+      std::size_t a, std::size_t b,
+      const std::vector<ProcessSet>& stages) const;
+
+  // The ids of all z with At(a) [P0 ... Pn] z (BFS frontier after the last
+  // stage).  Used to study Theorem 3's shrink/grow semantics.
+  std::vector<std::size_t> ComposedReachable(
+      std::size_t a, const std::vector<ProcessSet>& stages) const;
+
+  // Ids of classes whose representative extends At(id) by exactly one event
+  // (successor classes), and the extending events.
+  struct Successor {
+    std::size_t class_id;
+    Event event;
+  };
+  const std::vector<Successor>& SuccessorsOf(std::size_t id) const {
+    return successors_.at(id);
+  }
+
+  // Ids of all computations in increasing length order.
+  const std::vector<std::size_t>& IdsByLength() const { return by_length_; }
+
+ private:
+  ComputationSpace() = default;
+
+  int num_processes_ = 0;
+  bool truncated_ = false;
+  bool canonicalize_ = true;
+  std::string system_name_;
+  std::vector<Computation> computations_;
+  std::unordered_map<std::size_t, std::vector<std::uint32_t>> canon_index_;
+  std::vector<std::uint32_t> proj_class_;  // size * num_processes_
+  // buckets_[p][cls] = ids of computations in [p]-class cls.
+  std::vector<std::vector<std::vector<std::uint32_t>>> buckets_;
+  std::vector<std::vector<Successor>> successors_;
+  std::vector<std::size_t> by_length_;
+};
+
+}  // namespace hpl
+
+#endif  // HPL_CORE_SPACE_H_

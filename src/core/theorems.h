@@ -1,0 +1,158 @@
+// Executable statements of the paper's theorems.
+//
+// Each checker takes concrete computations (and, where knowledge or
+// composed isomorphism is involved, the system's ComputationSpace), decides
+// both sides of the theorem's implication, and reports witnesses.  A
+// checker returning `holds == false` is a counterexample to the paper — the
+// test suite asserts that never happens; the benches count checked
+// instances.
+#ifndef HPL_CORE_THEOREMS_H_
+#define HPL_CORE_THEOREMS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/knowledge.h"
+#include "core/process_chain.h"
+#include "core/space.h"
+
+namespace hpl {
+
+// --- Theorem 1 (Fundamental Theorem of Process Chains) --------------------
+// x <= z implies: x [P1 ... Pn] z  or  (x,z) has chain <P1 ... Pn>.
+struct Theorem1Result {
+  bool composed_isomorphic = false;
+  std::optional<ChainWitness> chain;
+  bool holds() const { return composed_isomorphic || chain.has_value(); }
+};
+Theorem1Result CheckTheorem1(const ComputationSpace& space,
+                             const Computation& x, const Computation& z,
+                             const std::vector<ProcessSet>& stages);
+
+// --- Principle of Computation Extension (Section 3.4) ---------------------
+// (1) e internal-or-send on P: x [P] y and (x;e) a computation  =>  (y;e) a
+//     computation.
+// (2) e internal-or-receive on P: (x;e) [P] y  =>  (y - e) a computation.
+// Checked for all pairs x, y in the space; returns the number of instances
+// verified and throws nothing (violations reported via `holds`).
+struct ExtensionPrincipleResult {
+  std::size_t instances_checked = 0;
+  bool holds = true;
+  std::string violation;
+};
+ExtensionPrincipleResult CheckExtensionPrinciple(const ComputationSpace& space);
+
+// --- Theorem 3 (event semantics w.r.t. [P P̄]) -----------------------------
+// For (x;e) a computation with e on P:
+//   receive:  { z : (x;e) [P P̄] z }  is a subset of  { z : x [P P̄] z }
+//   send:     reverse inclusion
+//   internal: equality.
+struct Theorem3Result {
+  EventKind kind = EventKind::kInternal;
+  std::size_t before_size = 0;  // |{ z : x [P P̄] z }|
+  std::size_t after_size = 0;   // |{ z : (x;e) [P P̄] z }|
+  bool holds = false;
+};
+Theorem3Result CheckTheorem3(const ComputationSpace& space,
+                             const Computation& x, const Event& e,
+                             ProcessSet p);
+
+// --- Theorem 4 (knowledge propagates along isomorphism paths) -------------
+// (P1 knows ... Pn knows b at x) and x [P1 ... Pn] y  =>  Pn knows b at y.
+struct Theorem4Result {
+  bool antecedent = false;  // both conjuncts hold
+  bool consequent = false;
+  bool holds() const { return !antecedent || consequent; }
+};
+Theorem4Result CheckTheorem4(KnowledgeEvaluator& eval,
+                             const std::vector<ProcessSet>& chain,
+                             const Predicate& b, const Computation& x,
+                             const Computation& y);
+
+// Corollary to Theorem 4: (P1 knows ... P_{n-1} knows !(Pn knows b) at x
+// and x [P1 ... Pn] y)  =>  !(Pn knows b) at y.  (n = 1: the antecedent is
+// just !(Pn knows b) at x.)
+Theorem4Result CheckTheorem4Negative(KnowledgeEvaluator& eval,
+                                     const std::vector<ProcessSet>& chain,
+                                     const Predicate& b, const Computation& x,
+                                     const Computation& y);
+
+// --- Lemma 4 (events vs knowledge of remote-local facts) ------------------
+// For b local to P̄ and e an event on P:
+//   receive: K_P b at x      =>  K_P b at (x;e)     (no loss)
+//   send:    K_P b at (x;e)  =>  K_P b at x         (no gain)
+//   internal: equality.
+struct Lemma4Result {
+  EventKind kind = EventKind::kInternal;
+  bool knows_before = false;
+  bool knows_after = false;
+  bool holds = false;
+};
+Lemma4Result CheckLemma4(KnowledgeEvaluator& eval, ProcessSet p,
+                         const Predicate& b, const Computation& x,
+                         const Event& e);
+
+// --- Theorem 5 (How knowledge is gained) -----------------------------------
+// x <= y, !(Pn knows b) at x, (P1 knows ... Pn knows b) at y
+//   =>  chain <Pn ... P1> in (x, y).
+struct KnowledgeTransferResult {
+  bool antecedent = false;
+  std::optional<ChainWitness> chain;  // in (x,y), stages reversed for gain
+  bool holds() const { return !antecedent || chain.has_value(); }
+};
+KnowledgeTransferResult CheckTheorem5(KnowledgeEvaluator& eval,
+                                      const std::vector<ProcessSet>& chain,
+                                      const Predicate& b,
+                                      const Computation& x,
+                                      const Computation& y);
+
+// --- Theorem 6 (How knowledge is lost) -------------------------------------
+// x <= y, (P1 knows ... Pn knows b) at x, !(Pn knows b) at y
+//   =>  chain <P1 ... Pn> in (x, y).
+KnowledgeTransferResult CheckTheorem6(KnowledgeEvaluator& eval,
+                                      const std::vector<ProcessSet>& chain,
+                                      const Predicate& b,
+                                      const Computation& x,
+                                      const Computation& y);
+
+// --- Sure variants ---------------------------------------------------------
+// "Theorems 4, 5, 6 and their corollaries hold with knows replaced by
+// sure."  The sound reading replaces the *innermost* operator: the nested
+// formula becomes K{P1} ... K{P_{n-1}} Sure{Pn} b, with the conclusion /
+// antecedent about Sure{Pn} b — which is a predicate local to Pn (fact 8),
+// so the knows-theorems apply to it.  (Replacing every level by Sure is
+// genuinely false: an outer Sure can hold by knowing the negation, which
+// transfers no information about b at all — the property sweep found the
+// counterexample at the empty computation.)
+KnowledgeTransferResult CheckTheorem5Sure(KnowledgeEvaluator& eval,
+                                          const std::vector<ProcessSet>& chain,
+                                          const Predicate& b,
+                                          const Computation& x,
+                                          const Computation& y);
+KnowledgeTransferResult CheckTheorem6Sure(KnowledgeEvaluator& eval,
+                                          const std::vector<ProcessSet>& chain,
+                                          const Predicate& b,
+                                          const Computation& x,
+                                          const Computation& y);
+
+// --- Lemma 4 corollaries ----------------------------------------------------
+// Gain of K_P b (b local to P̄) across x <= y requires P to receive a
+// message in (x,y); loss requires P to send one.
+struct GainLossEventResult {
+  bool antecedent = false;
+  bool event_found = false;
+  bool holds() const { return !antecedent || event_found; }
+};
+GainLossEventResult CheckGainRequiresReceive(KnowledgeEvaluator& eval,
+                                             ProcessSet p, const Predicate& b,
+                                             const Computation& x,
+                                             const Computation& y);
+GainLossEventResult CheckLossRequiresSend(KnowledgeEvaluator& eval,
+                                          ProcessSet p, const Predicate& b,
+                                          const Computation& x,
+                                          const Computation& y);
+
+}  // namespace hpl
+
+#endif  // HPL_CORE_THEOREMS_H_

@@ -1,0 +1,40 @@
+#include "core/vector_clock.h"
+
+#include <algorithm>
+
+namespace hpl {
+
+void VectorClock::MergeFrom(const VectorClock& other) {
+  if (other.num_processes() != num_processes())
+    throw ModelError("VectorClock::MergeFrom size mismatch");
+  for (int i = 0; i < num_processes(); ++i)
+    counts_[i] = std::max(counts_[i], other.counts_[i]);
+}
+
+bool VectorClock::LessEq(const VectorClock& other) const {
+  if (other.num_processes() != num_processes())
+    throw ModelError("VectorClock::LessEq size mismatch");
+  for (int i = 0; i < num_processes(); ++i)
+    if (counts_[i] > other.counts_[i]) return false;
+  return true;
+}
+
+bool VectorClock::Less(const VectorClock& other) const {
+  return LessEq(other) && counts_ != other.counts_;
+}
+
+bool VectorClock::ConcurrentWith(const VectorClock& other) const {
+  return !LessEq(other) && !other.LessEq(*this);
+}
+
+std::string VectorClock::ToString() const {
+  std::string out = "[";
+  for (int i = 0; i < num_processes(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(counts_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace hpl

@@ -1,0 +1,68 @@
+// Vector clocks — the substrate for deciding Lamport's happened-before
+// relation (reference [5] of the paper) over a fixed computation.
+//
+// A VectorClock maps each process p to the number of events on p that are
+// causally at-or-before the clock's owner event.  For events e, e' of a
+// computation, e -> e' (the paper's process-chain arrow) iff
+//   clock(e)[process(e)] <= clock(e')[process(e)].
+#ifndef HPL_CORE_VECTOR_CLOCK_H_
+#define HPL_CORE_VECTOR_CLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace hpl {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(int num_processes) : counts_(num_processes, 0) {}
+
+  int num_processes() const noexcept { return static_cast<int>(counts_.size()); }
+
+  std::uint32_t Get(ProcessId p) const {
+    CheckIndex(p);
+    return counts_[p];
+  }
+
+  void Set(ProcessId p, std::uint32_t v) {
+    CheckIndex(p);
+    counts_[p] = v;
+  }
+
+  void Increment(ProcessId p) {
+    CheckIndex(p);
+    ++counts_[p];
+  }
+
+  // Component-wise maximum (the merge performed at a receive).
+  void MergeFrom(const VectorClock& other);
+
+  // True iff every component of *this is <= the corresponding component of
+  // other ("clock dominance").
+  bool LessEq(const VectorClock& other) const;
+
+  // Strictly less: LessEq and differs in some component.
+  bool Less(const VectorClock& other) const;
+
+  // Neither LessEq direction holds: the owning events are concurrent.
+  bool ConcurrentWith(const VectorClock& other) const;
+
+  bool operator==(const VectorClock&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  void CheckIndex(ProcessId p) const {
+    if (p < 0 || p >= num_processes())
+      throw ModelError("VectorClock index out of range");
+  }
+  std::vector<std::uint32_t> counts_;
+};
+
+}  // namespace hpl
+
+#endif  // HPL_CORE_VECTOR_CLOCK_H_

@@ -1,0 +1,73 @@
+#include "protocols/dijkstra_scholten.h"
+
+namespace hpl::protocols {
+
+using hpl::sim::Context;
+using hpl::sim::Message;
+using hpl::sim::MessageClass;
+
+DijkstraScholtenActor::DijkstraScholtenActor(bool root,
+                                             WorkloadStatePtr workload)
+    : root_(root), workload_(std::move(workload)) {
+  if (!workload_) throw hpl::ModelError("DijkstraScholtenActor: no workload");
+}
+
+void DijkstraScholtenActor::OnStart(Context& ctx) {
+  if (!root_) return;
+  engaged_ = true;
+  Activate(ctx);
+  TryDetach(ctx);
+}
+
+void DijkstraScholtenActor::Activate(Context& ctx) {
+  // One activation: emit workload sends and immediately become passive
+  // (activations are instantaneous in this model).
+  for (hpl::ProcessId to :
+       DrawActivationSends(*workload_, ctx.Self(), ctx.NumProcesses())) {
+    ctx.Send(to, MessageClass::kUnderlying, "work");
+    ++deficit_;
+  }
+}
+
+void DijkstraScholtenActor::TryDetach(Context& ctx) {
+  if (deficit_ != 0) return;  // children still engaged
+  if (root_) {
+    if (!announced_) {
+      announced_ = true;
+      announce_time_ = ctx.Now();
+      ctx.Internal("announce_termination");
+      ctx.HaltSimulation("dijkstra-scholten: termination detected");
+    }
+    return;
+  }
+  if (engaged_) {
+    engaged_ = false;
+    ctx.Send(parent_, MessageClass::kOverhead, "ack");
+    parent_ = hpl::kNoProcess;
+  }
+}
+
+void DijkstraScholtenActor::OnMessage(Context& ctx, const Message& msg) {
+  if (msg.type == "work") {
+    const bool engaging = !engaged_ && !root_;
+    if (engaging) {
+      engaged_ = true;
+      parent_ = msg.from;
+    }
+    Activate(ctx);
+    if (!engaging) {
+      // Non-engaging work is acked immediately.
+      ctx.Send(msg.from, MessageClass::kOverhead, "ack");
+    }
+    TryDetach(ctx);
+  } else if (msg.type == "ack") {
+    if (deficit_ <= 0)
+      throw hpl::ModelError("DS: ack without outstanding message");
+    --deficit_;
+    TryDetach(ctx);
+  } else {
+    throw hpl::ModelError("DS: unexpected message type " + msg.type);
+  }
+}
+
+}  // namespace hpl::protocols

@@ -1,0 +1,44 @@
+// Dijkstra–Scholten termination detection over a diffusing computation.
+//
+// Every work message is eventually acknowledged; a process detaches (acks
+// its engaging message) once it is passive and all of its own messages are
+// acked.  The root announces termination when it is passive with no
+// outstanding acks.  Overhead is exactly one ack per underlying message —
+// the algorithm meets the paper's Section-5 lower bound ("at least as many
+// overhead messages as there are messages in the underlying computation")
+// with equality.
+#ifndef HPL_PROTOCOLS_DIJKSTRA_SCHOLTEN_H_
+#define HPL_PROTOCOLS_DIJKSTRA_SCHOLTEN_H_
+
+#include "protocols/workload.h"
+#include "sim/actor.h"
+
+namespace hpl::protocols {
+
+class DijkstraScholtenActor : public hpl::sim::Actor {
+ public:
+  // `root` processes self-activate at start.
+  DijkstraScholtenActor(bool root, WorkloadStatePtr workload);
+
+  void OnStart(hpl::sim::Context& ctx) override;
+  void OnMessage(hpl::sim::Context& ctx, const hpl::sim::Message& msg) override;
+
+  bool announced() const noexcept { return announced_; }
+  hpl::sim::Time announce_time() const noexcept { return announce_time_; }
+
+ private:
+  void Activate(hpl::sim::Context& ctx);
+  void TryDetach(hpl::sim::Context& ctx);
+
+  bool root_;
+  WorkloadStatePtr workload_;
+  int deficit_ = 0;                 // my sent-but-unacked work messages
+  bool engaged_ = false;            // in the DS tree (root: always)
+  hpl::ProcessId parent_ = hpl::kNoProcess;
+  bool announced_ = false;
+  hpl::sim::Time announce_time_ = -1;
+};
+
+}  // namespace hpl::protocols
+
+#endif  // HPL_PROTOCOLS_DIJKSTRA_SCHOLTEN_H_

@@ -1,0 +1,132 @@
+#include "protocols/gossip.h"
+
+#include <memory>
+
+#include "sim/rng.h"
+
+namespace hpl::protocols {
+
+using hpl::sim::Context;
+using hpl::sim::Message;
+using hpl::sim::MessageClass;
+using hpl::sim::Time;
+using hpl::sim::TimerId;
+
+namespace {
+
+class GossipActor : public hpl::sim::Actor {
+ public:
+  GossipActor(const GossipScenario& scenario, bool origin)
+      : scenario_(scenario),
+        origin_(origin),
+        rng_(scenario.seed * 2654435761u + (origin ? 7 : 11)) {}
+
+  void OnStart(Context& ctx) override {
+    if (origin_) {
+      infected_ = true;
+      ctx.Internal("fact");
+      ctx.SetTimer(1);
+    }
+  }
+
+  void OnTimer(Context& ctx, TimerId) override {
+    if (!infected_ || pulses_ >= scenario_.max_pulses) return;
+    ++pulses_;
+    for (int i = 0; i < scenario_.fanout; ++i) {
+      if (ctx.NumProcesses() < 2) break;
+      auto to = static_cast<hpl::ProcessId>(
+          rng_.Below(ctx.NumProcesses() - 1));
+      if (to >= ctx.Self()) ++to;
+      ctx.Send(to, MessageClass::kUnderlying, "rumor");
+    }
+    // Stop pulsing once the whole system is plausibly covered; the safety
+    // bound max_pulses prevents infinite chatter either way.
+    ctx.SetTimer(scenario_.pulse_interval);
+  }
+
+  void OnMessage(Context& ctx, const Message& msg) override {
+    if (msg.type != "rumor")
+      throw hpl::ModelError("gossip: unexpected message " + msg.type);
+    if (!infected_) {
+      infected_ = true;
+      infected_at_ = ctx.Now();
+      ctx.SetTimer(1);
+    }
+  }
+
+  bool infected() const noexcept { return infected_; }
+  Time infected_at() const noexcept { return infected_at_; }
+
+ private:
+  GossipScenario scenario_;
+  bool origin_;
+  hpl::sim::Rng rng_;
+  bool infected_ = false;
+  Time infected_at_ = 0;
+  int pulses_ = 0;
+};
+
+}  // namespace
+
+GossipResult RunGossipScenario(const GossipScenario& scenario) {
+  std::vector<std::unique_ptr<hpl::sim::Actor>> actors;
+  std::vector<const GossipActor*> ptrs;
+  for (int p = 0; p < scenario.num_processes; ++p) {
+    auto actor = std::make_unique<GossipActor>(scenario, p == 0);
+    ptrs.push_back(actor.get());
+    actors.push_back(std::move(actor));
+  }
+  hpl::sim::SimulatorOptions options;
+  options.network = scenario.network;
+  options.seed = scenario.seed;
+  options.max_steps = 200'000;
+  hpl::sim::Simulator sim(std::move(actors), options);
+  sim.Run();
+
+  GossipResult result;
+  result.trace = sim.trace().ToComputation();
+  result.messages = sim.trace().CountSends(MessageClass::kUnderlying);
+  result.everyone_infected = true;
+  for (const auto* actor : ptrs) {
+    if (!actor->infected()) result.everyone_infected = false;
+    result.spread_time = std::max(result.spread_time, actor->infected_at());
+  }
+
+  // Locate the fact event and compute knowledge times from the trace.
+  std::size_t fact_index = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < result.trace.size(); ++i) {
+    if (result.trace.at(i).IsInternal() &&
+        result.trace.at(i).label == "fact") {
+      fact_index = i;
+      found = true;
+      break;
+    }
+  }
+  if (!found) throw hpl::ModelError("gossip: no fact event recorded");
+
+  CausalKnowledge cone(result.trace, scenario.num_processes, fact_index);
+  result.knowledge_prefix.assign(scenario.num_processes, SIZE_MAX);
+  result.knowledge_time.assign(scenario.num_processes, -1);
+  const auto& entries = sim.trace().entries();
+  for (hpl::ProcessId p = 0; p < scenario.num_processes; ++p) {
+    const auto at = cone.EarliestKnowledge(hpl::ProcessSet::Of(p));
+    if (at.has_value()) {
+      result.knowledge_prefix[p] = *at;
+      result.knowledge_time[p] = entries[*at - 1].time;
+    }
+  }
+
+  // Infection (protocol state) must equal knowledge (causal cone): a
+  // process is infected exactly when it has received a rumor causally
+  // rooted at the fact.
+  result.infection_equals_knowledge = true;
+  for (int p = 0; p < scenario.num_processes; ++p) {
+    const bool knows = result.knowledge_prefix[p] != SIZE_MAX;
+    if (knows != ptrs[p]->infected())
+      result.infection_equals_knowledge = false;
+  }
+  return result;
+}
+
+}  // namespace hpl::protocols

@@ -1,0 +1,106 @@
+#include "protocols/heartbeat.h"
+
+#include <memory>
+
+namespace hpl::protocols {
+
+using hpl::sim::Context;
+using hpl::sim::Message;
+using hpl::sim::MessageClass;
+using hpl::sim::Time;
+using hpl::sim::TimerId;
+
+namespace {
+
+// Process 1: emits heartbeats every interval until crash_at (if any).
+class MonitoredActor : public hpl::sim::Actor {
+ public:
+  explicit MonitoredActor(const HeartbeatScenario& s) : scenario_(s) {}
+
+  void OnStart(Context& ctx) override {
+    ctx.SetTimer(scenario_.heartbeat_interval);
+  }
+
+  void OnTimer(Context& ctx, TimerId) override {
+    if (scenario_.crash_at >= 0 && ctx.Now() >= scenario_.crash_at) {
+      ctx.Crash();
+      return;
+    }
+    if (ctx.Now() > scenario_.run_until) return;  // wind down
+    ctx.Send(0, MessageClass::kOverhead, "heartbeat");
+    ctx.SetTimer(scenario_.heartbeat_interval);
+  }
+
+  void OnMessage(Context&, const Message&) override {}
+
+ private:
+  HeartbeatScenario scenario_;
+};
+
+// Process 0: the monitor.
+class MonitorActor : public hpl::sim::Actor {
+ public:
+  explicit MonitorActor(const HeartbeatScenario& s) : scenario_(s) {}
+
+  void OnStart(Context& ctx) override {
+    if (scenario_.timeout >= 0) ctx.SetTimer(scenario_.timeout);
+  }
+
+  void OnMessage(Context& ctx, const Message& msg) override {
+    if (msg.type != "heartbeat") return;
+    ++heartbeats_;
+    last_heartbeat_ = ctx.Now();
+  }
+
+  void OnTimer(Context& ctx, TimerId) override {
+    if (suspected_ || ctx.Now() > scenario_.run_until) return;
+    if (ctx.Now() - last_heartbeat_ >= scenario_.timeout) {
+      suspected_ = true;
+      suspect_time_ = ctx.Now();
+      ctx.Internal("suspect");
+      return;
+    }
+    ctx.SetTimer(scenario_.timeout - (ctx.Now() - last_heartbeat_));
+  }
+
+  bool suspected() const noexcept { return suspected_; }
+  Time suspect_time() const noexcept { return suspect_time_; }
+  std::size_t heartbeats() const noexcept { return heartbeats_; }
+
+ private:
+  HeartbeatScenario scenario_;
+  Time last_heartbeat_ = 0;
+  bool suspected_ = false;
+  Time suspect_time_ = -1;
+  std::size_t heartbeats_ = 0;
+};
+
+}  // namespace
+
+HeartbeatResult RunHeartbeatScenario(const HeartbeatScenario& scenario) {
+  std::vector<std::unique_ptr<hpl::sim::Actor>> actors;
+  auto monitor = std::make_unique<MonitorActor>(scenario);
+  const MonitorActor* monitor_ptr = monitor.get();
+  actors.push_back(std::move(monitor));
+  actors.push_back(std::make_unique<MonitoredActor>(scenario));
+
+  hpl::sim::SimulatorOptions options;
+  options.network = scenario.network;
+  options.seed = scenario.seed;
+  options.max_steps = 1'000'000;
+  hpl::sim::Simulator sim(std::move(actors), options);
+  sim.Run();
+
+  HeartbeatResult result;
+  result.crashed = scenario.crash_at >= 0;
+  result.crash_time = scenario.crash_at;
+  result.suspected = monitor_ptr->suspected();
+  result.suspect_time = monitor_ptr->suspect_time();
+  result.heartbeats_received = monitor_ptr->heartbeats();
+  result.false_suspicion = result.suspected && !result.crashed;
+  if (result.suspected && result.crashed)
+    result.detection_latency = result.suspect_time - result.crash_time;
+  return result;
+}
+
+}  // namespace hpl::protocols

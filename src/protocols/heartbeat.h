@@ -1,0 +1,51 @@
+// Failure detection (paper Section 5).
+//
+// "Traditional techniques for process failure detection based on time-outs
+// assume certain execution speeds ... detection of failure is impossible
+// without using time-outs" — because a crash is local to the crashed
+// process and a crashed process sends nothing, every computation with a
+// crash is isomorphic, w.r.t. any observer, to one where the process is
+// merely slow.
+//
+// The simulation side: a monitored process emits heartbeats until it
+// (possibly) crashes; a monitor either uses a timeout (suspects after D
+// silent ticks) or uses none (suspects only on positive evidence, of which
+// there is none).  Scenarios pit a real crash against a slow-but-alive
+// process, measuring detection latency and false suspicion — the tradeoff
+// the paper proves unavoidable.
+#ifndef HPL_PROTOCOLS_HEARTBEAT_H_
+#define HPL_PROTOCOLS_HEARTBEAT_H_
+
+#include <cstdint>
+
+#include "sim/simulator.h"
+
+namespace hpl::protocols {
+
+struct HeartbeatScenario {
+  // Monitored process behaviour.
+  hpl::sim::Time heartbeat_interval = 10;
+  hpl::sim::Time crash_at = -1;   // -1: never crashes
+  hpl::sim::Time run_until = 600; // monitor stops checking afterwards
+  // Monitor behaviour.
+  hpl::sim::Time timeout = -1;    // -1: no timeout (pure message evidence)
+  // Network.
+  hpl::sim::NetworkOptions network;
+  std::uint64_t seed = 1;
+};
+
+struct HeartbeatResult {
+  bool crashed = false;          // ground truth
+  bool suspected = false;        // monitor verdict
+  hpl::sim::Time suspect_time = -1;
+  hpl::sim::Time crash_time = -1;
+  bool false_suspicion = false;  // suspected while alive
+  hpl::sim::Time detection_latency = -1;  // suspect_time - crash_time
+  std::size_t heartbeats_received = 0;
+};
+
+HeartbeatResult RunHeartbeatScenario(const HeartbeatScenario& scenario);
+
+}  // namespace hpl::protocols
+
+#endif  // HPL_PROTOCOLS_HEARTBEAT_H_

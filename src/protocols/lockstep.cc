@@ -1,0 +1,120 @@
+#include "protocols/lockstep.h"
+
+namespace hpl::protocols {
+
+namespace {
+constexpr hpl::ProcessId kP = 0;
+constexpr hpl::ProcessId kQ = 1;
+}  // namespace
+
+LockstepSystem::LockstepSystem(int rounds) : rounds_(rounds) {
+  if (rounds < 1) throw hpl::ModelError("LockstepSystem: need >= 1 round");
+}
+
+LockstepSystem::State LockstepSystem::Reconstruct(
+    const hpl::Computation& x) const {
+  State s;
+  for (const hpl::Event& e : x.events()) {
+    if (e.process == kQ && e.IsInternal() && e.label == "crash") {
+      s.crashed = true;
+      continue;  // crash is instantaneous, not a round phase
+    }
+    switch (s.phase) {
+      case 0:  // q acts: heartbeat send or silent marker
+        s.sent_this_round = e.IsSend();
+        s.phase = e.IsSend() ? 1 : 2;
+        break;
+      case 1:  // delivery
+        s.phase = 2;
+        break;
+      case 2:  // p's tick
+        s.phase = 3;
+        break;
+      case 3:  // q's tick closes the round
+        s.phase = 0;
+        ++s.round;
+        break;
+    }
+  }
+  return s;
+}
+
+std::vector<hpl::Event> LockstepSystem::EnabledEvents(
+    const hpl::Computation& x) const {
+  const State s = Reconstruct(x);
+  std::vector<hpl::Event> out;
+  if (s.round >= rounds_) return out;
+  const auto m = static_cast<hpl::MessageId>(s.round);
+  switch (s.phase) {
+    case 0: {
+      // q acts.  Alive: send heartbeat.  May also crash right now (if not
+      // already crashed); once crashed, stay silent.
+      if (!s.crashed) {
+        out.push_back(hpl::Send(kQ, kP, m, "hb"));
+        out.push_back(hpl::Internal(kQ, "crash"));
+      } else {
+        out.push_back(hpl::Internal(kQ, "silent"));
+      }
+      break;
+    }
+    case 1:
+      out.push_back(hpl::Receive(kP, kQ, m, "hb"));
+      break;
+    case 2:
+      out.push_back(
+          hpl::Internal(kP, "tick" + std::to_string(s.round)));
+      break;
+    case 3:
+      out.push_back(
+          hpl::Internal(kQ, "qtick" + std::to_string(s.round)));
+      break;
+  }
+  return out;
+}
+
+std::string LockstepSystem::Name() const {
+  return "lockstep(rounds=" + std::to_string(rounds_) + ")";
+}
+
+hpl::Predicate LockstepSystem::Crashed() const {
+  return hpl::Predicate("crashed", [](const hpl::Computation& x) {
+    for (const hpl::Event& e : x.events())
+      if (e.process == kQ && e.IsInternal() && e.label == "crash")
+        return true;
+    return false;
+  });
+}
+
+int LockstepSystem::CompletedRounds(const hpl::Computation& x) const {
+  return Reconstruct(x).round;
+}
+
+hpl::Computation LockstepSystem::AliveRun(int rounds) const {
+  hpl::Computation x;
+  for (int r = 0; r < rounds; ++r) {
+    x = x.Extended(hpl::Send(kQ, kP, r, "hb"));
+    x = x.Extended(hpl::Receive(kP, kQ, r, "hb"));
+    x = x.Extended(hpl::Internal(kP, "tick" + std::to_string(r)));
+    x = x.Extended(hpl::Internal(kQ, "qtick" + std::to_string(r)));
+  }
+  return x;
+}
+
+hpl::Computation LockstepSystem::CrashedRun(int crash_round,
+                                            int total_rounds) const {
+  hpl::Computation x;
+  for (int r = 0; r < total_rounds; ++r) {
+    if (r == crash_round) x = x.Extended(hpl::Internal(kQ, "crash"));
+    if (r < crash_round) {
+      x = x.Extended(hpl::Send(kQ, kP, r, "hb"));
+      x = x.Extended(hpl::Receive(kP, kQ, r, "hb"));
+    } else {
+      x = x.Extended(hpl::Internal(kQ, "silent"));
+    }
+    x = x.Extended(hpl::Internal(kP, "tick" + std::to_string(r)));
+    x = x.Extended(hpl::Internal(kQ, "qtick" + std::to_string(r)));
+  }
+  return x;
+}
+
+}  // namespace hpl::protocols

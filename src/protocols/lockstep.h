@@ -1,0 +1,62 @@
+// Synchronous (timed) rounds — the paper's second Discussion
+// generalization ("we can introduce the notion of time into
+// computations"), for which the paper warns its results do NOT apply.
+//
+// LockstepSystem models two processes in synchronous rounds: in round r,
+// q either sends a heartbeat or (if crashed) stays silent; any sent
+// heartbeat is delivered *within the round*; then both processes tick.
+// The lock-step constraint is enforced by the enabled-events generator —
+// it deliberately steps outside the paper's free-interleaving model (no
+// asynchronous system has such computations).
+//
+// Consequence, demonstrated by tests and bench E19: after a silent round,
+// p KNOWS q has crashed even though no message (no process chain <q p>)
+// reached it — Theorem 5 fails under synchrony, which is exactly why
+// Section 5's "failure detection is impossible without time-outs" carries
+// the "without time-outs" qualifier.
+#ifndef HPL_PROTOCOLS_LOCKSTEP_H_
+#define HPL_PROTOCOLS_LOCKSTEP_H_
+
+#include <string>
+#include <vector>
+
+#include "core/predicate.h"
+#include "core/system.h"
+
+namespace hpl::protocols {
+
+class LockstepSystem : public hpl::System {
+ public:
+  // Processes: p = 0 (monitor), q = 1 (may crash before any round).
+  explicit LockstepSystem(int rounds);
+
+  int NumProcesses() const override { return 2; }
+  std::vector<hpl::Event> EnabledEvents(
+      const hpl::Computation& x) const override;
+  std::string Name() const override;
+
+  // "q has crashed" — local to q.
+  hpl::Predicate Crashed() const;
+
+  // Number of completed rounds (p's ticks) in x.
+  int CompletedRounds(const hpl::Computation& x) const;
+
+  // The canonical alive-for-k-rounds / crashed-at-round-c computations.
+  hpl::Computation AliveRun(int rounds) const;
+  hpl::Computation CrashedRun(int crash_round, int total_rounds) const;
+
+ private:
+  struct State {
+    int round = 0;       // rounds fully completed
+    bool crashed = false;
+    int phase = 0;  // 0: q acts; 1: delivery (if sent); 2: p tick; 3: q tick
+    bool sent_this_round = false;
+  };
+  State Reconstruct(const hpl::Computation& x) const;
+
+  int rounds_;
+};
+
+}  // namespace hpl::protocols
+
+#endif  // HPL_PROTOCOLS_LOCKSTEP_H_

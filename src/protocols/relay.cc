@@ -1,0 +1,67 @@
+#include "protocols/relay.h"
+
+namespace hpl::protocols {
+
+RelaySystem::RelaySystem(int num_processes) : num_processes_(num_processes) {
+  if (num_processes < 2)
+    throw hpl::ModelError("RelaySystem: need at least 2 processes");
+}
+
+std::vector<hpl::Event> RelaySystem::EnabledEvents(
+    const hpl::Computation& x) const {
+  // Scripts: p0: internal "fact"; then send m0 to p1.
+  //          p_i (0<i<n-1): after receiving m_{i-1}, send m_i to p_{i+1}.
+  //          p_{n-1}: only receives.
+  std::vector<hpl::Event> out;
+
+  // p0's progress.
+  int p0_steps = 0;
+  for (const hpl::Event& e : x.events())
+    if (e.process == 0) ++p0_steps;
+  if (p0_steps == 0) {
+    out.push_back(hpl::Internal(0, "fact"));
+  } else if (p0_steps == 1 && num_processes_ >= 2) {
+    out.push_back(hpl::Send(0, 1, /*m=*/0, "relay"));
+  }
+
+  // Relays and receives.
+  for (const hpl::Event& e : x.events()) {
+    if (!e.IsSend()) continue;
+    hpl::Event recv = hpl::Receive(e.peer, e.process, e.message, e.label);
+    if (hpl::CanExtend(x, recv)) out.push_back(recv);
+  }
+  for (hpl::ProcessId i = 1; i < num_processes_ - 1; ++i) {
+    // p_i forwards once it has received and has not yet forwarded.
+    bool received = false, forwarded = false;
+    for (const hpl::Event& e : x.events()) {
+      if (e.process == i && e.IsReceive()) received = true;
+      if (e.process == i && e.IsSend()) forwarded = true;
+    }
+    if (received && !forwarded)
+      out.push_back(hpl::Send(i, i + 1, /*m=*/i, "relay"));
+  }
+  return out;
+}
+
+std::string RelaySystem::Name() const {
+  return "relay(n=" + std::to_string(num_processes_) + ")";
+}
+
+hpl::Predicate RelaySystem::Fact() const {
+  return hpl::Predicate("fact", [](const hpl::Computation& x) {
+    for (const hpl::Event& e : x.events())
+      if (e.process == 0 && e.IsInternal() && e.label == "fact") return true;
+    return false;
+  });
+}
+
+std::vector<hpl::ProcessSet> RelaySystem::NestedChain(int hops) const {
+  if (hops < 0 || hops >= num_processes_)
+    throw hpl::ModelError("RelaySystem::NestedChain: bad hop count");
+  std::vector<hpl::ProcessSet> chain;
+  for (hpl::ProcessId p = static_cast<hpl::ProcessId>(hops); p >= 0; --p)
+    chain.push_back(hpl::ProcessSet::Of(p));
+  return chain;
+}
+
+}  // namespace hpl::protocols

@@ -1,0 +1,44 @@
+// Knowledge relay (Theorem 5 made concrete).
+//
+// A line of processes p0 -> p1 -> ... -> p_{n-1}.  p0 establishes a fact b
+// (an internal event) and sends a message down the chain; each hop extends
+// the nested knowledge: after k hops,
+//   K{p_k} K{p_{k-1}} ... K{p_0} b
+// holds, and by Theorem 5 gaining that required the chain <p0 p1 ... p_k>.
+// The minimum number of messages for depth-(k+1) nested knowledge is k —
+// one per link — which the model checker verifies exactly.
+#ifndef HPL_PROTOCOLS_RELAY_H_
+#define HPL_PROTOCOLS_RELAY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/predicate.h"
+#include "core/system.h"
+
+namespace hpl::protocols {
+
+class RelaySystem : public hpl::System {
+ public:
+  explicit RelaySystem(int num_processes);
+
+  int NumProcesses() const override { return num_processes_; }
+  std::vector<hpl::Event> EnabledEvents(
+      const hpl::Computation& x) const override;
+  std::string Name() const override;
+
+  // The relayed fact: p0 performed its "fact" internal event.
+  hpl::Predicate Fact() const;
+
+  // The nested-knowledge chain after k hops:
+  // {p_k}, {p_{k-1}}, ..., {p_0} — outermost first, as Theorems 4-6 write
+  // P1 ... Pn with Pn innermost.
+  std::vector<hpl::ProcessSet> NestedChain(int hops) const;
+
+ private:
+  int num_processes_;
+};
+
+}  // namespace hpl::protocols
+
+#endif  // HPL_PROTOCOLS_RELAY_H_

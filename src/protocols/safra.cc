@@ -1,0 +1,82 @@
+#include "protocols/safra.h"
+
+namespace hpl::protocols {
+
+using hpl::sim::Context;
+using hpl::sim::Message;
+using hpl::sim::MessageClass;
+
+SafraActor::SafraActor(bool root, WorkloadStatePtr workload,
+                       SafraOptions options)
+    : root_(root), workload_(std::move(workload)), options_(options) {
+  if (!workload_) throw hpl::ModelError("SafraActor: no workload");
+}
+
+void SafraActor::OnStart(Context& ctx) {
+  if (!root_) return;
+  Activate(ctx);
+  // First probe fires after one interval; an immediate probe would usually
+  // race the first wave of work messages and always fail.
+  ctx.SetTimer(options_.probe_interval);
+}
+
+void SafraActor::Activate(Context& ctx) {
+  for (hpl::ProcessId to :
+       DrawActivationSends(*workload_, ctx.Self(), ctx.NumProcesses())) {
+    ctx.Send(to, MessageClass::kUnderlying, "work");
+    ++counter_;
+  }
+}
+
+void SafraActor::LaunchToken(Context& ctx) {
+  if (announced_ || ctx.NumProcesses() < 2) return;
+  ++rounds_;
+  // Token travels 0 -> n-1 -> n-2 -> ... -> 1 -> 0 (ring direction is
+  // immaterial).  Payload: a = accumulated counter sum, b = token color
+  // (1 = black).  The root whitens itself when the probe departs.
+  black_ = false;
+  ctx.Send(ctx.NumProcesses() - 1, MessageClass::kOverhead, "token",
+           /*a=*/0, /*b=*/0);
+}
+
+void SafraActor::ForwardToken(Context& ctx, std::int64_t q, bool black) {
+  const hpl::ProcessId self = ctx.Self();
+  const hpl::ProcessId next = self - 1;  // ring: ... -> 2 -> 1 -> 0
+  ctx.Send(next, MessageClass::kOverhead, "token", q + counter_,
+           (black || black_) ? 1 : 0);
+  black_ = false;  // whiten after forwarding (Safra's rule)
+}
+
+void SafraActor::OnMessage(Context& ctx, const Message& msg) {
+  if (msg.type == "work") {
+    black_ = true;  // receipt may invalidate an in-progress probe
+    --counter_;
+    Activate(ctx);
+    return;
+  }
+  if (msg.type != "token")
+    throw hpl::ModelError("Safra: unexpected message type " + msg.type);
+
+  if (!root_) {
+    ForwardToken(ctx, msg.a, msg.b != 0);
+    return;
+  }
+  // Token returned to the root: round verdict.
+  const bool token_black = msg.b != 0;
+  const std::int64_t total = msg.a + counter_;
+  if (!token_black && !black_ && total == 0) {
+    announced_ = true;
+    announce_time_ = ctx.Now();
+    ctx.Internal("announce_termination");
+    ctx.HaltSimulation("safra: termination detected");
+    return;
+  }
+  black_ = false;
+  ctx.SetTimer(options_.probe_interval);
+}
+
+void SafraActor::OnTimer(Context& ctx, hpl::sim::TimerId) {
+  if (root_) LaunchToken(ctx);
+}
+
+}  // namespace hpl::protocols

@@ -1,0 +1,53 @@
+// Safra's token-based termination detection (ring probe with counters and
+// colors), run over the same diffusing workload as Dijkstra–Scholten.
+//
+// Each process keeps a message counter (underlying sends minus receives)
+// and a color; receiving an underlying message blackens the receiver.  The
+// root circulates a token accumulating counters and color; a probe round
+// succeeds when the root is white, the token is white and the global count
+// is zero.  Unsuccessful rounds retry after a delay.  Overhead = token
+// hops: n per round, with the number of rounds driven by how often
+// underlying traffic invalidates a probe — the experiment's point of
+// comparison against the paper's lower bound.
+#ifndef HPL_PROTOCOLS_SAFRA_H_
+#define HPL_PROTOCOLS_SAFRA_H_
+
+#include "protocols/workload.h"
+#include "sim/actor.h"
+
+namespace hpl::protocols {
+
+struct SafraOptions {
+  hpl::sim::Time probe_interval = 50;  // delay before the root re-probes
+};
+
+class SafraActor : public hpl::sim::Actor {
+ public:
+  SafraActor(bool root, WorkloadStatePtr workload, SafraOptions options = {});
+
+  void OnStart(hpl::sim::Context& ctx) override;
+  void OnMessage(hpl::sim::Context& ctx, const hpl::sim::Message& msg) override;
+  void OnTimer(hpl::sim::Context& ctx, hpl::sim::TimerId timer) override;
+
+  bool announced() const noexcept { return announced_; }
+  hpl::sim::Time announce_time() const noexcept { return announce_time_; }
+  int probe_rounds() const noexcept { return rounds_; }
+
+ private:
+  void Activate(hpl::sim::Context& ctx);
+  void LaunchToken(hpl::sim::Context& ctx);
+  void ForwardToken(hpl::sim::Context& ctx, std::int64_t q, bool black);
+
+  bool root_;
+  WorkloadStatePtr workload_;
+  SafraOptions options_;
+  std::int64_t counter_ = 0;  // underlying sends - receives
+  bool black_ = false;
+  bool announced_ = false;
+  hpl::sim::Time announce_time_ = -1;
+  int rounds_ = 0;
+};
+
+}  // namespace hpl::protocols
+
+#endif  // HPL_PROTOCOLS_SAFRA_H_

@@ -1,0 +1,91 @@
+#include "protocols/termination.h"
+
+#include <memory>
+
+#include "protocols/dijkstra_scholten.h"
+#include "protocols/safra.h"
+
+namespace hpl::protocols {
+
+using hpl::sim::MessageClass;
+using hpl::sim::Simulator;
+using hpl::sim::SimulatorOptions;
+
+std::string ToString(DetectorKind kind) {
+  switch (kind) {
+    case DetectorKind::kDijkstraScholten:
+      return "dijkstra-scholten";
+    case DetectorKind::kSafra:
+      return "safra";
+  }
+  return "?";
+}
+
+TerminationExperimentResult RunTerminationExperiment(
+    const TerminationExperimentOptions& options) {
+  WorkloadOptions wl = options.workload;
+  wl.seed = options.seed * 7919 + 17;
+  auto workload = std::make_shared<WorkloadState>(wl);
+
+  std::vector<std::unique_ptr<hpl::sim::Actor>> actors;
+  const DijkstraScholtenActor* ds_root = nullptr;
+  const SafraActor* safra_root = nullptr;
+  for (int p = 0; p < options.num_processes; ++p) {
+    const bool root = (p == 0);
+    switch (options.detector) {
+      case DetectorKind::kDijkstraScholten: {
+        auto actor = std::make_unique<DijkstraScholtenActor>(root, workload);
+        if (root) ds_root = actor.get();
+        actors.push_back(std::move(actor));
+        break;
+      }
+      case DetectorKind::kSafra: {
+        SafraOptions so;
+        so.probe_interval = options.safra_probe_interval;
+        auto actor = std::make_unique<SafraActor>(root, workload, so);
+        if (root) safra_root = actor.get();
+        actors.push_back(std::move(actor));
+        break;
+      }
+    }
+  }
+
+  SimulatorOptions sim_options;
+  sim_options.network = options.network;
+  sim_options.seed = options.seed;
+  Simulator sim(std::move(actors), sim_options);
+  const hpl::sim::RunStats stats = sim.Run();
+
+  TerminationExperimentResult result;
+  result.underlying_messages = stats.underlying_sent;
+  result.overhead_messages = stats.overhead_sent;
+  result.overhead_ratio =
+      static_cast<double>(result.overhead_messages) /
+      static_cast<double>(std::max<std::size_t>(result.underlying_messages, 1));
+
+  // True termination: the time of the last underlying receive (after it, no
+  // process is ever reactivated).
+  for (const auto& entry : sim.trace().entries())
+    if (entry.event.IsReceive() && entry.klass == MessageClass::kUnderlying)
+      result.true_termination_time =
+          std::max(result.true_termination_time, entry.time);
+  for (const auto& entry : sim.trace().entries())
+    if (entry.event.IsSend() && entry.klass == MessageClass::kOverhead &&
+        entry.time >= result.true_termination_time)
+      ++result.overhead_after_termination;
+
+  if (ds_root != nullptr) {
+    result.announced = ds_root->announced();
+    result.announce_time = ds_root->announce_time();
+  }
+  if (safra_root != nullptr) {
+    result.announced = safra_root->announced();
+    result.announce_time = safra_root->announce_time();
+    result.probe_rounds = safra_root->probe_rounds();
+  }
+  result.safe =
+      result.announced && result.announce_time >= result.true_termination_time;
+  return result;
+}
+
+}  // namespace hpl::protocols

@@ -1,0 +1,53 @@
+// Harness for the termination-detection experiments (paper Section 5).
+//
+// Runs a diffusing workload under a chosen detection algorithm, measures
+// underlying vs overhead message counts, and validates detection:
+//  - safety:   the announcement happens at or after true termination (the
+//    time of the last underlying receive);
+//  - liveness: the run ends with an announcement.
+#ifndef HPL_PROTOCOLS_TERMINATION_H_
+#define HPL_PROTOCOLS_TERMINATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "protocols/workload.h"
+#include "sim/simulator.h"
+
+namespace hpl::protocols {
+
+enum class DetectorKind { kDijkstraScholten, kSafra };
+
+std::string ToString(DetectorKind kind);
+
+struct TerminationExperimentOptions {
+  DetectorKind detector = DetectorKind::kDijkstraScholten;
+  int num_processes = 8;
+  WorkloadOptions workload;
+  hpl::sim::NetworkOptions network;
+  hpl::sim::Time safra_probe_interval = 50;
+  std::uint64_t seed = 1;
+};
+
+struct TerminationExperimentResult {
+  std::size_t underlying_messages = 0;  // M
+  std::size_t overhead_messages = 0;    // the lower-bound quantity
+  double overhead_ratio = 0.0;          // overhead / max(M, 1)
+  hpl::sim::Time true_termination_time = 0;  // last underlying receive
+  // Overhead sends at/after true termination — Section 5's proof shows
+  // detection *requires* control traffic after quiescence, since detecting
+  // termination is gaining knowledge (Theorem 5) and the final links of
+  // the chain must form after the last underlying event.
+  std::size_t overhead_after_termination = 0;
+  hpl::sim::Time announce_time = -1;
+  int probe_rounds = 0;  // Safra only
+  bool announced = false;
+  bool safe = false;  // announce_time >= true_termination_time
+};
+
+TerminationExperimentResult RunTerminationExperiment(
+    const TerminationExperimentOptions& options);
+
+}  // namespace hpl::protocols
+
+#endif  // HPL_PROTOCOLS_TERMINATION_H_

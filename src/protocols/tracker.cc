@@ -1,0 +1,173 @@
+#include "protocols/tracker.h"
+
+#include <memory>
+
+namespace hpl::protocols {
+
+namespace {
+constexpr hpl::ProcessId kP = 0;
+constexpr hpl::ProcessId kQ = 1;
+}  // namespace
+
+TrackerSystem::TrackerSystem(int num_flips) : num_flips_(num_flips) {
+  if (num_flips < 0) throw hpl::ModelError("TrackerSystem: negative flips");
+}
+
+std::vector<hpl::Event> TrackerSystem::EnabledEvents(
+    const hpl::Computation& x) const {
+  // q alternates: flip #k, then send notify #k to p.  p receives whenever a
+  // notify is in flight.  q's script length = 2 * num_flips_.
+  int q_steps = 0;  // q's non-receive events (q never receives here)
+  for (const hpl::Event& e : x.events())
+    if (e.process == kQ) ++q_steps;
+
+  std::vector<hpl::Event> out;
+  if (q_steps < 2 * num_flips_) {
+    if (q_steps % 2 == 0) {
+      out.push_back(hpl::Internal(kQ, "flip"));
+    } else {
+      const hpl::MessageId m = q_steps / 2;
+      out.push_back(hpl::Send(kQ, kP, m, "notify"));
+    }
+  }
+  for (const hpl::Event& e : x.events()) {
+    if (!e.IsSend()) continue;
+    hpl::Event recv = hpl::Receive(kP, kQ, e.message, e.label);
+    if (hpl::CanExtend(x, recv)) out.push_back(recv);
+  }
+  return out;
+}
+
+std::string TrackerSystem::Name() const {
+  return "tracker(flips=" + std::to_string(num_flips_) + ")";
+}
+
+hpl::Predicate TrackerSystem::Bit() const {
+  return hpl::Predicate("bit", [](const hpl::Computation& x) {
+    int flips = 0;
+    for (const hpl::Event& e : x.events())
+      if (e.process == kQ && e.IsInternal() && e.label == "flip") ++flips;
+    return flips % 2 == 1;
+  });
+}
+
+bool TrackerSystem::CanStillChange(const hpl::Computation& x) const {
+  int flips = 0;
+  for (const hpl::Event& e : x.events())
+    if (e.process == kQ && e.IsInternal() && e.label == "flip") ++flips;
+  return flips < num_flips_;
+}
+
+// ---------------------------------------------------------------------------
+// Simulation scenario.
+// ---------------------------------------------------------------------------
+namespace {
+
+using hpl::sim::Context;
+using hpl::sim::Message;
+using hpl::sim::MessageClass;
+using hpl::sim::Time;
+
+struct SharedTruth {
+  // (time, value) history of q's bit, and of p's belief.
+  std::vector<std::pair<Time, bool>> actual{{0, false}};
+  std::vector<std::pair<Time, bool>> believed{{0, false}};
+  Time end_time = 0;
+};
+
+class FlippingActor : public hpl::sim::Actor {
+ public:
+  FlippingActor(const TrackingScenario& s, std::shared_ptr<SharedTruth> truth)
+      : scenario_(s), truth_(std::move(truth)) {}
+
+  void OnStart(Context& ctx) override {
+    ctx.SetTimer(scenario_.flip_interval);
+  }
+
+  void OnTimer(Context& ctx, hpl::sim::TimerId) override {
+    if (done_ >= scenario_.num_flips) return;
+    bit_ = !bit_;
+    ++done_;
+    ctx.Internal("flip");
+    truth_->actual.emplace_back(ctx.Now(), bit_);
+    ctx.Send(kP, MessageClass::kUnderlying, "notify", bit_ ? 1 : 0);
+    if (done_ < scenario_.num_flips) ctx.SetTimer(scenario_.flip_interval);
+  }
+
+  void OnMessage(Context&, const Message&) override {}
+
+ private:
+  TrackingScenario scenario_;
+  std::shared_ptr<SharedTruth> truth_;
+  bool bit_ = false;
+  int done_ = 0;
+};
+
+class BelievingActor : public hpl::sim::Actor {
+ public:
+  explicit BelievingActor(std::shared_ptr<SharedTruth> truth)
+      : truth_(std::move(truth)) {}
+
+  void OnMessage(Context& ctx, const Message& msg) override {
+    if (msg.type != "notify") return;
+    truth_->believed.emplace_back(ctx.Now(), msg.a != 0);
+    ++notifications_;
+  }
+
+  std::size_t notifications() const noexcept { return notifications_; }
+
+ private:
+  std::shared_ptr<SharedTruth> truth_;
+  std::size_t notifications_ = 0;
+};
+
+bool ValueAt(const std::vector<std::pair<Time, bool>>& history, Time t) {
+  bool v = false;
+  for (const auto& [at, val] : history) {
+    if (at > t) break;
+    v = val;
+  }
+  return v;
+}
+
+}  // namespace
+
+TrackingResult RunTrackingScenario(const TrackingScenario& scenario) {
+  auto truth = std::make_shared<SharedTruth>();
+  std::vector<std::unique_ptr<hpl::sim::Actor>> actors;
+  auto believer = std::make_unique<BelievingActor>(truth);
+  const BelievingActor* believer_ptr = believer.get();
+  actors.push_back(std::move(believer));       // p = 0
+  actors.push_back(std::make_unique<FlippingActor>(scenario, truth));  // q = 1
+
+  hpl::sim::SimulatorOptions options;
+  options.network = scenario.network;
+  options.seed = scenario.seed;
+  hpl::sim::Simulator sim(std::move(actors), options);
+  const auto stats = sim.Run();
+  truth->end_time = stats.end_time;
+
+  TrackingResult result;
+  result.flips = scenario.num_flips;
+  result.notifications = believer_ptr->notifications();
+  result.total_time = truth->end_time;
+  // Integrate |actual - believed| over time on the merged change points.
+  std::vector<Time> points{0, truth->end_time};
+  for (const auto& [t, v] : truth->actual) points.push_back(t);
+  for (const auto& [t, v] : truth->believed) points.push_back(t);
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    if (ValueAt(truth->actual, points[i]) !=
+        ValueAt(truth->believed, points[i]))
+      result.stale_time += points[i + 1] - points[i];
+  }
+  result.stale_fraction =
+      result.total_time > 0
+          ? static_cast<double>(result.stale_time) /
+                static_cast<double>(result.total_time)
+          : 0.0;
+  return result;
+}
+
+}  // namespace hpl::protocols

@@ -1,0 +1,72 @@
+// Remote predicate tracking (paper Section 5).
+//
+// "We show that it is impossible for process P to track the change in value
+// of a local predicate of P̄ exactly at all times; P must be unsure about
+// the value of this predicate while it is undergoing change."
+//
+// Two artifacts:
+//  1. TrackerSystem — a tiny core::System where q owns a bit (flipped by
+//     internal events) and notifies p after each flip; exact knowledge
+//     checking shows p is unsure at every point where the bit can still
+//     change, and that q knows "p unsure b" whenever q flips.
+//  2. RunTrackingScenario — a simulation measuring how long p's belief
+//     lags q's bit under notification protocols (staleness windows).
+#ifndef HPL_PROTOCOLS_TRACKER_H_
+#define HPL_PROTOCOLS_TRACKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/predicate.h"
+#include "core/system.h"
+#include "sim/simulator.h"
+
+namespace hpl::protocols {
+
+// Model-level system: processes {p=0, q=1}.  q's script: flip, notify,
+// flip, notify, ... up to `num_flips`; p only receives.  The bit starts
+// false; each "flip" internal event toggles it.
+class TrackerSystem : public hpl::System {
+ public:
+  explicit TrackerSystem(int num_flips);
+
+  int NumProcesses() const override { return 2; }
+  std::vector<hpl::Event> EnabledEvents(
+      const hpl::Computation& x) const override;
+  std::string Name() const override;
+
+  // The tracked bit: parity of q's flip events.
+  hpl::Predicate Bit() const;
+
+  // True iff q can still flip in some extension (the bit is "undergoing
+  // change") — used to state the impossibility precisely.
+  bool CanStillChange(const hpl::Computation& x) const;
+
+ private:
+  int num_flips_;
+};
+
+// Simulation-level scenario.
+struct TrackingScenario {
+  int num_flips = 20;
+  hpl::sim::Time flip_interval = 25;
+  hpl::sim::NetworkOptions network;
+  std::uint64_t seed = 1;
+};
+
+struct TrackingResult {
+  int flips = 0;
+  std::size_t notifications = 0;
+  // Total simulated time during which p's last-notified value differed from
+  // q's actual bit (the staleness the paper proves unavoidable).
+  hpl::sim::Time stale_time = 0;
+  hpl::sim::Time total_time = 0;
+  double stale_fraction = 0.0;
+};
+
+TrackingResult RunTrackingScenario(const TrackingScenario& scenario);
+
+}  // namespace hpl::protocols
+
+#endif  // HPL_PROTOCOLS_TRACKER_H_

@@ -1,0 +1,71 @@
+#include "protocols/two_generals.h"
+
+namespace hpl::protocols {
+
+namespace {
+constexpr hpl::ProcessId kA = 0;
+constexpr hpl::ProcessId kB = 1;
+
+hpl::ProcessId SenderOf(int k) { return k % 2 == 0 ? kA : kB; }
+std::string LabelOf(int k) { return k == 0 ? "attack" : "ack"; }
+}  // namespace
+
+TwoGeneralsSystem::TwoGeneralsSystem(int max_messages)
+    : max_messages_(max_messages) {
+  if (max_messages < 1)
+    throw hpl::ModelError("TwoGeneralsSystem: need >= 1 message");
+}
+
+std::vector<hpl::Event> TwoGeneralsSystem::EnabledEvents(
+    const hpl::Computation& x) const {
+  // Message k (id k) goes A->B for even k, B->A for odd k; its send is
+  // enabled once message k-1 has been received by the sender.
+  int sent = 0, received = 0;
+  for (const hpl::Event& e : x.events()) {
+    if (e.IsSend()) ++sent;
+    if (e.IsReceive()) ++received;
+  }
+  std::vector<hpl::Event> out;
+  // Next send: message `sent`, allowed when the previous message has been
+  // received (sends happen in order; each is an ack of the previous).
+  if (sent < max_messages_ && received == sent) {
+    const auto k = sent;
+    out.push_back(hpl::Send(SenderOf(k), SenderOf(k + 1),
+                            static_cast<hpl::MessageId>(k), LabelOf(k)));
+  }
+  // Pending delivery: message `received` (FIFO alternation means at most
+  // one message is ever in flight).
+  if (received < sent) {
+    const auto k = received;
+    out.push_back(hpl::Receive(SenderOf(k + 1), SenderOf(k),
+                               static_cast<hpl::MessageId>(k), LabelOf(k)));
+  }
+  return out;
+}
+
+std::string TwoGeneralsSystem::Name() const {
+  return "two_generals(max=" + std::to_string(max_messages_) + ")";
+}
+
+hpl::Predicate TwoGeneralsSystem::Ordered() const {
+  return hpl::Predicate("ordered", [](const hpl::Computation& x) {
+    for (const hpl::Event& e : x.events())
+      if (e.IsSend() && e.message == 0) return true;
+    return false;
+  });
+}
+
+hpl::Computation TwoGeneralsSystem::DeliveredRun(int k) const {
+  if (k < 0 || k > max_messages_)
+    throw hpl::ModelError("TwoGeneralsSystem::DeliveredRun: bad k");
+  hpl::Computation x;
+  for (int m = 0; m < k; ++m) {
+    x = x.Extended(hpl::Send(SenderOf(m), SenderOf(m + 1),
+                             static_cast<hpl::MessageId>(m), LabelOf(m)));
+    x = x.Extended(hpl::Receive(SenderOf(m + 1), SenderOf(m),
+                                static_cast<hpl::MessageId>(m), LabelOf(m)));
+  }
+  return x;
+}
+
+}  // namespace hpl::protocols

@@ -1,0 +1,48 @@
+// Two generals / coordinated attack — the classic common-knowledge
+// impossibility, here as a corollary of the paper's Section 4.2: common
+// knowledge is constant in asynchronous systems, so no finite exchange of
+// acknowledgements creates it.
+//
+// Model: general A (p0) sends "attack"; the generals then acknowledge back
+// and forth, each message possibly the last (messages may remain in
+// flight forever).  TwoGeneralsSystem enumerates every computation with up
+// to `max_messages` messages.  The tests and example show:
+//   - after k delivered messages, E^k("attack was ordered") holds for the
+//     pair but E^{k+1} does not — each ack climbs exactly one level;
+//   - CK("attack was ordered") holds nowhere (it is the constant false),
+//     so simultaneous-attack agreement is unreachable — the generals'
+//     paradox, machine-checked.
+#ifndef HPL_PROTOCOLS_TWO_GENERALS_H_
+#define HPL_PROTOCOLS_TWO_GENERALS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/predicate.h"
+#include "core/system.h"
+
+namespace hpl::protocols {
+
+class TwoGeneralsSystem : public hpl::System {
+ public:
+  explicit TwoGeneralsSystem(int max_messages);
+
+  int NumProcesses() const override { return 2; }
+  std::vector<hpl::Event> EnabledEvents(
+      const hpl::Computation& x) const override;
+  std::string Name() const override;
+
+  // "The attack order was sent" — local to A.
+  hpl::Predicate Ordered() const;
+
+  // The canonical run with exactly k messages delivered (alternating
+  // order/acks), the last delivery included.
+  hpl::Computation DeliveredRun(int k) const;
+
+ private:
+  int max_messages_;
+};
+
+}  // namespace hpl::protocols
+
+#endif  // HPL_PROTOCOLS_TWO_GENERALS_H_

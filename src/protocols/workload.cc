@@ -1,0 +1,26 @@
+#include "protocols/workload.h"
+
+#include <algorithm>
+
+namespace hpl::protocols {
+
+std::vector<hpl::ProcessId> DrawActivationSends(WorkloadState& state,
+                                                hpl::ProcessId self, int n) {
+  std::vector<hpl::ProcessId> out;
+  if (n < 2 || state.remaining <= 0) return out;
+  // The very first activation (the root's kick-off) always sends when the
+  // budget allows, so a configured workload is never trivially empty.
+  const bool first = state.remaining == state.options.budget;
+  if (!first && state.rng.Chance(state.options.fanout_zero_prob)) return out;
+  const int k = static_cast<int>(state.rng.Between(
+      1, std::min(state.options.fanout_max, state.remaining)));
+  for (int i = 0; i < k; ++i) {
+    auto to = static_cast<hpl::ProcessId>(state.rng.Below(n - 1));
+    if (to >= self) ++to;
+    out.push_back(to);
+  }
+  state.remaining -= k;
+  return out;
+}
+
+}  // namespace hpl::protocols

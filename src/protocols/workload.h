@@ -1,0 +1,47 @@
+// Underlying-computation workload for the termination-detection experiments
+// (paper Section 5's lower bound counts "messages in the underlying
+// computation" against detector overhead).
+//
+// The workload is a diffusing computation: a root activates itself at start
+// and sends work; receiving work (re)activates a process, which may send
+// further work before going passive again.  A shared budget bounds the
+// total number of underlying messages, so a run's "M" is controlled.  The
+// budget/rng live in shared WorkloadState — a generator convenience the
+// detectors under test cannot observe.
+#ifndef HPL_PROTOCOLS_WORKLOAD_H_
+#define HPL_PROTOCOLS_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/actor.h"
+#include "sim/rng.h"
+
+namespace hpl::protocols {
+
+struct WorkloadOptions {
+  int budget = 100;        // max underlying messages in the whole run
+  int fanout_max = 3;      // max sends per activation
+  double fanout_zero_prob = 0.3;  // chance an activation sends nothing
+  std::uint64_t seed = 1;
+};
+
+struct WorkloadState {
+  explicit WorkloadState(const WorkloadOptions& options)
+      : options(options), remaining(options.budget), rng(options.seed) {}
+  WorkloadOptions options;
+  int remaining;
+  hpl::sim::Rng rng;
+};
+
+using WorkloadStatePtr = std::shared_ptr<WorkloadState>;
+
+// Decides the destinations of the work messages emitted by one activation
+// of process `self` in an n-process system, consuming budget.
+std::vector<hpl::ProcessId> DrawActivationSends(WorkloadState& state,
+                                                hpl::ProcessId self, int n);
+
+}  // namespace hpl::protocols
+
+#endif  // HPL_PROTOCOLS_WORKLOAD_H_

@@ -1,0 +1,61 @@
+// Actor: the behaviour of one simulated process.
+//
+// Actors react to three stimuli — start of the run, message delivery, and
+// timer expiry — and act through the Context: sending messages, arming
+// timers, recording internal events, and crashing.  A crashed actor
+// receives nothing and sends nothing ever after, matching the paper's §5
+// failure model ("the process does not send messages after its failure").
+#ifndef HPL_SIM_ACTOR_H_
+#define HPL_SIM_ACTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/message.h"
+#include "sim/network.h"
+
+namespace hpl::sim {
+
+using TimerId = std::int64_t;
+
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  virtual Time Now() const = 0;
+  virtual hpl::ProcessId Self() const = 0;
+  virtual int NumProcesses() const = 0;
+
+  // Sends a message; returns its id.  `type` is the protocol tag.
+  virtual hpl::MessageId Send(hpl::ProcessId to, MessageClass klass,
+                              std::string type, std::int64_t a = 0,
+                              std::int64_t b = 0) = 0;
+
+  // Arms a one-shot timer `delay` ticks from now; returns its id.
+  virtual TimerId SetTimer(Time delay) = 0;
+
+  // Records an internal event with the given label in the trace.
+  virtual void Internal(std::string label) = 0;
+
+  // Crashes this process: records an internal "crash" event; all queued and
+  // future deliveries/timers for it are dropped.
+  virtual void Crash() = 0;
+
+  // Stops the whole simulation (e.g. a detector announcing its verdict).
+  virtual void HaltSimulation(std::string reason) = 0;
+};
+
+class Actor {
+ public:
+  virtual ~Actor() = default;
+  virtual void OnStart(Context& ctx) { (void)ctx; }
+  virtual void OnMessage(Context& ctx, const Message& msg) = 0;
+  virtual void OnTimer(Context& ctx, TimerId timer) {
+    (void)ctx;
+    (void)timer;
+  }
+};
+
+}  // namespace hpl::sim
+
+#endif  // HPL_SIM_ACTOR_H_

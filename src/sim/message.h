@@ -1,0 +1,40 @@
+// Messages exchanged by simulated actors.
+//
+// The experiment harnesses need to separate "underlying" computation
+// messages from detection-algorithm "overhead" messages (paper Section 5's
+// lower bound counts exactly this split), so every message carries a class
+// tag in addition to its protocol type and payload.
+#ifndef HPL_SIM_MESSAGE_H_
+#define HPL_SIM_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.h"
+
+namespace hpl::sim {
+
+enum class MessageClass : std::uint8_t {
+  kUnderlying,  // application/basic computation traffic
+  kOverhead,    // control traffic added by a detection algorithm
+};
+
+struct Message {
+  hpl::MessageId id = hpl::kNoMessage;
+  hpl::ProcessId from = hpl::kNoProcess;
+  hpl::ProcessId to = hpl::kNoProcess;
+  MessageClass klass = MessageClass::kUnderlying;
+  // Protocol-defined type tag ("work", "ack", "token", "heartbeat", ...).
+  std::string type;
+  // Small integer payload; protocols needing more encode it themselves.
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+
+  std::string Label() const {
+    return type + (klass == MessageClass::kOverhead ? "!" : "");
+  }
+};
+
+}  // namespace hpl::sim
+
+#endif  // HPL_SIM_MESSAGE_H_

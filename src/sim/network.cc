@@ -1,0 +1,26 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+#include "core/types.h"
+
+namespace hpl::sim {
+
+Time Network::DeliveryTime(Time now, hpl::ProcessId from, hpl::ProcessId to,
+                           MessageClass klass) {
+  if (from < 0 || from >= hpl::kMaxProcesses || to < 0 ||
+      to >= hpl::kMaxProcesses)
+    throw hpl::ModelError("Network::DeliveryTime: bad endpoint");
+  Time delay = options_.delay_base;
+  if (klass == MessageClass::kUnderlying)
+    delay += options_.underlying_extra_delay;
+  if (options_.delay_jitter > 0)
+    delay += static_cast<Time>(
+        rng_.Below(static_cast<std::uint64_t>(options_.delay_jitter) + 1));
+  Time at = now + std::max<Time>(delay, 1);
+  if (options_.fifo) at = std::max(at, last_delivery_[from][to] + 1);
+  last_delivery_[from][to] = at;
+  return at;
+}
+
+}  // namespace hpl::sim

@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// All stochastic choices in the simulator draw from this generator so a
+// (seed, topology, protocol) triple fully determines the run — a property
+// the tests assert and the experiment harnesses rely on.
+#ifndef HPL_SIM_RNG_H_
+#define HPL_SIM_RNG_H_
+
+#include <cstdint>
+
+namespace hpl::sim {
+
+// xoshiro256** — fast, high-quality, and trivially seedable via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) {
+      sm += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = sm;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t Next() noexcept {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n); n == 0 returns 0.
+  std::uint64_t Below(std::uint64_t n) noexcept {
+    return n == 0 ? 0 : Next() % n;
+  }
+
+  // Uniform in [lo, hi] (inclusive).
+  std::int64_t Between(std::int64_t lo, std::int64_t hi) noexcept {
+    if (hi <= lo) return lo;
+    return lo + static_cast<std::int64_t>(
+                    Below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  double Uniform01() noexcept {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  bool Chance(double p) noexcept { return Uniform01() < p; }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace hpl::sim
+
+#endif  // HPL_SIM_RNG_H_

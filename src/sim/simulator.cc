@@ -1,0 +1,130 @@
+#include "sim/simulator.h"
+
+namespace hpl::sim {
+
+Simulator::Simulator(std::vector<std::unique_ptr<Actor>> actors,
+                     const SimulatorOptions& options)
+    : actors_(std::move(actors)),
+      network_(options.network, options.seed ^ 0xa5a5a5a5a5a5a5a5ull),
+      crashed_(actors_.size(), false) {
+  if (actors_.empty()) throw hpl::ModelError("Simulator: no actors");
+  if (actors_.size() > static_cast<std::size_t>(hpl::kMaxProcesses))
+    throw hpl::ModelError("Simulator: too many actors");
+  max_steps_ = options.max_steps;
+}
+
+RunStats Simulator::Run() {
+  // Start callbacks run at time 0 in process order.
+  for (hpl::ProcessId p = 0; p < NumProcesses(); ++p) {
+    current_ = p;
+    in_callback_ = true;
+    actors_[p]->OnStart(*this);
+    in_callback_ = false;
+  }
+
+  std::size_t steps = 0;
+  while (!queue_.empty() && !halted_ && steps < max_steps_) {
+    Pending next = queue_.top();
+    queue_.pop();
+    now_ = next.at;
+    const hpl::ProcessId target =
+        next.is_timer ? next.target : next.message.to;
+    if (crashed_.at(target)) continue;  // dropped silently
+
+    ++steps;
+    current_ = target;
+    in_callback_ = true;
+    if (next.is_timer) {
+      actors_[target]->OnTimer(*this, next.timer);
+    } else {
+      trace_.Record(hpl::Receive(next.message.to, next.message.from,
+                                 next.message.id, next.message.Label()),
+                    now_, next.message.klass);
+      ++stats_.messages_delivered;
+      actors_[target]->OnMessage(*this, next.message);
+    }
+    in_callback_ = false;
+  }
+  current_ = hpl::kNoProcess;
+  stats_.completed = queue_.empty() || halted_;
+  stats_.end_time = now_;
+  return stats_;
+}
+
+hpl::MessageId Simulator::Send(hpl::ProcessId to, MessageClass klass,
+                               std::string type, std::int64_t a,
+                               std::int64_t b) {
+  RequireInCallback();
+  if (to < 0 || to >= NumProcesses())
+    throw hpl::ModelError("Send: bad destination");
+  if (to == current_) throw hpl::ModelError("Send: self-send not allowed");
+  if (crashed_.at(current_)) return hpl::kNoMessage;
+
+  Message msg;
+  msg.id = next_message_++;
+  msg.from = current_;
+  msg.to = to;
+  msg.klass = klass;
+  msg.type = std::move(type);
+  msg.a = a;
+  msg.b = b;
+
+  trace_.Record(hpl::Send(msg.from, msg.to, msg.id, msg.Label()), now_,
+                msg.klass);
+  ++stats_.messages_sent;
+  if (klass == MessageClass::kUnderlying)
+    ++stats_.underlying_sent;
+  else
+    ++stats_.overhead_sent;
+
+  Pending p;
+  p.at = network_.DeliveryTime(now_, msg.from, msg.to, msg.klass);
+  p.seq = next_seq_++;
+  p.is_timer = false;
+  p.message = msg;
+  queue_.push(std::move(p));
+  return msg.id;
+}
+
+TimerId Simulator::SetTimer(Time delay) {
+  RequireInCallback();
+  if (delay < 0) throw hpl::ModelError("SetTimer: negative delay");
+  const TimerId id = next_timer_++;
+  Pending p;
+  p.at = now_ + std::max<Time>(delay, 1);
+  p.seq = next_seq_++;
+  p.is_timer = true;
+  p.timer = id;
+  p.target = current_;
+  queue_.push(std::move(p));
+  return id;
+}
+
+void Simulator::Internal(std::string label) {
+  RequireInCallback();
+  if (crashed_.at(current_)) return;
+  trace_.Record(hpl::Internal(current_, std::move(label)), now_,
+                MessageClass::kUnderlying);
+  ++stats_.internal_events;
+}
+
+void Simulator::Crash() {
+  RequireInCallback();
+  if (crashed_.at(current_)) return;
+  trace_.Record(hpl::Internal(current_, "crash"), now_,
+                MessageClass::kUnderlying);
+  crashed_.at(current_) = true;
+}
+
+void Simulator::HaltSimulation(std::string reason) {
+  RequireInCallback();
+  halted_ = true;
+  stats_.halt_reason = std::move(reason);
+}
+
+void Simulator::RequireInCallback() const {
+  if (!in_callback_)
+    throw hpl::ModelError("Context used outside an actor callback");
+}
+
+}  // namespace hpl::sim

@@ -1,0 +1,104 @@
+// Discrete-event simulator for asynchronous message-passing systems.
+//
+// Executes a set of Actors over a Network, recording the run as a trace of
+// send / receive / internal events that converts (see trace.h) into a
+// validated core::Computation — the bridge between "running a protocol"
+// and the paper's formal model.
+//
+// Determinism: the event queue breaks time ties by sequence number, and all
+// randomness flows from the constructor seed, so identical inputs replay
+// identical traces.
+#ifndef HPL_SIM_SIMULATOR_H_
+#define HPL_SIM_SIMULATOR_H_
+
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/actor.h"
+#include "sim/network.h"
+#include "sim/trace.h"
+
+namespace hpl::sim {
+
+struct SimulatorOptions {
+  NetworkOptions network;
+  std::uint64_t seed = 1;
+  // Stop after this many delivered stimuli (safety valve against runaway
+  // protocols); the run is marked incomplete if hit.
+  std::size_t max_steps = 1'000'000;
+};
+
+struct RunStats {
+  std::size_t messages_sent = 0;
+  std::size_t messages_delivered = 0;
+  std::size_t underlying_sent = 0;
+  std::size_t overhead_sent = 0;
+  std::size_t internal_events = 0;
+  Time end_time = 0;
+  bool completed = false;  // queue drained (or halted) before max_steps
+  std::string halt_reason;
+};
+
+class Simulator : public Context {
+ public:
+  Simulator(std::vector<std::unique_ptr<Actor>> actors,
+            const SimulatorOptions& options);
+
+  // Runs to completion (drained queue, halt, or step cap) and returns stats.
+  RunStats Run();
+
+  const Trace& trace() const noexcept { return trace_; }
+  const RunStats& stats() const noexcept { return stats_; }
+  bool Crashed(hpl::ProcessId p) const { return crashed_.at(p); }
+
+  // --- Context interface (valid only inside actor callbacks) -------------
+  Time Now() const override { return now_; }
+  hpl::ProcessId Self() const override { return current_; }
+  int NumProcesses() const override {
+    return static_cast<int>(actors_.size());
+  }
+  hpl::MessageId Send(hpl::ProcessId to, MessageClass klass, std::string type,
+                      std::int64_t a, std::int64_t b) override;
+  TimerId SetTimer(Time delay) override;
+  void Internal(std::string label) override;
+  void Crash() override;
+  void HaltSimulation(std::string reason) override;
+
+ private:
+  struct Pending {
+    Time at = 0;
+    std::uint64_t seq = 0;  // tie-break: FIFO among same-time entries
+    bool is_timer = false;
+    TimerId timer = 0;
+    Message message;
+    hpl::ProcessId target = hpl::kNoProcess;
+    bool operator>(const Pending& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  void RequireInCallback() const;
+
+  std::vector<std::unique_ptr<Actor>> actors_;
+  Network network_;
+  Trace trace_;
+  RunStats stats_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue_;
+  std::vector<bool> crashed_;
+  Time now_ = 0;
+  hpl::ProcessId current_ = hpl::kNoProcess;
+  bool in_callback_ = false;
+  bool halted_ = false;
+  std::size_t max_steps_ = 1'000'000;
+  std::uint64_t next_seq_ = 0;
+  hpl::MessageId next_message_ = 0;
+  TimerId next_timer_ = 0;
+};
+
+}  // namespace hpl::sim
+
+#endif  // HPL_SIM_SIMULATOR_H_

@@ -1,0 +1,39 @@
+#include "sim/trace.h"
+
+namespace hpl::sim {
+
+void Trace::Record(hpl::Event event, std::int64_t time, MessageClass klass) {
+  entries_.push_back(TraceEntry{std::move(event), time, klass});
+}
+
+hpl::Computation Trace::ToComputation() const {
+  std::vector<hpl::Event> events;
+  events.reserve(entries_.size());
+  for (const TraceEntry& entry : entries_) events.push_back(entry.event);
+  return hpl::Computation(std::move(events));  // validates
+}
+
+hpl::Computation Trace::ToComputationPrefix(std::size_t n) const {
+  if (n > entries_.size())
+    throw hpl::ModelError("Trace::ToComputationPrefix: n exceeds trace");
+  std::vector<hpl::Event> events;
+  events.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) events.push_back(entries_[i].event);
+  return hpl::Computation(std::move(events));
+}
+
+std::size_t Trace::CountSends(MessageClass klass) const {
+  std::size_t n = 0;
+  for (const TraceEntry& entry : entries_)
+    if (entry.event.IsSend() && entry.klass == klass) ++n;
+  return n;
+}
+
+std::size_t Trace::CountReceives(MessageClass klass) const {
+  std::size_t n = 0;
+  for (const TraceEntry& entry : entries_)
+    if (entry.event.IsReceive() && entry.klass == klass) ++n;
+  return n;
+}
+
+}  // namespace hpl::sim

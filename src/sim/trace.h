@@ -1,0 +1,44 @@
+// Trace: the record of a simulation run, convertible to the paper's formal
+// model (a validated core::Computation).
+#ifndef HPL_SIM_TRACE_H_
+#define HPL_SIM_TRACE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/computation.h"
+#include "sim/message.h"
+
+namespace hpl::sim {
+
+struct TraceEntry {
+  hpl::Event event;
+  std::int64_t time = 0;
+  MessageClass klass = MessageClass::kUnderlying;
+};
+
+class Trace {
+ public:
+  void Record(hpl::Event event, std::int64_t time, MessageClass klass);
+
+  const std::vector<TraceEntry>& entries() const noexcept { return entries_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  // The run as a system computation (throws if the trace violates the
+  // model, which would indicate a simulator bug).
+  hpl::Computation ToComputation() const;
+
+  // The prefix of the computation consisting of the first n events.
+  hpl::Computation ToComputationPrefix(std::size_t n) const;
+
+  // Event counts by class/kind.
+  std::size_t CountSends(MessageClass klass) const;
+  std::size_t CountReceives(MessageClass klass) const;
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace hpl::sim
+
+#endif  // HPL_SIM_TRACE_H_

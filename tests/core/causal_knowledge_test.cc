@@ -1,0 +1,101 @@
+// Causal-cone knowledge: the trace-level characterization of knowledge of
+// past local events, cross-checked against the exact model checker.
+#include "core/causal_knowledge.h"
+
+#include <gtest/gtest.h>
+
+#include "core/knowledge.h"
+#include "protocols/relay.h"
+
+namespace hpl {
+namespace {
+
+Computation RelayRun() {
+  return Computation({
+      Internal(0, "fact"),        // 0
+      Send(0, 1, 0, "relay"),     // 1
+      Receive(1, 0, 0, "relay"),  // 2
+      Send(1, 2, 1, "relay"),     // 3
+      Receive(2, 1, 1, "relay"),  // 4
+  });
+}
+
+TEST(CausalKnowledgeTest, OwnerKnowsImmediately) {
+  CausalKnowledge cone(RelayRun(), 3, /*fact_event=*/0);
+  EXPECT_TRUE(cone.KnowsAt(ProcessSet{0}, 1));
+  EXPECT_EQ(cone.EarliestKnowledge(ProcessSet{0}),
+            std::optional<std::size_t>{1});
+}
+
+TEST(CausalKnowledgeTest, KnowledgeArrivesWithTheChain) {
+  CausalKnowledge cone(RelayRun(), 3, 0);
+  // p1 knows after its receive (prefix length 3).
+  EXPECT_FALSE(cone.KnowsAt(ProcessSet{1}, 2));
+  EXPECT_TRUE(cone.KnowsAt(ProcessSet{1}, 3));
+  EXPECT_EQ(cone.EarliestKnowledge(ProcessSet{1}),
+            std::optional<std::size_t>{3});
+  // p2 after its receive (prefix length 5).
+  EXPECT_EQ(cone.EarliestKnowledge(ProcessSet{2}),
+            std::optional<std::size_t>{5});
+}
+
+TEST(CausalKnowledgeTest, SetKnowledgeIsAnyMember) {
+  CausalKnowledge cone(RelayRun(), 3, 0);
+  EXPECT_TRUE(cone.KnowsAt(ProcessSet{0, 2}, 1));   // p0 already knows
+  EXPECT_FALSE(cone.KnowsAt(ProcessSet{1, 2}, 2));  // neither does yet
+  EXPECT_TRUE(cone.KnowsAt(ProcessSet{1, 2}, 3));
+}
+
+TEST(CausalKnowledgeTest, KnowersGrowMonotonically) {
+  const Computation z = RelayRun();
+  CausalKnowledge cone(z, 3, 0);
+  ProcessSet previous;
+  for (std::size_t len = 0; len <= z.size(); ++len) {
+    const ProcessSet knowers = cone.KnowersAt(len, 3);
+    EXPECT_TRUE(previous.IsSubsetOf(knowers)) << len;
+    previous = knowers;
+  }
+  EXPECT_EQ(previous, (ProcessSet{0, 1, 2}));
+}
+
+TEST(CausalKnowledgeTest, NestedKnowledgeFolds) {
+  CausalKnowledge cone(RelayRun(), 3, 0);
+  // K{p1} K{p0} fact: p1 observes p0's fact — earliest at its receive.
+  EXPECT_EQ(cone.EarliestNestedKnowledge({1, 0}),
+            std::optional<std::size_t>{3});
+  // K{p2} K{p1} K{p0} fact: at p2's receive.
+  EXPECT_EQ(cone.EarliestNestedKnowledge({2, 1, 0}),
+            std::optional<std::size_t>{5});
+  // K{p0} K{p2} fact: p0 never hears back.
+  EXPECT_EQ(cone.EarliestNestedKnowledge({0, 2}), std::nullopt);
+}
+
+TEST(CausalKnowledgeTest, AgreesWithExactModelChecking) {
+  // On the enumerable relay system, the causal characterization must match
+  // the model checker at every prefix of the canonical run.
+  protocols::RelaySystem relay(3);
+  auto space = ComputationSpace::Enumerate(relay, {.max_depth = 10});
+  KnowledgeEvaluator eval(space);
+  const Predicate fact = relay.Fact();
+  const Computation z = RelayRun();
+  CausalKnowledge cone(z, 3, 0);
+  for (std::size_t len = 1; len <= z.size(); ++len) {
+    const Computation prefix = z.Prefix(len);
+    for (ProcessId p = 0; p < 3; ++p) {
+      EXPECT_EQ(cone.KnowsAt(ProcessSet::Of(p), len),
+                eval.Knows(ProcessSet::Of(p), fact,
+                           space.RequireIndex(prefix)))
+          << "len=" << len << " p" << p;
+    }
+  }
+}
+
+TEST(CausalKnowledgeTest, Validation) {
+  EXPECT_THROW(CausalKnowledge(RelayRun(), 3, 99), ModelError);
+  CausalKnowledge cone(RelayRun(), 3, 0);
+  EXPECT_THROW(cone.KnowsAt(ProcessSet{0}, 99), ModelError);
+  EXPECT_THROW(cone.EarliestNestedKnowledge({}), ModelError);
+}
+
+}  // namespace
+}  // namespace hpl

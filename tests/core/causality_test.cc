@@ -1,0 +1,97 @@
+#include "core/causality.h"
+
+#include <gtest/gtest.h>
+
+namespace hpl {
+namespace {
+
+// Three-process computation with a cross-process chain:
+//   p0: i0, send m0 -> p1
+//   p1: recv m0, send m1 -> p2
+//   p2: i2 (concurrent with everything on p0), recv m1
+Computation ChainThree() {
+  return Computation({
+      Internal(0, "i0"),          // 0
+      Internal(2, "i2"),          // 1
+      Send(0, 1, 0, "a"),         // 2
+      Receive(1, 0, 0, "a"),      // 3
+      Send(1, 2, 1, "b"),         // 4
+      Receive(2, 1, 1, "b"),      // 5
+  });
+}
+
+TEST(CausalityTest, ReflexiveArrow) {
+  const Computation z = ChainThree();
+  const CausalityIndex idx(z, 3);
+  for (std::size_t i = 0; i < z.size(); ++i)
+    EXPECT_TRUE(idx.HappenedBefore(i, i)) << i;
+}
+
+TEST(CausalityTest, ProgramOrder) {
+  const CausalityIndex idx(ChainThree(), 3);
+  EXPECT_TRUE(idx.HappenedBefore(0, 2));   // i0 -> send on same process
+  EXPECT_FALSE(idx.HappenedBefore(2, 0));
+}
+
+TEST(CausalityTest, SendBeforeReceive) {
+  const CausalityIndex idx(ChainThree(), 3);
+  EXPECT_TRUE(idx.HappenedBefore(2, 3));
+  EXPECT_TRUE(idx.HappenedBefore(4, 5));
+  EXPECT_FALSE(idx.HappenedBefore(3, 2));
+}
+
+TEST(CausalityTest, TransitiveChain) {
+  const CausalityIndex idx(ChainThree(), 3);
+  // i0 -> send m0 -> recv m0 -> send m1 -> recv m1.
+  EXPECT_TRUE(idx.HappenedBefore(0, 5));
+  EXPECT_TRUE(idx.HappenedBefore(2, 5));
+  EXPECT_TRUE(idx.HappenedBefore(3, 5));
+}
+
+TEST(CausalityTest, ConcurrencyAcrossProcesses) {
+  const CausalityIndex idx(ChainThree(), 3);
+  // p2's internal event is ordered with nothing on p0/p1.
+  EXPECT_TRUE(idx.Concurrent(1, 0));
+  EXPECT_TRUE(idx.Concurrent(1, 2));
+  EXPECT_TRUE(idx.Concurrent(1, 4));
+  // But it precedes p2's own receive.
+  EXPECT_TRUE(idx.HappenedBefore(1, 5));
+  EXPECT_FALSE(idx.Concurrent(1, 5));
+}
+
+TEST(CausalityTest, ClocksCountEventsPerProcess) {
+  const Computation z = ChainThree();
+  const CausalityIndex idx(z, 3);
+  // recv m1 (index 5) causally dominates: 2 events on p0, 2 on p1, 2 on p2.
+  const VectorClock& last = idx.ClockOf(5);
+  EXPECT_EQ(last.Get(0), 2u);
+  EXPECT_EQ(last.Get(1), 2u);
+  EXPECT_EQ(last.Get(2), 2u);
+  // Local indices are 1-based per process.
+  EXPECT_EQ(idx.LocalIndex(0), 1u);
+  EXPECT_EQ(idx.LocalIndex(2), 2u);
+  EXPECT_EQ(idx.LocalIndex(1), 1u);
+  EXPECT_EQ(idx.LocalIndex(5), 2u);
+}
+
+TEST(CausalityTest, AgreesWithClockComparison) {
+  const Computation z = ChainThree();
+  const CausalityIndex idx(z, 3);
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    for (std::size_t j = 0; j < z.size(); ++j) {
+      if (i == j) continue;
+      // e_i -> e_j (strictly) iff clock(e_i) < clock(e_j) for validated
+      // computations (standard vector-clock theorem).
+      EXPECT_EQ(idx.HappenedBefore(i, j),
+                idx.ClockOf(i).LessEq(idx.ClockOf(j)))
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(CausalityTest, ProcessIdBeyondCountThrows) {
+  EXPECT_THROW(CausalityIndex(ChainThree(), 2), ModelError);
+}
+
+}  // namespace
+}  // namespace hpl

@@ -1,0 +1,194 @@
+#include "core/computation.h"
+
+#include <gtest/gtest.h>
+
+namespace hpl {
+namespace {
+
+Computation PingPong() {
+  // p0 sends m0 to p1; p1 replies m1; interleaved with internals.
+  return Computation({
+      Internal(0, "start"),
+      Send(0, 1, 0, "ping"),
+      Receive(1, 0, 0, "ping"),
+      Send(1, 0, 1, "pong"),
+      Receive(0, 1, 1, "pong"),
+      Internal(1, "done"),
+  });
+}
+
+TEST(ComputationTest, EmptyIsValid) {
+  const Computation c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_TRUE(c.ActiveProcesses().IsEmpty());
+}
+
+TEST(ComputationTest, ValidSequenceAccepted) {
+  const Computation c = PingPong();
+  EXPECT_EQ(c.size(), 6u);
+  EXPECT_EQ(c.ActiveProcesses(), (ProcessSet{0, 1}));
+}
+
+TEST(ComputationTest, ReceiveBeforeSendRejected) {
+  EXPECT_THROW(Computation({Receive(1, 0, 0, "x"), Send(0, 1, 0, "x")}),
+               ModelError);
+}
+
+TEST(ComputationTest, ReceiveWithoutSendRejected) {
+  EXPECT_THROW(Computation({Receive(1, 0, 99, "x")}), ModelError);
+}
+
+TEST(ComputationTest, DuplicateSendRejected) {
+  EXPECT_THROW(Computation({Send(0, 1, 0, "x"), Send(0, 2, 0, "x")}),
+               ModelError);
+}
+
+TEST(ComputationTest, DuplicateReceiveRejected) {
+  EXPECT_THROW(Computation({Send(0, 1, 0, "x"), Receive(1, 0, 0, "x"),
+                            Receive(1, 0, 0, "x")}),
+               ModelError);
+}
+
+TEST(ComputationTest, MismatchedEndpointsRejected) {
+  // Send targets p1 but p2 receives.
+  EXPECT_THROW(Computation({Send(0, 1, 0, "x"), Receive(2, 0, 0, "x")}),
+               ModelError);
+}
+
+TEST(ComputationTest, MismatchedLabelRejected) {
+  EXPECT_THROW(Computation({Send(0, 1, 0, "x"), Receive(1, 0, 0, "y")}),
+               ModelError);
+}
+
+TEST(ComputationTest, SelfSendRejected) {
+  EXPECT_THROW(Computation({Send(0, 0, 0, "x")}), ModelError);
+}
+
+TEST(ComputationTest, ProjectionSelectsProcessEvents) {
+  const Computation c = PingPong();
+  const auto p0 = c.Projection(0);
+  ASSERT_EQ(p0.size(), 3u);
+  EXPECT_EQ(p0[0], Internal(0, "start"));
+  EXPECT_EQ(p0[1], Send(0, 1, 0, "ping"));
+  EXPECT_EQ(p0[2], Receive(0, 1, 1, "pong"));
+  EXPECT_EQ(c.Projection(7).size(), 0u);
+  EXPECT_EQ(c.CountOn(0), 3);
+  EXPECT_EQ(c.CountOn(1), 3);
+  EXPECT_EQ(c.CountOn(5), 0);
+}
+
+TEST(ComputationTest, ProjectionOnSetPreservesOrder) {
+  const Computation c = PingPong();
+  const auto both = c.ProjectionOnSet(ProcessSet{0, 1});
+  EXPECT_EQ(both, c.events());
+  const auto none = c.ProjectionOnSet(ProcessSet::Empty());
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(ComputationTest, PrefixRelation) {
+  const Computation c = PingPong();
+  const Computation p = c.Prefix(3);
+  EXPECT_TRUE(p.IsPrefixOf(c));
+  EXPECT_FALSE(c.IsPrefixOf(p));
+  EXPECT_TRUE(Computation().IsPrefixOf(c));  // null <= z for all z
+  EXPECT_TRUE(c.IsPrefixOf(c));
+  // Prefix closure: every prefix of a computation is a computation.
+  for (std::size_t n = 0; n <= c.size(); ++n)
+    EXPECT_NO_THROW(Computation(std::vector<Event>(
+        c.events().begin(), c.events().begin() + n)));
+}
+
+TEST(ComputationTest, SuffixAfter) {
+  const Computation c = PingPong();
+  const Computation x = c.Prefix(2);
+  const auto suffix = c.SuffixAfter(x);
+  ASSERT_EQ(suffix.size(), 4u);
+  EXPECT_EQ(suffix[0], Receive(1, 0, 0, "ping"));
+  EXPECT_THROW(c.SuffixAfter(Computation({Internal(5, "z")})), ModelError);
+}
+
+TEST(ComputationTest, ExtendedValidates) {
+  const Computation c;
+  const Computation c1 = c.Extended(Send(0, 1, 0, "x"));
+  EXPECT_EQ(c1.size(), 1u);
+  EXPECT_THROW(c1.Extended(Send(0, 1, 0, "x")), ModelError);
+  EXPECT_NO_THROW(c1.Extended(Receive(1, 0, 0, "x")));
+}
+
+TEST(ComputationTest, ConcatValidatesWholeSequence) {
+  const Computation x({Send(0, 1, 0, "x")});
+  const std::vector<Event> good{Receive(1, 0, 0, "x")};
+  EXPECT_EQ(x.Concat(good).size(), 2u);
+  const std::vector<Event> bad{Receive(1, 0, 5, "x")};
+  EXPECT_THROW(x.Concat(bad), ModelError);
+}
+
+TEST(ComputationTest, PermutationDetection) {
+  // Two independent internal events commute.
+  const Computation a({Internal(0, "x"), Internal(1, "y")});
+  const Computation b({Internal(1, "y"), Internal(0, "x")});
+  EXPECT_TRUE(a.IsPermutationOf(b));
+  EXPECT_TRUE(a.IsPermutationOf(a));
+  const Computation c({Internal(0, "x"), Internal(1, "z")});
+  EXPECT_FALSE(a.IsPermutationOf(c));
+  EXPECT_FALSE(a.IsPermutationOf(Computation({Internal(0, "x")})));
+}
+
+TEST(ComputationTest, CanonicalIsPermutationInvariant) {
+  const Computation a({Internal(2, "c"), Internal(0, "a"), Internal(1, "b")});
+  const Computation b({Internal(0, "a"), Internal(1, "b"), Internal(2, "c")});
+  EXPECT_EQ(a.Canonical(), b.Canonical());
+  EXPECT_EQ(a.CanonicalHash(), b.CanonicalHash());
+}
+
+TEST(ComputationTest, CanonicalRespectsMessageOrder) {
+  // The receive cannot be canonicalized before its send even though the
+  // receiver has a lower process id.
+  const Computation c({Send(1, 0, 0, "x"), Receive(0, 1, 0, "x")});
+  const Computation canon = c.Canonical();
+  EXPECT_TRUE(canon.at(0).IsSend());
+  EXPECT_TRUE(canon.at(1).IsReceive());
+}
+
+TEST(ComputationTest, CanonicalPreservesProjections) {
+  const Computation c = PingPong();
+  const Computation canon = c.Canonical();
+  for (ProcessId p = 0; p < 2; ++p)
+    EXPECT_EQ(c.Projection(p), canon.Projection(p));
+  EXPECT_TRUE(c.IsPermutationOf(canon));
+}
+
+TEST(ComputationTest, ProjectionHashMatchesEquality) {
+  const Computation a = PingPong();
+  const Computation b = PingPong();
+  EXPECT_EQ(a.ProjectionHash(0), b.ProjectionHash(0));
+  const Computation c({Internal(0, "other")});
+  EXPECT_NE(a.ProjectionHash(0), c.ProjectionHash(0));
+}
+
+TEST(ComputationTest, CorrespondingSend) {
+  const Computation c = PingPong();
+  EXPECT_EQ(c.CorrespondingSend(2), std::optional<std::size_t>{1});
+  EXPECT_EQ(c.CorrespondingSend(4), std::optional<std::size_t>{3});
+  EXPECT_EQ(c.CorrespondingSend(0), std::nullopt);  // internal
+  EXPECT_EQ(c.CorrespondingSend(1), std::nullopt);  // send
+}
+
+TEST(ComputationTest, CanExtendDiagnostics) {
+  std::string why;
+  const Computation c({Send(0, 1, 0, "x")});
+  EXPECT_FALSE(CanExtend(c, Send(2, 3, 0, "y"), &why));
+  EXPECT_NE(why.find("twice"), std::string::npos);
+  EXPECT_FALSE(CanExtend(c, Receive(1, 0, 1, "x"), &why));
+  EXPECT_FALSE(CanExtend(c, Receive(2, 0, 0, "x"), &why));
+  EXPECT_TRUE(CanExtend(c, Receive(1, 0, 0, "x"), &why));
+}
+
+TEST(ComputationTest, ToStringRoundtrips) {
+  const Computation c({Internal(0, "a"), Send(0, 1, 0, "m")});
+  EXPECT_EQ(c.ToString(), "<p0.internal[a] p0.send(m0->p1)[m]>");
+}
+
+}  // namespace
+}  // namespace hpl

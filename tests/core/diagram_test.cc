@@ -1,0 +1,101 @@
+#include "core/diagram.h"
+
+#include <gtest/gtest.h>
+
+#include "core/isomorphism.h"
+#include "core/system.h"
+
+namespace hpl {
+namespace {
+
+// The paper's Figure 3-1: four computations of a two-process system
+// {p=0, q=1} with
+//   x [p] y but not x [q] y,
+//   x [D] z (z a permutation of x),
+//   y and w unrelated directly, but y [p] z and z [q] w.
+// Concrete realization:
+//   x = <p.i1  q.j1>        z = <q.j1  p.i1>
+//   y = <p.i1  q.j2>        w = <p.i2  q.j1>
+class Figure31Test : public ::testing::Test {
+ protected:
+  Figure31Test()
+      : x_({Internal(0, "i1"), Internal(1, "j1")}),
+        y_({Internal(0, "i1"), Internal(1, "j2")}),
+        z_({Internal(1, "j1"), Internal(0, "i1")}),
+        w_({Internal(0, "i2"), Internal(1, "j1")}),
+        diagram_({x_, y_, z_, w_}, 2, {"x", "y", "z", "w"}) {}
+
+  Computation x_, y_, z_, w_;
+  IsomorphismDiagram diagram_;
+};
+
+TEST_F(Figure31Test, EdgeLabelsMatchThePaper) {
+  // x [p] y, not x [q] y.
+  EXPECT_EQ(diagram_.LabelBetween(0, 1), ProcessSet{0});
+  // x [D] z: permutation.
+  EXPECT_EQ(diagram_.LabelBetween(0, 2), (ProcessSet{0, 1}));
+  // y -- z: same p-events, different q-events.
+  EXPECT_EQ(diagram_.LabelBetween(1, 2), ProcessSet{0});
+  // z -- w: same q-events.
+  EXPECT_EQ(diagram_.LabelBetween(2, 3), ProcessSet{1});
+  // y -- w: nothing in common.
+  EXPECT_TRUE(diagram_.LabelBetween(1, 3).IsEmpty());
+  // Self loop is [D].
+  EXPECT_EQ(diagram_.LabelBetween(0, 0), (ProcessSet{0, 1}));
+}
+
+TEST_F(Figure31Test, IndirectPathYtoW) {
+  // The paper: "there is an indirect relationship between y and w because
+  // y [p] z and z [q] w" — i.e. y [p q] w.
+  EXPECT_TRUE(IsomorphicWrt(y_, z_, ProcessId{0}));
+  EXPECT_TRUE(IsomorphicWrt(z_, w_, ProcessId{1}));
+}
+
+TEST_F(Figure31Test, DotExportContainsAllEdges) {
+  const std::string dot = diagram_.ToDot();
+  EXPECT_NE(dot.find("graph isomorphism"), std::string::npos);
+  EXPECT_NE(dot.find("\"x\" -- \"y\""), std::string::npos);
+  EXPECT_NE(dot.find("\"x\" -- \"z\""), std::string::npos);
+  EXPECT_NE(dot.find("{p0,p1}"), std::string::npos);
+  // No empty-label edges by default: y--w absent.
+  EXPECT_EQ(dot.find("\"y\" -- \"w\""), std::string::npos);
+}
+
+TEST_F(Figure31Test, TableListsEdges) {
+  const std::string table = diagram_.ToTable();
+  EXPECT_NE(table.find("x --{p0}-- y"), std::string::npos);
+  EXPECT_NE(table.find("x --{p0,p1}-- z"), std::string::npos);
+}
+
+TEST(DiagramTest, IncludeEmptyEdges) {
+  const Computation a({Internal(0, "a")});
+  const Computation b({Internal(0, "b"), Internal(1, "c")});
+  IsomorphismDiagram without({a, b}, 2);
+  EXPECT_TRUE(without.edges().empty());
+  IsomorphismDiagram with({a, b}, 2, {}, /*include_empty=*/true);
+  EXPECT_EQ(with.edges().size(), 1u);
+  EXPECT_TRUE(with.edges()[0].label.IsEmpty());
+}
+
+TEST(DiagramTest, FromSpaceCoversAllClasses) {
+  ExplicitSystem system(2, {Computation({Internal(0, "a"), Internal(1, "b")})});
+  auto space = ComputationSpace::Enumerate(system);
+  auto diagram = IsomorphismDiagram::FromSpace(space);
+  EXPECT_EQ(diagram.vertices().size(), space.size());
+  // Every pair sharing a projection gets an edge: {} -- {a} share p1, etc.
+  int edges_with_p0 = 0, edges_with_p1 = 0;
+  for (const auto& e : diagram.edges()) {
+    if (e.label.Contains(0)) ++edges_with_p0;
+    if (e.label.Contains(1)) ++edges_with_p1;
+  }
+  EXPECT_GT(edges_with_p0, 0);
+  EXPECT_GT(edges_with_p1, 0);
+}
+
+TEST(DiagramTest, NamesSizeMismatchThrows) {
+  EXPECT_THROW(IsomorphismDiagram({Computation{}}, 1, {"a", "b"}),
+               ModelError);
+}
+
+}  // namespace
+}  // namespace hpl

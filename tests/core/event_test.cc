@@ -1,0 +1,120 @@
+#include "core/event.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace hpl {
+namespace {
+
+TEST(EventTest, ConstructorsSetFields) {
+  const Event i = Internal(2, "step");
+  EXPECT_EQ(i.process, 2);
+  EXPECT_TRUE(i.IsInternal());
+  EXPECT_EQ(i.label, "step");
+  EXPECT_EQ(i.message, kNoMessage);
+
+  const Event s = Send(0, 1, 42, "data");
+  EXPECT_TRUE(s.IsSend());
+  EXPECT_EQ(s.process, 0);
+  EXPECT_EQ(s.peer, 1);
+  EXPECT_EQ(s.message, 42);
+
+  const Event r = Receive(1, 0, 42, "data");
+  EXPECT_TRUE(r.IsReceive());
+  EXPECT_EQ(r.process, 1);
+  EXPECT_EQ(r.peer, 0);
+  EXPECT_EQ(r.message, 42);
+}
+
+TEST(EventTest, StructuralEquality) {
+  EXPECT_EQ(Internal(0, "a"), Internal(0, "a"));
+  EXPECT_NE(Internal(0, "a"), Internal(0, "b"));
+  EXPECT_NE(Internal(0, "a"), Internal(1, "a"));
+  EXPECT_EQ(Send(0, 1, 7, "x"), Send(0, 1, 7, "x"));
+  // "All messages are distinguished": same endpoints, different ids differ.
+  EXPECT_NE(Send(0, 1, 7, "x"), Send(0, 1, 8, "x"));
+  EXPECT_NE(Send(0, 1, 7, "x"), Receive(1, 0, 7, "x"));
+}
+
+TEST(EventTest, IsOnProcessSet) {
+  const Event e = Internal(3, "a");
+  EXPECT_TRUE(e.IsOn(ProcessSet{1, 3}));
+  EXPECT_FALSE(e.IsOn(ProcessSet{0, 1, 2}));
+  EXPECT_FALSE(e.IsOn(ProcessSet::Empty()));
+}
+
+TEST(EventTest, ToStringMentionsKindAndEndpoints) {
+  EXPECT_EQ(Internal(0, "go").ToString(), "p0.internal[go]");
+  EXPECT_EQ(Send(0, 2, 5).ToString(), "p0.send(m5->p2)");
+  EXPECT_EQ(Receive(2, 0, 5).ToString(), "p2.recv(m5<-p0)");
+}
+
+TEST(EventTest, HashDistinguishesKinds) {
+  std::unordered_set<std::size_t> hashes;
+  hashes.insert(HashEvent(Internal(0, "a")));
+  hashes.insert(HashEvent(Internal(1, "a")));
+  hashes.insert(HashEvent(Internal(0, "b")));
+  hashes.insert(HashEvent(Send(0, 1, 0, "a")));
+  hashes.insert(HashEvent(Receive(1, 0, 0, "a")));
+  hashes.insert(HashEvent(Send(0, 1, 1, "a")));
+  EXPECT_EQ(hashes.size(), 6u) << "expected no collisions on tiny sample";
+}
+
+TEST(EventTest, EventKindNames) {
+  EXPECT_STREQ(ToString(EventKind::kInternal), "internal");
+  EXPECT_STREQ(ToString(EventKind::kSend), "send");
+  EXPECT_STREQ(ToString(EventKind::kReceive), "receive");
+}
+
+// ProcessSet behaviour used across the library.
+TEST(ProcessSetTest, BasicAlgebra) {
+  const ProcessSet p{0, 2};
+  const ProcessSet q{1, 2};
+  EXPECT_EQ(p.Union(q), (ProcessSet{0, 1, 2}));
+  EXPECT_EQ(p.Intersect(q), ProcessSet{2});
+  EXPECT_EQ(p.Minus(q), ProcessSet{0});
+  EXPECT_EQ(p.Size(), 2);
+  EXPECT_TRUE(ProcessSet{2}.IsSubsetOf(p));
+  EXPECT_FALSE(p.IsSubsetOf(q));
+  EXPECT_TRUE(p.Intersects(q));
+  EXPECT_FALSE(ProcessSet{0}.Intersects(ProcessSet{1}));
+}
+
+TEST(ProcessSetTest, ComplementInUniverse) {
+  const ProcessSet universe = ProcessSet::All(4);
+  const ProcessSet p{0, 3};
+  EXPECT_EQ(p.ComplementIn(universe), (ProcessSet{1, 2}));
+  EXPECT_EQ(p.Union(p.ComplementIn(universe)), universe);
+  EXPECT_TRUE(p.Intersect(p.ComplementIn(universe)).IsEmpty());
+}
+
+TEST(ProcessSetTest, AllAndEmpty) {
+  EXPECT_EQ(ProcessSet::All(0), ProcessSet::Empty());
+  EXPECT_EQ(ProcessSet::All(3).Size(), 3);
+  EXPECT_EQ(ProcessSet::All(64).Size(), 64);
+  EXPECT_THROW(ProcessSet::All(65), ModelError);
+}
+
+TEST(ProcessSetTest, ForEachVisitsInOrder) {
+  const ProcessSet p{5, 1, 9};
+  std::vector<ProcessId> seen;
+  p.ForEach([&](ProcessId id) { seen.push_back(id); });
+  EXPECT_EQ(seen, (std::vector<ProcessId>{1, 5, 9}));
+  EXPECT_EQ(p.First(), 1);
+}
+
+TEST(ProcessSetTest, OutOfRangeThrows) {
+  ProcessSet p;
+  EXPECT_THROW(p.Insert(64), ModelError);
+  EXPECT_THROW(p.Insert(-1), ModelError);
+  EXPECT_THROW(ProcessSet::Empty().First(), ModelError);
+}
+
+TEST(ProcessSetTest, ToStringListsMembers) {
+  EXPECT_EQ((ProcessSet{0, 2}).ToString(), "{p0,p2}");
+  EXPECT_EQ(ProcessSet::Empty().ToString(), "{}");
+}
+
+}  // namespace
+}  // namespace hpl

@@ -1,0 +1,172 @@
+#include "core/fusion.h"
+
+#include <gtest/gtest.h>
+
+#include "core/isomorphism.h"
+#include "core/process_chain.h"
+#include "core/random_system.h"
+#include "core/space.h"
+
+namespace hpl {
+namespace {
+
+TEST(FusionLemma1Test, FusesIndependentExtensions) {
+  // x empty; y extends on P̄={1}, z extends on Q̄={0}.
+  const Computation x;
+  const Computation y({Internal(1, "b")});   // x [P={0}] y
+  const Computation z({Internal(0, "a")});   // x [Q={1}] z
+  const Computation w =
+      FuseLemma1(x, y, z, ProcessSet{0}, ProcessSet{1}, 2);
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_TRUE(IsomorphicWrt(y, w, ProcessSet{1}));  // y [Q] w
+  EXPECT_TRUE(IsomorphicWrt(z, w, ProcessSet{0}));  // z [P] w
+  EXPECT_TRUE(x.IsPrefixOf(w));
+}
+
+TEST(FusionLemma1Test, WorksWithMessagesInsideOneSide) {
+  // Three processes; P = {0,1}, Q = {2}... P u Q must be D, so Q = {1,2}?
+  // Take P = {0, 1}, Q = {2} union {1}: {1, 2}.  y's suffix on P̄ = {2}
+  // only; z's suffix on Q̄ = {0} only.
+  const Computation x({Send(0, 1, 0, "m"), Receive(1, 0, 0, "m")});
+  const Computation y = x.Extended(Internal(2, "c"));
+  const Computation z = x.Extended(Internal(0, "a"));
+  const Computation w =
+      FuseLemma1(x, y, z, ProcessSet{0, 1}, ProcessSet{1, 2}, 3);
+  EXPECT_EQ(w.size(), 4u);
+  EXPECT_TRUE(IsomorphicWrt(y, w, ProcessSet{1, 2}));
+  EXPECT_TRUE(IsomorphicWrt(z, w, ProcessSet{0, 1}));
+}
+
+TEST(FusionLemma1Test, PreconditionViolationsThrow) {
+  const Computation x;
+  const Computation y({Internal(1, "b")});
+  const Computation z({Internal(0, "a")});
+  // P u Q != D.
+  EXPECT_THROW(FuseLemma1(x, y, z, ProcessSet{0}, ProcessSet{0}, 2),
+               ModelError);
+  // x not a prefix.
+  EXPECT_THROW(FuseLemma1(Computation({Internal(0, "other")}), y, z,
+                          ProcessSet{0}, ProcessSet{1}, 2),
+               ModelError);
+  // x [P] y violated (y touches P).
+  EXPECT_THROW(FuseLemma1(x, z, z, ProcessSet{0}, ProcessSet{1}, 2),
+               ModelError);
+}
+
+TEST(FusionTheorem2Test, FusesWhenChainsAbsent) {
+  // x: p0 sent m to p1 (in flight).  y: p0 continues locally.  z: p1
+  // receives and acts.  P = {0}: (x,y) has no chain <P̄ P>, (x,z) none
+  // <P P̄> (the receive's send lies in x, not the suffix).
+  const Computation x({Send(0, 1, 0, "m")});
+  const Computation y = x.Extended(Internal(0, "more"));
+  const Computation z =
+      x.Extended(Receive(1, 0, 0, "m")).Extended(Internal(1, "act"));
+  std::string why;
+  const auto fused = FuseTheorem2(x, y, z, ProcessSet{0}, 2, &why);
+  ASSERT_TRUE(fused.has_value()) << why;
+  const Computation& w = fused->fused;
+  EXPECT_EQ(w.size(), 4u);
+  // w has all of P's events from y and all of P̄'s events from z.
+  EXPECT_TRUE(IsomorphicWrt(y, w, ProcessSet{0}));
+  EXPECT_TRUE(IsomorphicWrt(z, w, ProcessSet{1}));
+  EXPECT_TRUE(x.IsPrefixOf(fused->u) || x.IsPrefixOf(fused->v));
+}
+
+TEST(FusionTheorem2Test, RefusesWhenGainChainPresent) {
+  // (x,y) contains a P̄ -> P chain: p1 sends, p0 receives.
+  const Computation x;
+  const Computation y({Send(1, 0, 0, "m"), Receive(0, 1, 0, "m")});
+  const Computation z({Internal(1, "other")});
+  std::string why;
+  const auto fused = FuseTheorem2(x, y, z, ProcessSet{0}, 2, &why);
+  EXPECT_FALSE(fused.has_value());
+  EXPECT_NE(why.find("(x,y)"), std::string::npos);
+}
+
+TEST(FusionTheorem2Test, RefusesWhenLossChainPresent) {
+  const Computation x;
+  const Computation y({Internal(0, "solo")});
+  // (x,z) contains a P -> P̄ chain: p0 sends, p1 receives.
+  const Computation z({Send(0, 1, 0, "m"), Receive(1, 0, 0, "m")});
+  std::string why;
+  const auto fused = FuseTheorem2(x, y, z, ProcessSet{0}, 2, &why);
+  EXPECT_FALSE(fused.has_value());
+  EXPECT_NE(why.find("(x,z)"), std::string::npos);
+}
+
+TEST(FusionTheorem2Test, FischerLynchPatersonSpecialCase) {
+  // The paper notes the special case (from FLP): disjoint extension sets
+  // E on P and Ē on P̄ fuse in either order.
+  const Computation x({Send(0, 1, 0, "m")});
+  const Computation y = x.Extended(Internal(0, "e1")).Extended(
+      Internal(0, "e2"));  // E on P = {0}
+  const Computation z =
+      x.Extended(Receive(1, 0, 0, "m"))
+          .Extended(Send(1, 2, 1, "n"))
+          .Extended(Receive(2, 1, 1, "n"));  // Ē on P̄ = {1, 2}
+  const auto fused = FuseTheorem2(x, y, z, ProcessSet{0}, 3);
+  ASSERT_TRUE(fused.has_value());
+  EXPECT_EQ(fused->fused.size(), x.size() + 2 + 3);
+  EXPECT_TRUE(IsomorphicWrt(y, fused->fused, ProcessSet{0}));
+  EXPECT_TRUE(IsomorphicWrt(z, fused->fused, ProcessSet{1, 2}));
+}
+
+// Property sweep: over a random system's space, for all (x, y, z) prefix
+// triples and a few P choices, whenever FuseTheorem2 succeeds its result
+// satisfies the theorem's conclusions, and whenever the chains are absent
+// it must succeed.
+class FusionPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FusionPropertyTest, TheoremTwoSoundAndComplete) {
+  RandomSystemOptions options;
+  options.num_processes = 3;
+  options.num_messages = 3;
+  options.internal_events = 0;
+  options.seed = GetParam();
+  RandomSystem system(options);
+  auto space = ComputationSpace::Enumerate(system, {.max_depth = 16});
+
+  int fused_count = 0, refused_count = 0;
+  for (std::size_t yid = 0; yid < space.size(); yid += 3) {
+    const Computation& y = space.At(yid);
+    for (std::size_t zid = 0; zid < space.size(); zid += 5) {
+      const Computation& z = space.At(zid);
+      // Common prefix: the longest prefix of y that is a prefix of z.
+      std::size_t k = 0;
+      while (k < y.size() && k < z.size() &&
+             y.events()[k] == z.events()[k])
+        ++k;
+      const Computation x = y.Prefix(k);
+      if (!x.IsPrefixOf(z)) continue;
+      for (const ProcessSet p : {ProcessSet{0}, ProcessSet{1, 2}}) {
+        std::string why;
+        const auto fused = FuseTheorem2(x, y, z, p, 3, &why);
+        const ProcessSet pbar = p.ComplementIn(ProcessSet::All(3));
+        ChainDetector dy(y, 3, x.size());
+        ChainDetector dz(z, 3, x.size());
+        const bool chains_absent = !dy.HasChain({pbar, p}) &&
+                                   !dz.HasChain({p, pbar});
+        ASSERT_EQ(fused.has_value(), chains_absent)
+            << "x=" << x.ToString() << " y=" << y.ToString()
+            << " z=" << z.ToString() << " P=" << p.ToString();
+        if (fused.has_value()) {
+          ++fused_count;
+          EXPECT_TRUE(x.IsPrefixOf(fused->fused));
+          EXPECT_TRUE(IsomorphicWrt(y, fused->fused, p));
+          EXPECT_TRUE(IsomorphicWrt(z, fused->fused, pbar));
+        } else {
+          ++refused_count;
+        }
+      }
+    }
+  }
+  // The sweep must exercise both branches to be meaningful.
+  EXPECT_GT(fused_count, 0);
+  EXPECT_GT(refused_count, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusionPropertyTest,
+                         ::testing::Values(31, 32, 33, 34));
+
+}  // namespace
+}  // namespace hpl

@@ -1,0 +1,101 @@
+#include "core/logical_clock.h"
+
+#include <gtest/gtest.h>
+
+#include "core/causality.h"
+#include "core/process_chain.h"
+#include "core/random_system.h"
+#include "core/space.h"
+
+namespace hpl {
+namespace {
+
+Computation Relay3() {
+  return Computation({
+      Send(0, 1, 0, "a"),
+      Receive(1, 0, 0, "a"),
+      Send(1, 2, 1, "b"),
+      Receive(2, 1, 1, "b"),
+      Internal(0, "late"),
+  });
+}
+
+TEST(LogicalClockTest, LocalEventsIncrease) {
+  const Computation z({Internal(0, "a"), Internal(0, "b"), Internal(0, "c")});
+  LogicalClockAssignment clocks(z, 1);
+  EXPECT_EQ(clocks.TimestampOf(0), 1u);
+  EXPECT_EQ(clocks.TimestampOf(1), 2u);
+  EXPECT_EQ(clocks.TimestampOf(2), 3u);
+}
+
+TEST(LogicalClockTest, ReceiveJumpsPastSend) {
+  const Computation z = Relay3();
+  LogicalClockAssignment clocks(z, 3);
+  // send(m0)=1, recv(m0)=2, send(m1)=3, recv(m1)=4, p0's internal=2.
+  EXPECT_EQ(clocks.TimestampOf(0), 1u);
+  EXPECT_EQ(clocks.TimestampOf(1), 2u);
+  EXPECT_EQ(clocks.TimestampOf(2), 3u);
+  EXPECT_EQ(clocks.TimestampOf(3), 4u);
+  EXPECT_EQ(clocks.TimestampOf(4), 2u);  // concurrent with the relay tail
+}
+
+TEST(LogicalClockTest, ClockConditionOnRelay) {
+  LogicalClockAssignment clocks(Relay3(), 3);
+  EXPECT_TRUE(clocks.SatisfiesClockCondition(3));
+}
+
+TEST(LogicalClockTest, ClockConditionOnRandomSystems) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    RandomSystemOptions options;
+    options.num_processes = 4;
+    options.num_messages = 5;
+    options.seed = seed;
+    RandomSystem system(options);
+    Computation z;
+    for (;;) {
+      auto enabled = system.EnabledEvents(z);
+      if (enabled.empty()) break;
+      z = z.Extended(enabled[z.size() % enabled.size()]);
+    }
+    LogicalClockAssignment clocks(z, 4);
+    EXPECT_TRUE(clocks.SatisfiesClockCondition(4)) << "seed " << seed;
+  }
+}
+
+TEST(LogicalClockTest, TotalOrderIsValidLinearization) {
+  const Computation z = Relay3();
+  LogicalClockAssignment clocks(z, 3);
+  const auto order = clocks.TotalOrder();
+  ASSERT_EQ(order.size(), z.size());
+  // Reordering by (timestamp, process) must still be a computation.
+  std::vector<Event> events;
+  for (std::size_t i : order) events.push_back(z.at(i));
+  EXPECT_NO_THROW(Computation{events});
+  // And a permutation of the original ([D]-equivalent).
+  EXPECT_TRUE(Computation(events).IsPermutationOf(z));
+}
+
+TEST(LogicalClockTest, ChainsCarryIncreasingTimestamps) {
+  // A process chain e0 -> e1 -> ... -> en has nondecreasing stamps, with
+  // strict increase across distinct events.
+  const Computation z = Relay3();
+  LogicalClockAssignment clocks(z, 3);
+  ChainDetector detector(z, 3);
+  const auto witness =
+      detector.FindChain({ProcessSet{0}, ProcessSet{1}, ProcessSet{2}});
+  ASSERT_TRUE(witness.has_value());
+  for (std::size_t i = 1; i < witness->size(); ++i) {
+    if ((*witness)[i - 1] != (*witness)[i]) {
+      EXPECT_LT(clocks.TimestampOf((*witness)[i - 1]),
+                clocks.TimestampOf((*witness)[i]));
+    }
+  }
+}
+
+TEST(LogicalClockTest, ErrorsOnMalformedInput) {
+  const Computation z({Internal(2, "x")});
+  EXPECT_THROW(LogicalClockAssignment(z, 2), ModelError);
+}
+
+}  // namespace
+}  // namespace hpl

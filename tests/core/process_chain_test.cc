@@ -1,0 +1,156 @@
+#include "core/process_chain.h"
+
+#include <gtest/gtest.h>
+
+#include "core/random_system.h"
+#include "core/space.h"
+
+namespace hpl {
+namespace {
+
+Computation Relay3() {
+  return Computation({
+      Send(0, 1, 0, "a"),      // 0
+      Receive(1, 0, 0, "a"),   // 1
+      Send(1, 2, 1, "b"),      // 2
+      Receive(2, 1, 1, "b"),   // 3
+      Internal(2, "done"),     // 4
+  });
+}
+
+std::vector<ProcessSet> Stages(std::initializer_list<int> ids) {
+  std::vector<ProcessSet> out;
+  for (int id : ids) out.push_back(ProcessSet::Of(id));
+  return out;
+}
+
+TEST(ProcessChainTest, SingleStageIsPresence) {
+  ChainDetector d(Relay3(), 3);
+  EXPECT_TRUE(d.HasChain(Stages({0})));
+  EXPECT_TRUE(d.HasChain(Stages({2})));
+  ChainDetector suffix(Relay3(), 3, /*suffix_begin=*/2);
+  EXPECT_FALSE(suffix.HasChain(Stages({0})));  // p0 has no event after idx 2
+  EXPECT_TRUE(suffix.HasChain(Stages({1})));
+}
+
+TEST(ProcessChainTest, FullRelayChainExists) {
+  ChainDetector d(Relay3(), 3);
+  const auto witness = d.FindChain(Stages({0, 1, 2}));
+  ASSERT_TRUE(witness.has_value());
+  ASSERT_EQ(witness->size(), 3u);
+  // Witness events must lie on the right processes and be causally ordered.
+  const Computation z = Relay3();
+  CausalityIndex idx(z, 3);
+  EXPECT_EQ(z.at((*witness)[0]).process, 0);
+  EXPECT_EQ(z.at((*witness)[1]).process, 1);
+  EXPECT_EQ(z.at((*witness)[2]).process, 2);
+  EXPECT_TRUE(idx.HappenedBefore((*witness)[0], (*witness)[1]));
+  EXPECT_TRUE(idx.HappenedBefore((*witness)[1], (*witness)[2]));
+}
+
+TEST(ProcessChainTest, ReverseChainAbsent) {
+  ChainDetector d(Relay3(), 3);
+  EXPECT_FALSE(d.HasChain(Stages({2, 1, 0})));
+  EXPECT_FALSE(d.HasChain(Stages({2, 0})));
+  EXPECT_FALSE(d.HasChain(Stages({1, 0})));
+}
+
+TEST(ProcessChainTest, ObservationOneStuttering) {
+  // "Any occurrence of P in a process chain may be replaced by P P": since
+  // e -> e, <0 0 1 1 2> must hold whenever <0 1 2> does.
+  ChainDetector d(Relay3(), 3);
+  EXPECT_TRUE(d.HasChain(Stages({0, 0, 1, 1, 2})));
+  EXPECT_TRUE(d.HasChain(Stages({0, 1, 1, 2, 2, 2})));
+  EXPECT_FALSE(d.HasChain(Stages({0, 2, 2, 1})));
+}
+
+TEST(ProcessChainTest, ProcessSetsAsStages) {
+  ChainDetector d(Relay3(), 3);
+  // A stage satisfied by any member of the set.
+  EXPECT_TRUE(d.HasChain({ProcessSet{0, 2}, ProcessSet{1}}));
+  EXPECT_TRUE(d.HasChain({ProcessSet{0}, ProcessSet{1, 2}}));
+  // {2} -> {0,1}: p2's events reach nothing on p0/p1.
+  EXPECT_FALSE(d.HasChain({ProcessSet{2}, ProcessSet{0}}));
+}
+
+TEST(ProcessChainTest, SuffixRestriction) {
+  // Chain must lie entirely in the suffix: <0 1> exists in the whole
+  // computation but not once we cut past p0's send.
+  ChainDetector d(Relay3(), 3, /*suffix_begin=*/1);
+  EXPECT_FALSE(d.HasChain(Stages({0, 1})));
+  EXPECT_TRUE(d.HasChain(Stages({1, 2})));
+}
+
+TEST(ProcessChainTest, ConcurrentEventsNoChain) {
+  const Computation z({Internal(0, "a"), Internal(1, "b")});
+  ChainDetector d(z, 2);
+  EXPECT_FALSE(d.HasChain(Stages({0, 1})));
+  EXPECT_FALSE(d.HasChain(Stages({1, 0})));
+  EXPECT_TRUE(d.HasChain(Stages({0})));
+  EXPECT_TRUE(d.HasChain(Stages({1})));
+}
+
+TEST(ProcessChainTest, EmptyStagesThrow) {
+  ChainDetector d(Relay3(), 3);
+  EXPECT_THROW(d.HasChain({}), ModelError);
+  EXPECT_THROW(FindChainNaive(Relay3(), 3, 0, {}), ModelError);
+}
+
+TEST(ProcessChainTest, EmptySuffixHasNoChains) {
+  const Computation z = Relay3();
+  ChainDetector d(z, 3, z.size());
+  EXPECT_FALSE(d.HasChain(Stages({0})));
+}
+
+// The fast frontier DP must agree with the naive oracle on randomized
+// computations and stage patterns.
+class ChainOracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChainOracleTest, FrontierAgreesWithNaive) {
+  RandomSystemOptions options;
+  options.num_processes = 4;
+  options.num_messages = 4;
+  options.internal_events = 1;
+  options.seed = GetParam();
+  RandomSystem system(options);
+  auto space = ComputationSpace::Enumerate(system, {.max_depth = 20});
+
+  // Probe a spread of computations and chain patterns.
+  const std::vector<std::vector<ProcessSet>> patterns = {
+      Stages({0, 1}),          Stages({1, 0}),
+      Stages({2, 3}),          Stages({0, 1, 2}),
+      Stages({3, 2, 1, 0}),    {ProcessSet{0, 1}, ProcessSet{2, 3}},
+      {ProcessSet{1, 2}, ProcessSet{0}, ProcessSet{3}},
+  };
+  int checked = 0;
+  for (std::size_t id = 0; id < space.size(); id += 7) {
+    const Computation& z = space.At(id);
+    for (std::size_t cut : {std::size_t{0}, z.size() / 2}) {
+      ChainDetector fast(z, 4, cut);
+      for (const auto& pattern : patterns) {
+        const auto naive = FindChainNaive(z, 4, cut, pattern);
+        const auto quick = fast.FindChain(pattern);
+        ASSERT_EQ(naive.has_value(), quick.has_value())
+            << "z=" << z.ToString() << " cut=" << cut;
+        ++checked;
+        if (!quick.has_value()) continue;
+        // Verify the witness is genuine.
+        CausalityIndex idx(z, 4);
+        for (std::size_t i = 0; i < pattern.size(); ++i) {
+          ASSERT_GE((*quick)[i], cut);
+          ASSERT_TRUE(z.at((*quick)[i]).IsOn(pattern[i]));
+          if (i > 0) {
+            ASSERT_TRUE(idx.HappenedBefore((*quick)[i - 1], (*quick)[i]));
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(checked, 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainOracleTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 23));
+
+}  // namespace
+}  // namespace hpl

@@ -1,0 +1,71 @@
+#include "core/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include "core/random_system.h"
+
+namespace hpl {
+namespace {
+
+TEST(SerializationTest, FormatsEachKind) {
+  const Computation x({Internal(0, "boot"), Send(0, 1, 0, "ping"),
+                       Receive(1, 0, 0, "ping"), Send(1, 2, 1, ""),
+                       Internal(2, "x_y")});
+  EXPECT_EQ(FormatComputation(x),
+            "0.boot 0>1:0/ping 1<0:0/ping 1>2:1 2.x_y");
+}
+
+TEST(SerializationTest, RoundTrips) {
+  const Computation x({Internal(0, "boot"), Send(0, 1, 0, "ping"),
+                       Receive(1, 0, 0, "ping"), Internal(1, "done")});
+  EXPECT_EQ(ParseComputation(FormatComputation(x)), x);
+  EXPECT_EQ(ParseComputation(""), Computation{});
+  EXPECT_EQ(FormatComputation(Computation{}), "");
+}
+
+TEST(SerializationTest, RoundTripsRandomRuns) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    RandomSystemOptions options;
+    options.num_processes = 4;
+    options.num_messages = 5;
+    options.seed = seed;
+    RandomSystem system(options);
+    Computation z;
+    for (;;) {
+      auto enabled = system.EnabledEvents(z);
+      if (enabled.empty()) break;
+      z = z.Extended(enabled[z.size() % enabled.size()]);
+    }
+    EXPECT_EQ(ParseComputation(FormatComputation(z)), z) << seed;
+  }
+}
+
+TEST(SerializationTest, WhitespaceInsensitive) {
+  const Computation x =
+      ParseComputation("  0>1:0/m \n  1<0:0/m\t 1.done  ");
+  EXPECT_EQ(x.size(), 3u);
+  EXPECT_TRUE(x.at(2).IsInternal());
+}
+
+TEST(SerializationTest, RejectsMalformedTokens) {
+  EXPECT_THROW(ParseComputation("x"), ModelError);
+  EXPECT_THROW(ParseComputation("0"), ModelError);
+  EXPECT_THROW(ParseComputation("0>1"), ModelError);      // missing ':'
+  EXPECT_THROW(ParseComputation("0?1:0"), ModelError);    // bad kind
+  EXPECT_THROW(ParseComputation("0>x:0"), ModelError);    // bad number
+}
+
+TEST(SerializationTest, RejectsInvalidComputations) {
+  // Syntax fine, semantics invalid: receive precedes send.
+  EXPECT_THROW(ParseComputation("1<0:0/m 0>1:0/m"), ModelError);
+  // Self-send.
+  EXPECT_THROW(ParseComputation("0>0:0"), ModelError);
+}
+
+TEST(SerializationTest, LabelsMayContainSpecials) {
+  const Computation x({Internal(0, "a.b>c<d:e")});
+  EXPECT_EQ(ParseComputation(FormatComputation(x)), x);
+}
+
+}  // namespace
+}  // namespace hpl

@@ -1,0 +1,111 @@
+#include "core/system.h"
+
+#include <gtest/gtest.h>
+
+#include "core/random_system.h"
+
+namespace hpl {
+namespace {
+
+TEST(ExplicitSystemTest, GeneratesGivenComputation) {
+  const Computation target({Internal(0, "a"), Send(0, 1, 0, "m"),
+                            Receive(1, 0, 0, "m")});
+  ExplicitSystem system(2, {target});
+  // From empty: only p0's first event is enabled (p1's projection starts
+  // with a receive, which needs the send first).
+  auto first = system.EnabledEvents(Computation{});
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0], Internal(0, "a"));
+
+  auto second = system.EnabledEvents(Computation({Internal(0, "a")}));
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0], Send(0, 1, 0, "m"));
+}
+
+TEST(ExplicitSystemTest, AdmitsAllCompatibleInterleavings) {
+  // Two independent events: both orders must be generated.
+  const Computation target({Internal(0, "a"), Internal(1, "b")});
+  ExplicitSystem system(2, {target});
+  auto enabled = system.EnabledEvents(Computation{});
+  EXPECT_EQ(enabled.size(), 2u);
+  auto after_b = system.EnabledEvents(Computation({Internal(1, "b")}));
+  ASSERT_EQ(after_b.size(), 1u);
+  EXPECT_EQ(after_b[0], Internal(0, "a"));
+}
+
+TEST(ExplicitSystemTest, ProcessOutsideSystemRejected) {
+  const Computation target({Internal(5, "a")});
+  EXPECT_THROW(ExplicitSystem(2, {target}), ModelError);
+}
+
+TEST(ExplicitSystemTest, MultipleAlternativesMerge) {
+  // p0 may do "a" or "b" first (two alternative process computations).
+  ExplicitSystem system(2, {Computation({Internal(0, "a")}),
+                            Computation({Internal(0, "b")})});
+  auto enabled = system.EnabledEvents(Computation{});
+  EXPECT_EQ(enabled.size(), 2u);
+}
+
+TEST(LambdaSystemTest, DelegatesToGenerator) {
+  LambdaSystem system(2, [](const Computation& x) {
+    std::vector<Event> out;
+    if (x.empty()) out.push_back(Internal(0, "only"));
+    return out;
+  });
+  EXPECT_EQ(system.EnabledEvents(Computation{}).size(), 1u);
+  EXPECT_TRUE(
+      system.EnabledEvents(Computation({Internal(0, "only")})).empty());
+  EXPECT_EQ(system.NumProcesses(), 2);
+}
+
+TEST(RandomSystemTest, DeterministicForSeed) {
+  RandomSystemOptions options;
+  options.seed = 42;
+  RandomSystem a(options), b(options);
+  EXPECT_EQ(a.scripts(), b.scripts());
+  options.seed = 43;
+  RandomSystem c(options);
+  EXPECT_NE(a.scripts(), c.scripts());
+}
+
+TEST(RandomSystemTest, ScriptsRespectConfiguredCounts) {
+  RandomSystemOptions options;
+  options.num_processes = 4;
+  options.num_messages = 6;
+  options.internal_events = 2;
+  options.seed = 7;
+  RandomSystem system(options);
+  int sends = 0, internals = 0;
+  for (const auto& script : system.scripts()) {
+    for (const Event& e : script) {
+      if (e.IsSend()) ++sends;
+      if (e.IsInternal()) ++internals;
+    }
+  }
+  EXPECT_EQ(sends, 6);
+  EXPECT_EQ(internals, 4 * 2);
+}
+
+TEST(RandomSystemTest, GeneratedEventsAreLegal) {
+  RandomSystemOptions options;
+  options.seed = 99;
+  RandomSystem system(options);
+  // Run a greedy generation to exhaustion; every enabled event must extend.
+  Computation x;
+  for (int step = 0; step < 100; ++step) {
+    auto enabled = system.EnabledEvents(x);
+    if (enabled.empty()) break;
+    ASSERT_TRUE(CanExtend(x, enabled.front()));
+    x = x.Extended(enabled.front());
+  }
+  EXPECT_TRUE(system.EnabledEvents(x).empty()) << "system should terminate";
+}
+
+TEST(RandomSystemTest, RequiresTwoProcesses) {
+  RandomSystemOptions options;
+  options.num_processes = 1;
+  EXPECT_THROW(RandomSystem{options}, ModelError);
+}
+
+}  // namespace
+}  // namespace hpl

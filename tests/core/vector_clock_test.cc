@@ -1,0 +1,73 @@
+#include "core/vector_clock.h"
+
+#include <gtest/gtest.h>
+
+namespace hpl {
+namespace {
+
+TEST(VectorClockTest, StartsAtZero) {
+  const VectorClock c(3);
+  EXPECT_EQ(c.num_processes(), 3);
+  for (ProcessId p = 0; p < 3; ++p) EXPECT_EQ(c.Get(p), 0u);
+}
+
+TEST(VectorClockTest, IncrementAndSet) {
+  VectorClock c(2);
+  c.Increment(0);
+  c.Increment(0);
+  c.Set(1, 5);
+  EXPECT_EQ(c.Get(0), 2u);
+  EXPECT_EQ(c.Get(1), 5u);
+}
+
+TEST(VectorClockTest, MergeTakesComponentwiseMax) {
+  VectorClock a(3), b(3);
+  a.Set(0, 2);
+  a.Set(2, 1);
+  b.Set(0, 1);
+  b.Set(1, 4);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Get(0), 2u);
+  EXPECT_EQ(a.Get(1), 4u);
+  EXPECT_EQ(a.Get(2), 1u);
+}
+
+TEST(VectorClockTest, OrderingRelations) {
+  VectorClock lo(2), hi(2), mid(2);
+  hi.Set(0, 3);
+  hi.Set(1, 3);
+  mid.Set(0, 3);
+  EXPECT_TRUE(lo.LessEq(hi));
+  EXPECT_TRUE(lo.Less(hi));
+  EXPECT_TRUE(mid.LessEq(hi));
+  EXPECT_FALSE(hi.LessEq(mid));
+  EXPECT_FALSE(lo.Less(lo));
+  EXPECT_TRUE(lo.LessEq(lo));
+}
+
+TEST(VectorClockTest, ConcurrencyDetection) {
+  VectorClock a(2), b(2);
+  a.Set(0, 1);
+  b.Set(1, 1);
+  EXPECT_TRUE(a.ConcurrentWith(b));
+  EXPECT_TRUE(b.ConcurrentWith(a));
+  VectorClock c = a;
+  c.Set(1, 2);
+  EXPECT_FALSE(a.ConcurrentWith(c));
+}
+
+TEST(VectorClockTest, SizeMismatchThrows) {
+  VectorClock a(2), b(3);
+  EXPECT_THROW(a.MergeFrom(b), ModelError);
+  EXPECT_THROW(a.LessEq(b), ModelError);
+  EXPECT_THROW(a.Get(5), ModelError);
+}
+
+TEST(VectorClockTest, ToString) {
+  VectorClock a(3);
+  a.Set(1, 2);
+  EXPECT_EQ(a.ToString(), "[0,2,0]");
+}
+
+}  // namespace
+}  // namespace hpl

@@ -1,0 +1,110 @@
+// Section 5's termination argument, model-checked exactly: "detecting
+// termination amounts to gaining knowledge", so
+//   (a) with underlying messages only (no channel back to the root), the
+//       root NEVER knows the computation terminated — overhead messages
+//       are necessary, not an implementation artifact;
+//   (b) adding acknowledgements (the Dijkstra-Scholten skeleton), the root
+//       knows exactly from the moment the final ack arrives — DS announces
+//       as early as knowledge-theoretically possible.
+#include <gtest/gtest.h>
+
+#include "core/knowledge.h"
+#include "core/system.h"
+
+namespace hpl {
+namespace {
+
+// Underlying computation: p0 sends work to p1; p1 forwards work to p2.
+// "Terminated" == both work messages delivered (no process will ever send
+// again).
+Predicate Terminated() {
+  return Predicate("terminated", [](const Computation& x) {
+    return Predicate::Received(0).Eval(x) && Predicate::Received(1).Eval(x);
+  });
+}
+
+Computation WorkOnlyRun() {
+  return Computation({
+      Send(0, 1, 0, "work"),
+      Receive(1, 0, 0, "work"),
+      Send(1, 2, 1, "work"),
+      Receive(2, 1, 1, "work"),
+  });
+}
+
+TEST(KnowledgeTerminationTest, WithoutOverheadRootNeverKnows) {
+  ExplicitSystem system(3, {WorkOnlyRun()}, "work-only");
+  auto space = ComputationSpace::Enumerate(system, {.max_depth = 8});
+  KnowledgeEvaluator eval(space);
+  const Predicate terminated = Terminated();
+
+  // Termination genuinely happens...
+  bool ever_terminated = false;
+  for (std::size_t id = 0; id < space.size(); ++id)
+    if (terminated.Eval(space.At(id))) ever_terminated = true;
+  ASSERT_TRUE(ever_terminated);
+
+  // ...but the root can never know it: no message ever flows toward p0.
+  for (std::size_t id = 0; id < space.size(); ++id)
+    EXPECT_FALSE(eval.Knows(ProcessSet{0}, terminated, id))
+        << space.At(id).ToString();
+}
+
+// DS skeleton: work downstream, acks upstream once a subtree is done.
+//   p0 --work(m0)--> p1 --work(m1)--> p2
+//   p2 --ack(m2)--> p1   (p2 done)
+//   p1 --ack(m3)--> p0   (p1's subtree done)
+Computation AckRun() {
+  return Computation({
+      Send(0, 1, 0, "work"),
+      Receive(1, 0, 0, "work"),
+      Send(1, 2, 1, "work"),
+      Receive(2, 1, 1, "work"),
+      Send(2, 1, 2, "ack"),
+      Receive(1, 2, 2, "ack"),
+      Send(1, 0, 3, "ack"),
+      Receive(0, 1, 3, "ack"),
+  });
+}
+
+TEST(KnowledgeTerminationTest, WithAcksRootKnowsAtFinalAck) {
+  ExplicitSystem system(3, {AckRun()}, "work-with-acks");
+  auto space = ComputationSpace::Enumerate(system, {.max_depth = 12});
+  KnowledgeEvaluator eval(space);
+  const Predicate terminated = Terminated();
+
+  // Along the canonical run: the root does not know before the final ack
+  // and knows from it on.
+  const Computation run = AckRun();
+  for (std::size_t len = 0; len <= run.size(); ++len) {
+    const bool knows = eval.Knows(ProcessSet{0}, terminated,
+                                  space.RequireIndex(run.Prefix(len)));
+    EXPECT_EQ(knows, len == run.size())
+        << "prefix length " << len
+        << " (knowledge must arrive exactly with the last ack)";
+  }
+}
+
+TEST(KnowledgeTerminationTest, IntermediateKnowsItsSubtreeOnly) {
+  ExplicitSystem system(3, {AckRun()}, "work-with-acks");
+  auto space = ComputationSpace::Enumerate(system, {.max_depth = 12});
+  KnowledgeEvaluator eval(space);
+  const Predicate downstream_done = Predicate::Received(1);
+
+  const Computation run = AckRun();
+  // After receiving p2's ack (prefix 6), p1 knows p2 got the work...
+  EXPECT_TRUE(eval.Knows(ProcessSet{1}, downstream_done,
+                         space.RequireIndex(run.Prefix(6))));
+  // ...but not before.
+  EXPECT_FALSE(eval.Knows(ProcessSet{1}, downstream_done,
+                          space.RequireIndex(run.Prefix(5))));
+  // And p0 learns it only via the second ack (knowledge travels the full
+  // chain p2 -> p1 -> p0, per Theorem 5).
+  EXPECT_FALSE(eval.Knows(ProcessSet{0}, downstream_done,
+                          space.RequireIndex(run.Prefix(7))));
+  EXPECT_TRUE(eval.Knows(ProcessSet{0}, downstream_done,
+                         space.RequireIndex(run.Prefix(8))));
+}
+
+}  // namespace
+}  // namespace hpl

@@ -1,0 +1,72 @@
+#include "protocols/gossip.h"
+
+#include <gtest/gtest.h>
+
+namespace hpl::protocols {
+namespace {
+
+GossipScenario Base(std::uint64_t seed, int n = 12) {
+  GossipScenario scenario;
+  scenario.num_processes = n;
+  scenario.fanout = 2;
+  scenario.seed = seed;
+  return scenario;
+}
+
+TEST(GossipTest, RumorReachesEveryone) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto result = RunGossipScenario(Base(seed));
+    EXPECT_TRUE(result.everyone_infected) << seed;
+    EXPECT_GT(result.messages, 0u);
+  }
+}
+
+TEST(GossipTest, InfectionCoincidesWithCausalKnowledge) {
+  for (std::uint64_t seed : {4u, 5u, 6u, 7u}) {
+    const auto result = RunGossipScenario(Base(seed));
+    EXPECT_TRUE(result.infection_equals_knowledge) << seed;
+  }
+}
+
+TEST(GossipTest, OriginKnowsFirstOthersFollow) {
+  const auto result = RunGossipScenario(Base(8));
+  ASSERT_TRUE(result.everyone_infected);
+  EXPECT_EQ(result.knowledge_prefix[0], 1u);  // the fact event itself
+  for (int p = 1; p < 12; ++p) {
+    EXPECT_NE(result.knowledge_prefix[p], SIZE_MAX) << p;
+    EXPECT_GT(result.knowledge_prefix[p], result.knowledge_prefix[0]) << p;
+    EXPECT_GE(result.knowledge_time[p], 0) << p;
+  }
+}
+
+TEST(GossipTest, LargerFanoutSpreadsFaster) {
+  auto slow = Base(9);
+  slow.fanout = 1;
+  auto fast = Base(9);
+  fast.fanout = 4;
+  const auto slow_result = RunGossipScenario(slow);
+  const auto fast_result = RunGossipScenario(fast);
+  ASSERT_TRUE(slow_result.everyone_infected);
+  ASSERT_TRUE(fast_result.everyone_infected);
+  EXPECT_LE(fast_result.spread_time, slow_result.spread_time);
+}
+
+TEST(GossipTest, ScalesToLargerSystems) {
+  const auto result = RunGossipScenario(Base(10, /*n=*/32));
+  EXPECT_TRUE(result.everyone_infected);
+  EXPECT_TRUE(result.infection_equals_knowledge);
+  // Knowledge latency is finite for all 32 processes.
+  for (int p = 0; p < 32; ++p)
+    EXPECT_NE(result.knowledge_prefix[p], SIZE_MAX) << p;
+}
+
+TEST(GossipTest, DeterministicPerSeed) {
+  const auto a = RunGossipScenario(Base(11));
+  const auto b = RunGossipScenario(Base(11));
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.spread_time, b.spread_time);
+  EXPECT_EQ(a.knowledge_prefix, b.knowledge_prefix);
+}
+
+}  // namespace
+}  // namespace hpl::protocols

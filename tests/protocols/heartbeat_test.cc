@@ -1,0 +1,83 @@
+#include "protocols/heartbeat.h"
+
+#include <gtest/gtest.h>
+
+namespace hpl::protocols {
+namespace {
+
+TEST(HeartbeatTest, WithoutTimeoutCrashIsNeverDetected) {
+  // The paper's impossibility: no positive evidence of a crash ever
+  // arrives, so a monitor without timeouts never suspects.
+  HeartbeatScenario scenario;
+  scenario.crash_at = 100;
+  scenario.timeout = -1;  // no timeout
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    scenario.seed = seed;
+    const auto result = RunHeartbeatScenario(scenario);
+    EXPECT_TRUE(result.crashed);
+    EXPECT_FALSE(result.suspected) << "seed " << seed;
+  }
+}
+
+TEST(HeartbeatTest, WithTimeoutCrashIsDetected) {
+  HeartbeatScenario scenario;
+  scenario.crash_at = 100;
+  scenario.timeout = 50;
+  const auto result = RunHeartbeatScenario(scenario);
+  EXPECT_TRUE(result.suspected);
+  EXPECT_GE(result.suspect_time, scenario.crash_at);
+  EXPECT_GE(result.detection_latency, 0);
+  EXPECT_FALSE(result.false_suspicion);
+}
+
+TEST(HeartbeatTest, SlowProcessCausesFalseSuspicion) {
+  // q is alive but its heartbeats crawl: a short timeout mistakes slowness
+  // for death — the unavoidable tradeoff.
+  HeartbeatScenario scenario;
+  scenario.crash_at = -1;  // never crashes
+  scenario.timeout = 30;
+  scenario.network.delay_base = 200;  // slower than the timeout
+  scenario.network.delay_jitter = 0;
+  const auto result = RunHeartbeatScenario(scenario);
+  EXPECT_FALSE(result.crashed);
+  EXPECT_TRUE(result.suspected);
+  EXPECT_TRUE(result.false_suspicion);
+}
+
+TEST(HeartbeatTest, HealthySystemNotSuspected) {
+  HeartbeatScenario scenario;
+  scenario.crash_at = -1;
+  scenario.timeout = 80;  // comfortably above interval + max delay
+  scenario.heartbeat_interval = 10;
+  scenario.network.delay_base = 1;
+  scenario.network.delay_jitter = 5;
+  const auto result = RunHeartbeatScenario(scenario);
+  EXPECT_FALSE(result.suspected);
+  EXPECT_GT(result.heartbeats_received, 10u);
+}
+
+TEST(HeartbeatTest, LongerTimeoutRaisesLatency) {
+  HeartbeatScenario scenario;
+  scenario.crash_at = 100;
+  scenario.timeout = 40;
+  const auto quick = RunHeartbeatScenario(scenario);
+  scenario.timeout = 160;
+  const auto slow = RunHeartbeatScenario(scenario);
+  ASSERT_TRUE(quick.suspected);
+  ASSERT_TRUE(slow.suspected);
+  EXPECT_GT(slow.detection_latency, quick.detection_latency);
+}
+
+TEST(HeartbeatTest, HeartbeatsStopAfterCrash) {
+  HeartbeatScenario scenario;
+  scenario.crash_at = 55;
+  scenario.heartbeat_interval = 10;
+  scenario.timeout = 100;
+  const auto result = RunHeartbeatScenario(scenario);
+  // ~5 heartbeats before the crash; certainly fewer than 10.
+  EXPECT_LE(result.heartbeats_received, 10u);
+  EXPECT_GT(result.heartbeats_received, 0u);
+}
+
+}  // namespace
+}  // namespace hpl::protocols

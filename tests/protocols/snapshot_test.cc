@@ -1,0 +1,108 @@
+#include "protocols/snapshot.h"
+
+#include <gtest/gtest.h>
+
+namespace hpl::protocols {
+namespace {
+
+SnapshotScenario Base(std::uint64_t seed) {
+  SnapshotScenario scenario;
+  scenario.num_processes = 4;
+  scenario.messages_per_process = 5;
+  scenario.snapshot_at = 25;
+  scenario.seed = seed;
+  return scenario;
+}
+
+TEST(SnapshotTest, CompletesAndUsesOneMarkerPerChannel) {
+  const auto result = RunSnapshotScenario(Base(1));
+  EXPECT_TRUE(result.completed);
+  // Every recording process sends a marker on each outgoing channel:
+  // n * (n-1) markers total.
+  EXPECT_EQ(result.marker_messages, 4u * 3u);
+}
+
+TEST(SnapshotTest, CutIsConsistentAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const auto result = RunSnapshotScenario(Base(seed));
+    EXPECT_TRUE(result.completed) << "seed " << seed;
+    EXPECT_TRUE(result.cut_consistent) << "seed " << seed;
+  }
+}
+
+TEST(SnapshotTest, RecordedTotalEqualsInCutSends) {
+  // The snapshot's global total (recorded counters + in-channel messages)
+  // must equal the number of increments sent inside the cut — the
+  // well-definedness that consistency buys.
+  for (std::uint64_t seed : {3u, 7u, 21u}) {
+    const auto result = RunSnapshotScenario(Base(seed));
+    ASSERT_TRUE(result.completed);
+    // Count in-cut increment sends from the trace: an incr send on p is in
+    // the cut iff it precedes p's record_state event.
+    std::int64_t in_cut_sends = 0;
+    std::vector<bool> recorded(4, false);
+    for (const Event& e : result.trace.events()) {
+      if (e.IsInternal() && e.label == "record_state")
+        recorded[e.process] = true;
+      if (e.IsSend() && e.label == "incr" && !recorded[e.process])
+        ++in_cut_sends;
+    }
+    EXPECT_EQ(result.recorded_total, in_cut_sends) << "seed " << seed;
+  }
+}
+
+TEST(SnapshotTest, EarlySnapshotRecordsLittle) {
+  auto early = Base(5);
+  early.snapshot_at = 1;
+  const auto result = RunSnapshotScenario(early);
+  ASSERT_TRUE(result.completed);
+  // Cut taken before most work happened.
+  std::size_t cut_total = 0;
+  for (std::size_t s : result.cut_sizes) cut_total += s;
+  const auto late = [&] {
+    auto scenario = Base(5);
+    scenario.snapshot_at = 200;
+    return RunSnapshotScenario(scenario);
+  }();
+  std::size_t late_total = 0;
+  for (std::size_t s : late.cut_sizes) late_total += s;
+  EXPECT_LT(cut_total, late_total);
+  EXPECT_TRUE(result.cut_consistent);
+  EXPECT_TRUE(late.cut_consistent);
+}
+
+TEST(SnapshotTest, ScalesWithProcessCount) {
+  for (int n : {2, 3, 6, 8}) {
+    auto scenario = Base(9);
+    scenario.num_processes = n;
+    const auto result = RunSnapshotScenario(scenario);
+    EXPECT_TRUE(result.completed) << n;
+    EXPECT_TRUE(result.cut_consistent) << n;
+    EXPECT_EQ(result.marker_messages,
+              static_cast<std::size_t>(n) * (n - 1))
+        << n;
+    EXPECT_EQ(result.recorded_counters.size(), static_cast<std::size_t>(n));
+  }
+}
+
+TEST(SnapshotTest, TraceIsValidComputation) {
+  const auto result = RunSnapshotScenario(Base(11));
+  // result.trace already validated at construction; projections sane.
+  EXPECT_GT(result.trace.size(), 0u);
+  EXPECT_EQ(result.trace.ActiveProcesses().Size(), 4);
+}
+
+TEST(SnapshotTest, JitteryNetworkStillConsistent) {
+  auto scenario = Base(13);
+  scenario.network.delay_base = 1;
+  scenario.network.delay_jitter = 30;
+  for (std::uint64_t seed : {31u, 32u, 33u}) {
+    scenario.seed = seed;
+    const auto result = RunSnapshotScenario(scenario);
+    EXPECT_TRUE(result.completed) << seed;
+    EXPECT_TRUE(result.cut_consistent) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace hpl::protocols

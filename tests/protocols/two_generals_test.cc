@@ -1,0 +1,102 @@
+#include "protocols/two_generals.h"
+
+#include <gtest/gtest.h>
+
+#include "core/knowledge.h"
+
+namespace hpl::protocols {
+namespace {
+
+TEST(TwoGeneralsTest, AlternationStructure) {
+  TwoGeneralsSystem system(3);
+  hpl::Computation x;
+  auto e0 = system.EnabledEvents(x);
+  ASSERT_EQ(e0.size(), 1u);
+  EXPECT_EQ(e0[0], hpl::Send(0, 1, 0, "attack"));
+  x = x.Extended(e0[0]);
+  // In flight: only the delivery is enabled (B cannot ack yet).
+  auto e1 = system.EnabledEvents(x);
+  ASSERT_EQ(e1.size(), 1u);
+  EXPECT_TRUE(e1[0].IsReceive());
+  x = x.Extended(e1[0]);
+  auto e2 = system.EnabledEvents(x);
+  ASSERT_EQ(e2.size(), 1u);
+  EXPECT_EQ(e2[0], hpl::Send(1, 0, 1, "ack"));
+}
+
+TEST(TwoGeneralsTest, SpaceIsFiniteAndContainsDeliveredRuns) {
+  TwoGeneralsSystem system(4);
+  auto space = hpl::ComputationSpace::Enumerate(system, {.max_depth = 10});
+  EXPECT_FALSE(space.truncated());
+  for (int k = 0; k <= 4; ++k)
+    EXPECT_TRUE(space.IndexOf(system.DeliveredRun(k)).has_value()) << k;
+}
+
+TEST(TwoGeneralsTest, EachAckClimbsOneKnowledgeLevel) {
+  TwoGeneralsSystem system(4);
+  auto space = hpl::ComputationSpace::Enumerate(system, {.max_depth = 10});
+  hpl::KnowledgeEvaluator eval(space);
+  const hpl::Predicate ordered = system.Ordered();
+  const hpl::ProcessSet both{0, 1};
+
+  // Max E^k level satisfied after k delivered messages grows with k...
+  auto max_level = [&](int delivered) {
+    const std::size_t id = space.RequireIndex(system.DeliveredRun(delivered));
+    int level = 0;
+    while (level <= 6) {
+      auto ek = hpl::Formula::EveryoneIterated(both, level + 1,
+                                               hpl::Formula::Atom(ordered));
+      if (!eval.Holds(ek, id)) break;
+      ++level;
+    }
+    return level;
+  };
+  int previous = -1;
+  for (int delivered = 0; delivered <= 4; ++delivered) {
+    const int level = max_level(delivered);
+    EXPECT_GE(level, previous) << "delivered=" << delivered;
+    previous = level;
+  }
+  // ...but stays finite: one more level always needs one more message.
+  EXPECT_GE(max_level(4), 2);
+  EXPECT_LT(max_level(4), 6);
+}
+
+TEST(TwoGeneralsTest, CommonKnowledgeNeverArises) {
+  TwoGeneralsSystem system(4);
+  auto space = hpl::ComputationSpace::Enumerate(system, {.max_depth = 10});
+  hpl::KnowledgeEvaluator eval(space);
+  auto ck = hpl::Formula::Common(hpl::ProcessSet{0, 1},
+                                 hpl::Formula::Atom(system.Ordered()));
+  EXPECT_TRUE(eval.IsConstant(ck));
+  for (std::size_t id = 0; id < space.size(); ++id)
+    EXPECT_FALSE(eval.Holds(ck, id)) << space.At(id).ToString();
+}
+
+TEST(TwoGeneralsTest, LastSenderNeverKnowsDelivery) {
+  // Whoever sent the last message cannot distinguish delivery from loss —
+  // the inductive heart of the paradox.
+  TwoGeneralsSystem system(3);
+  auto space = hpl::ComputationSpace::Enumerate(system, {.max_depth = 8});
+  hpl::KnowledgeEvaluator eval(space);
+  for (int k = 0; k < 3; ++k) {
+    const hpl::ProcessId sender = k % 2 == 0 ? 0 : 1;
+    const hpl::Predicate delivered = hpl::Predicate::Received(k);
+    // At the computation where message k was *sent* but nothing more:
+    hpl::Computation x = system.DeliveredRun(k);
+    x = x.Extended(system.EnabledEvents(x).front());  // the send of msg k
+    ASSERT_TRUE(x.events().back().IsSend());
+    EXPECT_FALSE(eval.Knows(hpl::ProcessSet::Of(sender), delivered,
+                            space.RequireIndex(x)))
+        << "k=" << k;
+  }
+}
+
+TEST(TwoGeneralsTest, Validation) {
+  EXPECT_THROW(TwoGeneralsSystem(0), hpl::ModelError);
+  TwoGeneralsSystem system(2);
+  EXPECT_THROW(system.DeliveredRun(5), hpl::ModelError);
+}
+
+}  // namespace
+}  // namespace hpl::protocols

@@ -1,0 +1,87 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+namespace hpl::sim {
+namespace {
+
+TEST(NetworkTest, DelayWithinConfiguredBounds) {
+  NetworkOptions options;
+  options.delay_base = 5;
+  options.delay_jitter = 10;
+  Network network(options, /*seed=*/1);
+  for (int i = 0; i < 200; ++i) {
+    const Time at = network.DeliveryTime(100, 0, 1);
+    EXPECT_GE(at, 105);
+    EXPECT_LE(at, 115);
+  }
+}
+
+TEST(NetworkTest, UnderlyingExtraDelayAppliesByClass) {
+  NetworkOptions options;
+  options.delay_base = 2;
+  options.delay_jitter = 0;
+  options.underlying_extra_delay = 50;
+  Network network(options, 1);
+  EXPECT_EQ(network.DeliveryTime(0, 0, 1, MessageClass::kUnderlying), 52);
+  EXPECT_EQ(network.DeliveryTime(0, 0, 1, MessageClass::kOverhead), 2);
+}
+
+TEST(NetworkTest, FifoMonotonePerChannel) {
+  NetworkOptions options;
+  options.delay_base = 1;
+  options.delay_jitter = 30;
+  options.fifo = true;
+  Network network(options, 7);
+  Time last = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Time at = network.DeliveryTime(0, 2, 3);
+    EXPECT_GT(at, last);
+    last = at;
+  }
+  // Other channels are unconstrained by this channel's history.
+  const Time other = network.DeliveryTime(0, 3, 2);
+  EXPECT_LE(other, 31);
+}
+
+TEST(NetworkTest, NonFifoMayReorder) {
+  NetworkOptions options;
+  options.delay_base = 1;
+  options.delay_jitter = 50;
+  options.fifo = false;
+  Network network(options, 3);
+  bool reordered = false;
+  Time prev = network.DeliveryTime(0, 0, 1);
+  for (int i = 0; i < 200 && !reordered; ++i) {
+    const Time at = network.DeliveryTime(0, 0, 1);
+    if (at < prev) reordered = true;
+    prev = at;
+  }
+  EXPECT_TRUE(reordered) << "jittery non-FIFO channel never reordered";
+}
+
+TEST(NetworkTest, MinimumDelayIsOne) {
+  NetworkOptions options;
+  options.delay_base = 0;
+  options.delay_jitter = 0;
+  Network network(options, 1);
+  EXPECT_EQ(network.DeliveryTime(10, 0, 1), 11);
+}
+
+TEST(NetworkTest, BadEndpointsThrow) {
+  Network network(NetworkOptions{}, 1);
+  EXPECT_THROW(network.DeliveryTime(0, -1, 1), hpl::ModelError);
+  EXPECT_THROW(network.DeliveryTime(0, 0, 64), hpl::ModelError);
+}
+
+TEST(MessageTest, LabelMarksOverhead) {
+  Message m;
+  m.type = "ack";
+  m.klass = MessageClass::kOverhead;
+  EXPECT_EQ(m.Label(), "ack!");
+  m.klass = MessageClass::kUnderlying;
+  EXPECT_EQ(m.Label(), "ack");
+}
+
+}  // namespace
+}  // namespace hpl::sim

@@ -1,0 +1,243 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace hpl::sim {
+namespace {
+
+// Echo pair: p0 sends "ping" at start; p1 echoes "pong"; p0 counts echoes
+// and stops after `rounds`.
+class Pinger : public Actor {
+ public:
+  explicit Pinger(int rounds) : rounds_(rounds) {}
+  void OnStart(Context& ctx) override {
+    if (rounds_ > 0) ctx.Send(1, MessageClass::kUnderlying, "ping");
+  }
+  void OnMessage(Context& ctx, const Message& msg) override {
+    ASSERT_EQ(msg.type, "pong");
+    ++received_;
+    if (received_ < rounds_) ctx.Send(1, MessageClass::kUnderlying, "ping");
+  }
+  int received_ = 0;
+  int rounds_;
+};
+
+class Ponger : public Actor {
+ public:
+  void OnMessage(Context& ctx, const Message& msg) override {
+    ASSERT_EQ(msg.type, "ping");
+    ctx.Send(0, MessageClass::kUnderlying, "pong");
+  }
+};
+
+SimulatorOptions Options(std::uint64_t seed) {
+  SimulatorOptions o;
+  o.seed = seed;
+  return o;
+}
+
+std::vector<std::unique_ptr<Actor>> EchoActors(int rounds) {
+  std::vector<std::unique_ptr<Actor>> actors;
+  actors.push_back(std::make_unique<Pinger>(rounds));
+  actors.push_back(std::make_unique<Ponger>());
+  return actors;
+}
+
+TEST(SimulatorTest, RunsEchoToCompletion) {
+  Simulator sim(EchoActors(3), Options(1));
+  const RunStats stats = sim.Run();
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.messages_sent, 6u);   // 3 pings + 3 pongs
+  EXPECT_EQ(stats.messages_delivered, 6u);
+  EXPECT_GT(stats.end_time, 0);
+}
+
+TEST(SimulatorTest, DeterministicForSameSeed) {
+  Simulator a(EchoActors(5), Options(7));
+  Simulator b(EchoActors(5), Options(7));
+  a.Run();
+  b.Run();
+  ASSERT_EQ(a.trace().size(), b.trace().size());
+  for (std::size_t i = 0; i < a.trace().size(); ++i) {
+    EXPECT_EQ(a.trace().entries()[i].event, b.trace().entries()[i].event);
+    EXPECT_EQ(a.trace().entries()[i].time, b.trace().entries()[i].time);
+  }
+}
+
+TEST(SimulatorTest, DifferentSeedsDifferInTiming) {
+  Simulator a(EchoActors(5), Options(7));
+  Simulator b(EchoActors(5), Options(8));
+  a.Run();
+  b.Run();
+  bool any_difference = false;
+  for (std::size_t i = 0;
+       i < std::min(a.trace().size(), b.trace().size()); ++i)
+    if (a.trace().entries()[i].time != b.trace().entries()[i].time)
+      any_difference = true;
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(SimulatorTest, TraceIsValidComputation) {
+  Simulator sim(EchoActors(4), Options(3));
+  sim.Run();
+  EXPECT_NO_THROW(sim.trace().ToComputation());
+  const Computation c = sim.trace().ToComputation();
+  EXPECT_EQ(c.size(), sim.trace().size());
+}
+
+TEST(SimulatorTest, TimersFire) {
+  class TimerActor : public Actor {
+   public:
+    void OnStart(Context& ctx) override { ctx.SetTimer(10); }
+    void OnTimer(Context& ctx, TimerId) override {
+      fired_at_ = ctx.Now();
+      ctx.Internal("tick");
+    }
+    void OnMessage(Context&, const Message&) override {}
+    Time fired_at_ = -1;
+  };
+  std::vector<std::unique_ptr<Actor>> actors;
+  auto timer_actor = std::make_unique<TimerActor>();
+  auto* ptr = timer_actor.get();
+  actors.push_back(std::move(timer_actor));
+  actors.push_back(std::make_unique<Ponger>());
+  Simulator sim(std::move(actors), Options(1));
+  const RunStats stats = sim.Run();
+  EXPECT_EQ(ptr->fired_at_, 10);
+  EXPECT_EQ(stats.internal_events, 1u);
+}
+
+TEST(SimulatorTest, CrashStopsDelivery) {
+  // p1 crashes on first ping; subsequent pings are dropped, no pongs.
+  class CrashOnFirst : public Actor {
+   public:
+    void OnMessage(Context& ctx, const Message&) override { ctx.Crash(); }
+  };
+  class DoubleSender : public Actor {
+   public:
+    void OnStart(Context& ctx) override {
+      ctx.Send(1, MessageClass::kUnderlying, "ping");
+      ctx.Send(1, MessageClass::kUnderlying, "ping");
+    }
+    void OnMessage(Context&, const Message& msg) override {
+      FAIL() << "unexpected " << msg.type;
+    }
+  };
+  std::vector<std::unique_ptr<Actor>> actors;
+  actors.push_back(std::make_unique<DoubleSender>());
+  actors.push_back(std::make_unique<CrashOnFirst>());
+  Simulator sim(std::move(actors), Options(2));
+  const RunStats stats = sim.Run();
+  EXPECT_TRUE(sim.Crashed(1));
+  EXPECT_FALSE(sim.Crashed(0));
+  // Exactly one delivery happened (the crashing one).
+  EXPECT_EQ(stats.messages_delivered, 1u);
+  // The crash is visible in the trace as an internal event on p1.
+  bool crash_event = false;
+  for (const auto& entry : sim.trace().entries())
+    if (entry.event.IsInternal() && entry.event.label == "crash")
+      crash_event = true;
+  EXPECT_TRUE(crash_event);
+}
+
+TEST(SimulatorTest, HaltStopsEarly) {
+  class Halter : public Actor {
+   public:
+    void OnStart(Context& ctx) override {
+      ctx.Send(1, MessageClass::kUnderlying, "x");
+      ctx.HaltSimulation("done early");
+    }
+    void OnMessage(Context&, const Message&) override {}
+  };
+  std::vector<std::unique_ptr<Actor>> actors;
+  actors.push_back(std::make_unique<Halter>());
+  actors.push_back(std::make_unique<Ponger>());
+  Simulator sim(std::move(actors), Options(1));
+  const RunStats stats = sim.Run();
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.halt_reason, "done early");
+  EXPECT_EQ(stats.messages_delivered, 0u);  // halted before delivery
+}
+
+TEST(SimulatorTest, FifoOrderingWhenRequested) {
+  // With heavy jitter and many messages, FIFO must still deliver in order.
+  class Burst : public Actor {
+   public:
+    void OnStart(Context& ctx) override {
+      for (int i = 0; i < 20; ++i)
+        ctx.Send(1, MessageClass::kUnderlying, "b", i);
+    }
+    void OnMessage(Context&, const Message&) override {}
+  };
+  class InOrder : public Actor {
+   public:
+    void OnMessage(Context&, const Message& msg) override {
+      EXPECT_EQ(msg.a, expected_++);
+    }
+    std::int64_t expected_ = 0;
+  };
+  SimulatorOptions options;
+  options.seed = 5;
+  options.network.fifo = true;
+  options.network.delay_jitter = 50;
+  std::vector<std::unique_ptr<Actor>> actors;
+  actors.push_back(std::make_unique<Burst>());
+  actors.push_back(std::make_unique<InOrder>());
+  Simulator sim(std::move(actors), options);
+  sim.Run();
+}
+
+TEST(SimulatorTest, ContextMisuseOutsideCallbackThrows) {
+  Simulator sim(EchoActors(1), Options(1));
+  EXPECT_THROW(sim.Send(1, MessageClass::kUnderlying, "x", 0, 0), ModelError);
+  EXPECT_THROW(sim.SetTimer(5), ModelError);
+  EXPECT_THROW(sim.Internal("x"), ModelError);
+}
+
+TEST(SimulatorTest, SelfSendRejected) {
+  class SelfSender : public Actor {
+   public:
+    void OnStart(Context& ctx) override {
+      EXPECT_THROW(ctx.Send(0, MessageClass::kUnderlying, "x", 0, 0),
+                   ModelError);
+    }
+    void OnMessage(Context&, const Message&) override {}
+  };
+  std::vector<std::unique_ptr<Actor>> actors;
+  actors.push_back(std::make_unique<SelfSender>());
+  actors.push_back(std::make_unique<Ponger>());
+  Simulator sim(std::move(actors), Options(1));
+  sim.Run();
+}
+
+TEST(SimulatorTest, MaxStepsBoundsRunawayProtocols) {
+  // Two actors ping-ponging forever.
+  class Forever : public Actor {
+   public:
+    explicit Forever(ProcessId other) : other_(other) {}
+    void OnStart(Context& ctx) override {
+      if (ctx.Self() == 0) ctx.Send(other_, MessageClass::kUnderlying, "x");
+    }
+    void OnMessage(Context& ctx, const Message&) override {
+      ctx.Send(other_, MessageClass::kUnderlying, "x");
+    }
+    ProcessId other_;
+  };
+  SimulatorOptions options;
+  options.seed = 1;
+  options.max_steps = 50;
+  std::vector<std::unique_ptr<Actor>> actors;
+  actors.push_back(std::make_unique<Forever>(1));
+  actors.push_back(std::make_unique<Forever>(0));
+  Simulator sim(std::move(actors), options);
+  const RunStats stats = sim.Run();
+  EXPECT_FALSE(stats.completed);
+  EXPECT_EQ(stats.messages_delivered, 50u);
+}
+
+TEST(SimulatorTest, NoActorsRejected) {
+  EXPECT_THROW(Simulator({}, Options(1)), ModelError);
+}
+
+}  // namespace
+}  // namespace hpl::sim

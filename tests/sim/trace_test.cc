@@ -1,0 +1,49 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace hpl::sim {
+namespace {
+
+TEST(TraceTest, RecordsAndCounts) {
+  Trace trace;
+  trace.Record(hpl::Send(0, 1, 0, "w"), 1, MessageClass::kUnderlying);
+  trace.Record(hpl::Receive(1, 0, 0, "w"), 3, MessageClass::kUnderlying);
+  trace.Record(hpl::Send(1, 0, 1, "a!"), 4, MessageClass::kOverhead);
+  trace.Record(hpl::Receive(0, 1, 1, "a!"), 6, MessageClass::kOverhead);
+  trace.Record(hpl::Internal(0, "done"), 7, MessageClass::kUnderlying);
+
+  EXPECT_EQ(trace.size(), 5u);
+  EXPECT_EQ(trace.CountSends(MessageClass::kUnderlying), 1u);
+  EXPECT_EQ(trace.CountSends(MessageClass::kOverhead), 1u);
+  EXPECT_EQ(trace.CountReceives(MessageClass::kUnderlying), 1u);
+  EXPECT_EQ(trace.CountReceives(MessageClass::kOverhead), 1u);
+}
+
+TEST(TraceTest, ToComputationValidates) {
+  Trace trace;
+  trace.Record(hpl::Send(0, 1, 0, "w"), 1, MessageClass::kUnderlying);
+  trace.Record(hpl::Receive(1, 0, 0, "w"), 3, MessageClass::kUnderlying);
+  const hpl::Computation c = trace.ToComputation();
+  EXPECT_EQ(c.size(), 2u);
+
+  Trace bad;
+  bad.Record(hpl::Receive(1, 0, 9, "w"), 1, MessageClass::kUnderlying);
+  EXPECT_THROW(bad.ToComputation(), hpl::ModelError);
+}
+
+TEST(TraceTest, PrefixConversion) {
+  Trace trace;
+  trace.Record(hpl::Send(0, 1, 0, "w"), 1, MessageClass::kUnderlying);
+  trace.Record(hpl::Receive(1, 0, 0, "w"), 3, MessageClass::kUnderlying);
+  trace.Record(hpl::Internal(1, "x"), 4, MessageClass::kUnderlying);
+  EXPECT_EQ(trace.ToComputationPrefix(1).size(), 1u);
+  EXPECT_EQ(trace.ToComputationPrefix(3).size(), 3u);
+  EXPECT_THROW(trace.ToComputationPrefix(9), hpl::ModelError);
+  // Every prefix of a valid trace is itself valid (prefix closure).
+  for (std::size_t n = 0; n <= trace.size(); ++n)
+    EXPECT_NO_THROW(trace.ToComputationPrefix(n));
+}
+
+}  // namespace
+}  // namespace hpl::sim

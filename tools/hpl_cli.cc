@@ -1,0 +1,355 @@
+// hpl — command-line explorer for the How-Processes-Learn library.
+//
+//   hpl systems                          list built-in systems
+//   hpl space    <system>                enumerate and summarize
+//   hpl diagram  <system>                isomorphism diagram as DOT
+//   hpl atoms    <system>                predicates usable in formulas
+//   hpl check    <system> <formula>      model-check a formula
+//   hpl check-at <system> <formula> <computation>
+//                                        evaluate at one computation, given
+//                                        in the serialization format, e.g.
+//                                        "0>1:0/ping 1<0:0/ping"
+//   hpl simulate termination|gossip|heartbeat [seed]
+//   hpl chains   <n> <computation> <p0> [<p1> ...]
+//                                        find a process chain <p0 p1 ...>
+//   hpl fuse     <n> <x> <y> <z> <p0>[,p1...]
+//                                        Theorem-2 fusion of y and z over
+//                                        common prefix x w.r.t. P
+//
+// Systems: ping | relay:N | tokenbus:N,PASSES | tracker:FLIPS | random:SEED
+//          | lockstep:ROUNDS
+// Formulas use the text syntax, e.g.  "K{1} (sent && !K{0} K{1} sent)".
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/diagram.h"
+#include "core/fusion.h"
+#include "core/knowledge.h"
+#include "core/process_chain.h"
+#include "core/random_system.h"
+#include "core/serialization.h"
+#include "protocols/gossip.h"
+#include "protocols/heartbeat.h"
+#include "protocols/lockstep.h"
+#include "protocols/relay.h"
+#include "protocols/termination.h"
+#include "protocols/token_bus.h"
+#include "protocols/tracker.h"
+
+namespace hpl::cli {
+
+struct NamedSystem {
+  std::unique_ptr<System> system;
+  std::vector<Predicate> atoms;
+  bool canonicalize = true;
+  int max_depth = 32;
+};
+
+int ParseIntAfter(const std::string& spec, std::size_t pos, int fallback) {
+  if (pos >= spec.size()) return fallback;
+  return std::atoi(spec.c_str() + pos);
+}
+
+// Builds a system from its spec string; throws ModelError on bad specs.
+NamedSystem MakeSystem(const std::string& spec) {
+  NamedSystem out;
+  if (spec == "ping") {
+    out.system = std::make_unique<LambdaSystem>(
+        2,
+        [](const Computation& x) {
+          std::vector<Event> events;
+          if (x.CountOn(0) == 0) events.push_back(Send(0, 1, 0, "ping"));
+          const Event recv = Receive(1, 0, 0, "ping");
+          if (CanExtend(x, recv)) events.push_back(recv);
+          return events;
+        },
+        "ping");
+    out.atoms = {Predicate("sent", [](const Computation& x) {
+                   for (const Event& e : x.events())
+                     if (e.IsSend()) return true;
+                   return false;
+                 }),
+                 Predicate("received", [](const Computation& x) {
+                   for (const Event& e : x.events())
+                     if (e.IsReceive()) return true;
+                   return false;
+                 })};
+    return out;
+  }
+  if (spec.rfind("relay:", 0) == 0) {
+    const int n = ParseIntAfter(spec, 6, 3);
+    auto relay = std::make_unique<protocols::RelaySystem>(n);
+    out.atoms = {relay->Fact()};
+    out.system = std::move(relay);
+    return out;
+  }
+  if (spec.rfind("tokenbus:", 0) == 0) {
+    int n = 5, passes = 4;
+    std::sscanf(spec.c_str() + 9, "%d,%d", &n, &passes);
+    auto bus = std::make_unique<protocols::TokenBusSystem>(n, passes);
+    for (ProcessId p = 0; p < n; ++p) out.atoms.push_back(bus->HoldsToken(p));
+    out.system = std::move(bus);
+    out.max_depth = 2 * passes + 2;
+    return out;
+  }
+  if (spec.rfind("tracker:", 0) == 0) {
+    const int flips = ParseIntAfter(spec, 8, 2);
+    auto tracker = std::make_unique<protocols::TrackerSystem>(flips);
+    out.atoms = {tracker->Bit()};
+    out.system = std::move(tracker);
+    out.max_depth = 4 * flips + 2;
+    return out;
+  }
+  if (spec.rfind("random:", 0) == 0) {
+    RandomSystemOptions options;
+    options.seed = static_cast<std::uint64_t>(ParseIntAfter(spec, 7, 1));
+    out.system = std::make_unique<RandomSystem>(options);
+    out.atoms = {Predicate::CountOnAtLeast(0, 1), Predicate::Sent(0),
+                 Predicate::Received(0)};
+    out.max_depth = 24;
+    return out;
+  }
+  if (spec.rfind("lockstep:", 0) == 0) {
+    const int rounds = ParseIntAfter(spec, 9, 2);
+    auto lockstep = std::make_unique<protocols::LockstepSystem>(rounds);
+    out.atoms = {lockstep->Crashed()};
+    out.system = std::move(lockstep);
+    out.canonicalize = false;
+    out.max_depth = 5 * rounds + 2;
+    return out;
+  }
+  throw ModelError("unknown system spec '" + spec + "' (try: hpl systems)");
+}
+
+int CmdSystems() {
+  std::printf(
+      "built-in systems:\n"
+      "  ping               two processes, one message\n"
+      "  relay:N            N-process knowledge relay (Theorem 5)\n"
+      "  tokenbus:N,PASSES  the Section-4.1 token bus\n"
+      "  tracker:FLIPS      Section-5 remote bit tracking\n"
+      "  random:SEED        seeded scripted-message system\n"
+      "  lockstep:ROUNDS    synchronous rounds (Discussion: time)\n");
+  return 0;
+}
+
+int CmdSpace(const std::string& spec) {
+  NamedSystem named = MakeSystem(spec);
+  auto space = ComputationSpace::Enumerate(
+      *named.system, {.max_depth = named.max_depth,
+                      .canonicalize = named.canonicalize});
+  std::printf("system: %s\n", named.system->Name().c_str());
+  std::printf("computations (up to [D]): %zu\n", space.size());
+  std::size_t max_len = 0;
+  for (std::size_t id = 0; id < space.size(); ++id)
+    max_len = std::max(max_len, space.At(id).size());
+  std::vector<std::size_t> by_len(max_len + 1, 0);
+  for (std::size_t id = 0; id < space.size(); ++id)
+    ++by_len[space.At(id).size()];
+  std::printf("by length:");
+  for (std::size_t l = 0; l <= max_len; ++l)
+    std::printf(" %zu:%zu", l, by_len[l]);
+  std::printf("\n");
+  return 0;
+}
+
+int CmdDiagram(const std::string& spec) {
+  NamedSystem named = MakeSystem(spec);
+  auto space = ComputationSpace::Enumerate(
+      *named.system, {.max_depth = named.max_depth,
+                      .canonicalize = named.canonicalize});
+  if (space.size() > 80) {
+    std::fprintf(stderr,
+                 "space has %zu vertices; diagram limited to 80 — use a "
+                 "smaller system\n",
+                 space.size());
+    return 1;
+  }
+  auto diagram = IsomorphismDiagram::FromSpace(space);
+  std::printf("%s", diagram.ToDot().c_str());
+  return 0;
+}
+
+int CmdAtoms(const std::string& spec) {
+  NamedSystem named = MakeSystem(spec);
+  std::printf("atoms for %s:\n", named.system->Name().c_str());
+  for (const Predicate& p : named.atoms)
+    std::printf("  %s\n", p.name().c_str());
+  return 0;
+}
+
+int CmdCheck(const std::string& spec, const std::string& text) {
+  NamedSystem named = MakeSystem(spec);
+  auto space = ComputationSpace::Enumerate(
+      *named.system, {.max_depth = named.max_depth,
+                      .canonicalize = named.canonicalize});
+  KnowledgeEvaluator eval(space);
+  FormulaPtr formula = Formula::Parse(text, named.atoms);
+  std::printf("system:  %s (%zu computations)\n",
+              named.system->Name().c_str(), space.size());
+  std::printf("formula: %s\n", formula->ToString().c_str());
+  const auto sat = eval.SatisfyingSet(formula);
+  std::printf("holds at %zu/%zu computations\n", sat.size(), space.size());
+  if (!sat.empty() && sat.size() <= 12) {
+    for (std::size_t id : sat)
+      std::printf("  %s\n", space.At(id).ToString().c_str());
+  } else if (!sat.empty()) {
+    std::printf("  first: %s\n", space.At(sat.front()).ToString().c_str());
+    std::printf("  last:  %s\n", space.At(sat.back()).ToString().c_str());
+  }
+  return 0;
+}
+
+int CmdCheckAt(const std::string& spec, const std::string& text,
+               const std::string& serialized) {
+  NamedSystem named = MakeSystem(spec);
+  auto space = ComputationSpace::Enumerate(
+      *named.system, {.max_depth = named.max_depth,
+                      .canonicalize = named.canonicalize});
+  KnowledgeEvaluator eval(space);
+  FormulaPtr formula = Formula::Parse(text, named.atoms);
+  const Computation at = ParseComputation(serialized);
+  const auto id = space.IndexOf(at);
+  if (!id.has_value()) {
+    std::fprintf(stderr,
+                 "computation is not in the space of %s: %s\n",
+                 named.system->Name().c_str(), at.ToString().c_str());
+    return 1;
+  }
+  std::printf("at %s:\n  %s  =>  %s\n", at.ToString().c_str(),
+              formula->ToString().c_str(),
+              eval.Holds(formula, *id) ? "true" : "false");
+  return 0;
+}
+
+int CmdSimulate(const std::string& what, std::uint64_t seed) {
+  if (what == "termination") {
+    protocols::TerminationExperimentOptions options;
+    options.seed = seed;
+    options.workload.fanout_zero_prob = 0.0;
+    for (auto kind : {protocols::DetectorKind::kDijkstraScholten,
+                      protocols::DetectorKind::kSafra}) {
+      options.detector = kind;
+      const auto result = protocols::RunTerminationExperiment(options);
+      std::printf("%-18s M=%zu overhead=%zu ratio=%.2f safe=%s\n",
+                  protocols::ToString(kind).c_str(),
+                  result.underlying_messages, result.overhead_messages,
+                  result.overhead_ratio, result.safe ? "yes" : "NO");
+    }
+    return 0;
+  }
+  if (what == "gossip") {
+    protocols::GossipScenario scenario;
+    scenario.seed = seed;
+    const auto result = protocols::RunGossipScenario(scenario);
+    std::printf("gossip n=%d: %zu messages, spread by t=%lld, "
+                "infected==knows: %s\n",
+                scenario.num_processes, result.messages,
+                static_cast<long long>(result.spread_time),
+                result.infection_equals_knowledge ? "yes" : "NO");
+    return 0;
+  }
+  if (what == "heartbeat") {
+    protocols::HeartbeatScenario scenario;
+    scenario.crash_at = 100;
+    scenario.timeout = 60;
+    scenario.seed = seed;
+    const auto result = protocols::RunHeartbeatScenario(scenario);
+    std::printf("heartbeat: crash at 100, timeout 60 -> %s (latency %lld)\n",
+                result.suspected ? "suspected" : "missed",
+                static_cast<long long>(result.detection_latency));
+    return 0;
+  }
+  std::fprintf(stderr, "unknown simulation '%s'\n", what.c_str());
+  return 1;
+}
+
+int CmdChains(int n, const std::string& serialized,
+              const std::vector<std::string>& stage_args) {
+  const Computation z = ParseComputation(serialized);
+  std::vector<ProcessSet> stages;
+  for (const std::string& arg : stage_args)
+    stages.push_back(ProcessSet::Of(std::atoi(arg.c_str())));
+  ChainDetector detector(z, n);
+  const auto witness = detector.FindChain(stages);
+  if (!witness.has_value()) {
+    std::printf("no chain\n");
+    return 0;
+  }
+  std::printf("chain found:\n");
+  for (std::size_t i = 0; i < witness->size(); ++i)
+    std::printf("  stage %zu: %s\n", i,
+                z.at((*witness)[i]).ToString().c_str());
+  return 0;
+}
+
+ProcessSet ParseSet(const std::string& arg) {
+  ProcessSet out;
+  std::size_t pos = 0;
+  while (pos < arg.size()) {
+    auto comma = arg.find(',', pos);
+    if (comma == std::string::npos) comma = arg.size();
+    out.Insert(std::atoi(arg.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int CmdFuse(int n, const std::string& xs, const std::string& ys,
+            const std::string& zs, const std::string& pset) {
+  const Computation x = ParseComputation(xs);
+  const Computation y = ParseComputation(ys);
+  const Computation z = ParseComputation(zs);
+  const ProcessSet p = ParseSet(pset);
+  std::string why;
+  const auto fused = FuseTheorem2(x, y, z, p, n, &why);
+  if (!fused.has_value()) {
+    std::printf("fusion refused: %s\n", why.c_str());
+    return 1;
+  }
+  std::printf("w = %s\n", FormatComputation(fused->fused).c_str());
+  std::printf("   (all events on %s from y + all on its complement from z)\n",
+              p.ToString().c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: hpl systems | space <sys> | diagram <sys> | atoms "
+                 "<sys> | check <sys> <formula> | simulate <what> [seed]\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "systems") return CmdSystems();
+    if (cmd == "space" && argc >= 3) return CmdSpace(argv[2]);
+    if (cmd == "diagram" && argc >= 3) return CmdDiagram(argv[2]);
+    if (cmd == "atoms" && argc >= 3) return CmdAtoms(argv[2]);
+    if (cmd == "check" && argc >= 4) return CmdCheck(argv[2], argv[3]);
+    if (cmd == "check-at" && argc >= 5)
+      return CmdCheckAt(argv[2], argv[3], argv[4]);
+    if (cmd == "simulate" && argc >= 3)
+      return CmdSimulate(argv[2],
+                         argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 1);
+    if (cmd == "chains" && argc >= 5) {
+      std::vector<std::string> stages(argv + 4, argv + argc);
+      return CmdChains(std::atoi(argv[2]), argv[3], stages);
+    }
+    if (cmd == "fuse" && argc >= 7)
+      return CmdFuse(std::atoi(argv[2]), argv[3], argv[4], argv[5], argv[6]);
+  } catch (const ModelError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  std::fprintf(stderr, "bad arguments; run without arguments for usage\n");
+  return 2;
+}
+
+}  // namespace hpl::cli
+
+int main(int argc, char** argv) { return hpl::cli::Main(argc, argv); }
