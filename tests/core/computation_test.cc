@@ -185,6 +185,49 @@ TEST(ComputationTest, CanExtendDiagnostics) {
   EXPECT_TRUE(CanExtend(c, Receive(1, 0, 0, "x"), &why));
 }
 
+TEST(ComputationTest, CanExtendEmptyComputation) {
+  const Computation empty;
+  std::string why;
+  // Internal and send events are always admissible on the empty computation.
+  EXPECT_TRUE(CanExtend(empty, Internal(0, "a"), &why));
+  EXPECT_TRUE(CanExtend(empty, Send(0, 1, 0, "m"), &why));
+  // A receive has no earlier send to pair with.
+  EXPECT_FALSE(CanExtend(empty, Receive(1, 0, 0, "m"), &why));
+  EXPECT_NE(why.find("send"), std::string::npos);
+  // Malformed events are rejected regardless of the (empty) history.
+  EXPECT_FALSE(CanExtend(empty, Send(0, 0, 0, "m"), &why));   // self-send
+  EXPECT_FALSE(CanExtend(empty, Internal(-1, "a"), &why));    // bad process
+  EXPECT_FALSE(CanExtend(empty, Internal(kMaxProcesses, "a"), &why));
+}
+
+TEST(ComputationTest, CanExtendMaximalComputation) {
+  // "Maximal" for the message discipline: every sent message has already
+  // been received, so no receive whatsoever can extend the computation.
+  const Computation maximal({Send(0, 1, 0, "m"), Receive(1, 0, 0, "m"),
+                             Send(1, 0, 1, "r"), Receive(0, 1, 1, "r")});
+  std::string why;
+  EXPECT_FALSE(CanExtend(maximal, Receive(1, 0, 0, "m"), &why));  // replay
+  EXPECT_NE(why.find("twice"), std::string::npos);
+  EXPECT_FALSE(CanExtend(maximal, Receive(0, 1, 1, "r"), &why));
+  EXPECT_FALSE(CanExtend(maximal, Receive(1, 0, 2, "m"), &why));  // unknown id
+  // Fresh sends and internal events still extend it — system computations
+  // have no global maximum, only message-discipline saturation.
+  EXPECT_TRUE(CanExtend(maximal, Send(0, 1, 2, "m2"), &why));
+  EXPECT_TRUE(CanExtend(maximal, Internal(1, "done"), &why));
+  // Re-sending an already-consumed message id is still a duplicate send.
+  EXPECT_FALSE(CanExtend(maximal, Send(0, 1, 0, "m"), &why));
+}
+
+TEST(ComputationTest, CanExtendAgreesWithExtended) {
+  const Computation c({Send(0, 1, 0, "m")});
+  const Event good = Receive(1, 0, 0, "m");
+  const Event bad = Receive(1, 0, 0, "wrong-label");
+  ASSERT_TRUE(CanExtend(c, good, nullptr));
+  EXPECT_NO_THROW(c.Extended(good));
+  ASSERT_FALSE(CanExtend(c, bad, nullptr));
+  EXPECT_THROW(c.Extended(bad), ModelError);
+}
+
 TEST(ComputationTest, ToStringRoundtrips) {
   const Computation c({Internal(0, "a"), Send(0, 1, 0, "m")});
   EXPECT_EQ(c.ToString(), "<p0.internal[a] p0.send(m0->p1)[m]>");

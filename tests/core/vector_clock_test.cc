@@ -69,5 +69,59 @@ TEST(VectorClockTest, ToString) {
   EXPECT_EQ(a.ToString(), "[0,2,0]");
 }
 
+TEST(VectorClockTest, SelfComparisonIsReflexiveNotStrict) {
+  VectorClock a(3);
+  a.Set(0, 4);
+  a.Set(2, 1);
+  EXPECT_TRUE(a.LessEq(a));
+  EXPECT_FALSE(a.Less(a));
+  EXPECT_FALSE(a.ConcurrentWith(a));
+  EXPECT_EQ(a, a);
+}
+
+TEST(VectorClockTest, EqualClocksAreOrderedBothWaysButNotStrictly) {
+  VectorClock a(3), b(3);
+  for (ProcessId p = 0; p < 3; ++p) {
+    a.Set(p, static_cast<std::uint32_t>(p) + 1);
+    b.Set(p, static_cast<std::uint32_t>(p) + 1);
+  }
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a.LessEq(b));
+  EXPECT_TRUE(b.LessEq(a));
+  EXPECT_FALSE(a.Less(b));
+  EXPECT_FALSE(b.Less(a));
+  EXPECT_FALSE(a.ConcurrentWith(b));
+}
+
+TEST(VectorClockTest, ConcurrencyIsSymmetricAndExclusiveWithOrdering) {
+  VectorClock a(3), b(3);
+  a.Set(0, 2);
+  a.Set(1, 1);
+  b.Set(1, 2);
+  b.Set(2, 3);
+  ASSERT_TRUE(a.ConcurrentWith(b));
+  EXPECT_TRUE(b.ConcurrentWith(a));
+  // Concurrent clocks are ordered in neither direction.
+  EXPECT_FALSE(a.LessEq(b));
+  EXPECT_FALSE(b.LessEq(a));
+  EXPECT_FALSE(a.Less(b));
+  EXPECT_FALSE(b.Less(a));
+  // Merging makes the merged clock dominate both.
+  VectorClock m = a;
+  m.MergeFrom(b);
+  EXPECT_TRUE(a.LessEq(m));
+  EXPECT_TRUE(b.LessEq(m));
+  EXPECT_FALSE(m.ConcurrentWith(a));
+  EXPECT_FALSE(m.ConcurrentWith(b));
+}
+
+TEST(VectorClockTest, ZeroLengthClocksCompareEqual) {
+  const VectorClock a, b;
+  EXPECT_EQ(a.num_processes(), 0);
+  EXPECT_TRUE(a.LessEq(b));
+  EXPECT_FALSE(a.Less(b));
+  EXPECT_FALSE(a.ConcurrentWith(b));
+}
+
 }  // namespace
 }  // namespace hpl

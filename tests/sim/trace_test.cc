@@ -1,6 +1,14 @@
 #include "sim/trace.h"
 
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "sim/simulator.h"
 
 namespace hpl::sim {
 namespace {
@@ -43,6 +51,87 @@ TEST(TraceTest, PrefixConversion) {
   // Every prefix of a valid trace is itself valid (prefix closure).
   for (std::size_t n = 0; n <= trace.size(); ++n)
     EXPECT_NO_THROW(trace.ToComputationPrefix(n));
+}
+
+// Exercises every stimulus kind (start, message, timer, internal) around a
+// ring so that delivery jitter, timer interleaving, and tie-breaking all
+// influence the trace.
+class RingActor : public Actor {
+ public:
+  explicit RingActor(int hops) : hops_(hops) {}
+
+  void OnStart(Context& ctx) override {
+    ctx.Send((ctx.Self() + 1) % ctx.NumProcesses(), MessageClass::kUnderlying,
+             "ping", hops_);
+    ctx.SetTimer(5);
+  }
+
+  void OnMessage(Context& ctx, const Message& msg) override {
+    ctx.Internal("got:" + msg.type + ":" + std::to_string(msg.a));
+    if (msg.type == "ping" && msg.a > 0) {
+      ctx.Send((ctx.Self() + 1) % ctx.NumProcesses(),
+               MessageClass::kUnderlying, "ping", msg.a - 1);
+      ctx.Send((ctx.Self() + 2) % ctx.NumProcesses(), MessageClass::kOverhead,
+               "probe", msg.a);
+    }
+  }
+
+  void OnTimer(Context& ctx, TimerId timer) override {
+    ctx.Internal("timer:" + std::to_string(timer));
+  }
+
+ private:
+  int hops_;
+};
+
+std::string Flatten(const Trace& trace) {
+  std::ostringstream out;
+  for (const TraceEntry& entry : trace.entries()) {
+    out << entry.time << '|' << entry.event.ToString() << '|'
+        << (entry.klass == MessageClass::kOverhead ? "ovh" : "und") << '\n';
+  }
+  return out.str();
+}
+
+std::string RunRing(std::uint64_t seed, const NetworkOptions& network) {
+  constexpr int kProcesses = 4;
+  std::vector<std::unique_ptr<Actor>> actors;
+  for (int p = 0; p < kProcesses; ++p)
+    actors.push_back(std::make_unique<RingActor>(/*hops=*/6));
+  SimulatorOptions options;
+  options.network = network;
+  options.seed = seed;
+  Simulator sim(std::move(actors), options);
+  const RunStats stats = sim.Run();
+  EXPECT_TRUE(stats.completed);
+  EXPECT_GT(sim.trace().size(), 0u);
+  EXPECT_NO_THROW(sim.trace().ToComputation());
+  return Flatten(sim.trace());
+}
+
+TEST(TraceDeterminismTest, SameSeedSameOptionsReplaysByteIdenticalTrace) {
+  NetworkOptions network;
+  network.delay_base = 1;
+  network.delay_jitter = 9;
+  EXPECT_EQ(RunRing(42, network), RunRing(42, network));
+}
+
+TEST(TraceDeterminismTest, ReplayHoldsAcrossNetworkVariants) {
+  NetworkOptions fifo;
+  fifo.fifo = true;
+  fifo.delay_jitter = 17;
+  fifo.underlying_extra_delay = 3;
+  EXPECT_EQ(RunRing(7, fifo), RunRing(7, fifo));
+
+  NetworkOptions zero_jitter;  // ties everywhere: exercises seq tie-breaking
+  zero_jitter.delay_jitter = 0;
+  EXPECT_EQ(RunRing(7, zero_jitter), RunRing(7, zero_jitter));
+}
+
+TEST(TraceDeterminismTest, DifferentSeedsDiverge) {
+  NetworkOptions network;
+  network.delay_jitter = 9;
+  EXPECT_NE(RunRing(1, network), RunRing(2, network));
 }
 
 }  // namespace
