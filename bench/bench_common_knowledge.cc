@@ -4,6 +4,7 @@
 // constancy across each entire computation space.
 #include <cstdio>
 
+#include "bench/reporter.h"
 #include "bench/table.h"
 #include "core/knowledge.h"
 #include "core/random_system.h"
@@ -12,7 +13,9 @@
 
 using namespace hpl;
 
-int main() {
+int main(int argc, char** argv) {
+  auto json_path = bench::JsonReporter::JsonFlag(argc, argv);
+  bench::JsonReporter reporter("common_knowledge");
   std::printf("E8: common knowledge constancy (Section 4.2)\n\n");
 
   bench::Table table({"system", "space", "predicate", "CK constant?",
@@ -20,8 +23,11 @@ int main() {
 
   auto check = [&](const System& system, const Predicate& predicate,
                    int depth) {
+    bench::WallTimer enumerate_timer;
     auto space = ComputationSpace::Enumerate(
         system, {.max_depth = depth});
+    const std::int64_t enumerate_ns = enumerate_timer.ElapsedNs();
+    bench::WallTimer eval_timer;
     KnowledgeEvaluator eval(space);
     auto ck = Formula::Common(space.AllProcesses(),
                               Formula::Atom(predicate));
@@ -31,6 +37,14 @@ int main() {
     table.AddRow({system.Name(), std::to_string(space.size()),
                   predicate.name(), constant ? "yes" : "NO (violation)",
                   value ? "true" : "false", varies ? "yes" : "no"});
+    bench::JsonResult result;
+    result.name = "ck_constancy/" + system.Name() + "/" + predicate.name();
+    result.params = {{"depth", static_cast<double>(depth)},
+                     {"enumerate_ns", static_cast<double>(enumerate_ns)}};
+    result.wall_ns = enumerate_ns + eval_timer.ElapsedNs();
+    result.space_classes = space.size();
+    result.classes_per_sec = bench::ClassesPerSec(space.size(), enumerate_ns);
+    reporter.Add(std::move(result));
   };
 
   {
@@ -69,7 +83,9 @@ int main() {
     options.num_messages = 3;
     options.seed = seed;
     RandomSystem system(options);
+    bench::WallTimer sweep_timer;
     auto space = ComputationSpace::Enumerate(system, {.max_depth = 24});
+    const std::int64_t enumerate_ns = sweep_timer.ElapsedNs();
     KnowledgeEvaluator eval(space);
     for (const Predicate& b :
          {Predicate::True(), Predicate::CountOnAtLeast(0, 1)}) {
@@ -88,7 +104,15 @@ int main() {
         return 1;
       }
     }
+    bench::JsonResult result;
+    result.name = "identical_knowledge/seed=" + std::to_string(seed);
+    result.params = {{"seed", static_cast<double>(seed)}};
+    result.wall_ns = sweep_timer.ElapsedNs();
+    result.space_classes = space.size();
+    result.classes_per_sec = bench::ClassesPerSec(space.size(), enumerate_ns);
+    reporter.Add(std::move(result));
   }
   table2.Print();
+  if (json_path.has_value() && !reporter.WriteFile(*json_path)) return 1;
   return 0;
 }

@@ -2,6 +2,7 @@
 // verified over random systems' full computation spaces.
 #include <cstdio>
 
+#include "bench/reporter.h"
 #include "bench/table.h"
 #include "core/knowledge.h"
 #include "core/random_system.h"
@@ -21,7 +22,9 @@ struct Counter {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto json_path = bench::JsonReporter::JsonFlag(argc, argv);
+  bench::JsonReporter reporter("knowledge_axioms");
   std::printf("E6: knowledge axioms (Section 4.1 facts 1-12, Lemma 2)\n\n");
 
   Counter f1, f2, f3, f4, f6, f7, f8, f9, f10, f11, f12;
@@ -33,7 +36,9 @@ int main() {
     options.internal_events = 1;
     options.seed = seed;
     RandomSystem system(options);
+    bench::WallTimer seed_timer;
     auto space = ComputationSpace::Enumerate(system, {.max_depth = 24});
+    const std::int64_t enumerate_ns = seed_timer.ElapsedNs();
     KnowledgeEvaluator eval(space);
 
     const Predicate b = Predicate::CountOnAtLeast(0, 1);
@@ -77,6 +82,14 @@ int main() {
       // 12: constants are known.
       f12.Tally(eval.Holds(k_true, id));
     }
+    bench::JsonResult result;
+    result.name = "axioms/seed=" + std::to_string(seed);
+    result.params = {{"seed", static_cast<double>(seed)},
+                     {"memo_entries", static_cast<double>(eval.memo_size())}};
+    result.wall_ns = seed_timer.ElapsedNs();
+    result.space_classes = space.size();
+    result.classes_per_sec = bench::ClassesPerSec(space.size(), enumerate_ns);
+    reporter.Add(std::move(result));
   }
 
   bench::Table table({"fact", "instances", "violations"});
@@ -96,5 +109,6 @@ int main() {
   row("12  constants known", f12);
   table.Print();
   std::printf("\nexpected: zero violations (S5-style axioms, Section 4.1)\n");
+  if (json_path.has_value() && !reporter.WriteFile(*json_path)) return 1;
   return 0;
 }

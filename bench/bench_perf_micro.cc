@@ -4,6 +4,7 @@
 // a figure in the paper.
 #include <benchmark/benchmark.h>
 
+#include "bench/reporter.h"
 #include "core/fusion.h"
 #include "core/isomorphism.h"
 #include "core/knowledge.h"
@@ -175,6 +176,74 @@ void BM_CanonicalForm(benchmark::State& state) {
 }
 BENCHMARK(BM_CanonicalForm)->Arg(32)->Arg(128)->Arg(512);
 
+double ToNanoseconds(double value, benchmark::TimeUnit unit) {
+  switch (unit) {
+    case benchmark::kNanosecond:
+      return value;
+    case benchmark::kMicrosecond:
+      return value * 1e3;
+    case benchmark::kMillisecond:
+      return value * 1e6;
+    case benchmark::kSecond:
+      return value * 1e9;
+  }
+  return value;
+}
+
+// Failed/skipped run detection across google-benchmark versions: 1.8.0
+// replaced Run::error_occurred with Run::skipped (an enum whose 0 value
+// means "not skipped").
+template <typename R>
+bool RunFailed(const R& run) {
+  if constexpr (requires { run.error_occurred; })
+    return run.error_occurred;
+  else if constexpr (requires { run.skipped; })
+    return static_cast<int>(run.skipped) != 0;
+  else
+    return false;
+}
+
+// Console output as usual, plus capture of every iteration run into the
+// repo's JSON reporter for the --json flag.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(hpl::bench::JsonReporter* out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || RunFailed(run)) continue;
+      hpl::bench::JsonResult result;
+      result.name = run.benchmark_name();
+      result.wall_ns = static_cast<std::int64_t>(
+          ToNanoseconds(run.GetAdjustedRealTime(), run.time_unit));
+      result.params.emplace_back("iterations",
+                                 static_cast<double>(run.iterations));
+      for (const auto& [name, counter] : run.counters) {
+        result.params.emplace_back(name, counter.value);
+        if (name == "classes" || name == "space")
+          result.space_classes = static_cast<std::uint64_t>(counter.value);
+      }
+      result.classes_per_sec =
+          hpl::bench::ClassesPerSec(result.space_classes, result.wall_ns);
+      out_->Add(std::move(result));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  hpl::bench::JsonReporter* out_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  auto json_path = hpl::bench::JsonReporter::JsonFlag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  hpl::bench::JsonReporter reporter("perf_micro");
+  JsonCaptureReporter display(&reporter);
+  benchmark::RunSpecifiedBenchmarks(&display);
+  benchmark::Shutdown();
+  if (json_path.has_value() && !reporter.WriteFile(*json_path)) return 1;
+  return 0;
+}

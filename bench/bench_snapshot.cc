@@ -5,6 +5,7 @@
 // global total is well-defined.
 #include <cstdio>
 
+#include "bench/reporter.h"
 #include "bench/table.h"
 #include "protocols/snapshot.h"
 
@@ -12,7 +13,9 @@ using namespace hpl;
 using protocols::RunSnapshotScenario;
 using protocols::SnapshotScenario;
 
-int main() {
+int main(int argc, char** argv) {
+  auto json_path = bench::JsonReporter::JsonFlag(argc, argv);
+  bench::JsonReporter reporter("snapshot");
   std::printf("E17: Chandy-Lamport snapshot consistency\n\n");
 
   bench::Table table({"n", "snapshot at", "seeds", "consistent cuts",
@@ -24,6 +27,7 @@ int main() {
       const int kSeeds = 8;
       double in_flight = 0;
       std::size_t markers = 0;
+      bench::WallTimer cell_timer;
       for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
         SnapshotScenario scenario;
         scenario.num_processes = n;
@@ -41,6 +45,15 @@ int main() {
                     std::to_string(consistent) + "/" + std::to_string(kSeeds),
                     std::to_string(markers),
                     bench::Fmt(in_flight / kSeeds, 1)});
+      bench::JsonResult result;
+      result.name = "snapshot/n=" + std::to_string(n) +
+                    "/at=" + std::to_string(at);
+      result.params = {{"processes", static_cast<double>(n)},
+                       {"snapshot_at", static_cast<double>(at)},
+                       {"seeds", static_cast<double>(kSeeds)},
+                       {"consistent", static_cast<double>(consistent)}};
+      result.wall_ns = cell_timer.ElapsedNs();
+      reporter.Add(std::move(result));
     }
   }
   table.Print();
@@ -50,5 +63,6 @@ int main() {
       "Ties to the paper: a consistent cut is precisely a computation the\n"
       "system could have been in — an isomorphism-class fact assembled by\n"
       "message chains (Theorem 5 requires those chains to exist).\n");
+  if (json_path.has_value() && !reporter.WriteFile(*json_path)) return 1;
   return 0;
 }

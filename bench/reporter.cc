@@ -1,0 +1,249 @@
+#include "bench/reporter.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace hpl::bench {
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string FormatDouble(double v) {
+  char buffer[64];
+  // %.17g round-trips every double; trim to %g when exact.
+  std::snprintf(buffer, sizeof buffer, "%.17g", v);
+  double parsed = 0;
+  std::sscanf(buffer, "%lf", &parsed);
+  char shorter[64];
+  std::snprintf(shorter, sizeof shorter, "%g", v);
+  double short_parsed = 0;
+  std::sscanf(shorter, "%lf", &short_parsed);
+  return short_parsed == v ? shorter : buffer;
+}
+
+// Minimal cursor over the reporter's own output format.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : text_(text) {}
+
+  void Expect(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c)
+      Fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool Consume(char c) {
+    if (!Peek(c)) return false;
+    ++pos_;
+    return true;
+  }
+
+  std::string String() {
+    Expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) Fail("dangling escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) Fail("short \\u escape");
+            unsigned code = 0;
+            std::sscanf(text_.c_str() + pos_, "%4x", &code);
+            pos_ += 4;
+            out += static_cast<char>(code);
+            break;
+          }
+          default:
+            out += esc;
+        }
+      } else {
+        out += c;
+      }
+    }
+    Expect('"');
+    return out;
+  }
+
+  double Number() {
+    SkipSpace();
+    char* end = nullptr;
+    const double v = std::strtod(text_.c_str() + pos_, &end);
+    if (end == text_.c_str() + pos_) Fail("expected a number");
+    pos_ = static_cast<std::size_t>(end - text_.c_str());
+    return v;
+  }
+
+  void Done() {
+    SkipSpace();
+    if (pos_ != text_.size()) Fail("trailing content");
+  }
+
+  [[noreturn]] void Fail(const std::string& what) const {
+    throw std::runtime_error("bench JSON parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonReporter::ToJson() const {
+  std::string out = "{\n  \"schema\": \"hpl-bench-v1\",\n  \"bench\": ";
+  AppendEscaped(out, bench_);
+  out += ",\n  \"results\": [";
+  for (std::size_t i = 0; i < results_.size(); ++i) {
+    const JsonResult& r = results_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    AppendEscaped(out, r.name);
+    out += ", \"params\": {";
+    for (std::size_t j = 0; j < r.params.size(); ++j) {
+      if (j > 0) out += ", ";
+      AppendEscaped(out, r.params[j].first);
+      out += ": " + FormatDouble(r.params[j].second);
+    }
+    out += "}, \"wall_ns\": " + std::to_string(r.wall_ns);
+    out += ", \"space_classes\": " + std::to_string(r.space_classes);
+    out += ", \"classes_per_sec\": " + FormatDouble(r.classes_per_sec);
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool JsonReporter::WriteFile(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "reporter: cannot open '%s' for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const std::string json = ToJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), file) == json.size();
+  std::fclose(file);
+  if (!ok)
+    std::fprintf(stderr, "reporter: short write to '%s'\n", path.c_str());
+  return ok;
+}
+
+JsonReporter JsonReporter::Parse(const std::string& json) {
+  Scanner scanner(json);
+  scanner.Expect('{');
+  auto expect_key = [&](const char* key) {
+    const std::string k = scanner.String();
+    if (k != key)
+      scanner.Fail(std::string("expected key \"") + key + "\", got \"" + k +
+                   "\"");
+    scanner.Expect(':');
+  };
+  expect_key("schema");
+  if (scanner.String() != "hpl-bench-v1") scanner.Fail("unknown schema");
+  scanner.Expect(',');
+  expect_key("bench");
+  JsonReporter reporter(scanner.String());
+  scanner.Expect(',');
+  expect_key("results");
+  scanner.Expect('[');
+  if (!scanner.Peek(']')) {
+    do {
+      scanner.Expect('{');
+      JsonResult r;
+      expect_key("name");
+      r.name = scanner.String();
+      scanner.Expect(',');
+      expect_key("params");
+      scanner.Expect('{');
+      if (!scanner.Peek('}')) {
+        do {
+          std::string key = scanner.String();
+          scanner.Expect(':');
+          r.params.emplace_back(std::move(key), scanner.Number());
+        } while (scanner.Consume(','));
+      }
+      scanner.Expect('}');
+      scanner.Expect(',');
+      expect_key("wall_ns");
+      r.wall_ns = static_cast<std::int64_t>(scanner.Number());
+      scanner.Expect(',');
+      expect_key("space_classes");
+      r.space_classes = static_cast<std::uint64_t>(scanner.Number());
+      scanner.Expect(',');
+      expect_key("classes_per_sec");
+      r.classes_per_sec = scanner.Number();
+      scanner.Expect('}');
+      reporter.Add(std::move(r));
+    } while (scanner.Consume(','));
+  }
+  scanner.Expect(']');
+  scanner.Expect('}');
+  scanner.Done();
+  return reporter;
+}
+
+std::optional<std::string> JsonReporter::JsonFlag(int& argc, char** argv) {
+  std::optional<std::string> path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0)
+      path = std::string(argv[i] + 7);
+    else
+      argv[out++] = argv[i];
+  }
+  argc = out;
+  argv[out] = nullptr;  // keep the argv[argc] == NULL guarantee
+  return path;
+}
+
+}  // namespace hpl::bench

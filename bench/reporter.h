@@ -1,0 +1,99 @@
+// Machine-readable benchmark reporting.  Benches accumulate JsonResult
+// records and write them through a `--json=<path>` flag, producing the
+// BENCH_*.json artifacts that CI uploads so the perf trajectory of the
+// repo is recorded run over run.
+//
+// Schema (one file per bench binary):
+//
+//   {
+//     "schema": "hpl-bench-v1",
+//     "bench": "space_scaling",
+//     "results": [
+//       {
+//         "name": "enumerate/random(n=4,m=6,seed=42)",
+//         "params": {"processes": 4, "depth": 64, "threads": 2},
+//         "wall_ns": 123456789,
+//         "space_classes": 31563,
+//         "classes_per_sec": 105210.0
+//       }
+//     ]
+//   }
+//
+// `params` values are numeric (doubles); non-numeric context belongs in
+// `name`.  `space_classes` and `classes_per_sec` are 0 for measurements
+// that do not enumerate a computation space.  The reporter has no
+// dependency on the hpl core libraries so any tool can link it.
+#ifndef HPL_BENCH_REPORTER_H_
+#define HPL_BENCH_REPORTER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hpl::bench {
+
+// One timed measurement.
+struct JsonResult {
+  std::string name;
+  std::vector<std::pair<std::string, double>> params;
+  std::int64_t wall_ns = 0;
+  std::uint64_t space_classes = 0;
+  double classes_per_sec = 0.0;
+};
+
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench) : bench_(std::move(bench)) {}
+
+  void Add(JsonResult result) { results_.push_back(std::move(result)); }
+
+  const std::string& bench() const noexcept { return bench_; }
+  const std::vector<JsonResult>& results() const noexcept { return results_; }
+
+  std::string ToJson() const;
+
+  // Writes ToJson() to `path`; returns false on I/O failure (after printing
+  // a diagnostic to stderr).
+  bool WriteFile(const std::string& path) const;
+
+  // Parses a document produced by ToJson().  Understands exactly the schema
+  // above (not a general JSON parser); throws std::runtime_error on
+  // malformed input or a schema mismatch.
+  static JsonReporter Parse(const std::string& json);
+
+  // Extracts a `--json=<path>` argument, removing it from argc/argv so the
+  // remaining arguments can be handled by the bench (or google-benchmark).
+  static std::optional<std::string> JsonFlag(int& argc, char** argv);
+
+ private:
+  std::string bench_;
+  std::vector<JsonResult> results_;
+};
+
+// Wall-clock stopwatch for bench measurements.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  std::int64_t ElapsedNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// classes/sec from a class count and an elapsed wall time (0 if no time).
+inline double ClassesPerSec(std::uint64_t classes, std::int64_t wall_ns) {
+  return wall_ns > 0 ? static_cast<double>(classes) * 1e9 /
+                           static_cast<double>(wall_ns)
+                     : 0.0;
+}
+
+}  // namespace hpl::bench
+
+#endif  // HPL_BENCH_REPORTER_H_

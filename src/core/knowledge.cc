@@ -1,9 +1,14 @@
 #include "core/knowledge.h"
 
+#include <algorithm>
 #include <numeric>
 
 namespace hpl {
 namespace {
+
+// Buckets smaller than this are scanned directly; packing them into
+// per-class bitsets would cost more memory traffic than it saves.
+constexpr std::size_t kMinBucketForBits = 64;
 
 // Union-find over dense ids.
 class UnionFind {
@@ -31,7 +36,12 @@ class UnionFind {
 }  // namespace
 
 KnowledgeEvaluator::KnowledgeEvaluator(const ComputationSpace& space)
-    : space_(space) {}
+    : space_(space),
+      words_((space.size() + 63) / 64),
+      bucket_bits_(space.num_processes()) {
+  for (ProcessId p = 0; p < space.num_processes(); ++p)
+    bucket_bits_[p].resize(space.NumProjectionClasses(p));
+}
 
 bool KnowledgeEvaluator::Holds(const FormulaPtr& f, std::size_t id) {
   if (!f) throw ModelError("KnowledgeEvaluator::Holds: null formula");
@@ -82,10 +92,10 @@ bool KnowledgeEvaluator::IsConstant(const FormulaPtr& f) {
 
 std::uint32_t KnowledgeEvaluator::CommonComponent(ProcessSet g,
                                                   std::size_t id) {
-  return Components(g).at(id);
+  return Components(g).root.at(id);
 }
 
-const std::vector<std::uint32_t>& KnowledgeEvaluator::Components(
+const KnowledgeEvaluator::ComponentIndex& KnowledgeEvaluator::Components(
     ProcessSet g) {
   auto it = components_.find(g.bits());
   if (it != components_.end()) return it->second;
@@ -93,32 +103,85 @@ const std::vector<std::uint32_t>& KnowledgeEvaluator::Components(
   UnionFind uf(space_.size());
   g.ForEach([&](ProcessId p) {
     // All members of one [p]-bucket are mutually indistinguishable to p.
-    std::uint32_t num_classes = 0;
-    for (std::size_t id = 0; id < space_.size(); ++id)
-      num_classes =
-          std::max(num_classes, space_.ProjectionClass(id, p) + 1);
+    const auto num_classes =
+        static_cast<std::uint32_t>(space_.NumProjectionClasses(p));
     for (std::uint32_t cls = 0; cls < num_classes; ++cls) {
       const auto& bucket = space_.Bucket(p, cls);
       for (std::size_t i = 1; i < bucket.size(); ++i)
         uf.Union(bucket[0], bucket[i]);
     }
   });
-  std::vector<std::uint32_t> roots(space_.size());
-  for (std::size_t id = 0; id < space_.size(); ++id)
-    roots[id] = uf.Find(static_cast<std::uint32_t>(id));
-  return components_.emplace(g.bits(), std::move(roots)).first->second;
+  ComponentIndex index;
+  index.root.resize(space_.size());
+  for (std::size_t id = 0; id < space_.size(); ++id) {
+    index.root[id] = uf.Find(static_cast<std::uint32_t>(id));
+    index.members[index.root[id]].push_back(static_cast<std::uint32_t>(id));
+  }
+  return components_.emplace(g.bits(), std::move(index)).first->second;
 }
 
-KnowledgeEvaluator::NodeCache& KnowledgeEvaluator::CacheFor(
-    const Formula* f) {
-  NodeCache& c = cache_[f];
-  if (c.value.empty()) c.value.assign(space_.size(), 0);
-  return c;
+std::uint32_t KnowledgeEvaluator::InternNode(const Formula* f) {
+  auto [it, inserted] =
+      node_index_.emplace(f, static_cast<std::uint32_t>(node_index_.size()));
+  if (inserted) {
+    known_.resize(known_.size() + words_, 0);
+    value_.resize(value_.size() + words_, 0);
+  }
+  return it->second;
+}
+
+const std::vector<std::uint64_t>& KnowledgeEvaluator::BucketBits(
+    ProcessId p, std::uint32_t cls) {
+  std::vector<std::uint64_t>& bits = bucket_bits_[p][cls];
+  if (bits.empty()) {
+    bits.assign(words_, 0);
+    for (std::uint32_t y : space_.Bucket(p, cls))
+      bits[y / 64] |= std::uint64_t{1} << (y % 64);
+  }
+  return bits;
+}
+
+template <typename Fn>
+void KnowledgeEvaluator::ForEachRelated(std::size_t id, ProcessSet set,
+                                        Fn&& fn) {
+  std::size_t best_size = SIZE_MAX;
+  set.ForEach([&](ProcessId p) {
+    best_size = std::min(
+        best_size, space_.Bucket(p, space_.ProjectionClass(id, p)).size());
+  });
+  if (set.IsEmpty() || set.Size() == 1 || best_size < kMinBucketForBits) {
+    space_.ForEachIsomorphicWhile(id, set, fn);
+    return;
+  }
+  // Every bucket is large: intersect their packed membership bitsets.  The
+  // intersection lives in a local buffer because `fn` recurses into Eval,
+  // which may run another ForEachRelated before this iteration finishes.
+  std::vector<std::uint64_t> meet;
+  set.ForEach([&](ProcessId p) {
+    const auto& bits = BucketBits(p, space_.ProjectionClass(id, p));
+    if (meet.empty()) {
+      meet.assign(bits.begin(), bits.end());
+    } else {
+      for (std::size_t w = 0; w < words_; ++w) meet[w] &= bits[w];
+    }
+  });
+  for (std::size_t w = 0; w < words_; ++w) {
+    std::uint64_t word = meet[w];
+    while (word != 0) {
+      const auto y = w * 64 + static_cast<std::size_t>(__builtin_ctzll(word));
+      if (!fn(y)) return;
+      word &= word - 1;
+    }
+  }
 }
 
 bool KnowledgeEvaluator::Eval(const Formula* f, std::size_t id) {
-  NodeCache& c = CacheFor(f);
-  if (c.value[id] != 0) return c.value[id] == 2;
+  const std::uint32_t node = InternNode(f);
+  {
+    const std::uint64_t bit = std::uint64_t{1} << (id % 64);
+    if (known_[node * words_ + id / 64] & bit)
+      return (value_[node * words_ + id / 64] & bit) != 0;
+  }
 
   bool result = false;
   switch (f->kind()) {
@@ -139,40 +202,57 @@ bool KnowledgeEvaluator::Eval(const Formula* f, std::size_t id) {
       break;
     case FormulaKind::kKnows: {
       result = true;
-      space_.ForEachIsomorphic(id, f->group(), [&](std::size_t y) {
-        if (result && !Eval(f->left().get(), y)) result = false;
+      ForEachRelated(id, f->group(), [&](std::size_t y) {
+        if (!Eval(f->left().get(), y)) result = false;
+        return result;
       });
       break;
     }
     case FormulaKind::kSure: {
       // K_P f || K_P !f, evaluated in one bucket pass.
       bool all_true = true, all_false = true;
-      space_.ForEachIsomorphic(id, f->group(), [&](std::size_t y) {
-        if (!all_true && !all_false) return;
+      ForEachRelated(id, f->group(), [&](std::size_t y) {
         if (Eval(f->left().get(), y))
           all_false = false;
         else
           all_true = false;
+        return all_true || all_false;
       });
       result = all_true || all_false;
       break;
     }
     case FormulaKind::kCommon: {
       // Greatest fixpoint: f must hold on the entire G-component of id.
-      const auto& roots = Components(f->group());
-      const std::uint32_t root = roots[id];
+      // The verdict is a function of the component, so cache it for every
+      // member at once — later probes anywhere in the component are hits.
+      const ComponentIndex& components = Components(f->group());
+      const std::vector<std::uint32_t>& members =
+          components.members.at(components.root[id]);
       result = true;
-      for (std::size_t y = 0; y < space_.size() && result; ++y)
-        if (roots[y] == root && !Eval(f->left().get(), y)) result = false;
-      break;
+      for (std::uint32_t y : members) {
+        if (!Eval(f->left().get(), y)) {
+          result = false;
+          break;
+        }
+      }
+      for (std::uint32_t y : members) {
+        const std::uint64_t bit = std::uint64_t{1} << (y % 64);
+        known_[node * words_ + y / 64] |= bit;
+        if (result)
+          value_[node * words_ + y / 64] |= bit;
+        else
+          value_[node * words_ + y / 64] &= ~bit;
+      }
+      return result;
     }
     case FormulaKind::kEveryone: {
       // Conjunction of the individual K{p} over the group.
       result = true;
       f->group().ForEach([&](ProcessId p) {
         if (!result) return;
-        space_.ForEachIsomorphic(id, ProcessSet::Of(p), [&](std::size_t y) {
-          if (result && !Eval(f->left().get(), y)) result = false;
+        ForEachRelated(id, ProcessSet::Of(p), [&](std::size_t y) {
+          if (!Eval(f->left().get(), y)) result = false;
+          return result;
         });
       });
       break;
@@ -180,21 +260,22 @@ bool KnowledgeEvaluator::Eval(const Formula* f, std::size_t id) {
     case FormulaKind::kPossible: {
       // !K{P}!f: some [P]-isomorphic computation satisfies f.
       result = false;
-      space_.ForEachIsomorphic(id, f->group(), [&](std::size_t y) {
-        if (!result && Eval(f->left().get(), y)) result = true;
+      ForEachRelated(id, f->group(), [&](std::size_t y) {
+        if (Eval(f->left().get(), y)) result = true;
+        return !result;
       });
       break;
     }
   }
-  c.value[id] = result ? 2 : 1;
+  const std::uint64_t bit = std::uint64_t{1} << (id % 64);
+  known_[node * words_ + id / 64] |= bit;
+  if (result) value_[node * words_ + id / 64] |= bit;
   return result;
 }
 
 std::size_t KnowledgeEvaluator::memo_size() const noexcept {
   std::size_t n = 0;
-  for (const auto& [node, cache] : cache_)
-    for (std::uint8_t v : cache.value)
-      if (v != 0) ++n;
+  for (std::uint64_t word : known_) n += __builtin_popcountll(word);
   return n;
 }
 

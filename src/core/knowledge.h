@@ -5,11 +5,19 @@
 //
 // with the quantifier ranging over *all* computations of the system — hence
 // evaluation happens against a fully enumerated ComputationSpace.
-// Evaluation is memoized per (formula node, [D]-class).  Common knowledge
-// CK{G} f is the greatest fixpoint "f and (p knows CK f) for all p in G",
-// computed as: f holds at every computation reachable from x through the
-// union of the [p] relations, p in G — i.e. on x's whole connected
-// component of the "G-indistinguishability" graph.
+//
+// Evaluation is memoized per (formula node, [D]-class) through a dense
+// two-plane bitset: formula nodes are interned to dense indexes on first
+// sight, and each node owns one "known" and one "value" bit per class —
+// a cache probe is two word reads instead of a hash lookup.  The [p]-class
+// buckets of the space are additionally packed into per-class uint64_t
+// membership bitsets (built lazily for large buckets), so the quantifier
+// sweeps of Knows/Sure/Possible become word-parallel bitset intersections.
+// Common knowledge CK{G} f is the greatest fixpoint "f and (p knows CK f)
+// for all p in G", computed as: f holds at every computation reachable from
+// x through the union of the [p] relations, p in G — i.e. on x's whole
+// connected component of the "G-indistinguishability" graph; the verdict is
+// constant per component and is cached for the entire component at once.
 #ifndef HPL_CORE_KNOWLEDGE_H_
 #define HPL_CORE_KNOWLEDGE_H_
 
@@ -59,19 +67,38 @@ class KnowledgeEvaluator {
   std::size_t memo_size() const noexcept;
 
  private:
-  struct NodeCache {
-    // 0 = unknown, 1 = false, 2 = true.
-    std::vector<std::uint8_t> value;
+  // Connected components of the union of [p] relations for one group.
+  struct ComponentIndex {
+    std::vector<std::uint32_t> root;  // per class id: representative id
+    // root -> all member ids (including the root itself).
+    std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> members;
   };
 
   bool Eval(const Formula* f, std::size_t id);
-  NodeCache& CacheFor(const Formula* f);
-  const std::vector<std::uint32_t>& Components(ProcessSet g);
+  std::uint32_t InternNode(const Formula* f);
+  const ComponentIndex& Components(ProcessSet g);
+  // Packed membership bits of Bucket(p, cls); built on first use.
+  const std::vector<std::uint64_t>& BucketBits(ProcessId p, std::uint32_t cls);
+  // Calls fn(y) for every y with At(id) [set] y, while fn returns true.
+  // Picks between a scan of the smallest bucket and a word-parallel
+  // intersection of packed bucket bitsets.
+  template <typename Fn>
+  void ForEachRelated(std::size_t id, ProcessSet set, Fn&& fn);
 
   const ComputationSpace& space_;
-  std::unordered_map<const Formula*, NodeCache> cache_;
-  // Connected components of the union of [p] relations, keyed by group bits.
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> components_;
+  std::size_t words_ = 0;  // bitset words per formula node: ceil(size/64)
+
+  // Dense memo planes, `words_` words per interned node.
+  std::unordered_map<const Formula*, std::uint32_t> node_index_;
+  std::vector<std::uint64_t> known_;
+  std::vector<std::uint64_t> value_;
+
+  // bucket_bits_[p][cls]: packed members of Bucket(p, cls), empty until
+  // first use; only buckets with >= kMinBucketForBits members are packed.
+  std::vector<std::vector<std::vector<std::uint64_t>>> bucket_bits_;
+
+  // Component indexes keyed by group bits.
+  std::unordered_map<std::uint64_t, ComponentIndex> components_;
   // Keeps parsed formula nodes alive while cached.
   std::vector<FormulaPtr> retained_;
 };

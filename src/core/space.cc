@@ -1,10 +1,138 @@
 #include "core/space.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <deque>
-#include <unordered_set>
+#include <exception>
+#include <mutex>
+#include <thread>
 
 namespace hpl {
+
+namespace internal {
+
+// A fixed pool of workers executing index-parallel jobs.  One pool is
+// created per Enumerate() call and reused for every BFS level, so thread
+// startup is paid at most once rather than per level.  The caller
+// participates in every job, so a pool of logical size n spawns n-1
+// threads — and only lazily, on the first job wide enough to share:
+// narrow jobs run inline on the caller, which keeps deep-but-narrow
+// spaces (frontier of a few classes per level) free of wakeup traffic.
+class WorkerPool {
+ public:
+  // Below this many items a job runs inline on the caller.
+  static constexpr std::size_t kMinParallelItems = 4;
+
+  explicit WorkerPool(int num_threads)
+      : target_threads_(num_threads > 0 ? num_threads - 1 : 0) {}
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int size() const { return target_threads_ + 1; }
+
+  // Runs fn(i) for every i in [0, count), distributing contiguous chunks of
+  // indices over the pool.  Blocks until all indices are processed and every
+  // worker is idle again, then rethrows the first exception thrown by fn.
+  void Run(std::size_t count, const std::function<void(std::size_t)>& fn) {
+    if (count == 0) return;
+    if (count < kMinParallelItems || target_threads_ == 0) {
+      for (std::size_t i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    if (threads_.empty()) {
+      threads_.reserve(target_threads_);
+      for (int t = 0; t < target_threads_; ++t)
+        threads_.emplace_back([this] { WorkerLoop(); });
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      fn_ = &fn;
+      count_ = count;
+      chunk_ = std::max<std::size_t>(
+          1, count / (static_cast<std::size_t>(size()) * 8));
+      next_.store(0, std::memory_order_relaxed);
+      pending_ = static_cast<int>(threads_.size());
+      error_ = nullptr;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    Work();
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    fn_ = nullptr;
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  void WorkerLoop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+      }
+      Work();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  void Work() {
+    for (;;) {
+      const std::size_t begin =
+          next_.fetch_add(chunk_, std::memory_order_relaxed);
+      if (begin >= count_) return;
+      const std::size_t end = std::min(count_, begin + chunk_);
+      try {
+        if (!HasError())
+          for (std::size_t i = begin; i < end; ++i) (*fn_)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+    }
+  }
+
+  bool HasError() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return error_ != nullptr;
+  }
+
+  int target_threads_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  // Job state: written by Run() before the generation bump, read by workers
+  // after observing the bump under the same mutex, unchanged until all
+  // workers report back — so unsynchronized reads inside Work() are ordered.
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t chunk_ = 1;
+  std::atomic<std::size_t> next_{0};
+  int pending_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace internal
+
 namespace {
 
 // Groups computations by equal projection on p, assigning dense class ids.
@@ -16,11 +144,40 @@ struct ProjectionClassifier {
 
 ComputationSpace ComputationSpace::Enumerate(const System& system,
                                              const EnumerationLimits& limits) {
+  int threads = limits.num_threads;
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+
   ComputationSpace space;
   space.num_processes_ = system.NumProcesses();
   space.system_name_ = system.Name();
   space.canonicalize_ = limits.canonicalize;
 
+  if (threads == 1) {
+    DiscoverClassesSequential(system, limits, space);
+    ClassifyProjections(space, nullptr);
+  } else {
+    internal::WorkerPool pool(threads);
+    DiscoverClassesParallel(system, limits, pool, space);
+    ClassifyProjections(space, &pool);
+  }
+
+  const std::size_t n = space.computations_.size();
+  space.by_length_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) space.by_length_[i] = i;
+  std::sort(space.by_length_.begin(), space.by_length_.end(),
+            [&](std::size_t a, std::size_t b) {
+              return space.computations_[a].size() <
+                     space.computations_[b].size();
+            });
+  return space;
+}
+
+void ComputationSpace::DiscoverClassesSequential(const System& system,
+                                                 const EnumerationLimits& limits,
+                                                 ComputationSpace& space) {
   // BFS over [D]-classes (or literal sequences when canonicalization is
   // off): start from the empty computation; for each representative, ask
   // the system for enabled events, and keep each extension if new.
@@ -93,48 +250,201 @@ ComputationSpace ComputationSpace::Enumerate(const System& system,
       if (!seen) succ.push_back(Successor{next_id, e});
     }
   }
+}
 
-  // Projection classes per process.
+void ComputationSpace::DiscoverClassesParallel(const System& system,
+                                               const EnumerationLimits& limits,
+                                               internal::WorkerPool& pool,
+                                               ComputationSpace& space) {
+  // Level-synchronous variant of the sequential BFS.  All members of a BFS
+  // level have the same length, so extensions can only collide with other
+  // extensions of the same level — dedup is entirely intra-level, and the
+  // sequential discovery order is exactly (parent id asc, enabled-event
+  // index asc).  Expansion and dedup run on the pool; the merge replays the
+  // sequential order so ids come out byte-identical.
+  const std::size_t num_shards = static_cast<std::size_t>(pool.size());
+
+  Computation empty;
+  const std::size_t root_key =
+      limits.canonicalize ? empty.CanonicalHash() : empty.SequenceHash();
+  space.computations_.push_back(std::move(empty));
+  space.canon_index_[root_key].push_back(0);
+  space.successors_.emplace_back();
+
+  struct Candidate {
+    Computation canon;
+    Event event;
+    std::size_t key = 0;
+    std::uint32_t shard = 0;
+    std::uint32_t unique = 0;  // index into its shard's unique list
+    bool first = false;        // first occurrence of its class this level
+  };
+
+  std::vector<std::uint32_t> frontier{0};
+  int depth = 0;
+
+  while (!frontier.empty()) {
+    // Expand every frontier parent into its candidate extensions.
+    std::vector<std::vector<Candidate>> expanded(frontier.size());
+    std::vector<char> extendable(frontier.size(), 0);
+    const bool at_depth_cap = depth >= limits.max_depth;
+    pool.Run(frontier.size(), [&](std::size_t i) {
+      const Computation& x = space.computations_[frontier[i]];
+      std::vector<Event> enabled = system.EnabledEvents(x);
+      if (enabled.empty()) return;
+      if (at_depth_cap) {
+        extendable[i] = 1;
+        return;
+      }
+      auto& out = expanded[i];
+      out.reserve(enabled.size());
+      for (Event& e : enabled) {
+        std::string why;
+        if (!CanExtend(x, e, &why))
+          throw ModelError("Enumerate: system '" + system.Name() +
+                           "' produced an illegal event " + e.ToString() +
+                           ": " + why);
+        Candidate c;
+        c.canon = x.Extended(e);
+        if (limits.canonicalize) c.canon = c.canon.Canonical();
+        c.key = limits.canonicalize ? c.canon.CanonicalHash()
+                                    : c.canon.SequenceHash();
+        c.shard = static_cast<std::uint32_t>(c.key % num_shards);
+        c.event = std::move(e);
+        out.push_back(std::move(c));
+      }
+    });
+
+    if (std::any_of(extendable.begin(), extendable.end(),
+                    [](char f) { return f != 0; })) {
+      if (!limits.allow_truncation)
+        throw ModelError(
+            "ComputationSpace::Enumerate: system '" + system.Name() +
+            "' still extendable at max_depth=" + std::to_string(limits.max_depth) +
+            "; raise the limit or pass allow_truncation");
+      space.truncated_ = true;
+    }
+
+    // Dedup through per-shard hash maps.  A sequential O(candidates)
+    // routing pass hands each shard the (parent, event-index) pairs it
+    // owns, in global order — so "first occurrence" within a shard
+    // coincides with first occurrence in the sequential order, and each
+    // shard task touches only its own candidates.
+    struct Shard {
+      std::unordered_map<std::size_t, std::vector<std::uint32_t>> by_key;
+      std::vector<const Candidate*> uniques;
+    };
+    std::vector<Shard> shards(num_shards);
+    std::vector<std::vector<std::pair<std::size_t, std::size_t>>> routed(
+        num_shards);
+    for (std::size_t i = 0; i < expanded.size(); ++i)
+      for (std::size_t j = 0; j < expanded[i].size(); ++j)
+        routed[expanded[i][j].shard].emplace_back(i, j);
+    pool.Run(num_shards, [&](std::size_t s) {
+      Shard& shard = shards[s];
+      for (const auto& [i, j] : routed[s]) {
+        Candidate& c = expanded[i][j];
+        auto& with_key = shard.by_key[c.key];
+        bool matched = false;
+        for (std::uint32_t u : with_key) {
+          if (shard.uniques[u]->canon == c.canon) {
+            c.unique = u;
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          c.unique = static_cast<std::uint32_t>(shard.uniques.size());
+          c.first = true;
+          with_key.push_back(c.unique);
+          shard.uniques.push_back(&c);
+        }
+      }
+    });
+
+    // Merge shards deterministically: assign global class ids by walking
+    // the candidates in the sequential discovery order.
+    std::vector<std::vector<std::uint32_t>> shard_ids(num_shards);
+    for (std::size_t s = 0; s < num_shards; ++s)
+      shard_ids[s].resize(shards[s].uniques.size());
+    std::vector<std::uint32_t> next_frontier;
+    for (std::size_t i = 0; i < expanded.size(); ++i) {
+      std::vector<Successor> succ;
+      for (Candidate& c : expanded[i]) {
+        std::uint32_t id;
+        if (c.first) {
+          if (space.computations_.size() >= limits.max_classes)
+            throw ModelError("Enumerate: class budget exhausted for system '" +
+                             system.Name() + "'");
+          id = static_cast<std::uint32_t>(space.computations_.size());
+          space.computations_.push_back(std::move(c.canon));
+          space.canon_index_[c.key].push_back(id);
+          space.successors_.emplace_back();
+          next_frontier.push_back(id);
+          shard_ids[c.shard][c.unique] = id;
+        } else {
+          id = shard_ids[c.shard][c.unique];
+        }
+        const bool seen =
+            std::any_of(succ.begin(), succ.end(),
+                        [&](const Successor& s) { return s.class_id == id; });
+        if (!seen) succ.push_back(Successor{id, std::move(c.event)});
+      }
+      space.successors_[frontier[i]] = std::move(succ);
+    }
+
+    frontier = std::move(next_frontier);
+    ++depth;
+  }
+}
+
+void ComputationSpace::ClassifyProjections(ComputationSpace& space,
+                                           internal::WorkerPool* pool) {
   const std::size_t n = space.computations_.size();
   space.proj_class_.assign(n * space.num_processes_, 0);
   space.buckets_.assign(space.num_processes_, {});
-  for (ProcessId p = 0; p < space.num_processes_; ++p) {
-    ProjectionClassifier classifier;
-    for (std::size_t id = 0; id < n; ++id) {
-      const std::size_t h = space.computations_[id].ProjectionHash(p);
-      classifier.by_hash[h].push_back(static_cast<std::uint32_t>(id));
-    }
-    auto& buckets = space.buckets_[p];
-    for (auto& [h, ids] : classifier.by_hash) {
-      // Hash buckets may (rarely) mix distinct projections; split exactly.
-      while (!ids.empty()) {
-        const std::uint32_t rep = ids.front();
-        std::vector<std::uint32_t> cls;
-        std::vector<std::uint32_t> rest;
-        const auto rep_proj = space.computations_[rep].Projection(p);
-        for (std::uint32_t id : ids) {
-          if (space.computations_[id].Projection(p) == rep_proj)
-            cls.push_back(id);
-          else
-            rest.push_back(id);
-        }
-        const auto cls_id = static_cast<std::uint32_t>(buckets.size());
-        for (std::uint32_t id : cls)
-          space.proj_class_[id * space.num_processes_ + p] = cls_id;
-        buckets.push_back(std::move(cls));
-        ids = std::move(rest);
+  if (pool != nullptr && space.num_processes_ > 1) {
+    // Processes are classified independently; each task runs the exact
+    // sequential per-process code, so results do not depend on the pool.
+    pool->Run(static_cast<std::size_t>(space.num_processes_),
+              [&](std::size_t p) {
+                ClassifyProjectionsFor(space, static_cast<ProcessId>(p));
+              });
+  } else {
+    for (ProcessId p = 0; p < space.num_processes_; ++p)
+      ClassifyProjectionsFor(space, p);
+  }
+}
+
+void ComputationSpace::ClassifyProjectionsFor(ComputationSpace& space,
+                                              ProcessId p) {
+  const std::size_t n = space.computations_.size();
+  ProjectionClassifier classifier;
+  for (std::size_t id = 0; id < n; ++id) {
+    const std::size_t h = space.computations_[id].ProjectionHash(p);
+    classifier.by_hash[h].push_back(static_cast<std::uint32_t>(id));
+  }
+  auto& buckets = space.buckets_[p];
+  for (auto& [h, ids] : classifier.by_hash) {
+    // Hash buckets may (rarely) mix distinct projections; split exactly.
+    while (!ids.empty()) {
+      const std::uint32_t rep = ids.front();
+      std::vector<std::uint32_t> cls;
+      std::vector<std::uint32_t> rest;
+      const auto rep_proj = space.computations_[rep].Projection(p);
+      for (std::uint32_t id : ids) {
+        if (space.computations_[id].Projection(p) == rep_proj)
+          cls.push_back(id);
+        else
+          rest.push_back(id);
       }
+      const auto cls_id = static_cast<std::uint32_t>(buckets.size());
+      for (std::uint32_t id : cls)
+        space.proj_class_[id * space.num_processes_ + p] = cls_id;
+      buckets.push_back(std::move(cls));
+      ids = std::move(rest);
     }
   }
-
-  space.by_length_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) space.by_length_[i] = i;
-  std::sort(space.by_length_.begin(), space.by_length_.end(),
-            [&](std::size_t a, std::size_t b) {
-              return space.computations_[a].size() <
-                     space.computations_[b].size();
-            });
-  return space;
 }
 
 std::optional<std::size_t> ComputationSpace::IndexOf(
@@ -160,25 +470,10 @@ std::size_t ComputationSpace::RequireIndex(const Computation& c) const {
 void ComputationSpace::ForEachIsomorphic(
     std::size_t id, ProcessSet set,
     const std::function<void(std::size_t)>& fn) const {
-  if (set.IsEmpty()) {
-    // x [{}] y holds for all computations.
-    for (std::size_t y = 0; y < size(); ++y) fn(y);
-    return;
-  }
-  // Scan the smallest per-process bucket and verify the other processes via
-  // class-id equality.
-  ProcessId best = set.First();
-  std::size_t best_size = SIZE_MAX;
-  set.ForEach([&](ProcessId p) {
-    const auto& bucket = Bucket(p, ProjectionClass(id, p));
-    if (bucket.size() < best_size) {
-      best_size = bucket.size();
-      best = p;
-    }
+  ForEachIsomorphicWhile(id, set, [&fn](std::size_t y) {
+    fn(y);
+    return true;
   });
-  for (std::uint32_t y : Bucket(best, ProjectionClass(id, best))) {
-    if (Isomorphic(id, y, set)) fn(y);
-  }
 }
 
 bool ComputationSpace::Isomorphic(std::size_t a, std::size_t b,

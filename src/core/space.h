@@ -12,6 +12,17 @@
 // Per-process buckets group computations with equal projections, so the
 // [p]-equivalence classes are materialized and "for all y: x [P] y" becomes
 // an intersection of bucket scans instead of a scan of the whole space.
+//
+// Enumeration is parallel: a fixed worker pool expands the BFS frontier one
+// depth level at a time, dedups extensions through per-shard hash maps
+// (sharded by canonical-form hash), and merges shards in the sequential
+// discovery order — so class ids, successor lists, projection classes, and
+// therefore every knowledge result are byte-identical for every
+// `num_threads` value.  `num_threads = 1` runs the plain sequential loop.
+// Parallel expansion calls `System::EnabledEvents` concurrently from
+// multiple threads, which is safe for every system in the repo because
+// EnabledEvents is a pure function of the computation; custom systems must
+// preserve that (no mutable state in a const EnabledEvents).
 #ifndef HPL_CORE_SPACE_H_
 #define HPL_CORE_SPACE_H_
 
@@ -28,6 +39,10 @@
 
 namespace hpl {
 
+namespace internal {
+class WorkerPool;
+}  // namespace internal
+
 struct EnumerationLimits {
   // Hard cap on events per computation.  Enumeration throws if any branch
   // is still extendable at this depth, unless `allow_truncation` is set —
@@ -43,6 +58,10 @@ struct EnumerationLimits {
   // (e.g. protocols/lockstep.h) are NOT permutation closed: they must set
   // this to false so the space keeps their literal interleavings.
   bool canonicalize = true;
+  // Worker threads for enumeration.  0 = std::thread::hardware_concurrency
+  // (at least 1); 1 = the exact sequential code path.  Any value produces
+  // byte-identical class ids and derived indexes (see the header comment).
+  int num_threads = 0;
 };
 
 class ComputationSpace {
@@ -72,6 +91,12 @@ class ComputationSpace {
     return proj_class_.at(id * num_processes_ + p);
   }
 
+  // Number of [p]-equivalence classes (valid class ids are dense in
+  // [0, NumProjectionClasses(p))).
+  std::size_t NumProjectionClasses(ProcessId p) const {
+    return buckets_.at(p).size();
+  }
+
   // All computations y with At(id) [p] y (including id itself).
   const std::vector<std::uint32_t>& Bucket(ProcessId p,
                                            std::uint32_t cls) const {
@@ -82,6 +107,30 @@ class ComputationSpace {
   // (the paper: x [{}] y for all x, y).
   void ForEachIsomorphic(std::size_t id, ProcessSet set,
                          const std::function<void(std::size_t)>& fn) const;
+
+  // As ForEachIsomorphic, but stops as soon as `fn` returns false.  The
+  // canonical implementation of the [P]-relation sweep: scans the smallest
+  // per-process bucket and verifies the other processes via class ids.
+  template <typename Fn>
+  void ForEachIsomorphicWhile(std::size_t id, ProcessSet set, Fn&& fn) const {
+    if (set.IsEmpty()) {
+      // x [{}] y holds for all computations.
+      for (std::size_t y = 0; y < size(); ++y)
+        if (!fn(y)) return;
+      return;
+    }
+    ProcessId best = set.First();
+    std::size_t best_size = SIZE_MAX;
+    set.ForEach([&](ProcessId p) {
+      const auto& bucket = Bucket(p, ProjectionClass(id, p));
+      if (bucket.size() < best_size) {
+        best_size = bucket.size();
+        best = p;
+      }
+    });
+    for (std::uint32_t y : Bucket(best, ProjectionClass(id, best)))
+      if (Isomorphic(id, y, set) && !fn(y)) return;
+  }
 
   // True iff At(a) [P] At(b) — O(|P|) via class ids.
   bool Isomorphic(std::size_t a, std::size_t b, ProcessSet set) const;
@@ -119,6 +168,21 @@ class ComputationSpace {
 
  private:
   ComputationSpace() = default;
+
+  // BFS class discovery (phase 1 of Enumerate): fills computations_,
+  // canon_index_, successors_, and truncated_.
+  static void DiscoverClassesSequential(const System& system,
+                                        const EnumerationLimits& limits,
+                                        ComputationSpace& space);
+  static void DiscoverClassesParallel(const System& system,
+                                      const EnumerationLimits& limits,
+                                      internal::WorkerPool& pool,
+                                      ComputationSpace& space);
+  // Projection classification (phase 2): fills proj_class_ and buckets_,
+  // one independent task per process when a pool is given.
+  static void ClassifyProjections(ComputationSpace& space,
+                                  internal::WorkerPool* pool);
+  static void ClassifyProjectionsFor(ComputationSpace& space, ProcessId p);
 
   int num_processes_ = 0;
   bool truncated_ = false;

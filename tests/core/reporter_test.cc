@@ -1,0 +1,91 @@
+// Round-trip coverage for the bench JSON reporter: every field written by
+// ToJson() must survive Parse() bit-exactly, and the emitted document must
+// stay within the BENCH_*.json schema CI validates.
+#include "bench/reporter.h"
+
+#include <gtest/gtest.h>
+
+namespace hpl::bench {
+namespace {
+
+JsonResult MakeResult() {
+  JsonResult r;
+  r.name = "enumerate/random(n=4,m=6,seed=42)";
+  r.params = {{"processes", 4}, {"depth", 56}, {"threads", 2}};
+  r.wall_ns = 123456789;
+  r.space_classes = 31563;
+  r.classes_per_sec = 105210.25;
+  return r;
+}
+
+TEST(ReporterTest, RoundTripPreservesAllFields) {
+  JsonReporter reporter("space_scaling");
+  reporter.Add(MakeResult());
+  JsonResult second;
+  second.name = "knowledge/\"quoted\"\\backslash\nnewline";
+  second.params = {{"fraction", 0.125}, {"huge", 1.5e12}, {"negative", -3}};
+  second.wall_ns = 1;
+  reporter.Add(second);
+
+  const JsonReporter parsed = JsonReporter::Parse(reporter.ToJson());
+  EXPECT_EQ(parsed.bench(), "space_scaling");
+  ASSERT_EQ(parsed.results().size(), 2u);
+
+  const JsonResult& a = parsed.results()[0];
+  EXPECT_EQ(a.name, "enumerate/random(n=4,m=6,seed=42)");
+  ASSERT_EQ(a.params.size(), 3u);
+  EXPECT_EQ(a.params[0].first, "processes");
+  EXPECT_EQ(a.params[0].second, 4);
+  EXPECT_EQ(a.params[2].first, "threads");
+  EXPECT_EQ(a.params[2].second, 2);
+  EXPECT_EQ(a.wall_ns, 123456789);
+  EXPECT_EQ(a.space_classes, 31563u);
+  EXPECT_EQ(a.classes_per_sec, 105210.25);
+
+  const JsonResult& b = parsed.results()[1];
+  EXPECT_EQ(b.name, second.name);
+  ASSERT_EQ(b.params.size(), 3u);
+  EXPECT_EQ(b.params[0].second, 0.125);
+  EXPECT_EQ(b.params[1].second, 1.5e12);
+  EXPECT_EQ(b.params[2].second, -3);
+  EXPECT_EQ(b.wall_ns, 1);
+  EXPECT_EQ(b.space_classes, 0u);
+  EXPECT_EQ(b.classes_per_sec, 0.0);
+}
+
+TEST(ReporterTest, EmptyReporterRoundTrips) {
+  const JsonReporter parsed = JsonReporter::Parse(JsonReporter("e").ToJson());
+  EXPECT_EQ(parsed.bench(), "e");
+  EXPECT_TRUE(parsed.results().empty());
+}
+
+TEST(ReporterTest, ParseRejectsMalformedInput) {
+  EXPECT_THROW(JsonReporter::Parse(""), std::runtime_error);
+  EXPECT_THROW(JsonReporter::Parse("{}"), std::runtime_error);
+  EXPECT_THROW(JsonReporter::Parse("{\"schema\": \"other\"}"),
+               std::runtime_error);
+  JsonReporter reporter("x");
+  reporter.Add(MakeResult());
+  std::string json = reporter.ToJson();
+  EXPECT_THROW(JsonReporter::Parse(json + "trailing"), std::runtime_error);
+}
+
+TEST(ReporterTest, JsonFlagExtractsAndRemovesArgument) {
+  const char* raw[] = {"bench", "--preset=smoke", "--json=/tmp/out.json",
+                       "--threads=2"};
+  char* argv[4];
+  for (int i = 0; i < 4; ++i) argv[i] = const_cast<char*>(raw[i]);
+  int argc = 4;
+  const auto path = JsonReporter::JsonFlag(argc, argv);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, "/tmp/out.json");
+  ASSERT_EQ(argc, 3);
+  EXPECT_STREQ(argv[1], "--preset=smoke");
+  EXPECT_STREQ(argv[2], "--threads=2");
+
+  int argc_none = 1;
+  EXPECT_FALSE(JsonReporter::JsonFlag(argc_none, argv).has_value());
+}
+
+}  // namespace
+}  // namespace hpl::bench

@@ -15,17 +15,23 @@
 //   hpl fuse     <n> <x> <y> <z> <p0>[,p1...]
 //                                        Theorem-2 fusion of y and z over
 //                                        common prefix x w.r.t. P
+//   hpl bench    <system> [--threads=N] [--repeat=K] [--json=PATH]
+//                                        time enumeration + a knowledge
+//                                        sweep; optional BENCH_*.json output
 //
 // Systems: ping | relay:N | tokenbus:N,PASSES | tracker:FLIPS | random:SEED
 //          | lockstep:ROUNDS
 // Formulas use the text syntax, e.g.  "K{1} (sent && !K{0} K{1} sent)".
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "bench/reporter.h"
 #include "core/diagram.h"
 #include "core/fusion.h"
 #include "core/knowledge.h"
@@ -317,11 +323,70 @@ int CmdFuse(int n, const std::string& xs, const std::string& ys,
   return 0;
 }
 
+int CmdBench(const std::string& spec, int threads, int repeat,
+             const std::optional<std::string>& json_path) {
+  NamedSystem named = MakeSystem(spec);
+  bench::JsonReporter reporter("cli");
+
+  // Enumeration: best-of-`repeat` wall time; the last space is reused for
+  // the knowledge sweep below.
+  std::int64_t enumerate_ns = INT64_MAX;
+  std::optional<ComputationSpace> space;
+  for (int rep = 0; rep < repeat; ++rep) {
+    bench::WallTimer timer;
+    space = ComputationSpace::Enumerate(
+        *named.system, {.max_depth = named.max_depth,
+                        .canonicalize = named.canonicalize,
+                        .num_threads = threads});
+    enumerate_ns = std::min(enumerate_ns, timer.ElapsedNs());
+  }
+  const std::size_t classes = space->size();
+  bench::JsonResult enum_result;
+  enum_result.name = "enumerate/" + named.system->Name();
+  enum_result.params = {{"threads", static_cast<double>(threads)},
+                        {"repeat", static_cast<double>(repeat)},
+                        {"depth", static_cast<double>(named.max_depth)}};
+  enum_result.wall_ns = enumerate_ns;
+  enum_result.space_classes = classes;
+  enum_result.classes_per_sec = bench::ClassesPerSec(classes, enumerate_ns);
+  reporter.Add(enum_result);
+
+  // Knowledge sweep: satisfying set of K{0} atom for every atom.
+  KnowledgeEvaluator eval(*space);
+  bench::WallTimer knowledge_timer;
+  std::size_t satisfying = 0;
+  for (const Predicate& atom : named.atoms)
+    satisfying +=
+        eval.SatisfyingSet(Formula::Knows(ProcessSet{0}, Formula::Atom(atom)))
+            .size();
+  bench::JsonResult know_result;
+  know_result.name = "knowledge_sweep/" + named.system->Name();
+  know_result.params = {{"atoms", static_cast<double>(named.atoms.size())},
+                        {"satisfying", static_cast<double>(satisfying)},
+                        {"memo_entries", static_cast<double>(eval.memo_size())}};
+  know_result.wall_ns = knowledge_timer.ElapsedNs();
+  know_result.space_classes = classes;
+  reporter.Add(know_result);
+
+  std::printf("system:            %s\n", named.system->Name().c_str());
+  std::printf("threads:           %d\n", threads);
+  std::printf("classes:           %zu\n", classes);
+  std::printf("enumerate (best):  %.3f ms  (%.0f classes/sec)\n",
+              static_cast<double>(enumerate_ns) / 1e6,
+              enum_result.classes_per_sec);
+  std::printf("knowledge sweep:   %.3f ms  (%zu atoms, %zu memo entries)\n",
+              static_cast<double>(know_result.wall_ns) / 1e6,
+              named.atoms.size(), eval.memo_size());
+  if (json_path.has_value() && !reporter.WriteFile(*json_path)) return 1;
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: hpl systems | space <sys> | diagram <sys> | atoms "
-                 "<sys> | check <sys> <formula> | simulate <what> [seed]\n");
+                 "<sys> | check <sys> <formula> | simulate <what> [seed] | "
+                 "bench <sys> [--threads=N] [--repeat=K] [--json=PATH]\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -342,6 +407,17 @@ int Main(int argc, char** argv) {
     }
     if (cmd == "fuse" && argc >= 7)
       return CmdFuse(std::atoi(argv[2]), argv[3], argv[4], argv[5], argv[6]);
+    if (cmd == "bench" && argc >= 3) {
+      auto json_path = bench::JsonReporter::JsonFlag(argc, argv);
+      int threads = 0, repeat = 3;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--threads=", 10) == 0)
+          threads = std::atoi(argv[i] + 10);
+        else if (std::strncmp(argv[i], "--repeat=", 9) == 0)
+          repeat = std::max(1, std::atoi(argv[i] + 9));
+      }
+      return CmdBench(argv[2], threads, repeat, json_path);
+    }
   } catch (const ModelError& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
