@@ -7,6 +7,7 @@
 #include "bench/reporter.h"
 #include "bench/table.h"
 #include "core/knowledge.h"
+#include "core/parallel.h"
 #include "core/random_system.h"
 #include "protocols/relay.h"
 #include "protocols/token_bus.h"
@@ -40,7 +41,9 @@ int main(int argc, char** argv) {
     bench::JsonResult result;
     result.name = "ck_constancy/" + system.Name() + "/" + predicate.name();
     result.params = {{"depth", static_cast<double>(depth)},
-                     {"enumerate_ns", static_cast<double>(enumerate_ns)}};
+                     {"enumerate_ns", static_cast<double>(enumerate_ns)},
+                     {"knowledge_threads",
+                      static_cast<double>(internal::ResolveNumThreads(0))}};
     result.wall_ns = enumerate_ns + eval_timer.ElapsedNs();
     result.space_classes = space.size();
     result.classes_per_sec = bench::ClassesPerSec(space.size(), enumerate_ns);
@@ -106,7 +109,9 @@ int main(int argc, char** argv) {
     }
     bench::JsonResult result;
     result.name = "identical_knowledge/seed=" + std::to_string(seed);
-    result.params = {{"seed", static_cast<double>(seed)}};
+    result.params = {{"seed", static_cast<double>(seed)},
+                     {"knowledge_threads",
+                      static_cast<double>(internal::ResolveNumThreads(0))}};
     result.wall_ns = sweep_timer.ElapsedNs();
     result.space_classes = space.size();
     result.classes_per_sec = bench::ClassesPerSec(space.size(), enumerate_ns);

@@ -5,6 +5,7 @@
 #include "bench/reporter.h"
 #include "bench/table.h"
 #include "core/knowledge.h"
+#include "core/parallel.h"
 #include "core/random_system.h"
 
 using namespace hpl;
@@ -85,7 +86,9 @@ int main(int argc, char** argv) {
     bench::JsonResult result;
     result.name = "axioms/seed=" + std::to_string(seed);
     result.params = {{"seed", static_cast<double>(seed)},
-                     {"memo_entries", static_cast<double>(eval.memo_size())}};
+                     {"memo_entries", static_cast<double>(eval.memo_size())},
+                     {"knowledge_threads",
+                      static_cast<double>(internal::ResolveNumThreads(0))}};
     result.wall_ns = seed_timer.ElapsedNs();
     result.space_classes = space.size();
     result.classes_per_sec = bench::ClassesPerSec(space.size(), enumerate_ns);

@@ -174,6 +174,63 @@ Computation Computation::Canonical() const {
   return TrustedFromEvents(std::move(out));
 }
 
+Computation Computation::CanonicalExtended(const Event& e) const {
+  std::string why;
+  if (!CanExtend(*this, e, &why))
+    throw ModelError("CanonicalExtended: " + why);
+
+  // Where does the greedy scheduler emit `e`?  Replay its state from the
+  // canonical sequence alone.  The scheduler sweeps processes 0..P-1 and
+  // drains every eligible event, so within one sweep emitted process ids are
+  // non-decreasing; a new sweep begins exactly where they decrease.  `e` is
+  // eligible right after its last dependency `dep` (its process predecessor
+  // and, for a receive, its send), and is emitted at the next moment the
+  // sweep pointer reaches e.process: after the run of events that follow
+  // `dep` in dep's sweep with process <= e.process — or, if the pointer has
+  // already passed e.process in that sweep, after the matching prefix run of
+  // the next sweep as well.
+  const std::size_t n = events_.size();
+  std::vector<std::uint32_t> sweep(n);
+  std::size_t dep = n;  // n = no dependency: eligible before anything
+  for (std::size_t i = 0; i < n; ++i) {
+    sweep[i] = (i == 0 || events_[i].process >= events_[i - 1].process)
+                   ? (i == 0 ? 0 : sweep[i - 1])
+                   : sweep[i - 1] + 1;
+    if (events_[i].process == e.process ||
+        (e.IsReceive() && events_[i].IsSend() && events_[i].message == e.message))
+      dep = i;
+  }
+
+  std::size_t pos;
+  if (dep == n) {
+    // Eligible from the start: the pointer begins sweep 0 at process 0.
+    pos = 0;
+    while (pos < n && sweep[pos] == 0 && events_[pos].process <= e.process)
+      ++pos;
+  } else if (e.process >= events_[dep].process) {
+    // Emitted later in dep's own sweep.
+    pos = dep + 1;
+    while (pos < n && sweep[pos] == sweep[dep] &&
+           events_[pos].process <= e.process)
+      ++pos;
+  } else {
+    // The pointer already passed e.process in dep's sweep: skip the rest of
+    // that sweep, then the next sweep's prefix up to e.process.
+    pos = dep + 1;
+    while (pos < n && (sweep[pos] == sweep[dep] ||
+                       (sweep[pos] == sweep[dep] + 1 &&
+                        events_[pos].process <= e.process)))
+      ++pos;
+  }
+
+  std::vector<Event> out;
+  out.reserve(n + 1);
+  out.insert(out.end(), events_.begin(), events_.begin() + pos);
+  out.push_back(e);
+  out.insert(out.end(), events_.begin() + pos, events_.end());
+  return TrustedFromEvents(std::move(out));
+}
+
 std::size_t Computation::CanonicalHash() const {
   return HashEventSequence(Canonical().events());
 }

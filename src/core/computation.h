@@ -89,6 +89,15 @@ class Computation {
   // hashable.
   Computation Canonical() const;
 
+  // Canonical form of (*this; e), computed incrementally.  REQUIRES *this to
+  // already be in canonical order (events() == Canonical().events()); then
+  // Canonical() of the extension keeps every existing event in place —
+  // nothing depends on the appended event — so the result is this sequence
+  // with `e` spliced in at its greedy emission point.  One O(n) pass, no
+  // per-process queues or hash sets; equal to Extended(e).Canonical() by
+  // construction.  The enumeration hot loop lives on this.
+  Computation CanonicalExtended(const Event& e) const;
+
   // Stable structural hash of the canonical form.
   std::size_t CanonicalHash() const;
 

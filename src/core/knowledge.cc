@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <numeric>
+#include <unordered_set>
+#include <utility>
+
+#include "core/parallel.h"
 
 namespace hpl {
 namespace {
@@ -10,7 +14,11 @@ namespace {
 // per-class bitsets would cost more memory traffic than it saves.
 constexpr std::size_t kMinBucketForBits = 64;
 
-// Union-find over dense ids.
+// Spaces smaller than this answer whole-space queries sequentially even
+// when the evaluator has worker threads; the pass setup would dominate.
+constexpr std::size_t kMinParallelSpace = 128;
+
+// Union-find over dense ids (sequential path).
 class UnionFind {
  public:
   explicit UnionFind(std::size_t n) : parent_(n) {
@@ -33,31 +41,136 @@ class UnionFind {
   std::vector<std::uint32_t> parent_;
 };
 
+// Lock-free union-find for the parallel component build: roots are only
+// re-parented by a CAS from the self-pointing state, and unions always hook
+// the larger root under the smaller, so parent chains strictly decrease —
+// Find terminates and the final root of a component is its smallest member.
+std::uint32_t AtomicFind(std::vector<std::atomic<std::uint32_t>>& parent,
+                         std::uint32_t a) {
+  for (;;) {
+    std::uint32_t p = parent[a].load(std::memory_order_relaxed);
+    if (p == a) return a;
+    const std::uint32_t gp = parent[p].load(std::memory_order_relaxed);
+    if (gp == p) {
+      a = p;
+      continue;
+    }
+    // Path halving; a failed CAS just means another thread already helped.
+    parent[a].compare_exchange_weak(p, gp, std::memory_order_relaxed);
+    a = gp;
+  }
+}
+
+void AtomicUnion(std::vector<std::atomic<std::uint32_t>>& parent,
+                 std::uint32_t a, std::uint32_t b) {
+  for (;;) {
+    a = AtomicFind(parent, a);
+    b = AtomicFind(parent, b);
+    if (a == b) return;
+    if (a > b) std::swap(a, b);
+    std::uint32_t expected = b;
+    if (parent[b].compare_exchange_strong(expected, a,
+                                          std::memory_order_relaxed))
+      return;
+  }
+}
+
+// Children-before-parents order over the unique nodes of a formula DAG.
+void PostOrder(const Formula* f, std::unordered_set<const Formula*>& seen,
+               std::vector<const Formula*>& order) {
+  if (f == nullptr || !seen.insert(f).second) return;
+  PostOrder(f->left().get(), seen, order);
+  PostOrder(f->right().get(), seen, order);
+  order.push_back(f);
+}
+
+// Bits of plane word `w` that correspond to real class ids (the last word
+// of an n-id plane is only partially populated).
+std::uint64_t LiveWordMask(std::size_t n, std::size_t w) {
+  const std::size_t tail = n - w * 64;
+  return tail >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << tail) - 1;
+}
+
 }  // namespace
 
-KnowledgeEvaluator::KnowledgeEvaluator(const ComputationSpace& space)
+KnowledgeEvaluator::KnowledgeEvaluator(const ComputationSpace& space,
+                                       const KnowledgeOptions& options)
     : space_(space),
       words_((space.size() + 63) / 64),
-      bucket_bits_(space.num_processes()) {
+      num_threads_(internal::ResolveNumThreads(options.num_threads)) {
+  bucket_bits_.reserve(static_cast<std::size_t>(space.num_processes()));
   for (ProcessId p = 0; p < space.num_processes(); ++p)
-    bucket_bits_[p].resize(space.NumProjectionClasses(p));
+    bucket_bits_.emplace_back(space.NumProjectionClasses(p));
+}
+
+KnowledgeEvaluator::~KnowledgeEvaluator() {
+  for (auto& per_process : bucket_bits_)
+    for (auto& slot : per_process) delete slot.load(std::memory_order_acquire);
+}
+
+bool KnowledgeEvaluator::UseParallel() const noexcept {
+  return num_threads_ > 1 && space_.size() >= kMinParallelSpace;
+}
+
+internal::WorkerPool& KnowledgeEvaluator::Pool() {
+  if (!pool_) pool_ = std::make_unique<internal::WorkerPool>(num_threads_);
+  return *pool_;
 }
 
 bool KnowledgeEvaluator::Holds(const FormulaPtr& f, std::size_t id) {
   if (!f) throw ModelError("KnowledgeEvaluator::Holds: null formula");
   retained_.push_back(f);
-  return Eval(f.get(), id);
+  return Eval(f.get(), id, planes_, identity_rows_);
 }
 
 bool KnowledgeEvaluator::Holds(const FormulaPtr& f, const Computation& x) {
   return Holds(f, space_.RequireIndex(x));
 }
 
+const std::uint64_t* KnowledgeEvaluator::EvaluatedValuePlane(
+    const FormulaPtr& f) {
+  if (!f) throw ModelError("KnowledgeEvaluator: null formula");
+  retained_.push_back(f);
+  EvaluateEverywhereParallel(f.get());
+  return &planes_.value[InternNode(f.get()) * words_];
+}
+
+std::vector<std::uint8_t> KnowledgeEvaluator::HoldsAll(const FormulaPtr& f) {
+  if (!f) throw ModelError("KnowledgeEvaluator::HoldsAll: null formula");
+  std::vector<std::uint8_t> out(space_.size(), 0);
+  if (space_.size() == 0) return out;
+  if (UseParallel()) {
+    const std::uint64_t* value = EvaluatedValuePlane(f);
+    for (std::size_t id = 0; id < space_.size(); ++id)
+      out[id] = (value[id / 64] >> (id % 64)) & 1;
+    return out;
+  }
+  retained_.push_back(f);
+  for (std::size_t id = 0; id < space_.size(); ++id)
+    out[id] = Eval(f.get(), id, planes_, identity_rows_) ? 1 : 0;
+  return out;
+}
+
 std::vector<std::size_t> KnowledgeEvaluator::SatisfyingSet(
     const FormulaPtr& f) {
+  if (!f) throw ModelError("KnowledgeEvaluator::SatisfyingSet: null formula");
   std::vector<std::size_t> out;
+  if (space_.size() == 0) return out;
+  if (UseParallel()) {
+    const std::uint64_t* value = EvaluatedValuePlane(f);
+    for (std::size_t w = 0; w < words_; ++w) {
+      std::uint64_t word = value[w];
+      while (word != 0) {
+        out.push_back(w * 64 +
+                      static_cast<std::size_t>(__builtin_ctzll(word)));
+        word &= word - 1;
+      }
+    }
+    return out;
+  }
+  retained_.push_back(f);
   for (std::size_t id = 0; id < space_.size(); ++id)
-    if (Holds(f, id)) out.push_back(id);
+    if (Eval(f.get(), id, planes_, identity_rows_)) out.push_back(id);
   return out;
 }
 
@@ -76,17 +189,35 @@ bool KnowledgeEvaluator::IsLocalTo(const Predicate& b, ProcessSet p) {
 }
 
 bool KnowledgeEvaluator::IsLocalTo(const FormulaPtr& f, ProcessSet p) {
+  if (!f) throw ModelError("KnowledgeEvaluator::IsLocalTo: null formula");
   FormulaPtr sure = Formula::Sure(p, f);
+  if (space_.size() == 0) return true;
+  if (UseParallel()) {
+    const std::uint64_t* value = EvaluatedValuePlane(sure);
+    for (std::size_t w = 0; w < words_; ++w)
+      if (value[w] != LiveWordMask(space_.size(), w)) return false;
+    return true;
+  }
+  retained_.push_back(sure);
   for (std::size_t id = 0; id < space_.size(); ++id)
-    if (!Holds(sure, id)) return false;
+    if (!Eval(sure.get(), id, planes_, identity_rows_)) return false;
   return true;
 }
 
 bool KnowledgeEvaluator::IsConstant(const FormulaPtr& f) {
+  if (!f) throw ModelError("KnowledgeEvaluator::IsConstant: null formula");
   if (space_.size() == 0) return true;
-  const bool v0 = Holds(f, 0);
+  if (UseParallel()) {
+    const std::uint64_t* value = EvaluatedValuePlane(f);
+    const bool v0 = (value[0] & 1) != 0;
+    for (std::size_t w = 0; w < words_; ++w)
+      if (value[w] != (v0 ? LiveWordMask(space_.size(), w) : 0)) return false;
+    return true;
+  }
+  retained_.push_back(f);
+  const bool v0 = Eval(f.get(), 0, planes_, identity_rows_);
   for (std::size_t id = 1; id < space_.size(); ++id)
-    if (Holds(f, id) != v0) return false;
+    if (Eval(f.get(), id, planes_, identity_rows_) != v0) return false;
   return true;
 }
 
@@ -100,45 +231,102 @@ const KnowledgeEvaluator::ComponentIndex& KnowledgeEvaluator::Components(
   auto it = components_.find(g.bits());
   if (it != components_.end()) return it->second;
 
-  UnionFind uf(space_.size());
-  g.ForEach([&](ProcessId p) {
-    // All members of one [p]-bucket are mutually indistinguishable to p.
-    const auto num_classes =
-        static_cast<std::uint32_t>(space_.NumProjectionClasses(p));
-    for (std::uint32_t cls = 0; cls < num_classes; ++cls) {
-      const auto& bucket = space_.Bucket(p, cls);
-      for (std::size_t i = 1; i < bucket.size(); ++i)
-        uf.Union(bucket[0], bucket[i]);
-    }
-  });
   ComponentIndex index;
   index.root.resize(space_.size());
-  for (std::size_t id = 0; id < space_.size(); ++id) {
-    index.root[id] = uf.Find(static_cast<std::uint32_t>(id));
+  BuildComponentRoots(g, index.root);
+  for (std::size_t id = 0; id < space_.size(); ++id)
     index.members[index.root[id]].push_back(static_cast<std::uint32_t>(id));
-  }
   return components_.emplace(g.bits(), std::move(index)).first->second;
 }
 
-std::uint32_t KnowledgeEvaluator::InternNode(const Formula* f) {
-  auto [it, inserted] =
-      node_index_.emplace(f, static_cast<std::uint32_t>(node_index_.size()));
-  if (inserted) {
-    known_.resize(known_.size() + words_, 0);
-    value_.resize(value_.size() + words_, 0);
+void KnowledgeEvaluator::BuildComponentRoots(ProcessSet g,
+                                             std::vector<std::uint32_t>& root) {
+  const std::size_t n = space_.size();
+  if (!UseParallel()) {
+    UnionFind uf(n);
+    g.ForEach([&](ProcessId p) {
+      // All members of one [p]-bucket are mutually indistinguishable to p.
+      const auto num_classes =
+          static_cast<std::uint32_t>(space_.NumProjectionClasses(p));
+      for (std::uint32_t cls = 0; cls < num_classes; ++cls) {
+        const auto& bucket = space_.Bucket(p, cls);
+        for (std::size_t i = 1; i < bucket.size(); ++i)
+          uf.Union(bucket[0], bucket[i]);
+      }
+    });
+    for (std::size_t id = 0; id < n; ++id)
+      root[id] = uf.Find(static_cast<std::uint32_t>(id));
+  } else {
+    std::vector<std::atomic<std::uint32_t>> parent(n);
+    for (std::size_t i = 0; i < n; ++i)
+      parent[i].store(static_cast<std::uint32_t>(i),
+                      std::memory_order_relaxed);
+    // One task per [p]-bucket class; unions from different buckets are safe
+    // to race on the atomic parents.
+    std::vector<std::pair<ProcessId, std::uint32_t>> tasks;
+    g.ForEach([&](ProcessId p) {
+      const auto num_classes =
+          static_cast<std::uint32_t>(space_.NumProjectionClasses(p));
+      for (std::uint32_t cls = 0; cls < num_classes; ++cls)
+        tasks.emplace_back(p, cls);
+    });
+    internal::WorkerPool& pool = Pool();
+    pool.Run(tasks.size(), [&](std::size_t t) {
+      const auto& bucket = space_.Bucket(tasks[t].first, tasks[t].second);
+      for (std::size_t i = 1; i < bucket.size(); ++i)
+        AtomicUnion(parent, bucket[0], bucket[i]);
+    });
+    internal::ParallelFor(&pool, n, /*align=*/1,
+                          [&](std::size_t begin, std::size_t end) {
+                            for (std::size_t id = begin; id < end; ++id)
+                              root[id] = AtomicFind(
+                                  parent, static_cast<std::uint32_t>(id));
+                          });
   }
-  return it->second;
+  // Normalize labels to the smallest member id — deterministic whatever
+  // union order or union-find flavor produced the raw roots, so sequential
+  // and parallel builds agree byte for byte.
+  constexpr std::uint32_t kUnseen = UINT32_MAX;
+  std::vector<std::uint32_t> smallest(n, kUnseen);
+  for (std::size_t id = 0; id < n; ++id) {
+    const std::uint32_t raw = root[id];
+    if (smallest[raw] == kUnseen)
+      smallest[raw] = static_cast<std::uint32_t>(id);
+    root[id] = smallest[raw];
+  }
+}
+
+std::uint32_t KnowledgeEvaluator::InternNode(const Formula* f) {
+  // find-before-emplace: parallel passes pre-intern every node of the DAG,
+  // so worker threads always take this read-only path and the shared planes
+  // never resize while a pass is in flight.
+  auto it = node_index_.find(f);
+  if (it != node_index_.end()) return it->second;
+  const auto node = static_cast<std::uint32_t>(node_index_.size());
+  node_index_.emplace(f, node);
+  planes_.known.resize(planes_.known.size() + words_, 0);
+  planes_.value.resize(planes_.value.size() + words_, 0);
+  identity_rows_.push_back(node);
+  node_complete_.push_back(0);
+  return node;
 }
 
 const std::vector<std::uint64_t>& KnowledgeEvaluator::BucketBits(
     ProcessId p, std::uint32_t cls) {
-  std::vector<std::uint64_t>& bits = bucket_bits_[p][cls];
-  if (bits.empty()) {
-    bits.assign(words_, 0);
-    for (std::uint32_t y : space_.Bucket(p, cls))
-      bits[y / 64] |= std::uint64_t{1} << (y % 64);
-  }
-  return bits;
+  auto& slot = bucket_bits_[static_cast<std::size_t>(p)][cls];
+  const std::vector<std::uint64_t>* bits =
+      slot.load(std::memory_order_acquire);
+  if (bits != nullptr) return *bits;
+  auto fresh = std::make_unique<std::vector<std::uint64_t>>(words_, 0);
+  for (std::uint32_t y : space_.Bucket(p, cls))
+    (*fresh)[y / 64] |= std::uint64_t{1} << (y % 64);
+  const std::vector<std::uint64_t>* expected = nullptr;
+  if (slot.compare_exchange_strong(expected, fresh.get(),
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_acquire))
+    return *fresh.release();
+  // Another worker published the identical bitset first; keep theirs.
+  return *expected;
 }
 
 template <typename Fn>
@@ -175,12 +363,14 @@ void KnowledgeEvaluator::ForEachRelated(std::size_t id, ProcessSet set,
   }
 }
 
-bool KnowledgeEvaluator::Eval(const Formula* f, std::size_t id) {
-  const std::uint32_t node = InternNode(f);
+bool KnowledgeEvaluator::Eval(const Formula* f, std::size_t id,
+                              MemoPlanes& planes,
+                              const std::vector<std::uint32_t>& rows) {
+  const std::size_t row = rows[InternNode(f)];
   {
     const std::uint64_t bit = std::uint64_t{1} << (id % 64);
-    if (known_[node * words_ + id / 64] & bit)
-      return (value_[node * words_ + id / 64] & bit) != 0;
+    if (planes.known[row * words_ + id / 64] & bit)
+      return (planes.value[row * words_ + id / 64] & bit) != 0;
   }
 
   bool result = false;
@@ -189,21 +379,24 @@ bool KnowledgeEvaluator::Eval(const Formula* f, std::size_t id) {
       result = f->atom().Eval(space_.At(id));
       break;
     case FormulaKind::kNot:
-      result = !Eval(f->left().get(), id);
+      result = !Eval(f->left().get(), id, planes, rows);
       break;
     case FormulaKind::kAnd:
-      result = Eval(f->left().get(), id) && Eval(f->right().get(), id);
+      result = Eval(f->left().get(), id, planes, rows) &&
+               Eval(f->right().get(), id, planes, rows);
       break;
     case FormulaKind::kOr:
-      result = Eval(f->left().get(), id) || Eval(f->right().get(), id);
+      result = Eval(f->left().get(), id, planes, rows) ||
+               Eval(f->right().get(), id, planes, rows);
       break;
     case FormulaKind::kImplies:
-      result = !Eval(f->left().get(), id) || Eval(f->right().get(), id);
+      result = !Eval(f->left().get(), id, planes, rows) ||
+               Eval(f->right().get(), id, planes, rows);
       break;
     case FormulaKind::kKnows: {
       result = true;
       ForEachRelated(id, f->group(), [&](std::size_t y) {
-        if (!Eval(f->left().get(), y)) result = false;
+        if (!Eval(f->left().get(), y, planes, rows)) result = false;
         return result;
       });
       break;
@@ -212,7 +405,7 @@ bool KnowledgeEvaluator::Eval(const Formula* f, std::size_t id) {
       // K_P f || K_P !f, evaluated in one bucket pass.
       bool all_true = true, all_false = true;
       ForEachRelated(id, f->group(), [&](std::size_t y) {
-        if (Eval(f->left().get(), y))
+        if (Eval(f->left().get(), y, planes, rows))
           all_false = false;
         else
           all_true = false;
@@ -230,18 +423,18 @@ bool KnowledgeEvaluator::Eval(const Formula* f, std::size_t id) {
           components.members.at(components.root[id]);
       result = true;
       for (std::uint32_t y : members) {
-        if (!Eval(f->left().get(), y)) {
+        if (!Eval(f->left().get(), y, planes, rows)) {
           result = false;
           break;
         }
       }
       for (std::uint32_t y : members) {
         const std::uint64_t bit = std::uint64_t{1} << (y % 64);
-        known_[node * words_ + y / 64] |= bit;
+        planes.known[row * words_ + y / 64] |= bit;
         if (result)
-          value_[node * words_ + y / 64] |= bit;
+          planes.value[row * words_ + y / 64] |= bit;
         else
-          value_[node * words_ + y / 64] &= ~bit;
+          planes.value[row * words_ + y / 64] &= ~bit;
       }
       return result;
     }
@@ -251,7 +444,7 @@ bool KnowledgeEvaluator::Eval(const Formula* f, std::size_t id) {
       f->group().ForEach([&](ProcessId p) {
         if (!result) return;
         ForEachRelated(id, ProcessSet::Of(p), [&](std::size_t y) {
-          if (!Eval(f->left().get(), y)) result = false;
+          if (!Eval(f->left().get(), y, planes, rows)) result = false;
           return result;
         });
       });
@@ -261,21 +454,84 @@ bool KnowledgeEvaluator::Eval(const Formula* f, std::size_t id) {
       // !K{P}!f: some [P]-isomorphic computation satisfies f.
       result = false;
       ForEachRelated(id, f->group(), [&](std::size_t y) {
-        if (Eval(f->left().get(), y)) result = true;
+        if (Eval(f->left().get(), y, planes, rows)) result = true;
         return !result;
       });
       break;
     }
   }
   const std::uint64_t bit = std::uint64_t{1} << (id % 64);
-  known_[node * words_ + id / 64] |= bit;
-  if (result) value_[node * words_ + id / 64] |= bit;
+  planes.known[row * words_ + id / 64] |= bit;
+  if (result) planes.value[row * words_ + id / 64] |= bit;
   return result;
+}
+
+void KnowledgeEvaluator::EvaluateEverywhereParallel(const Formula* root) {
+  const std::uint32_t root_node = InternNode(root);
+  // A completed pass memoized the root at every id in the shared planes;
+  // repeat whole-space queries go straight to the plane reads.
+  if (node_complete_[root_node]) return;
+
+  // Pre-intern the DAG and pre-build its CK component indexes so workers
+  // never mutate the node index, resize the shared planes, or touch the
+  // component cache; BucketBits remains safe through its CAS publication.
+  std::vector<const Formula*> order;
+  {
+    std::unordered_set<const Formula*> seen;
+    PostOrder(root, seen, order);
+  }
+  for (const Formula* f : order) InternNode(f);
+  for (const Formula* f : order)
+    if (f->kind() == FormulaKind::kCommon) Components(f->group());
+
+  // Shard the id range; each worker runs the exact sequential lazy
+  // recursion against a private plane seeded from the shared memo.
+  // Verdicts are pure, so workers that duplicate a subformula evaluation
+  // (bounded by the worker count) compute identical bits, and the OR-merge
+  // below is order-independent — results match the sequential engine
+  // byte for byte at any thread count.  The recursion can only touch this
+  // DAG's nodes, so the worker planes hold just |DAG| compact rows,
+  // located through a per-pass node -> row map: per-pass traffic and
+  // worker-plane footprint stay O(|DAG| x words) however many nodes
+  // earlier queries interned.
+  internal::WorkerPool& pool = Pool();
+  std::vector<std::uint32_t> pass_rows(node_index_.size(), 0);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    pass_rows[InternNode(order[i])] = static_cast<std::uint32_t>(i);
+  worker_planes_.resize(static_cast<std::size_t>(pool.size()));
+  for (MemoPlanes& planes : worker_planes_) {
+    planes.known.resize(order.size() * words_);
+    planes.value.resize(order.size() * words_);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const std::size_t from = InternNode(order[i]) * words_;
+      std::copy_n(planes_.known.begin() + from, words_,
+                  planes.known.begin() + i * words_);
+      std::copy_n(planes_.value.begin() + from, words_,
+                  planes.value.begin() + i * words_);
+    }
+  }
+  internal::ParallelForIndexed(
+      &pool, space_.size(), /*align=*/64,
+      [&](int worker, std::size_t begin, std::size_t end) {
+        MemoPlanes& planes = worker_planes_[static_cast<std::size_t>(worker)];
+        for (std::size_t id = begin; id < end; ++id)
+          Eval(root, id, planes, pass_rows);
+      });
+  for (const MemoPlanes& planes : worker_planes_) {
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const std::size_t to = InternNode(order[i]) * words_;
+      for (std::size_t w = 0; w < words_; ++w) {
+        planes_.known[to + w] |= planes.known[i * words_ + w];
+        planes_.value[to + w] |= planes.value[i * words_ + w];
+      }
+    }
+  }
+  node_complete_[root_node] = 1;
 }
 
 std::size_t KnowledgeEvaluator::memo_size() const noexcept {
   std::size_t n = 0;
-  for (std::uint64_t word : known_) n += __builtin_popcountll(word);
+  for (std::uint64_t word : planes_.known) n += __builtin_popcountll(word);
   return n;
 }
 

@@ -18,10 +18,30 @@
 // x through the union of the [p] relations, p in G — i.e. on x's whole
 // connected component of the "G-indistinguishability" graph; the verdict is
 // constant per component and is cached for the entire component at once.
+//
+// Whole-space queries (SatisfyingSet, HoldsAll, IsLocalTo, IsConstant, and
+// common-knowledge component construction) are parallel, gated by
+// KnowledgeOptions::num_threads.  The engine shards the class-id range over
+// a worker pool and each worker runs the *same lazy recursion* as the
+// sequential path — early exits, per-component CK caching and all — against
+// a private copy of the memo planes, seeded from the shared one; after the
+// pass the per-worker planes are OR-merged back into the shared planes.
+// Verdicts are pure functions of (formula node, class id), so duplicated
+// subformula work between workers (bounded by the worker count) changes
+// nothing but time, worker-range results are order-independent, and
+// satisfying sets come out byte-identical at any thread count.  Components
+// are built by a lock-free parallel union-find whose labels are normalized
+// to the smallest member id, the same labels the sequential path produces.
+// Parallel evaluation calls Predicate::Eval concurrently from multiple
+// threads, which is safe for every predicate in the repo because predicates
+// are pure functions of the computation; custom predicates must preserve
+// that (no mutable state inside Eval).
 #ifndef HPL_CORE_KNOWLEDGE_H_
 #define HPL_CORE_KNOWLEDGE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -30,9 +50,22 @@
 
 namespace hpl {
 
+struct KnowledgeOptions {
+  // Worker threads for whole-space queries.  0 = hardware concurrency (at
+  // least 1); 1 = the exact sequential code path.  Any value produces
+  // byte-identical query results (see the header comment); spaces smaller
+  // than an internal threshold always run sequentially.
+  int num_threads = 0;
+};
+
 class KnowledgeEvaluator {
  public:
-  explicit KnowledgeEvaluator(const ComputationSpace& space);
+  explicit KnowledgeEvaluator(const ComputationSpace& space,
+                              const KnowledgeOptions& options = {});
+  ~KnowledgeEvaluator();
+
+  KnowledgeEvaluator(const KnowledgeEvaluator&) = delete;
+  KnowledgeEvaluator& operator=(const KnowledgeEvaluator&) = delete;
 
   // Truth of `f` at the computation with class id `id`.
   bool Holds(const FormulaPtr& f, std::size_t id);
@@ -40,7 +73,11 @@ class KnowledgeEvaluator {
   // Truth at a computation given by value (must be in the space).
   bool Holds(const FormulaPtr& f, const Computation& x);
 
-  // All class ids at which `f` holds.
+  // Batch Holds: truth of `f` at every class id (1 = holds), evaluated over
+  // contiguous id ranges on the worker pool when num_threads > 1.
+  std::vector<std::uint8_t> HoldsAll(const FormulaPtr& f);
+
+  // All class ids at which `f` holds, ascending.
   std::vector<std::size_t> SatisfyingSet(const FormulaPtr& f);
 
   // (P knows b) at id, for a plain predicate.
@@ -57,27 +94,50 @@ class KnowledgeEvaluator {
   bool IsConstant(const FormulaPtr& f);
 
   // Common knowledge components: id of the connected component of the
-  // G-indistinguishability graph containing `id`.
+  // G-indistinguishability graph containing `id`.  Labels are canonical —
+  // the smallest class id in the component — so they are identical at any
+  // thread count.
   std::uint32_t CommonComponent(ProcessSet g, std::size_t id);
 
   const ComputationSpace& space() const noexcept { return space_; }
 
-  // Number of distinct (formula, computation) pairs evaluated (cache size);
-  // exposed for the perf benchmarks.
+  // Exact number of (interned formula node, [D]-class) pairs whose verdict
+  // is memoized, i.e. the popcount of the shared "known" plane.  Parallel
+  // passes OR-merge every per-worker plane back into the shared one before
+  // returning, so the count is exact at any thread count — though its
+  // *value* may exceed the sequential one for the same queries, because
+  // racing workers can each (consistently) evaluate a subformula at classes
+  // where a single lazy sweep would have short-circuited.  Exposed for the
+  // perf benchmarks.
   std::size_t memo_size() const noexcept;
 
  private:
   // Connected components of the union of [p] relations for one group.
   struct ComponentIndex {
-    std::vector<std::uint32_t> root;  // per class id: representative id
-    // root -> all member ids (including the root itself).
+    std::vector<std::uint32_t> root;  // per class id: smallest member id
+    // root -> all member ids ascending (including the root itself).
     std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> members;
   };
 
-  bool Eval(const Formula* f, std::size_t id);
+  // Dense memo planes, `words_` words per interned node.  The evaluator
+  // owns one shared instance; parallel passes give each worker a private
+  // copy seeded from it and OR-merge the copies back.
+  struct MemoPlanes {
+    std::vector<std::uint64_t> known;
+    std::vector<std::uint64_t> value;
+  };
+
+  // Evaluates `f` at `id` against `planes`, whose rows are located through
+  // `rows` (plane offset of interned node k is rows[k] * words_).  The
+  // shared planes use the identity mapping (identity_rows_); parallel
+  // passes use compact per-pass planes holding only the queried DAG's rows.
+  bool Eval(const Formula* f, std::size_t id, MemoPlanes& planes,
+            const std::vector<std::uint32_t>& rows);
   std::uint32_t InternNode(const Formula* f);
   const ComponentIndex& Components(ProcessSet g);
-  // Packed membership bits of Bucket(p, cls); built on first use.
+  void BuildComponentRoots(ProcessSet g, std::vector<std::uint32_t>& root);
+  // Packed membership bits of Bucket(p, cls); built on first use and
+  // published with a pointer CAS so concurrent workers may race to build.
   const std::vector<std::uint64_t>& BucketBits(ProcessId p, std::uint32_t cls);
   // Calls fn(y) for every y with At(id) [set] y, while fn returns true.
   // Picks between a scan of the smallest bucket and a word-parallel
@@ -85,17 +145,39 @@ class KnowledgeEvaluator {
   template <typename Fn>
   void ForEachRelated(std::size_t id, ProcessSet set, Fn&& fn);
 
+  // True when whole-space queries should use the worker pool.
+  bool UseParallel() const noexcept;
+  internal::WorkerPool& Pool();
+  // Memoizes `f` (and whatever of its DAG the lazy recursion demands) at
+  // every class id, with the per-worker-plane engine described in the
+  // header comment.  Requires UseParallel().
+  void EvaluateEverywhereParallel(const Formula* root);
+  // Retains f, runs the parallel whole-space pass, and returns f's value
+  // plane (one verdict bit per class id) — the shared preamble of every
+  // parallel whole-space query.  Requires UseParallel().
+  const std::uint64_t* EvaluatedValuePlane(const FormulaPtr& f);
+
   const ComputationSpace& space_;
   std::size_t words_ = 0;  // bitset words per formula node: ceil(size/64)
+  int num_threads_ = 1;
+  std::unique_ptr<internal::WorkerPool> pool_;  // lazily created
 
-  // Dense memo planes, `words_` words per interned node.
   std::unordered_map<const Formula*, std::uint32_t> node_index_;
-  std::vector<std::uint64_t> known_;
-  std::vector<std::uint64_t> value_;
+  MemoPlanes planes_;        // the shared memo (identity row mapping)
+  std::vector<std::uint32_t> identity_rows_;  // rows[k] == k
+  // Per node: 1 once a whole-space pass has memoized it at every class id,
+  // so repeat whole-space queries skip straight to the plane reads.
+  std::vector<char> node_complete_;
+  // Per-worker scratch planes, persistent across parallel passes; each pass
+  // resizes them to the queried DAG's row count and reseeds from the shared
+  // memo, so their footprint is O(threads x |DAG| x words).
+  std::vector<MemoPlanes> worker_planes_;
 
-  // bucket_bits_[p][cls]: packed members of Bucket(p, cls), empty until
+  // bucket_bits_[p][cls]: packed members of Bucket(p, cls), null until
   // first use; only buckets with >= kMinBucketForBits members are packed.
-  std::vector<std::vector<std::vector<std::uint64_t>>> bucket_bits_;
+  // Owned; freed in the destructor.
+  std::vector<std::vector<std::atomic<const std::vector<std::uint64_t>*>>>
+      bucket_bits_;
 
   // Component indexes keyed by group bits.
   std::unordered_map<std::uint64_t, ComponentIndex> components_;

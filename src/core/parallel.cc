@@ -1,0 +1,146 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+
+namespace hpl::internal {
+
+int ResolveNumThreads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::Run(std::size_t count,
+                     const std::function<void(std::size_t)>& fn) {
+  RunIndexed(count, [&fn](int, std::size_t i) { fn(i); });
+}
+
+void WorkerPool::RunIndexed(std::size_t count,
+                            const std::function<void(int, std::size_t)>& fn) {
+  if (count == 0) return;
+  if (count < kMinParallelItems || target_threads_ == 0) {
+    for (std::size_t i = 0; i < count; ++i) fn(0, i);
+    return;
+  }
+  if (threads_.empty()) {
+    threads_.reserve(target_threads_);
+    for (int t = 0; t < target_threads_; ++t)
+      threads_.emplace_back([this, t] { WorkerLoop(t + 1); });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    count_ = count;
+    chunk_ = std::max<std::size_t>(
+        1, count / (static_cast<std::size_t>(size()) * 8));
+    next_.store(0, std::memory_order_relaxed);
+    pending_ = static_cast<int>(threads_.size());
+    error_ = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  Work(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  fn_ = nullptr;
+  if (error_) std::rethrow_exception(error_);
+}
+
+void WorkerPool::WorkerLoop(int worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    Work(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::Work(int worker) {
+  for (;;) {
+    const std::size_t begin =
+        next_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (begin >= count_) return;
+    const std::size_t end = std::min(count_, begin + chunk_);
+    try {
+      if (!HasError())
+        for (std::size_t i = begin; i < end; ++i) (*fn_)(worker, i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+}
+
+bool WorkerPool::HasError() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_ != nullptr;
+}
+
+namespace {
+
+// Shared chunking logic for the range-sharded loops.
+struct RangePlan {
+  std::size_t chunk = 0;
+  std::size_t num_chunks = 0;
+};
+
+RangePlan PlanRanges(WorkerPool* pool, std::size_t n, std::size_t align) {
+  if (align == 0) align = 1;
+  // Aim for several chunks per worker so dynamic claiming evens out skewed
+  // per-id costs, but never chunks smaller than `align`.
+  const std::size_t workers =
+      pool == nullptr ? 1 : static_cast<std::size_t>(pool->size());
+  std::size_t chunk = std::max<std::size_t>(align, n / (workers * 8));
+  chunk = (chunk + align - 1) / align * align;
+  return {chunk, (n + chunk - 1) / chunk};
+}
+
+}  // namespace
+
+void ParallelFor(WorkerPool* pool, std::size_t n, std::size_t align,
+                 const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const RangePlan plan = PlanRanges(pool, n, align);
+  if (pool == nullptr || plan.num_chunks < 2) {
+    fn(0, n);
+    return;
+  }
+  pool->Run(plan.num_chunks, [&](std::size_t c) {
+    const std::size_t begin = c * plan.chunk;
+    fn(begin, std::min(n, begin + plan.chunk));
+  });
+}
+
+void ParallelForIndexed(
+    WorkerPool* pool, std::size_t n, std::size_t align,
+    const std::function<void(int, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const RangePlan plan = PlanRanges(pool, n, align);
+  if (pool == nullptr || plan.num_chunks < 2) {
+    fn(0, 0, n);
+    return;
+  }
+  pool->RunIndexed(plan.num_chunks, [&](int worker, std::size_t c) {
+    const std::size_t begin = c * plan.chunk;
+    fn(worker, begin, std::min(n, begin + plan.chunk));
+  });
+}
+
+}  // namespace hpl::internal

@@ -1,0 +1,109 @@
+// Shared parallel-execution utilities for the enumeration and knowledge
+// layers.
+//
+// WorkerPool is a fixed pool executing index-parallel jobs: the caller
+// participates in every job, worker threads are spawned lazily on the first
+// job wide enough to share, and Run() is a full barrier that rethrows the
+// first exception raised by the job function.  ComputationSpace::Enumerate
+// creates one pool per call for its level-synchronous BFS; KnowledgeEvaluator
+// keeps one alive across queries for its range-sharded evaluation passes.
+//
+// ParallelFor layers range sharding on top: it splits [0, n) into contiguous
+// chunks whose boundaries are aligned to a caller-chosen multiple (e.g. 64
+// ids so two workers never touch the same bitset word) and runs them on the
+// pool.  Chunks are claimed dynamically, so callers that need deterministic
+// output must make chunk results order-independent (disjoint writes) or
+// merge them by chunk index afterwards — every use in this repo does one of
+// the two, which is what keeps results byte-identical at any thread count.
+#ifndef HPL_CORE_PARALLEL_H_
+#define HPL_CORE_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hpl::internal {
+
+// Resolves a user-facing thread-count knob: 0 means "use the hardware", any
+// positive value is taken literally (1 = the sequential code path).
+int ResolveNumThreads(int requested);
+
+// A fixed pool of workers executing index-parallel jobs.  One pool serves
+// many jobs, so thread startup is paid at most once rather than per job.
+// The caller participates in every job, so a pool of logical size n spawns
+// n-1 threads — and only lazily, on the first job wide enough to share:
+// narrow jobs run inline on the caller, which keeps fine-grained callers
+// (e.g. deep-but-narrow BFS levels) free of wakeup traffic.
+class WorkerPool {
+ public:
+  // Below this many items a job runs inline on the caller.
+  static constexpr std::size_t kMinParallelItems = 4;
+
+  explicit WorkerPool(int num_threads)
+      : target_threads_(num_threads > 0 ? num_threads - 1 : 0) {}
+
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int size() const { return target_threads_ + 1; }
+
+  // Runs fn(i) for every i in [0, count), distributing contiguous chunks of
+  // indices over the pool.  Blocks until all indices are processed and every
+  // worker is idle again, then rethrows the first exception thrown by fn.
+  void Run(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  // As Run, but fn also receives the executing worker's index in
+  // [0, size()) — the caller is worker 0 — so jobs can keep per-worker
+  // scratch state (e.g. private memo planes) without locking.
+  void RunIndexed(std::size_t count,
+                  const std::function<void(int, std::size_t)>& fn);
+
+ private:
+  void WorkerLoop(int worker);
+  void Work(int worker);
+  bool HasError();
+
+  int target_threads_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  // Job state: written by RunIndexed() before the generation bump, read by
+  // workers after observing the bump under the same mutex, unchanged until
+  // all workers report back — so unsynchronized reads inside Work() are
+  // ordered.
+  const std::function<void(int, std::size_t)>* fn_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t chunk_ = 1;
+  std::atomic<std::size_t> next_{0};
+  int pending_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+// Runs fn(begin, end) over contiguous, disjoint chunks covering [0, n).
+// Chunk boundaries (except the final end) are multiples of `align`; pass 64
+// when chunks write into a shared bitset so no two chunks share a word.
+// With a null pool (or a tiny n) the whole range runs as one inline call —
+// the exact sequential order.
+void ParallelFor(WorkerPool* pool, std::size_t n, std::size_t align,
+                 const std::function<void(std::size_t, std::size_t)>& fn);
+
+// As ParallelFor, but fn(worker, begin, end) also receives the executing
+// worker's index in [0, pool->size()); with a null pool the single inline
+// call runs as worker 0.
+void ParallelForIndexed(
+    WorkerPool* pool, std::size_t n, std::size_t align,
+    const std::function<void(int, std::size_t, std::size_t)>& fn);
+
+}  // namespace hpl::internal
+
+#endif  // HPL_CORE_PARALLEL_H_

@@ -1,137 +1,11 @@
 #include "core/space.h"
 
 #include <algorithm>
-#include <atomic>
-#include <condition_variable>
 #include <deque>
-#include <exception>
-#include <mutex>
-#include <thread>
+
+#include "core/parallel.h"
 
 namespace hpl {
-
-namespace internal {
-
-// A fixed pool of workers executing index-parallel jobs.  One pool is
-// created per Enumerate() call and reused for every BFS level, so thread
-// startup is paid at most once rather than per level.  The caller
-// participates in every job, so a pool of logical size n spawns n-1
-// threads — and only lazily, on the first job wide enough to share:
-// narrow jobs run inline on the caller, which keeps deep-but-narrow
-// spaces (frontier of a few classes per level) free of wakeup traffic.
-class WorkerPool {
- public:
-  // Below this many items a job runs inline on the caller.
-  static constexpr std::size_t kMinParallelItems = 4;
-
-  explicit WorkerPool(int num_threads)
-      : target_threads_(num_threads > 0 ? num_threads - 1 : 0) {}
-
-  ~WorkerPool() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stop_ = true;
-    }
-    work_cv_.notify_all();
-    for (std::thread& t : threads_) t.join();
-  }
-
-  WorkerPool(const WorkerPool&) = delete;
-  WorkerPool& operator=(const WorkerPool&) = delete;
-
-  int size() const { return target_threads_ + 1; }
-
-  // Runs fn(i) for every i in [0, count), distributing contiguous chunks of
-  // indices over the pool.  Blocks until all indices are processed and every
-  // worker is idle again, then rethrows the first exception thrown by fn.
-  void Run(std::size_t count, const std::function<void(std::size_t)>& fn) {
-    if (count == 0) return;
-    if (count < kMinParallelItems || target_threads_ == 0) {
-      for (std::size_t i = 0; i < count; ++i) fn(i);
-      return;
-    }
-    if (threads_.empty()) {
-      threads_.reserve(target_threads_);
-      for (int t = 0; t < target_threads_; ++t)
-        threads_.emplace_back([this] { WorkerLoop(); });
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      fn_ = &fn;
-      count_ = count;
-      chunk_ = std::max<std::size_t>(
-          1, count / (static_cast<std::size_t>(size()) * 8));
-      next_.store(0, std::memory_order_relaxed);
-      pending_ = static_cast<int>(threads_.size());
-      error_ = nullptr;
-      ++generation_;
-    }
-    work_cv_.notify_all();
-    Work();
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this] { return pending_ == 0; });
-    fn_ = nullptr;
-    if (error_) std::rethrow_exception(error_);
-  }
-
- private:
-  void WorkerLoop() {
-    std::uint64_t seen = 0;
-    for (;;) {
-      {
-        std::unique_lock<std::mutex> lock(mu_);
-        work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
-        if (stop_) return;
-        seen = generation_;
-      }
-      Work();
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (--pending_ == 0) done_cv_.notify_all();
-      }
-    }
-  }
-
-  void Work() {
-    for (;;) {
-      const std::size_t begin =
-          next_.fetch_add(chunk_, std::memory_order_relaxed);
-      if (begin >= count_) return;
-      const std::size_t end = std::min(count_, begin + chunk_);
-      try {
-        if (!HasError())
-          for (std::size_t i = begin; i < end; ++i) (*fn_)(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (!error_) error_ = std::current_exception();
-      }
-    }
-  }
-
-  bool HasError() {
-    std::lock_guard<std::mutex> lock(mu_);
-    return error_ != nullptr;
-  }
-
-  int target_threads_;
-  std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  // Job state: written by Run() before the generation bump, read by workers
-  // after observing the bump under the same mutex, unchanged until all
-  // workers report back — so unsynchronized reads inside Work() are ordered.
-  const std::function<void(std::size_t)>* fn_ = nullptr;
-  std::size_t count_ = 0;
-  std::size_t chunk_ = 1;
-  std::atomic<std::size_t> next_{0};
-  int pending_ = 0;
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
-  std::exception_ptr error_;
-};
-
-}  // namespace internal
 
 namespace {
 
@@ -144,11 +18,7 @@ struct ProjectionClassifier {
 
 ComputationSpace ComputationSpace::Enumerate(const System& system,
                                              const EnumerationLimits& limits) {
-  int threads = limits.num_threads;
-  if (threads <= 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    threads = hw == 0 ? 1 : static_cast<int>(hw);
-  }
+  const int threads = internal::ResolveNumThreads(limits.num_threads);
 
   ComputationSpace space;
   space.num_processes_ = system.NumProcesses();
@@ -181,10 +51,11 @@ void ComputationSpace::DiscoverClassesSequential(const System& system,
   // BFS over [D]-classes (or literal sequences when canonicalization is
   // off): start from the empty computation; for each representative, ask
   // the system for enabled events, and keep each extension if new.
-  auto canonical_key = [&limits](const Computation& c) {
-    return limits.canonicalize ? c.CanonicalHash() : c.SequenceHash();
-  };
-
+  //
+  // Representatives are stored in canonical order (or literally when
+  // canonicalization is off), so a class key is always the plain
+  // SequenceHash of the stored form — for a canonical sequence it equals
+  // CanonicalHash without re-running the canonical sort.
   auto find_class = [&space](const Computation& canon,
                              std::size_t key) -> std::optional<std::size_t> {
     auto it = space.canon_index_.find(key);
@@ -195,8 +66,8 @@ void ComputationSpace::DiscoverClassesSequential(const System& system,
   };
 
   Computation empty;
-  space.computations_.push_back(empty);
-  space.canon_index_[canonical_key(empty)].push_back(0);
+  space.canon_index_[empty.SequenceHash()].push_back(0);
+  space.computations_.push_back(std::move(empty));
   space.successors_.emplace_back();
 
   std::deque<std::size_t> frontier;
@@ -225,9 +96,11 @@ void ComputationSpace::DiscoverClassesSequential(const System& system,
         throw ModelError("Enumerate: system '" + system.Name() +
                          "' produced an illegal event " + e.ToString() + ": " +
                          why);
-      Computation next = x.Extended(e);
-      if (limits.canonicalize) next = next.Canonical();
-      const std::size_t key = canonical_key(next);
+      // x is stored in canonical order, so a one-event extension reuses its
+      // canonical state instead of recanonicalizing from scratch.
+      Computation next =
+          limits.canonicalize ? x.CanonicalExtended(e) : x.Extended(e);
+      const std::size_t key = next.SequenceHash();
       std::optional<std::size_t> existing = find_class(next, key);
       std::size_t next_id;
       if (existing.has_value()) {
@@ -265,10 +138,8 @@ void ComputationSpace::DiscoverClassesParallel(const System& system,
   const std::size_t num_shards = static_cast<std::size_t>(pool.size());
 
   Computation empty;
-  const std::size_t root_key =
-      limits.canonicalize ? empty.CanonicalHash() : empty.SequenceHash();
+  space.canon_index_[empty.SequenceHash()].push_back(0);
   space.computations_.push_back(std::move(empty));
-  space.canon_index_[root_key].push_back(0);
   space.successors_.emplace_back();
 
   struct Candidate {
@@ -305,10 +176,11 @@ void ComputationSpace::DiscoverClassesParallel(const System& system,
                            "' produced an illegal event " + e.ToString() +
                            ": " + why);
         Candidate c;
-        c.canon = x.Extended(e);
-        if (limits.canonicalize) c.canon = c.canon.Canonical();
-        c.key = limits.canonicalize ? c.canon.CanonicalHash()
-                                    : c.canon.SequenceHash();
+        // x is stored in canonical order, so a one-event extension reuses
+        // its canonical state instead of recanonicalizing from scratch; the
+        // class key is then the SequenceHash of the (canonical) result.
+        c.canon = limits.canonicalize ? x.CanonicalExtended(e) : x.Extended(e);
+        c.key = c.canon.SequenceHash();
         c.shard = static_cast<std::uint32_t>(c.key % num_shards);
         c.event = std::move(e);
         out.push_back(std::move(c));
@@ -337,11 +209,22 @@ void ComputationSpace::DiscoverClassesParallel(const System& system,
     std::vector<Shard> shards(num_shards);
     std::vector<std::vector<std::pair<std::size_t, std::size_t>>> routed(
         num_shards);
+    std::size_t total_candidates = 0;
+    for (const auto& out : expanded) total_candidates += out.size();
+    // Candidates spread roughly evenly over shards; pre-size the routing
+    // lists so the sequential routing pass never reallocates.
+    for (auto& r : routed)
+      r.reserve(total_candidates / num_shards + num_shards);
     for (std::size_t i = 0; i < expanded.size(); ++i)
       for (std::size_t j = 0; j < expanded[i].size(); ++j)
         routed[expanded[i][j].shard].emplace_back(i, j);
     pool.Run(num_shards, [&](std::size_t s) {
       Shard& shard = shards[s];
+      // Every routed candidate could be a fresh class (the common case on
+      // expanding frontiers); reserving the maps up front keeps the dedup
+      // pass rehash-free.
+      shard.by_key.reserve(routed[s].size());
+      shard.uniques.reserve(routed[s].size());
       for (const auto& [i, j] : routed[s]) {
         Candidate& c = expanded[i][j];
         auto& with_key = shard.by_key[c.key];
@@ -368,6 +251,7 @@ void ComputationSpace::DiscoverClassesParallel(const System& system,
     for (std::size_t s = 0; s < num_shards; ++s)
       shard_ids[s].resize(shards[s].uniques.size());
     std::vector<std::uint32_t> next_frontier;
+    next_frontier.reserve(total_candidates);
     for (std::size_t i = 0; i < expanded.size(); ++i) {
       std::vector<Successor> succ;
       for (Candidate& c : expanded[i]) {

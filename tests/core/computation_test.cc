@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+
+#include "core/random_system.h"
+
 namespace hpl {
 namespace {
 
@@ -231,6 +235,80 @@ TEST(ComputationTest, CanExtendAgreesWithExtended) {
 TEST(ComputationTest, ToStringRoundtrips) {
   const Computation c({Internal(0, "a"), Send(0, 1, 0, "m")});
   EXPECT_EQ(c.ToString(), "<p0.internal[a] p0.send(m0->p1)[m]>");
+}
+
+TEST(CanonicalExtendedTest, SplicesIntoGreedyEmissionPoint) {
+  // canon = <s1 c r1>: p1 sends m1 and does an internal, then p0 receives —
+  // the greedy scheduler parks r1 in sweep 1 because m1 is unsent when the
+  // sweep-0 pointer passes p0.
+  const Computation canon({Send(1, 0, 1, "m"), Internal(1, "c"),
+                           Receive(0, 1, 1, "m")});
+  ASSERT_EQ(canon, canon.Canonical());
+
+  // A dependency-free event on a fresh process is emitted in sweep 0, i.e.
+  // before r1 even though it is appended last.
+  const Event fresh = Internal(2, "g");
+  EXPECT_EQ(canon.CanonicalExtended(fresh),
+            canon.Extended(fresh).Canonical());
+  EXPECT_EQ(canon.CanonicalExtended(fresh).at(2), fresh);
+
+  // An event depending on r1 lands after it (same sweep, same process).
+  const Event after = Internal(0, "h");
+  EXPECT_EQ(canon.CanonicalExtended(after),
+            canon.Extended(after).Canonical());
+  EXPECT_EQ(canon.CanonicalExtended(after).at(3), after);
+
+  // A receive whose send sits on a higher process than the receiver: the
+  // pointer has already passed p0 in the send's sweep, so it waits for the
+  // next sweep.
+  const Event recv = Receive(0, 1, 2, "x");
+  const Computation with_send = canon.CanonicalExtended(Send(1, 0, 2, "x"));
+  ASSERT_EQ(with_send, with_send.Canonical());
+  EXPECT_EQ(with_send.CanonicalExtended(recv),
+            with_send.Extended(recv).Canonical());
+}
+
+TEST(CanonicalExtendedTest, RejectsIllegalExtensions) {
+  const Computation canon({Send(0, 1, 0, "m")});
+  EXPECT_THROW(canon.CanonicalExtended(Send(1, 0, 0, "m")), ModelError);
+  EXPECT_THROW(canon.CanonicalExtended(Receive(1, 0, 9, "m")), ModelError);
+  EXPECT_THROW(Computation().CanonicalExtended(Send(0, 0, 1, "m")),
+               ModelError);
+}
+
+TEST(CanonicalExtendedTest, MatchesFullRecanonicalizationOverEnumeration) {
+  // BFS over a seeded random system from the empty computation, extending
+  // canonical representatives by every enabled event: the incremental splice
+  // must agree with from-scratch recanonicalization on every extension.
+  // This is the exact call pattern of ComputationSpace::Enumerate, which
+  // relies on CanonicalExtended for its hot loop.
+  RandomSystemOptions options;
+  options.num_processes = 4;
+  options.num_messages = 5;
+  options.internal_events = 1;
+  options.seed = 7;
+  const RandomSystem system(options);
+
+  std::vector<Computation> frontier{Computation()};
+  std::unordered_set<std::size_t> seen;
+  std::size_t checked = 0;
+  while (!frontier.empty()) {
+    std::vector<Computation> next_frontier;
+    for (const Computation& x : frontier) {
+      for (const Event& e : system.EnabledEvents(x)) {
+        const Computation fast = x.CanonicalExtended(e);
+        const Computation slow = x.Extended(e).Canonical();
+        ASSERT_EQ(fast, slow)
+            << "extending " << x.ToString() << " by " << e.ToString();
+        ++checked;
+        if (seen.insert(fast.SequenceHash()).second)
+          next_frontier.push_back(fast);
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  // The sweep should have crossed a few thousand distinct extensions.
+  EXPECT_GT(checked, 2000u);
 }
 
 }  // namespace

@@ -4,20 +4,29 @@
 //   hpl space    <system>                enumerate and summarize
 //   hpl diagram  <system>                isomorphism diagram as DOT
 //   hpl atoms    <system>                predicates usable in formulas
-//   hpl check    <system> <formula>      model-check a formula
+//   hpl check    <system> <formula> [--knowledge-threads=N]
+//                                        model-check a formula (prints
+//                                        per-phase enumerate/evaluate times)
 //   hpl check-at <system> <formula> <computation>
 //                                        evaluate at one computation, given
 //                                        in the serialization format, e.g.
-//                                        "0>1:0/ping 1<0:0/ping"
+//                                        "0>1:0/ping 1<0:0/ping" (prints
+//                                        per-phase times; a pointwise query
+//                                        always evaluates sequentially, so
+//                                        --knowledge-threads is accepted
+//                                        but has no effect here)
 //   hpl simulate termination|gossip|heartbeat [seed]
 //   hpl chains   <n> <computation> <p0> [<p1> ...]
 //                                        find a process chain <p0 p1 ...>
 //   hpl fuse     <n> <x> <y> <z> <p0>[,p1...]
 //                                        Theorem-2 fusion of y and z over
 //                                        common prefix x w.r.t. P
-//   hpl bench    <system> [--threads=N] [--repeat=K] [--json=PATH]
-//                                        time enumeration + a knowledge
-//                                        sweep; optional BENCH_*.json output
+//   hpl bench    <system> [--threads=N] [--knowledge-threads=N] [--repeat=K]
+//                [--json=PATH]           time the enumerate and evaluate
+//                                        phases; optional BENCH_*.json
+//
+// --threads drives ComputationSpace::Enumerate, --knowledge-threads the
+// KnowledgeEvaluator (both: 0 = hardware concurrency, 1 = sequential).
 //
 // Systems: ping | relay:N | tokenbus:N,PASSES | tracker:FLIPS | random:SEED
 //          | lockstep:ROUNDS
@@ -35,6 +44,7 @@
 #include "core/diagram.h"
 #include "core/fusion.h"
 #include "core/knowledge.h"
+#include "core/parallel.h"
 #include "core/process_chain.h"
 #include "core/random_system.h"
 #include "core/serialization.h"
@@ -188,17 +198,24 @@ int CmdAtoms(const std::string& spec) {
   return 0;
 }
 
-int CmdCheck(const std::string& spec, const std::string& text) {
+int CmdCheck(const std::string& spec, const std::string& text,
+             int knowledge_threads) {
   NamedSystem named = MakeSystem(spec);
+  bench::WallTimer enumerate_timer;
   auto space = ComputationSpace::Enumerate(
       *named.system, {.max_depth = named.max_depth,
                       .canonicalize = named.canonicalize});
-  KnowledgeEvaluator eval(space);
+  const std::int64_t enumerate_ns = enumerate_timer.ElapsedNs();
+  KnowledgeEvaluator eval(space, {.num_threads = knowledge_threads});
   FormulaPtr formula = Formula::Parse(text, named.atoms);
   std::printf("system:  %s (%zu computations)\n",
               named.system->Name().c_str(), space.size());
   std::printf("formula: %s\n", formula->ToString().c_str());
+  bench::WallTimer evaluate_timer;
   const auto sat = eval.SatisfyingSet(formula);
+  std::printf("phases:  enumerate %.3f ms, evaluate %.3f ms\n",
+              static_cast<double>(enumerate_ns) / 1e6,
+              static_cast<double>(evaluate_timer.ElapsedNs()) / 1e6);
   std::printf("holds at %zu/%zu computations\n", sat.size(), space.size());
   if (!sat.empty() && sat.size() <= 12) {
     for (std::size_t id : sat)
@@ -211,12 +228,14 @@ int CmdCheck(const std::string& spec, const std::string& text) {
 }
 
 int CmdCheckAt(const std::string& spec, const std::string& text,
-               const std::string& serialized) {
+               const std::string& serialized, int knowledge_threads) {
   NamedSystem named = MakeSystem(spec);
+  bench::WallTimer enumerate_timer;
   auto space = ComputationSpace::Enumerate(
       *named.system, {.max_depth = named.max_depth,
                       .canonicalize = named.canonicalize});
-  KnowledgeEvaluator eval(space);
+  const std::int64_t enumerate_ns = enumerate_timer.ElapsedNs();
+  KnowledgeEvaluator eval(space, {.num_threads = knowledge_threads});
   FormulaPtr formula = Formula::Parse(text, named.atoms);
   const Computation at = ParseComputation(serialized);
   const auto id = space.IndexOf(at);
@@ -226,9 +245,13 @@ int CmdCheckAt(const std::string& spec, const std::string& text,
                  named.system->Name().c_str(), at.ToString().c_str());
     return 1;
   }
+  bench::WallTimer evaluate_timer;
+  const bool verdict = eval.Holds(formula, *id);
   std::printf("at %s:\n  %s  =>  %s\n", at.ToString().c_str(),
-              formula->ToString().c_str(),
-              eval.Holds(formula, *id) ? "true" : "false");
+              formula->ToString().c_str(), verdict ? "true" : "false");
+  std::printf("phases: enumerate %.3f ms, evaluate %.3f ms\n",
+              static_cast<double>(enumerate_ns) / 1e6,
+              static_cast<double>(evaluate_timer.ElapsedNs()) / 1e6);
   return 0;
 }
 
@@ -323,13 +346,18 @@ int CmdFuse(int n, const std::string& xs, const std::string& ys,
   return 0;
 }
 
-int CmdBench(const std::string& spec, int threads, int repeat,
-             const std::optional<std::string>& json_path) {
+int CmdBench(const std::string& spec, int threads, int knowledge_threads,
+             int repeat, const std::optional<std::string>& json_path) {
   NamedSystem named = MakeSystem(spec);
   bench::JsonReporter reporter("cli");
+  // Resolve the 0 = hardware-concurrency knobs up front so the JSON records
+  // the actual worker counts — BENCH_*.json rows stay comparable across
+  // hosts with different core counts.
+  threads = internal::ResolveNumThreads(threads);
+  knowledge_threads = internal::ResolveNumThreads(knowledge_threads);
 
-  // Enumeration: best-of-`repeat` wall time; the last space is reused for
-  // the knowledge sweep below.
+  // Phase 1 — enumerate: best-of-`repeat` wall time; the last space is
+  // reused for the evaluate phase below.
   std::int64_t enumerate_ns = INT64_MAX;
   std::optional<ComputationSpace> space;
   for (int rep = 0; rep < repeat; ++rep) {
@@ -351,8 +379,8 @@ int CmdBench(const std::string& spec, int threads, int repeat,
   enum_result.classes_per_sec = bench::ClassesPerSec(classes, enumerate_ns);
   reporter.Add(enum_result);
 
-  // Knowledge sweep: satisfying set of K{0} atom for every atom.
-  KnowledgeEvaluator eval(*space);
+  // Phase 2 — evaluate: satisfying set of K{0} atom for every atom.
+  KnowledgeEvaluator eval(*space, {.num_threads = knowledge_threads});
   bench::WallTimer knowledge_timer;
   std::size_t satisfying = 0;
   for (const Predicate& atom : named.atoms)
@@ -362,6 +390,8 @@ int CmdBench(const std::string& spec, int threads, int repeat,
   bench::JsonResult know_result;
   know_result.name = "knowledge_sweep/" + named.system->Name();
   know_result.params = {{"atoms", static_cast<double>(named.atoms.size())},
+                        {"knowledge_threads",
+                         static_cast<double>(knowledge_threads)},
                         {"satisfying", static_cast<double>(satisfying)},
                         {"memo_entries", static_cast<double>(eval.memo_size())}};
   know_result.wall_ns = knowledge_timer.ElapsedNs();
@@ -369,24 +399,35 @@ int CmdBench(const std::string& spec, int threads, int repeat,
   reporter.Add(know_result);
 
   std::printf("system:            %s\n", named.system->Name().c_str());
-  std::printf("threads:           %d\n", threads);
+  std::printf("threads:           %d enumerate, %d evaluate\n", threads,
+              knowledge_threads);
   std::printf("classes:           %zu\n", classes);
-  std::printf("enumerate (best):  %.3f ms  (%.0f classes/sec)\n",
-              static_cast<double>(enumerate_ns) / 1e6,
+  std::printf("phase enumerate:   %.3f ms best-of-%d  (%.0f classes/sec)\n",
+              static_cast<double>(enumerate_ns) / 1e6, repeat,
               enum_result.classes_per_sec);
-  std::printf("knowledge sweep:   %.3f ms  (%zu atoms, %zu memo entries)\n",
+  std::printf("phase evaluate:    %.3f ms  (%zu atoms, %zu memo entries)\n",
               static_cast<double>(know_result.wall_ns) / 1e6,
               named.atoms.size(), eval.memo_size());
   if (json_path.has_value() && !reporter.WriteFile(*json_path)) return 1;
   return 0;
 }
 
+// Parses a trailing --knowledge-threads=N flag (0 when absent).
+int KnowledgeThreadsFlag(int argc, char** argv, int first) {
+  int threads = 0;
+  for (int i = first; i < argc; ++i)
+    if (std::strncmp(argv[i], "--knowledge-threads=", 20) == 0)
+      threads = std::atoi(argv[i] + 20);
+  return threads;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: hpl systems | space <sys> | diagram <sys> | atoms "
-                 "<sys> | check <sys> <formula> | simulate <what> [seed] | "
-                 "bench <sys> [--threads=N] [--repeat=K] [--json=PATH]\n");
+                 "<sys> | check <sys> <formula> [--knowledge-threads=N] | "
+                 "simulate <what> [seed] | bench <sys> [--threads=N] "
+                 "[--knowledge-threads=N] [--repeat=K] [--json=PATH]\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -395,9 +436,11 @@ int Main(int argc, char** argv) {
     if (cmd == "space" && argc >= 3) return CmdSpace(argv[2]);
     if (cmd == "diagram" && argc >= 3) return CmdDiagram(argv[2]);
     if (cmd == "atoms" && argc >= 3) return CmdAtoms(argv[2]);
-    if (cmd == "check" && argc >= 4) return CmdCheck(argv[2], argv[3]);
+    if (cmd == "check" && argc >= 4)
+      return CmdCheck(argv[2], argv[3], KnowledgeThreadsFlag(argc, argv, 4));
     if (cmd == "check-at" && argc >= 5)
-      return CmdCheckAt(argv[2], argv[3], argv[4]);
+      return CmdCheckAt(argv[2], argv[3], argv[4],
+                        KnowledgeThreadsFlag(argc, argv, 5));
     if (cmd == "simulate" && argc >= 3)
       return CmdSimulate(argv[2],
                          argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 1);
@@ -409,6 +452,7 @@ int Main(int argc, char** argv) {
       return CmdFuse(std::atoi(argv[2]), argv[3], argv[4], argv[5], argv[6]);
     if (cmd == "bench" && argc >= 3) {
       auto json_path = bench::JsonReporter::JsonFlag(argc, argv);
+      const int knowledge_threads = KnowledgeThreadsFlag(argc, argv, 3);
       int threads = 0, repeat = 3;
       for (int i = 3; i < argc; ++i) {
         if (std::strncmp(argv[i], "--threads=", 10) == 0)
@@ -416,7 +460,7 @@ int Main(int argc, char** argv) {
         else if (std::strncmp(argv[i], "--repeat=", 9) == 0)
           repeat = std::max(1, std::atoi(argv[i] + 9));
       }
-      return CmdBench(argv[2], threads, repeat, json_path);
+      return CmdBench(argv[2], threads, knowledge_threads, repeat, json_path);
     }
   } catch (const ModelError& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
