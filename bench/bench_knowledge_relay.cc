@@ -30,7 +30,8 @@ int main() {
       for (std::size_t id = 0; id < space.size(); ++id) {
         if (!eval.Holds(nested, id)) continue;
         std::size_t receives = 0;
-        for (const Event& e : space.At(id).events())
+        const Computation x = space.At(id);
+        for (const Event& e : x.events())
           if (e.IsReceive()) ++receives;
         if (receives < min_receives) {
           min_receives = receives;

@@ -1,12 +1,17 @@
-// Experiment E23 — knowledge-evaluation scaling: how fast can the paper's
-// actual workload ("P knows b" quantified over the whole computation set,
-// Section 4.1) be answered, and how far does the range-sharded parallel
-// evaluator carry it?  Sweeps processes × formula depth × worker threads
-// over seeded random systems, timing SatisfyingSet for K-chains of growing
-// modal depth plus a common-knowledge query, and asserting along the way
-// that every thread count reproduces the sequential answers byte for byte
-// (satisfying sets and CK component labels) — the determinism contract of
-// KnowledgeOptions::num_threads.
+// Experiment E23/E24 — knowledge-evaluation scaling: how fast can the
+// paper's actual workload ("P knows b" quantified over the whole
+// computation set, Section 4.1) be answered, and how far do the
+// range-sharded parallel evaluator and the projection-class memo tier
+// carry it?  Sweeps processes × formula depth × worker threads × bucket
+// memo on/off over seeded random systems, timing SatisfyingSet for
+// K-chains of growing modal depth plus a common-knowledge query, and
+// asserting along the way that every (thread count, memo tier) combination
+// reproduces the baseline answers byte for byte (satisfying sets and CK
+// component labels) — the determinism contracts of
+// KnowledgeOptions::num_threads and KnowledgeOptions::bucket_memo.  The
+// memo=off K-depth1 rows cost the sum of squared bucket sizes; the memo=on
+// rows sweep each bucket once — that before/after is the E24 headline.
+// Rows carry `bytes_space`/`bytes_memo` in the JSON.
 //
 //   bench_knowledge_scaling [--preset=smoke|default|big] [--threads=1,2,4]
 //                           [--json=BENCH_knowledge_scaling.json]
@@ -100,8 +105,8 @@ int main(int argc, char** argv) {
   std::printf("E23: knowledge-evaluation scaling (preset=%s)\n\n",
               preset.c_str());
   bench::JsonReporter reporter("knowledge_scaling");
-  bench::Table table({"system", "classes", "query", "threads", "wall ms",
-                      "classes/sec", "speedup", "identical?"});
+  bench::Table table({"system", "classes", "query", "threads", "memo",
+                      "wall ms", "classes/sec", "speedup", "identical?"});
 
   for (const Config& config : configs) {
     RandomSystemOptions options;
@@ -125,69 +130,83 @@ int main(int argc, char** argv) {
                          KChain(depth, config.processes, atom)});
     queries.push_back({"CK", Formula::Common(all, atom)});
 
+    const std::size_t bytes_space = space.MemoryUsage().bytes_total;
     for (const Query& query : queries) {
       std::vector<std::size_t> baseline_sat;
       std::vector<std::uint32_t> baseline_components;
       std::int64_t baseline_ns = 0;
+      bool have_baseline = false;
       for (int t : threads) {
-        // Fresh evaluator per run: timings measure cold memo planes, and
-        // the cross-thread comparison sees exactly one engine's answers.
-        KnowledgeEvaluator eval(space, {.num_threads = t});
-        bench::WallTimer timer;
-        const std::vector<std::size_t> sat = eval.SatisfyingSet(query.formula);
-        std::vector<std::uint32_t> components(space.size());
-        for (std::size_t id = 0; id < space.size(); ++id)
-          components[id] = eval.CommonComponent(all, id);
-        const std::int64_t wall_ns = timer.ElapsedNs();
-        if (t == 1) {
-          baseline_ns = wall_ns;
-          baseline_sat = sat;
-          baseline_components = components;
-        } else {
-          RequireEqualSets(baseline_sat, sat, t, query.name.c_str());
-          if (components != baseline_components) {
-            std::fprintf(stderr,
-                         "DETERMINISM VIOLATION: CK component labels differ "
-                         "at %d threads\n",
-                         t);
-            return 1;
+        for (const bool bucket_memo : {false, true}) {
+          // Fresh evaluator per run: timings measure cold memo planes, and
+          // the cross-run comparison sees exactly one engine's answers.
+          KnowledgeEvaluator eval(
+              space, {.num_threads = t, .bucket_memo = bucket_memo});
+          bench::WallTimer timer;
+          const std::vector<std::size_t> sat =
+              eval.SatisfyingSet(query.formula);
+          std::vector<std::uint32_t> components(space.size());
+          for (std::size_t id = 0; id < space.size(); ++id)
+            components[id] = eval.CommonComponent(all, id);
+          const std::int64_t wall_ns = timer.ElapsedNs();
+          if (!have_baseline) {
+            have_baseline = true;
+            baseline_ns = wall_ns;
+            baseline_sat = sat;
+            baseline_components = components;
+          } else {
+            RequireEqualSets(baseline_sat, sat, t, query.name.c_str());
+            if (components != baseline_components) {
+              std::fprintf(stderr,
+                           "DETERMINISM VIOLATION: CK component labels "
+                           "differ at %d threads (bucket_memo=%d)\n",
+                           t, bucket_memo ? 1 : 0);
+              return 1;
+            }
           }
+
+          const double per_sec = bench::ClassesPerSec(space.size(), wall_ns);
+          const double speedup =
+              wall_ns > 0 ? static_cast<double>(baseline_ns) /
+                                static_cast<double>(wall_ns)
+                          : 0.0;
+          const bool is_baseline = t == 1 && !bucket_memo;
+          table.AddRow({system.Name(), std::to_string(space.size()),
+                        query.name, std::to_string(t),
+                        bucket_memo ? "on" : "off",
+                        bench::Fmt(static_cast<double>(wall_ns) / 1e6, 1),
+                        bench::Fmt(per_sec, 0), bench::Fmt(speedup, 2),
+                        is_baseline ? "baseline" : "yes"});
+
+          bench::JsonResult result;
+          result.name = "satisfying_set/" + system.Name() + "/" + query.name;
+          result.params = {
+              {"processes", static_cast<double>(config.processes)},
+              {"messages", static_cast<double>(config.messages)},
+              {"modal_depth",
+               static_cast<double>(query.formula->ModalDepth())},
+              {"threads", static_cast<double>(t)},
+              {"bucket_memo", bucket_memo ? 1.0 : 0.0},
+              {"satisfying", static_cast<double>(sat.size())},
+              {"memo_entries", static_cast<double>(eval.memo_size())}};
+          result.wall_ns = wall_ns;
+          result.space_classes = space.size();
+          result.classes_per_sec = per_sec;
+          result.bytes_space = bytes_space;
+          result.bytes_memo = eval.MemoryUsage().bytes_total;
+          reporter.Add(std::move(result));
         }
-
-        const double per_sec = bench::ClassesPerSec(space.size(), wall_ns);
-        const double speedup =
-            wall_ns > 0 ? static_cast<double>(baseline_ns) /
-                              static_cast<double>(wall_ns)
-                        : 0.0;
-        table.AddRow({system.Name(), std::to_string(space.size()), query.name,
-                      std::to_string(t),
-                      bench::Fmt(static_cast<double>(wall_ns) / 1e6, 1),
-                      bench::Fmt(per_sec, 0), bench::Fmt(speedup, 2),
-                      t == 1 ? "baseline" : "yes"});
-
-        bench::JsonResult result;
-        result.name = "satisfying_set/" + system.Name() + "/" + query.name;
-        result.params = {
-            {"processes", static_cast<double>(config.processes)},
-            {"messages", static_cast<double>(config.messages)},
-            {"modal_depth",
-             static_cast<double>(query.formula->ModalDepth())},
-            {"threads", static_cast<double>(t)},
-            {"satisfying", static_cast<double>(sat.size())},
-            {"memo_entries", static_cast<double>(eval.memo_size())}};
-        result.wall_ns = wall_ns;
-        result.space_classes = space.size();
-        result.classes_per_sec = per_sec;
-        reporter.Add(std::move(result));
       }
     }
   }
   table.Print();
   std::printf(
       "\nexpected: identical satisfying sets and component labels at every\n"
-      "thread count; speedup approaches the core count on queries whose\n"
-      "verdicts are spread evenly (low laziness skew), and never regresses\n"
-      "far below 1.0 on lazy-friendly queries, whose total work the\n"
+      "(thread count, bucket memo) combination; the memo=on K-depth1 rows\n"
+      "beat memo=off by the mean bucket size (sum-of-squares -> linear);\n"
+      "thread speedup approaches the core count on queries whose verdicts\n"
+      "are spread evenly (low laziness skew), and never regresses far\n"
+      "below 1.0 on lazy-friendly queries, whose total work the\n"
       "range-sharded engine preserves.\n");
 
   if (json_path.has_value() && !reporter.WriteFile(*json_path)) return 1;

@@ -1,16 +1,21 @@
-// Experiment E22 — enumeration scaling: how fast can the computation space
-// be explored, and how far does the parallel frontier BFS carry it?
-// Sweeps processes × message-pool size × worker threads over seeded random
-// systems, asserting along the way that every thread count reproduces the
-// sequential space byte-for-byte (class count, class order, projection
-// classes) — the determinism contract of ComputationSpace::Enumerate.
+// Experiment E22/E24 — enumeration scaling: how fast can the computation
+// space be explored, how far does the parallel frontier BFS carry it, and
+// what does the columnar store pay per class?  Sweeps processes ×
+// message-pool size × worker threads over seeded random systems, asserting
+// along the way that every thread count reproduces the sequential space
+// byte-for-byte (class count, class order, projection classes) — the
+// determinism contract of ComputationSpace::Enumerate.  Each run reports
+// the columnar bytes/class and the seed AoS layout's equivalent footprint
+// (ComputationSpace::MemoryUsage()); rows carry `bytes_space` in the JSON.
 //
-//   bench_space_scaling [--preset=smoke|default|big] [--threads=1,2,4]
+//   bench_space_scaling [--preset=smoke|default|big|huge] [--threads=1,2,4]
 //                       [--json=BENCH_space_scaling.json]
 //
 // smoke   tiny spaces for CI smoke jobs (~1s total)
 // default mid-size spaces incl. a ~31k-class system
-// big     adds a ~69k-class and a ~300k-class system (minutes on one core)
+// big     adds a ~69k-class and a ~300k-class system
+// huge    adds a ~525k-class and a ~8M-class system (~20s/thread-count on
+//         one core; the E24 memory-scaling acceptance run)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -93,6 +98,8 @@ int main(int argc, char** argv) {
     configs = {{4, 5, 48}, {4, 6, 56}, {5, 6, 64}};
   } else if (preset == "big") {
     configs = {{4, 6, 56}, {5, 6, 64}, {4, 7, 64}};
+  } else if (preset == "huge") {
+    configs = {{4, 7, 64}, {5, 8, 64}, {4, 9, 64}};
   } else {
     std::fprintf(stderr, "unknown preset '%s'\n", preset.c_str());
     return 2;
@@ -103,7 +110,8 @@ int main(int argc, char** argv) {
               preset.c_str());
   bench::JsonReporter reporter("space_scaling");
   bench::Table table({"system", "classes", "threads", "wall ms",
-                      "classes/sec", "speedup", "identical?"});
+                      "classes/sec", "speedup", "B/class", "AoS x",
+                      "identical?"});
 
   for (const Config& config : configs) {
     RandomSystemOptions options;
@@ -133,10 +141,18 @@ int main(int argc, char** argv) {
           wall_ns > 0 ? static_cast<double>(baseline_ns) /
                             static_cast<double>(wall_ns)
                       : 0.0;
+      const ComputationSpace::MemoryStats memory = space.MemoryUsage();
+      const double aos_ratio =
+          memory.bytes_total > 0
+              ? static_cast<double>(memory.bytes_aos_equivalent) /
+                    static_cast<double>(memory.bytes_total)
+              : 0.0;
       table.AddRow({system.Name(), std::to_string(space.size()),
                     std::to_string(t),
                     bench::Fmt(static_cast<double>(wall_ns) / 1e6, 1),
                     bench::Fmt(per_sec, 0), bench::Fmt(speedup, 2),
+                    bench::Fmt(memory.BytesPerClass(), 1),
+                    bench::Fmt(aos_ratio, 1),
                     t == 1 ? "baseline" : "yes"});
 
       bench::JsonResult result;
@@ -144,17 +160,24 @@ int main(int argc, char** argv) {
       result.params = {{"processes", static_cast<double>(config.processes)},
                        {"messages", static_cast<double>(config.messages)},
                        {"depth", static_cast<double>(config.depth)},
-                       {"threads", static_cast<double>(t)}};
+                       {"threads", static_cast<double>(t)},
+                       {"bytes_per_class", memory.BytesPerClass()},
+                       {"bytes_aos_equivalent", static_cast<double>(
+                                                    memory.bytes_aos_equivalent)}};
       result.wall_ns = wall_ns;
       result.space_classes = space.size();
       result.classes_per_sec = per_sec;
+      result.bytes_space = memory.bytes_total;
       reporter.Add(std::move(result));
     }
   }
   table.Print();
   std::printf(
       "\nexpected: identical spaces at every thread count; speedup grows\n"
-      "with space size once per-level frontiers are wide enough to share.\n");
+      "with space size once per-level frontiers are wide enough to share;\n"
+      "B/class stays flat as spaces grow and 'AoS x' (the seed\n"
+      "array-of-structs layout's footprint over the columnar store's) stays\n"
+      ">= 5 at every configuration.\n");
 
   if (json_path.has_value() && !reporter.WriteFile(*json_path)) return 1;
   return 0;

@@ -157,6 +157,10 @@ std::string JsonReporter::ToJson() const {
     out += "}, \"wall_ns\": " + std::to_string(r.wall_ns);
     out += ", \"space_classes\": " + std::to_string(r.space_classes);
     out += ", \"classes_per_sec\": " + FormatDouble(r.classes_per_sec);
+    if (r.bytes_space != 0)
+      out += ", \"bytes_space\": " + std::to_string(r.bytes_space);
+    if (r.bytes_memo != 0)
+      out += ", \"bytes_memo\": " + std::to_string(r.bytes_memo);
     out += "}";
   }
   out += "\n  ]\n}\n";
@@ -222,6 +226,17 @@ JsonReporter JsonReporter::Parse(const std::string& json) {
       scanner.Expect(',');
       expect_key("classes_per_sec");
       r.classes_per_sec = scanner.Number();
+      // Optional trailing memory gauges, in either order.
+      while (scanner.Consume(',')) {
+        const std::string key = scanner.String();
+        scanner.Expect(':');
+        if (key == "bytes_space")
+          r.bytes_space = static_cast<std::uint64_t>(scanner.Number());
+        else if (key == "bytes_memo")
+          r.bytes_memo = static_cast<std::uint64_t>(scanner.Number());
+        else
+          scanner.Fail("unknown result key \"" + key + "\"");
+      }
       scanner.Expect('}');
       reporter.Add(std::move(r));
     } while (scanner.Consume(','));

@@ -14,15 +14,22 @@
 //         "params": {"processes": 4, "depth": 64, "threads": 2},
 //         "wall_ns": 123456789,
 //         "space_classes": 31563,
-//         "classes_per_sec": 105210.0
+//         "classes_per_sec": 105210.0,
+//         "bytes_space": 2215908,
+//         "bytes_memo": 16384
 //       }
 //     ]
 //   }
 //
 // `params` values are numeric (doubles); non-numeric context belongs in
 // `name`.  `space_classes` and `classes_per_sec` are 0 for measurements
-// that do not enumerate a computation space.  The reporter has no
-// dependency on the hpl core libraries so any tool can link it.
+// that do not enumerate a computation space.  `bytes_space` (columnar
+// ComputationSpace::MemoryUsage().bytes_total) and `bytes_memo`
+// (KnowledgeEvaluator::MemoryUsage().bytes_total) are optional memory
+// gauges: rows omit them when 0 and parsers must accept their absence —
+// bench_space_scaling and bench_knowledge_scaling populate them.  The
+// reporter has no dependency on the hpl core libraries so any tool can
+// link it.
 #ifndef HPL_BENCH_REPORTER_H_
 #define HPL_BENCH_REPORTER_H_
 
@@ -42,6 +49,9 @@ struct JsonResult {
   std::int64_t wall_ns = 0;
   std::uint64_t space_classes = 0;
   double classes_per_sec = 0.0;
+  // Optional memory gauges (0 = not measured, omitted from the JSON).
+  std::uint64_t bytes_space = 0;
+  std::uint64_t bytes_memo = 0;
 };
 
 class JsonReporter {

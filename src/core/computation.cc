@@ -9,11 +9,9 @@ namespace hpl {
 namespace {
 
 std::size_t HashEventSequence(std::span<const Event> events) noexcept {
-  std::size_t h = events.size();
-  for (const Event& e : events) {
-    h ^= HashEvent(e) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-  }
-  return h;
+  SequenceHashFold fold(events.size());
+  for (const Event& e : events) fold.Add(HashEvent(e));
+  return fold.hash();
 }
 
 }  // namespace
@@ -178,7 +176,16 @@ Computation Computation::CanonicalExtended(const Event& e) const {
   std::string why;
   if (!CanExtend(*this, e, &why))
     throw ModelError("CanonicalExtended: " + why);
+  const std::size_t pos = CanonicalInsertPos(e);
+  std::vector<Event> out;
+  out.reserve(events_.size() + 1);
+  out.insert(out.end(), events_.begin(), events_.begin() + pos);
+  out.push_back(e);
+  out.insert(out.end(), events_.begin() + pos, events_.end());
+  return TrustedFromEvents(std::move(out));
+}
 
+std::size_t Computation::CanonicalInsertPos(const Event& e) const {
   // Where does the greedy scheduler emit `e`?  Replay its state from the
   // canonical sequence alone.  The scheduler sweeps processes 0..P-1 and
   // drains every eligible event, so within one sweep emitted process ids are
@@ -222,13 +229,7 @@ Computation Computation::CanonicalExtended(const Event& e) const {
                         events_[pos].process <= e.process)))
       ++pos;
   }
-
-  std::vector<Event> out;
-  out.reserve(n + 1);
-  out.insert(out.end(), events_.begin(), events_.begin() + pos);
-  out.push_back(e);
-  out.insert(out.end(), events_.begin() + pos, events_.end());
-  return TrustedFromEvents(std::move(out));
+  return pos;
 }
 
 std::size_t Computation::CanonicalHash() const {

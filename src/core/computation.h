@@ -98,6 +98,14 @@ class Computation {
   // construction.  The enumeration hot loop lives on this.
   Computation CanonicalExtended(const Event& e) const;
 
+  // The splice point of CanonicalExtended without building the extension:
+  // the index at which the greedy scheduler emits `e` when it is appended to
+  // this (canonically ordered) sequence.  CanonicalExtended(e) ==
+  // events()[0, pos) ++ e ++ events()[pos, size()).  The columnar space
+  // store records (parent, event, pos) per class and replays these splices
+  // to materialize canonical sequences.
+  std::size_t CanonicalInsertPos(const Event& e) const;
+
   // Stable structural hash of the canonical form.
   std::size_t CanonicalHash() const;
 
@@ -126,6 +134,24 @@ class Computation {
 // Checks whether appending `e` to `x` yields a valid system computation
 // without constructing it (used by enumeration hot paths).
 bool CanExtend(const Computation& x, const Event& e, std::string* why = nullptr);
+
+// The order-sensitive fold behind Computation::SequenceHash, exposed so the
+// columnar space store can hash a sequence it holds as interned event ids
+// (folding precomputed per-event hashes) without materializing Event values:
+//   SequenceHashFold fold(sequence length);
+//   for each event: fold.Add(HashEvent(event));
+//   fold.hash() == Computation(events...).SequenceHash()
+class SequenceHashFold {
+ public:
+  explicit SequenceHashFold(std::size_t count) noexcept : h_(count) {}
+  void Add(std::size_t event_hash) noexcept {
+    h_ ^= event_hash + 0x9e3779b97f4a7c15ull + (h_ << 6) + (h_ >> 2);
+  }
+  std::size_t hash() const noexcept { return h_; }
+
+ private:
+  std::size_t h_;
+};
 
 }  // namespace hpl
 

@@ -91,13 +91,36 @@ std::uint64_t LiveWordMask(std::size_t n, std::size_t w) {
   return tail >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << tail) - 1;
 }
 
+// True for nodes whose quantifier ranges exactly over per-process buckets,
+// making the verdict constant per [p]-class: Knows/Sure/Possible over a
+// singleton {p}, and Everyone (a conjunction of singleton K{p}).
+bool HasBucketTier(const Formula* f) {
+  switch (f->kind()) {
+    case FormulaKind::kKnows:
+    case FormulaKind::kSure:
+    case FormulaKind::kPossible:
+      return f->group().Size() == 1;
+    case FormulaKind::kEveryone:
+      return f->group().Size() >= 1;
+    default:
+      return false;
+  }
+}
+
+std::size_t Popcount(const std::vector<std::uint64_t>& words) {
+  std::size_t n = 0;
+  for (std::uint64_t word : words) n += __builtin_popcountll(word);
+  return n;
+}
+
 }  // namespace
 
 KnowledgeEvaluator::KnowledgeEvaluator(const ComputationSpace& space,
                                        const KnowledgeOptions& options)
     : space_(space),
       words_((space.size() + 63) / 64),
-      num_threads_(internal::ResolveNumThreads(options.num_threads)) {
+      num_threads_(internal::ResolveNumThreads(options.num_threads)),
+      bucket_memo_(options.bucket_memo) {
   bucket_bits_.reserve(static_cast<std::size_t>(space.num_processes()));
   for (ProcessId p = 0; p < space.num_processes(); ++p)
     bucket_bits_.emplace_back(space.NumProjectionClasses(p));
@@ -117,10 +140,16 @@ internal::WorkerPool& KnowledgeEvaluator::Pool() {
   return *pool_;
 }
 
+KnowledgeEvaluator::EvalContext KnowledgeEvaluator::SharedContext() {
+  return EvalContext{planes_, identity_rows_, bucket_planes_,
+                     shared_seg_offset_};
+}
+
 bool KnowledgeEvaluator::Holds(const FormulaPtr& f, std::size_t id) {
   if (!f) throw ModelError("KnowledgeEvaluator::Holds: null formula");
   retained_.push_back(f);
-  return Eval(f.get(), id, planes_, identity_rows_);
+  EvalContext ctx = SharedContext();
+  return Eval(f.get(), id, ctx);
 }
 
 bool KnowledgeEvaluator::Holds(const FormulaPtr& f, const Computation& x) {
@@ -146,8 +175,9 @@ std::vector<std::uint8_t> KnowledgeEvaluator::HoldsAll(const FormulaPtr& f) {
     return out;
   }
   retained_.push_back(f);
+  EvalContext ctx = SharedContext();
   for (std::size_t id = 0; id < space_.size(); ++id)
-    out[id] = Eval(f.get(), id, planes_, identity_rows_) ? 1 : 0;
+    out[id] = Eval(f.get(), id, ctx) ? 1 : 0;
   return out;
 }
 
@@ -169,8 +199,9 @@ std::vector<std::size_t> KnowledgeEvaluator::SatisfyingSet(
     return out;
   }
   retained_.push_back(f);
+  EvalContext ctx = SharedContext();
   for (std::size_t id = 0; id < space_.size(); ++id)
-    if (Eval(f.get(), id, planes_, identity_rows_)) out.push_back(id);
+    if (Eval(f.get(), id, ctx)) out.push_back(id);
   return out;
 }
 
@@ -199,8 +230,9 @@ bool KnowledgeEvaluator::IsLocalTo(const FormulaPtr& f, ProcessSet p) {
     return true;
   }
   retained_.push_back(sure);
+  EvalContext ctx = SharedContext();
   for (std::size_t id = 0; id < space_.size(); ++id)
-    if (!Eval(sure.get(), id, planes_, identity_rows_)) return false;
+    if (!Eval(sure.get(), id, ctx)) return false;
   return true;
 }
 
@@ -215,9 +247,10 @@ bool KnowledgeEvaluator::IsConstant(const FormulaPtr& f) {
     return true;
   }
   retained_.push_back(f);
-  const bool v0 = Eval(f.get(), 0, planes_, identity_rows_);
+  EvalContext ctx = SharedContext();
+  const bool v0 = Eval(f.get(), 0, ctx);
   for (std::size_t id = 1; id < space_.size(); ++id)
-    if (Eval(f.get(), id, planes_, identity_rows_) != v0) return false;
+    if (Eval(f.get(), id, ctx) != v0) return false;
   return true;
 }
 
@@ -249,7 +282,7 @@ void KnowledgeEvaluator::BuildComponentRoots(ProcessSet g,
       const auto num_classes =
           static_cast<std::uint32_t>(space_.NumProjectionClasses(p));
       for (std::uint32_t cls = 0; cls < num_classes; ++cls) {
-        const auto& bucket = space_.Bucket(p, cls);
+        const auto bucket = space_.Bucket(p, cls);
         for (std::size_t i = 1; i < bucket.size(); ++i)
           uf.Union(bucket[0], bucket[i]);
       }
@@ -272,7 +305,7 @@ void KnowledgeEvaluator::BuildComponentRoots(ProcessSet g,
     });
     internal::WorkerPool& pool = Pool();
     pool.Run(tasks.size(), [&](std::size_t t) {
-      const auto& bucket = space_.Bucket(tasks[t].first, tasks[t].second);
+      const auto bucket = space_.Bucket(tasks[t].first, tasks[t].second);
       for (std::size_t i = 1; i < bucket.size(); ++i)
         AtomicUnion(parent, bucket[0], bucket[i]);
     });
@@ -308,6 +341,25 @@ std::uint32_t KnowledgeEvaluator::InternNode(const Formula* f) {
   planes_.value.resize(planes_.value.size() + words_, 0);
   identity_rows_.push_back(node);
   node_complete_.push_back(0);
+  // Bucket tier: one segment per process in the node's group, rows laid out
+  // append-only in the shared bucket planes.
+  if (bucket_memo_ && HasBucketTier(f)) {
+    node_seg_begin_.push_back(static_cast<std::uint32_t>(segments_.size()));
+    f->group().ForEach([&](ProcessId p) {
+      BucketSegment seg;
+      seg.process = p;
+      seg.words = static_cast<std::uint32_t>(
+          (space_.NumProjectionClasses(p) + 63) / 64);
+      seg.shared_offset =
+          static_cast<std::uint32_t>(bucket_planes_.known.size());
+      segments_.push_back(seg);
+      shared_seg_offset_.push_back(seg.shared_offset);
+      bucket_planes_.known.resize(bucket_planes_.known.size() + seg.words, 0);
+      bucket_planes_.value.resize(bucket_planes_.value.size() + seg.words, 0);
+    });
+  } else {
+    node_seg_begin_.push_back(kNoSegment);
+  }
   return node;
 }
 
@@ -363,49 +415,119 @@ void KnowledgeEvaluator::ForEachRelated(std::size_t id, ProcessSet set,
   }
 }
 
+bool KnowledgeEvaluator::BucketVerdict(const Formula* f, std::uint32_t seg,
+                                       ProcessId p, std::size_t id,
+                                       EvalContext& ctx) {
+  const std::uint32_t cls = space_.ProjectionClass(id, p);
+  const std::size_t word = ctx.seg_offset[seg] + cls / 64;
+  const std::uint64_t bit = std::uint64_t{1} << (cls % 64);
+  if (ctx.bucket.known[word] & bit)
+    return (ctx.bucket.value[word] & bit) != 0;
+
+  // Miss: sweep Bucket(p, cls) once.  The quantifier of a singleton group
+  // ranges exactly over the bucket, so the verdict below is the same for
+  // every member — memoizing it per [p]-class is what collapses a
+  // whole-space sweep of this node from sum-of-bucket-squares to linear.
+  const Formula* child = f->left().get();
+  bool result = false;
+  switch (f->kind()) {
+    case FormulaKind::kKnows:
+    case FormulaKind::kEveryone: {
+      result = true;
+      for (std::uint32_t y : space_.Bucket(p, cls)) {
+        if (!Eval(child, y, ctx)) {
+          result = false;
+          break;
+        }
+      }
+      break;
+    }
+    case FormulaKind::kPossible: {
+      result = false;
+      for (std::uint32_t y : space_.Bucket(p, cls)) {
+        if (Eval(child, y, ctx)) {
+          result = true;
+          break;
+        }
+      }
+      break;
+    }
+    case FormulaKind::kSure: {
+      // K_p f || K_p !f, decided in one bucket pass.
+      bool all_true = true, all_false = true;
+      for (std::uint32_t y : space_.Bucket(p, cls)) {
+        if (Eval(child, y, ctx))
+          all_false = false;
+        else
+          all_true = false;
+        if (!all_true && !all_false) break;
+      }
+      result = all_true || all_false;
+      break;
+    }
+    default:
+      throw ModelError("BucketVerdict: node has no bucket tier");
+  }
+  ctx.bucket.known[word] |= bit;
+  if (result) ctx.bucket.value[word] |= bit;
+  return result;
+}
+
 bool KnowledgeEvaluator::Eval(const Formula* f, std::size_t id,
-                              MemoPlanes& planes,
-                              const std::vector<std::uint32_t>& rows) {
-  const std::size_t row = rows[InternNode(f)];
+                              EvalContext& ctx) {
+  const std::uint32_t node = InternNode(f);
+  const std::size_t row = ctx.rows[node];
   {
     const std::uint64_t bit = std::uint64_t{1} << (id % 64);
-    if (planes.known[row * words_ + id / 64] & bit)
-      return (planes.value[row * words_ + id / 64] & bit) != 0;
+    if (ctx.dense.known[row * words_ + id / 64] & bit)
+      return (ctx.dense.value[row * words_ + id / 64] & bit) != 0;
   }
 
+  const std::uint32_t seg = node_seg_begin_[node];
   bool result = false;
   switch (f->kind()) {
     case FormulaKind::kAtom:
+      // At() materializes the computation from the columnar store; the
+      // verdict is memoized, so each (atom node, class) pays the replay
+      // exactly once per evaluator.
       result = f->atom().Eval(space_.At(id));
       break;
     case FormulaKind::kNot:
-      result = !Eval(f->left().get(), id, planes, rows);
+      result = !Eval(f->left().get(), id, ctx);
       break;
     case FormulaKind::kAnd:
-      result = Eval(f->left().get(), id, planes, rows) &&
-               Eval(f->right().get(), id, planes, rows);
+      result = Eval(f->left().get(), id, ctx) &&
+               Eval(f->right().get(), id, ctx);
       break;
     case FormulaKind::kOr:
-      result = Eval(f->left().get(), id, planes, rows) ||
-               Eval(f->right().get(), id, planes, rows);
+      result = Eval(f->left().get(), id, ctx) ||
+               Eval(f->right().get(), id, ctx);
       break;
     case FormulaKind::kImplies:
-      result = !Eval(f->left().get(), id, planes, rows) ||
-               Eval(f->right().get(), id, planes, rows);
+      result = !Eval(f->left().get(), id, ctx) ||
+               Eval(f->right().get(), id, ctx);
       break;
     case FormulaKind::kKnows: {
+      if (seg != kNoSegment) {
+        result = BucketVerdict(f, seg, f->group().First(), id, ctx);
+        break;
+      }
       result = true;
       ForEachRelated(id, f->group(), [&](std::size_t y) {
-        if (!Eval(f->left().get(), y, planes, rows)) result = false;
+        if (!Eval(f->left().get(), y, ctx)) result = false;
         return result;
       });
       break;
     }
     case FormulaKind::kSure: {
+      if (seg != kNoSegment) {
+        result = BucketVerdict(f, seg, f->group().First(), id, ctx);
+        break;
+      }
       // K_P f || K_P !f, evaluated in one bucket pass.
       bool all_true = true, all_false = true;
       ForEachRelated(id, f->group(), [&](std::size_t y) {
-        if (Eval(f->left().get(), y, planes, rows))
+        if (Eval(f->left().get(), y, ctx))
           all_false = false;
         else
           all_true = false;
@@ -423,46 +545,59 @@ bool KnowledgeEvaluator::Eval(const Formula* f, std::size_t id,
           components.members.at(components.root[id]);
       result = true;
       for (std::uint32_t y : members) {
-        if (!Eval(f->left().get(), y, planes, rows)) {
+        if (!Eval(f->left().get(), y, ctx)) {
           result = false;
           break;
         }
       }
       for (std::uint32_t y : members) {
         const std::uint64_t bit = std::uint64_t{1} << (y % 64);
-        planes.known[row * words_ + y / 64] |= bit;
+        ctx.dense.known[row * words_ + y / 64] |= bit;
         if (result)
-          planes.value[row * words_ + y / 64] |= bit;
+          ctx.dense.value[row * words_ + y / 64] |= bit;
         else
-          planes.value[row * words_ + y / 64] &= ~bit;
+          ctx.dense.value[row * words_ + y / 64] &= ~bit;
       }
       return result;
     }
     case FormulaKind::kEveryone: {
-      // Conjunction of the individual K{p} over the group.
+      // Conjunction of the individual K{p} over the group — each conjunct
+      // is a bucket-tier row of this node when the tier is on.
       result = true;
+      if (seg != kNoSegment) {
+        std::uint32_t s = seg;
+        f->group().ForEach([&](ProcessId p) {
+          if (result && !BucketVerdict(f, s, p, id, ctx)) result = false;
+          ++s;
+        });
+        break;
+      }
       f->group().ForEach([&](ProcessId p) {
         if (!result) return;
         ForEachRelated(id, ProcessSet::Of(p), [&](std::size_t y) {
-          if (!Eval(f->left().get(), y, planes, rows)) result = false;
+          if (!Eval(f->left().get(), y, ctx)) result = false;
           return result;
         });
       });
       break;
     }
     case FormulaKind::kPossible: {
+      if (seg != kNoSegment) {
+        result = BucketVerdict(f, seg, f->group().First(), id, ctx);
+        break;
+      }
       // !K{P}!f: some [P]-isomorphic computation satisfies f.
       result = false;
       ForEachRelated(id, f->group(), [&](std::size_t y) {
-        if (Eval(f->left().get(), y, planes, rows)) result = true;
+        if (Eval(f->left().get(), y, ctx)) result = true;
         return !result;
       });
       break;
     }
   }
   const std::uint64_t bit = std::uint64_t{1} << (id % 64);
-  planes.known[row * words_ + id / 64] |= bit;
-  if (result) planes.value[row * words_ + id / 64] |= bit;
+  ctx.dense.known[row * words_ + id / 64] |= bit;
+  if (result) ctx.dense.value[row * words_ + id / 64] |= bit;
   return result;
 }
 
@@ -485,20 +620,37 @@ void KnowledgeEvaluator::EvaluateEverywhereParallel(const Formula* root) {
     if (f->kind() == FormulaKind::kCommon) Components(f->group());
 
   // Shard the id range; each worker runs the exact sequential lazy
-  // recursion against a private plane seeded from the shared memo.
+  // recursion against private planes seeded from the shared memo.
   // Verdicts are pure, so workers that duplicate a subformula evaluation
   // (bounded by the worker count) compute identical bits, and the OR-merge
   // below is order-independent — results match the sequential engine
   // byte for byte at any thread count.  The recursion can only touch this
-  // DAG's nodes, so the worker planes hold just |DAG| compact rows,
-  // located through a per-pass node -> row map: per-pass traffic and
+  // DAG's nodes, so the worker planes hold just |DAG| compact rows — and
+  // just the DAG's bucket-tier segments — located through per-pass
+  // node -> row and segment -> offset maps: per-pass traffic and
   // worker-plane footprint stay O(|DAG| x words) however many nodes
   // earlier queries interned.
   internal::WorkerPool& pool = Pool();
   std::vector<std::uint32_t> pass_rows(node_index_.size(), 0);
   for (std::size_t i = 0; i < order.size(); ++i)
     pass_rows[InternNode(order[i])] = static_cast<std::uint32_t>(i);
+  // Compact bucket planes: collect the DAG's segments in order.
+  std::vector<std::uint32_t> pass_seg_offset(segments_.size(), 0);
+  std::vector<std::uint32_t> pass_segments;  // global segment ids, in order
+  std::size_t bucket_words = 0;
+  for (const Formula* f : order) {
+    const std::uint32_t seg0 = node_seg_begin_[InternNode(f)];
+    if (seg0 == kNoSegment) continue;
+    const int group_size = f->group().Size();
+    for (int k = 0; k < group_size; ++k) {
+      const std::uint32_t s = seg0 + static_cast<std::uint32_t>(k);
+      pass_seg_offset[s] = static_cast<std::uint32_t>(bucket_words);
+      pass_segments.push_back(s);
+      bucket_words += segments_[s].words;
+    }
+  }
   worker_planes_.resize(static_cast<std::size_t>(pool.size()));
+  worker_bucket_planes_.resize(static_cast<std::size_t>(pool.size()));
   for (MemoPlanes& planes : worker_planes_) {
     planes.known.resize(order.size() * words_);
     planes.value.resize(order.size() * words_);
@@ -510,12 +662,26 @@ void KnowledgeEvaluator::EvaluateEverywhereParallel(const Formula* root) {
                   planes.value.begin() + i * words_);
     }
   }
+  for (MemoPlanes& planes : worker_bucket_planes_) {
+    planes.known.resize(bucket_words);
+    planes.value.resize(bucket_words);
+    for (std::uint32_t s : pass_segments) {
+      std::copy_n(bucket_planes_.known.begin() + segments_[s].shared_offset,
+                  segments_[s].words,
+                  planes.known.begin() + pass_seg_offset[s]);
+      std::copy_n(bucket_planes_.value.begin() + segments_[s].shared_offset,
+                  segments_[s].words,
+                  planes.value.begin() + pass_seg_offset[s]);
+    }
+  }
   internal::ParallelForIndexed(
       &pool, space_.size(), /*align=*/64,
       [&](int worker, std::size_t begin, std::size_t end) {
-        MemoPlanes& planes = worker_planes_[static_cast<std::size_t>(worker)];
-        for (std::size_t id = begin; id < end; ++id)
-          Eval(root, id, planes, pass_rows);
+        EvalContext ctx{worker_planes_[static_cast<std::size_t>(worker)],
+                        pass_rows,
+                        worker_bucket_planes_[static_cast<std::size_t>(worker)],
+                        pass_seg_offset};
+        for (std::size_t id = begin; id < end; ++id) Eval(root, id, ctx);
       });
   for (const MemoPlanes& planes : worker_planes_) {
     for (std::size_t i = 0; i < order.size(); ++i) {
@@ -526,13 +692,34 @@ void KnowledgeEvaluator::EvaluateEverywhereParallel(const Formula* root) {
       }
     }
   }
+  for (const MemoPlanes& planes : worker_bucket_planes_) {
+    for (std::uint32_t s : pass_segments) {
+      for (std::uint32_t w = 0; w < segments_[s].words; ++w) {
+        bucket_planes_.known[segments_[s].shared_offset + w] |=
+            planes.known[pass_seg_offset[s] + w];
+        bucket_planes_.value[segments_[s].shared_offset + w] |=
+            planes.value[pass_seg_offset[s] + w];
+      }
+    }
+  }
   node_complete_[root_node] = 1;
 }
 
 std::size_t KnowledgeEvaluator::memo_size() const noexcept {
-  std::size_t n = 0;
-  for (std::uint64_t word : planes_.known) n += __builtin_popcountll(word);
-  return n;
+  return Popcount(planes_.known);
+}
+
+KnowledgeEvaluator::MemoStats KnowledgeEvaluator::MemoryUsage() const {
+  MemoStats s;
+  s.dense_entries = Popcount(planes_.known);
+  s.bucket_entries = Popcount(bucket_planes_.known);
+  s.bytes_dense =
+      (planes_.known.capacity() + planes_.value.capacity()) * sizeof(std::uint64_t);
+  s.bytes_bucket = (bucket_planes_.known.capacity() +
+                    bucket_planes_.value.capacity()) *
+                   sizeof(std::uint64_t);
+  s.bytes_total = s.bytes_dense + s.bytes_bucket;
+  return s;
 }
 
 }  // namespace hpl

@@ -9,10 +9,20 @@
 // Evaluation is memoized per (formula node, [D]-class) through a dense
 // two-plane bitset: formula nodes are interned to dense indexes on first
 // sight, and each node owns one "known" and one "value" bit per class —
-// a cache probe is two word reads instead of a hash lookup.  The [p]-class
-// buckets of the space are additionally packed into per-class uint64_t
-// membership bitsets (built lazily for large buckets), so the quantifier
-// sweeps of Knows/Sure/Possible become word-parallel bitset intersections.
+// a cache probe is two word reads instead of a hash lookup.
+//
+// A second memo tier is granular at the *projection class*: for Knows /
+// Sure / Possible over a singleton {p} — and Everyone, which decomposes
+// into the singleton K{p} — the quantifier ranges exactly over the
+// [p]-bucket of x, so the verdict is constant across the bucket.  Those
+// nodes memo per (node, [p]-class) and sweep each bucket once per node
+// instead of once per member, collapsing the dominant single-process
+// K-sweep cost from the sum of squared bucket sizes to linear in the space
+// (KnowledgeOptions::bucket_memo gates the tier; verdicts are identical
+// either way).  The [p]-class buckets are additionally packed into
+// per-class uint64_t membership bitsets (built lazily for large buckets),
+// so the multi-process quantifier sweeps of Knows/Sure/Possible become
+// word-parallel bitset intersections.
 // Common knowledge CK{G} f is the greatest fixpoint "f and (p knows CK f)
 // for all p in G", computed as: f holds at every computation reachable from
 // x through the union of the [p] relations, p in G — i.e. on x's whole
@@ -23,15 +33,17 @@
 // common-knowledge component construction) are parallel, gated by
 // KnowledgeOptions::num_threads.  The engine shards the class-id range over
 // a worker pool and each worker runs the *same lazy recursion* as the
-// sequential path — early exits, per-component CK caching and all — against
-// a private copy of the memo planes, seeded from the shared one; after the
-// pass the per-worker planes are OR-merged back into the shared planes.
-// Verdicts are pure functions of (formula node, class id), so duplicated
-// subformula work between workers (bounded by the worker count) changes
-// nothing but time, worker-range results are order-independent, and
-// satisfying sets come out byte-identical at any thread count.  Components
-// are built by a lock-free parallel union-find whose labels are normalized
-// to the smallest member id, the same labels the sequential path produces.
+// sequential path — early exits, per-component CK caching, bucket-tier
+// probes and all — against a private copy of the memo planes (both tiers),
+// seeded from the shared ones; after the pass the per-worker planes are
+// OR-merged back into the shared planes.  Verdicts are pure functions of
+// (formula node, class id) — and, for the bucket tier, of (formula node,
+// [p]-class) — so duplicated subformula work between workers (bounded by
+// the worker count) changes nothing but time, worker-range results are
+// order-independent, and satisfying sets come out byte-identical at any
+// thread count.  Components are built by a lock-free parallel union-find
+// whose labels are normalized to the smallest member id, the same labels
+// the sequential path produces.
 // Parallel evaluation calls Predicate::Eval concurrently from multiple
 // threads, which is safe for every predicate in the repo because predicates
 // are pure functions of the computation; custom predicates must preserve
@@ -56,6 +68,11 @@ struct KnowledgeOptions {
   // byte-identical query results (see the header comment); spaces smaller
   // than an internal threshold always run sequentially.
   int num_threads = 0;
+  // Enables the (node, [p]-class) memo tier for singleton-group Knows /
+  // Sure / Possible and for Everyone.  Off, every member of a [p]-bucket
+  // re-sweeps the bucket; verdicts are identical either way (the knob
+  // exists for differential tests and ablation benches).
+  bool bucket_memo = true;
 };
 
 class KnowledgeEvaluator {
@@ -111,6 +128,18 @@ class KnowledgeEvaluator {
   // perf benchmarks.
   std::size_t memo_size() const noexcept;
 
+  // Memo footprint and fill, split by tier: the dense (node, [D]-class)
+  // planes and the (node, [p]-class) bucket planes.  Bytes are the
+  // allocated plane sizes; entries are known-bit popcounts.
+  struct MemoStats {
+    std::size_t dense_entries = 0;
+    std::size_t bucket_entries = 0;
+    std::size_t bytes_dense = 0;
+    std::size_t bytes_bucket = 0;
+    std::size_t bytes_total = 0;
+  };
+  MemoStats MemoryUsage() const;
+
  private:
   // Connected components of the union of [p] relations for one group.
   struct ComponentIndex {
@@ -119,20 +148,41 @@ class KnowledgeEvaluator {
     std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> members;
   };
 
-  // Dense memo planes, `words_` words per interned node.  The evaluator
-  // owns one shared instance; parallel passes give each worker a private
-  // copy seeded from it and OR-merge the copies back.
+  // Dense memo planes.  The evaluator owns one shared instance per tier;
+  // parallel passes give each worker private copies seeded from them and
+  // OR-merge the copies back.
   struct MemoPlanes {
     std::vector<std::uint64_t> known;
     std::vector<std::uint64_t> value;
   };
 
-  // Evaluates `f` at `id` against `planes`, whose rows are located through
-  // `rows` (plane offset of interned node k is rows[k] * words_).  The
-  // shared planes use the identity mapping (identity_rows_); parallel
-  // passes use compact per-pass planes holding only the queried DAG's rows.
-  bool Eval(const Formula* f, std::size_t id, MemoPlanes& planes,
-            const std::vector<std::uint32_t>& rows);
+  // One bucket-tier row: (node, p) owns one known/value bit per [p]-class.
+  // Rows of one node are contiguous in `segments_`, in group ForEach order.
+  struct BucketSegment {
+    ProcessId process = 0;
+    std::uint32_t words = 0;          // ceil(NumProjectionClasses(p) / 64)
+    std::uint32_t shared_offset = 0;  // word offset in bucket_planes_
+  };
+  static constexpr std::uint32_t kNoSegment = UINT32_MAX;
+
+  // Everything one evaluation pass needs to locate its memo state: the
+  // dense planes with their node -> row map, and the bucket planes with
+  // their segment -> word-offset map.  The shared context uses the identity
+  // maps; parallel passes use compact per-pass planes holding only the
+  // queried DAG's rows and segments.
+  struct EvalContext {
+    MemoPlanes& dense;
+    const std::vector<std::uint32_t>& rows;
+    MemoPlanes& bucket;
+    const std::vector<std::uint32_t>& seg_offset;
+  };
+
+  bool Eval(const Formula* f, std::size_t id, EvalContext& ctx);
+  // The bucket-tier probe/sweep for segment `seg` (a (node, p) row): returns
+  // the memoized verdict of `f`'s quantifier over Bucket(p, [p]-class of
+  // id), sweeping the bucket once on a miss.
+  bool BucketVerdict(const Formula* f, std::uint32_t seg, ProcessId p,
+                     std::size_t id, EvalContext& ctx);
   std::uint32_t InternNode(const Formula* f);
   const ComponentIndex& Components(ProcessSet g);
   void BuildComponentRoots(ProcessSet g, std::vector<std::uint32_t>& root);
@@ -156,22 +206,33 @@ class KnowledgeEvaluator {
   // plane (one verdict bit per class id) — the shared preamble of every
   // parallel whole-space query.  Requires UseParallel().
   const std::uint64_t* EvaluatedValuePlane(const FormulaPtr& f);
+  // The shared-plane EvalContext (identity row/segment maps).
+  EvalContext SharedContext();
 
   const ComputationSpace& space_;
   std::size_t words_ = 0;  // bitset words per formula node: ceil(size/64)
   int num_threads_ = 1;
+  bool bucket_memo_ = true;
   std::unique_ptr<internal::WorkerPool> pool_;  // lazily created
 
   std::unordered_map<const Formula*, std::uint32_t> node_index_;
-  MemoPlanes planes_;        // the shared memo (identity row mapping)
+  MemoPlanes planes_;        // the shared dense memo (identity row mapping)
   std::vector<std::uint32_t> identity_rows_;  // rows[k] == k
   // Per node: 1 once a whole-space pass has memoized it at every class id,
   // so repeat whole-space queries skip straight to the plane reads.
   std::vector<char> node_complete_;
+  // Bucket tier: per node, the index of its first segment in segments_
+  // (kNoSegment when the node has no bucket tier); segments and the shared
+  // bucket planes grow append-only at intern time.
+  std::vector<std::uint32_t> node_seg_begin_;
+  std::vector<BucketSegment> segments_;
+  std::vector<std::uint32_t> shared_seg_offset_;  // segments_[s].shared_offset
+  MemoPlanes bucket_planes_;
   // Per-worker scratch planes, persistent across parallel passes; each pass
-  // resizes them to the queried DAG's row count and reseeds from the shared
-  // memo, so their footprint is O(threads x |DAG| x words).
+  // resizes them to the queried DAG's row/segment counts and reseeds from
+  // the shared memo, so their footprint is O(threads x |DAG| x words).
   std::vector<MemoPlanes> worker_planes_;
+  std::vector<MemoPlanes> worker_bucket_planes_;
 
   // bucket_bits_[p][cls]: packed members of Bucket(p, cls), null until
   // first use; only buckets with >= kMinBucketForBits members are packed.

@@ -1,7 +1,10 @@
 #include "core/space.h"
 
 #include <algorithm>
-#include <deque>
+#include <functional>
+#include <numeric>
+#include <unordered_map>
+#include <utility>
 
 #include "core/parallel.h"
 
@@ -9,10 +12,22 @@ namespace hpl {
 
 namespace {
 
-// Groups computations by equal projection on p, assigning dense class ids.
-struct ProjectionClassifier {
-  std::unordered_map<std::size_t, std::vector<std::uint32_t>> by_hash;
-};
+// ClassLink stores pos/length in 16 bits.
+constexpr int kMaxStoredDepth = 65535;
+
+// "Not interned yet" sentinel for event-pool lookups.
+constexpr std::uint32_t kNoEventId = UINT32_MAX;
+
+// Runs fn(i) for i in [0, count): on the pool when one is given, inline (the
+// exact replay order of the pooled phases) otherwise.
+void RunJob(internal::WorkerPool* pool, std::size_t count,
+            const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr) {
+    pool->Run(count, fn);
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) fn(i);
+}
 
 }  // namespace
 
@@ -26,141 +41,127 @@ ComputationSpace ComputationSpace::Enumerate(const System& system,
   space.canonicalize_ = limits.canonicalize;
 
   if (threads == 1) {
-    DiscoverClassesSequential(system, limits, space);
-    ClassifyProjections(space, nullptr);
+    DiscoverClasses(system, limits, nullptr, space);
+    BuildBuckets(space, nullptr);
   } else {
     internal::WorkerPool pool(threads);
-    DiscoverClassesParallel(system, limits, pool, space);
-    ClassifyProjections(space, &pool);
+    DiscoverClasses(system, limits, &pool, space);
+    BuildBuckets(space, &pool);
   }
 
-  const std::size_t n = space.computations_.size();
-  space.by_length_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) space.by_length_[i] = i;
-  std::sort(space.by_length_.begin(), space.by_length_.end(),
-            [&](std::size_t a, std::size_t b) {
-              return space.computations_[a].size() <
-                     space.computations_[b].size();
-            });
+  // Sort the canonical index into its searchable (hash, id) column form.
+  // Entries were appended in id order, so a stable sort by hash keeps ids
+  // ascending within equal hashes.
+  const std::size_t n = space.links_.size();
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return space.canon_hash_[a] < space.canon_hash_[b];
+                   });
+  std::vector<std::size_t> sorted_hash(n);
+  std::vector<std::uint32_t> sorted_id(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sorted_hash[i] = space.canon_hash_[order[i]];
+    sorted_id[i] = space.canon_id_[order[i]];
+  }
+  space.canon_hash_ = std::move(sorted_hash);
+  space.canon_id_ = std::move(sorted_id);
+
+  // The columns were grown by push_back; drop the growth slack so
+  // MemoryUsage() reports (and the process keeps) only what the space needs.
+  space.event_pool_.shrink_to_fit();
+  space.links_.shrink_to_fit();
+  space.canon_hash_.shrink_to_fit();
+  space.canon_id_.shrink_to_fit();
+  space.proj_class_.shrink_to_fit();
+  space.succ_offsets_.shrink_to_fit();
+  space.succ_class_.shrink_to_fit();
+  space.succ_event_.shrink_to_fit();
   return space;
 }
 
-void ComputationSpace::DiscoverClassesSequential(const System& system,
-                                                 const EnumerationLimits& limits,
-                                                 ComputationSpace& space) {
-  // BFS over [D]-classes (or literal sequences when canonicalization is
-  // off): start from the empty computation; for each representative, ask
-  // the system for enabled events, and keep each extension if new.
-  //
-  // Representatives are stored in canonical order (or literally when
-  // canonicalization is off), so a class key is always the plain
-  // SequenceHash of the stored form — for a canonical sequence it equals
-  // CanonicalHash without re-running the canonical sort.
-  auto find_class = [&space](const Computation& canon,
-                             std::size_t key) -> std::optional<std::size_t> {
-    auto it = space.canon_index_.find(key);
-    if (it == space.canon_index_.end()) return std::nullopt;
+void ComputationSpace::DiscoverClasses(const System& system,
+                                       const EnumerationLimits& limits,
+                                       internal::WorkerPool* pool,
+                                       ComputationSpace& space) {
+  if (limits.max_depth > kMaxStoredDepth)
+    throw ModelError(
+        "ComputationSpace::Enumerate: max_depth exceeds the columnar "
+        "store's 16-bit depth links (" +
+        std::to_string(kMaxStoredDepth) + ")");
+  const std::size_t num_shards =
+      pool != nullptr ? static_cast<std::size_t>(pool->size()) : 1;
+  const int P = space.num_processes_;
+
+  // Transient event interner: pool-id lists per event hash.  Read-only
+  // while a level's parallel phases are in flight; misses are interned
+  // between phases, sequentially in discovery order, so pool ids are
+  // deterministic whatever the thread count.
+  std::unordered_map<std::size_t, std::vector<std::uint32_t>> event_index;
+  std::vector<std::size_t> event_hash;  // per pool id: HashEvent
+  auto lookup_event = [&](const Event& e, std::size_t h) -> std::uint32_t {
+    auto it = event_index.find(h);
+    if (it == event_index.end()) return kNoEventId;
     for (std::uint32_t id : it->second)
-      if (space.computations_[id] == canon) return id;
-    return std::nullopt;
+      if (space.event_pool_[id] == e) return id;
+    return kNoEventId;
   };
 
-  Computation empty;
-  space.canon_index_[empty.SequenceHash()].push_back(0);
-  space.computations_.push_back(std::move(empty));
-  space.successors_.emplace_back();
+  // Transient projection-class minting: a one-event extension only changes
+  // the projection on the event's own process, where it appends the event —
+  // so a child [p]-class is the parent's for p != e.process, and the class
+  // minted for (parent [p]-class, event id) for p == e.process.  Class 0 is
+  // the empty projection on every process.
+  std::vector<std::unordered_map<std::uint64_t, std::uint32_t>> proj_extend(
+      static_cast<std::size_t>(P));
+  std::vector<std::uint32_t> proj_count(static_cast<std::size_t>(P), 1);
 
-  std::deque<std::size_t> frontier;
-  frontier.push_back(0);
+  // Root: the empty computation.
+  space.links_.push_back(ClassLink{});
+  space.proj_class_.assign(static_cast<std::size_t>(P), 0);
+  space.canon_hash_.push_back(Computation().SequenceHash());
+  space.canon_id_.push_back(0);
+  space.succ_offsets_.push_back(0);
 
-  while (!frontier.empty()) {
-    const std::size_t id = frontier.front();
-    frontier.pop_front();
-    // Copy: computations_ may reallocate while we extend.
-    const Computation x = space.computations_[id];
-
-    std::vector<Event> enabled = system.EnabledEvents(x);
-    if (static_cast<int>(x.size()) >= limits.max_depth && !enabled.empty()) {
-      if (!limits.allow_truncation)
-        throw ModelError(
-            "ComputationSpace::Enumerate: system '" + system.Name() +
-            "' still extendable at max_depth=" + std::to_string(limits.max_depth) +
-            "; raise the limit or pass allow_truncation");
-      space.truncated_ = true;
-      continue;
-    }
-
-    for (const Event& e : enabled) {
-      std::string why;
-      if (!CanExtend(x, e, &why))
-        throw ModelError("Enumerate: system '" + system.Name() +
-                         "' produced an illegal event " + e.ToString() + ": " +
-                         why);
-      // x is stored in canonical order, so a one-event extension reuses its
-      // canonical state instead of recanonicalizing from scratch.
-      Computation next =
-          limits.canonicalize ? x.CanonicalExtended(e) : x.Extended(e);
-      const std::size_t key = next.SequenceHash();
-      std::optional<std::size_t> existing = find_class(next, key);
-      std::size_t next_id;
-      if (existing.has_value()) {
-        next_id = *existing;
-      } else {
-        if (space.computations_.size() >= limits.max_classes)
-          throw ModelError("Enumerate: class budget exhausted for system '" +
-                           system.Name() + "'");
-        next_id = space.computations_.size();
-        space.computations_.push_back(next);
-        space.canon_index_[key].push_back(
-            static_cast<std::uint32_t>(next_id));
-        space.successors_.emplace_back();
-        frontier.push_back(next_id);
-      }
-      auto& succ = space.successors_[id];
-      const bool seen = std::any_of(
-          succ.begin(), succ.end(),
-          [&](const Successor& s) { return s.class_id == next_id; });
-      if (!seen) succ.push_back(Successor{next_id, e});
-    }
-  }
-}
-
-void ComputationSpace::DiscoverClassesParallel(const System& system,
-                                               const EnumerationLimits& limits,
-                                               internal::WorkerPool& pool,
-                                               ComputationSpace& space) {
-  // Level-synchronous variant of the sequential BFS.  All members of a BFS
-  // level have the same length, so extensions can only collide with other
-  // extensions of the same level — dedup is entirely intra-level, and the
-  // sequential discovery order is exactly (parent id asc, enabled-event
-  // index asc).  Expansion and dedup run on the pool; the merge replays the
-  // sequential order so ids come out byte-identical.
-  const std::size_t num_shards = static_cast<std::size_t>(pool.size());
-
-  Computation empty;
-  space.canon_index_[empty.SequenceHash()].push_back(0);
-  space.computations_.push_back(std::move(empty));
-  space.successors_.emplace_back();
+  // The current BFS level: classes [level_begin, level_begin + level_count),
+  // all of length `depth`, with their interned-id sequences materialized in
+  // the flat level arena (level_count rows of `depth` ids).  The arena is
+  // the only place sequences exist in full; it is dropped when the level
+  // retires.
+  std::size_t level_begin = 0;
+  std::size_t level_count = 1;
+  std::vector<std::uint32_t> level_seq;
+  int depth = 0;
 
   struct Candidate {
-    Computation canon;
-    Event event;
-    std::size_t key = 0;
+    Event event;  // moved out once interned
+    std::uint32_t event_id = kNoEventId;
+    std::uint16_t pos = 0;
+    std::size_t key = 0;  // sequence hash of the extension
     std::uint32_t shard = 0;
     std::uint32_t unique = 0;  // index into its shard's unique list
     bool first = false;        // first occurrence of its class this level
   };
 
-  std::vector<std::uint32_t> frontier{0};
-  int depth = 0;
+  while (level_count > 0) {
+    const auto row_of = [&](std::size_t i) {
+      return level_seq.data() + i * static_cast<std::size_t>(depth);
+    };
 
-  while (!frontier.empty()) {
-    // Expand every frontier parent into its candidate extensions.
-    std::vector<std::vector<Candidate>> expanded(frontier.size());
-    std::vector<char> extendable(frontier.size(), 0);
+    // Phase A (parallel): materialize each member from the arena, ask the
+    // system for enabled events, and record candidate (event, splice-pos)
+    // pairs, resolving event-pool ids where the event is already interned.
+    std::vector<std::vector<Candidate>> expanded(level_count);
+    std::vector<char> extendable(level_count, 0);
     const bool at_depth_cap = depth >= limits.max_depth;
-    pool.Run(frontier.size(), [&](std::size_t i) {
-      const Computation& x = space.computations_[frontier[i]];
+    RunJob(pool, level_count, [&](std::size_t i) {
+      std::vector<Event> events;
+      events.reserve(static_cast<std::size_t>(depth));
+      const std::uint32_t* row = row_of(i);
+      for (int k = 0; k < depth; ++k)
+        events.push_back(space.event_pool_[row[k]]);
+      const Computation x = Computation::TrustedFromEvents(std::move(events));
       std::vector<Event> enabled = system.EnabledEvents(x);
       if (enabled.empty()) return;
       if (at_depth_cap) {
@@ -176,12 +177,10 @@ void ComputationSpace::DiscoverClassesParallel(const System& system,
                            "' produced an illegal event " + e.ToString() +
                            ": " + why);
         Candidate c;
-        // x is stored in canonical order, so a one-event extension reuses
-        // its canonical state instead of recanonicalizing from scratch; the
-        // class key is then the SequenceHash of the (canonical) result.
-        c.canon = limits.canonicalize ? x.CanonicalExtended(e) : x.Extended(e);
-        c.key = c.canon.SequenceHash();
-        c.shard = static_cast<std::uint32_t>(c.key % num_shards);
+        c.pos = static_cast<std::uint16_t>(
+            limits.canonicalize ? x.CanonicalInsertPos(e)
+                                : static_cast<std::size_t>(depth));
+        c.event_id = lookup_event(e, HashEvent(e));
         c.event = std::move(e);
         out.push_back(std::move(c));
       }
@@ -192,45 +191,84 @@ void ComputationSpace::DiscoverClassesParallel(const System& system,
       if (!limits.allow_truncation)
         throw ModelError(
             "ComputationSpace::Enumerate: system '" + system.Name() +
-            "' still extendable at max_depth=" + std::to_string(limits.max_depth) +
+            "' still extendable at max_depth=" +
+            std::to_string(limits.max_depth) +
             "; raise the limit or pass allow_truncation");
       space.truncated_ = true;
     }
 
-    // Dedup through per-shard hash maps.  A sequential O(candidates)
-    // routing pass hands each shard the (parent, event-index) pairs it
-    // owns, in global order — so "first occurrence" within a shard
-    // coincides with first occurrence in the sequential order, and each
-    // shard task touches only its own candidates.
+    // Phase B (sequential): intern the events phase A missed.  New alphabet
+    // entries appear in candidate order, so ids are thread-count invariant.
+    for (auto& out : expanded) {
+      for (Candidate& c : out) {
+        if (c.event_id != kNoEventId) continue;
+        const std::size_t h = HashEvent(c.event);
+        c.event_id = lookup_event(c.event, h);
+        if (c.event_id != kNoEventId) continue;
+        c.event_id = static_cast<std::uint32_t>(space.event_pool_.size());
+        event_index[h].push_back(c.event_id);
+        event_hash.push_back(h);
+        space.event_pool_.push_back(std::move(c.event));
+      }
+    }
+
+    // Phase C (parallel): splice each candidate's sequence into a flat
+    // per-member arena (rows of depth+1 ids) and fold its class key from
+    // the precomputed per-event hashes.
+    const std::size_t ext_len = static_cast<std::size_t>(depth) + 1;
+    std::vector<std::vector<std::uint32_t>> ext_seqs(level_count);
+    RunJob(pool, level_count, [&](std::size_t i) {
+      auto& out = expanded[i];
+      if (out.empty()) return;
+      auto& seqs = ext_seqs[i];
+      seqs.resize(out.size() * ext_len);
+      const std::uint32_t* row = row_of(i);
+      for (std::size_t j = 0; j < out.size(); ++j) {
+        Candidate& c = out[j];
+        std::uint32_t* dst = seqs.data() + j * ext_len;
+        std::copy(row, row + c.pos, dst);
+        dst[c.pos] = c.event_id;
+        std::copy(row + c.pos, row + depth, dst + c.pos + 1);
+        SequenceHashFold fold(ext_len);
+        for (std::size_t k = 0; k < ext_len; ++k) fold.Add(event_hash[dst[k]]);
+        c.key = fold.hash();
+        c.shard = static_cast<std::uint32_t>(c.key % num_shards);
+      }
+    });
+
+    // Phase D: dedup through per-shard hash maps.  All members of a BFS
+    // level have the same length, so extensions can only collide with other
+    // extensions of the same level — dedup is entirely intra-level.  A
+    // sequential O(candidates) routing pass hands each shard the
+    // (member, candidate) pairs it owns in global order, so "first
+    // occurrence" within a shard coincides with first occurrence in the
+    // sequential discovery order.  Equal sequences have equal interned-id
+    // rows (interning is exact), so rows compare with std::equal.
     struct Shard {
       std::unordered_map<std::size_t, std::vector<std::uint32_t>> by_key;
-      std::vector<const Candidate*> uniques;
+      std::vector<const std::uint32_t*> uniques;  // arena rows
     };
     std::vector<Shard> shards(num_shards);
     std::vector<std::vector<std::pair<std::size_t, std::size_t>>> routed(
         num_shards);
     std::size_t total_candidates = 0;
     for (const auto& out : expanded) total_candidates += out.size();
-    // Candidates spread roughly evenly over shards; pre-size the routing
-    // lists so the sequential routing pass never reallocates.
     for (auto& r : routed)
       r.reserve(total_candidates / num_shards + num_shards);
     for (std::size_t i = 0; i < expanded.size(); ++i)
       for (std::size_t j = 0; j < expanded[i].size(); ++j)
         routed[expanded[i][j].shard].emplace_back(i, j);
-    pool.Run(num_shards, [&](std::size_t s) {
+    RunJob(pool, num_shards, [&](std::size_t s) {
       Shard& shard = shards[s];
-      // Every routed candidate could be a fresh class (the common case on
-      // expanding frontiers); reserving the maps up front keeps the dedup
-      // pass rehash-free.
       shard.by_key.reserve(routed[s].size());
       shard.uniques.reserve(routed[s].size());
       for (const auto& [i, j] : routed[s]) {
         Candidate& c = expanded[i][j];
+        const std::uint32_t* seq = ext_seqs[i].data() + j * ext_len;
         auto& with_key = shard.by_key[c.key];
         bool matched = false;
         for (std::uint32_t u : with_key) {
-          if (shard.uniques[u]->canon == c.canon) {
+          if (std::equal(seq, seq + ext_len, shard.uniques[u])) {
             c.unique = u;
             matched = true;
             break;
@@ -240,106 +278,173 @@ void ComputationSpace::DiscoverClassesParallel(const System& system,
           c.unique = static_cast<std::uint32_t>(shard.uniques.size());
           c.first = true;
           with_key.push_back(c.unique);
-          shard.uniques.push_back(&c);
+          shard.uniques.push_back(seq);
         }
       }
     });
 
-    // Merge shards deterministically: assign global class ids by walking
-    // the candidates in the sequential discovery order.
+    // Phase E (sequential): merge shards deterministically by walking the
+    // candidates in discovery order — assign class ids, append links and
+    // projection rows, fill the successor CSR for every parent of this
+    // level, and build the next level's arena.
     std::vector<std::vector<std::uint32_t>> shard_ids(num_shards);
     for (std::size_t s = 0; s < num_shards; ++s)
       shard_ids[s].resize(shards[s].uniques.size());
-    std::vector<std::uint32_t> next_frontier;
-    next_frontier.reserve(total_candidates);
+    std::vector<std::uint32_t> next_seq;
+    std::size_t next_count = 0;
     for (std::size_t i = 0; i < expanded.size(); ++i) {
-      std::vector<Successor> succ;
+      const std::size_t parent = level_begin + i;
+      const std::size_t succ_begin = space.succ_class_.size();
       for (Candidate& c : expanded[i]) {
         std::uint32_t id;
         if (c.first) {
-          if (space.computations_.size() >= limits.max_classes)
+          if (space.links_.size() >= limits.max_classes)
             throw ModelError("Enumerate: class budget exhausted for system '" +
                              system.Name() + "'");
-          id = static_cast<std::uint32_t>(space.computations_.size());
-          space.computations_.push_back(std::move(c.canon));
-          space.canon_index_[c.key].push_back(id);
-          space.successors_.emplace_back();
-          next_frontier.push_back(id);
+          id = static_cast<std::uint32_t>(space.links_.size());
+          ClassLink link;
+          link.parent = static_cast<std::uint32_t>(parent);
+          link.event = c.event_id;
+          link.pos = c.pos;
+          link.length = static_cast<std::uint16_t>(ext_len);
+          space.links_.push_back(link);
+          space.canon_hash_.push_back(c.key);
+          space.canon_id_.push_back(id);
+          // Projection row: inherit the parent's classes, then extend on
+          // the event's own process.
+          const std::size_t parent_row =
+              parent * static_cast<std::size_t>(P);
+          const std::size_t child_row =
+              static_cast<std::size_t>(id) * static_cast<std::size_t>(P);
+          space.proj_class_.resize(child_row + static_cast<std::size_t>(P));
+          for (int p = 0; p < P; ++p)
+            space.proj_class_[child_row + static_cast<std::size_t>(p)] =
+                space.proj_class_[parent_row + static_cast<std::size_t>(p)];
+          const auto ep = static_cast<std::size_t>(
+              space.event_pool_[c.event_id].process);
+          const std::uint64_t key =
+              (static_cast<std::uint64_t>(space.proj_class_[parent_row + ep])
+               << 32) |
+              c.event_id;
+          auto [it, minted] =
+              proj_extend[ep].try_emplace(key, proj_count[ep]);
+          if (minted) ++proj_count[ep];
+          space.proj_class_[child_row + ep] = it->second;
+          // Next level arena row.
+          const std::uint32_t* seq =
+              ext_seqs[i].data() +
+              (static_cast<std::size_t>(&c - expanded[i].data())) * ext_len;
+          next_seq.insert(next_seq.end(), seq, seq + ext_len);
+          ++next_count;
           shard_ids[c.shard][c.unique] = id;
         } else {
           id = shard_ids[c.shard][c.unique];
         }
-        const bool seen =
-            std::any_of(succ.begin(), succ.end(),
-                        [&](const Successor& s) { return s.class_id == id; });
-        if (!seen) succ.push_back(Successor{id, std::move(c.event)});
+        bool seen = false;
+        for (std::size_t k = succ_begin; k < space.succ_class_.size(); ++k) {
+          if (space.succ_class_[k] == id) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) {
+          space.succ_class_.push_back(id);
+          space.succ_event_.push_back(c.event_id);
+        }
       }
-      space.successors_[frontier[i]] = std::move(succ);
+      space.succ_offsets_.push_back(
+          static_cast<std::uint32_t>(space.succ_class_.size()));
     }
 
-    frontier = std::move(next_frontier);
+    level_begin += level_count;
+    level_count = next_count;
+    level_seq = std::move(next_seq);
     ++depth;
   }
+
+  // NumProjectionClasses(p) is derived from the offset columns; pre-size
+  // them here so BuildBuckets only has to count and fill.
+  space.bucket_offsets_.resize(static_cast<std::size_t>(P));
+  space.bucket_ids_.resize(static_cast<std::size_t>(P));
+  for (int p = 0; p < P; ++p)
+    space.bucket_offsets_[static_cast<std::size_t>(p)].assign(
+        proj_count[static_cast<std::size_t>(p)] + 1, 0);
 }
 
-void ComputationSpace::ClassifyProjections(ComputationSpace& space,
-                                           internal::WorkerPool* pool) {
-  const std::size_t n = space.computations_.size();
-  space.proj_class_.assign(n * space.num_processes_, 0);
-  space.buckets_.assign(space.num_processes_, {});
-  if (pool != nullptr && space.num_processes_ > 1) {
-    // Processes are classified independently; each task runs the exact
-    // sequential per-process code, so results do not depend on the pool.
-    pool->Run(static_cast<std::size_t>(space.num_processes_),
-              [&](std::size_t p) {
-                ClassifyProjectionsFor(space, static_cast<ProcessId>(p));
-              });
+void ComputationSpace::BuildBuckets(ComputationSpace& space,
+                                    internal::WorkerPool* pool) {
+  const std::size_t n = space.links_.size();
+  const auto P = static_cast<std::size_t>(space.num_processes_);
+  auto build_for = [&](std::size_t p) {
+    // Counting sort of class ids by [p]-class: ids land ascending within
+    // each bucket because they are scanned in ascending order.
+    auto& offsets = space.bucket_offsets_[p];
+    auto& ids = space.bucket_ids_[p];
+    for (std::size_t id = 0; id < n; ++id)
+      ++offsets[space.proj_class_[id * P + p] + 1];
+    for (std::size_t cls = 1; cls < offsets.size(); ++cls)
+      offsets[cls] += offsets[cls - 1];
+    ids.resize(n);
+    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t id = 0; id < n; ++id)
+      ids[cursor[space.proj_class_[id * P + p]]++] =
+          static_cast<std::uint32_t>(id);
+  };
+  if (pool != nullptr && P > 1) {
+    // Processes are independent; each task runs the exact sequential
+    // per-process code, so results do not depend on the pool.
+    pool->Run(P, build_for);
   } else {
-    for (ProcessId p = 0; p < space.num_processes_; ++p)
-      ClassifyProjectionsFor(space, p);
+    for (std::size_t p = 0; p < P; ++p) build_for(p);
   }
 }
 
-void ComputationSpace::ClassifyProjectionsFor(ComputationSpace& space,
-                                              ProcessId p) {
-  const std::size_t n = space.computations_.size();
-  ProjectionClassifier classifier;
-  for (std::size_t id = 0; id < n; ++id) {
-    const std::size_t h = space.computations_[id].ProjectionHash(p);
-    classifier.by_hash[h].push_back(static_cast<std::uint32_t>(id));
+std::vector<std::uint32_t> ComputationSpace::CanonicalIdsOf(
+    std::size_t id) const {
+  // Replay the splice chain root-to-leaf: collect (pos, event) links by
+  // walking parents, then insert each event at its recorded position.
+  const ClassLink& leaf = links_.at(id);
+  const std::size_t n = leaf.length;
+  std::vector<std::pair<std::uint16_t, std::uint32_t>> splices(n);
+  std::size_t cur = id;
+  for (std::size_t i = n; i-- > 0;) {
+    const ClassLink& link = links_[cur];
+    splices[i] = {link.pos, link.event};
+    cur = link.parent;
   }
-  auto& buckets = space.buckets_[p];
-  for (auto& [h, ids] : classifier.by_hash) {
-    // Hash buckets may (rarely) mix distinct projections; split exactly.
-    while (!ids.empty()) {
-      const std::uint32_t rep = ids.front();
-      std::vector<std::uint32_t> cls;
-      std::vector<std::uint32_t> rest;
-      const auto rep_proj = space.computations_[rep].Projection(p);
-      for (std::uint32_t id : ids) {
-        if (space.computations_[id].Projection(p) == rep_proj)
-          cls.push_back(id);
-        else
-          rest.push_back(id);
-      }
-      const auto cls_id = static_cast<std::uint32_t>(buckets.size());
-      for (std::uint32_t id : cls)
-        space.proj_class_[id * space.num_processes_ + p] = cls_id;
-      buckets.push_back(std::move(cls));
-      ids = std::move(rest);
-    }
-  }
+  std::vector<std::uint32_t> out;
+  out.reserve(n);
+  for (const auto& [pos, event] : splices)
+    out.insert(out.begin() + pos, event);
+  return out;
+}
+
+Computation ComputationSpace::At(std::size_t id) const {
+  const std::vector<std::uint32_t> ids = CanonicalIdsOf(id);
+  std::vector<Event> events;
+  events.reserve(ids.size());
+  for (std::uint32_t e : ids) events.push_back(event_pool_[e]);
+  return Computation::TrustedFromEvents(std::move(events));
+}
+
+std::vector<std::size_t> ComputationSpace::IdsByLength() const {
+  std::vector<std::size_t> ids(size());
+  std::iota(ids.begin(), ids.end(), std::size_t{0});
+  return ids;
 }
 
 std::optional<std::size_t> ComputationSpace::IndexOf(
     const Computation& c) const {
-  const Computation key =
-      canonicalize_ ? c.Canonical() : c;
-  auto it = canon_index_.find(canonicalize_ ? key.CanonicalHash()
-                                            : key.SequenceHash());
-  if (it == canon_index_.end()) return std::nullopt;
-  for (std::uint32_t id : it->second)
-    if (computations_[id] == key) return id;
+  const Computation key = canonicalize_ ? c.Canonical() : c;
+  // Stored sequences are canonical (or literal with canonicalization off),
+  // so the index key is always the plain SequenceHash of the lookup form.
+  const std::size_t h = key.SequenceHash();
+  auto it = std::lower_bound(canon_hash_.begin(), canon_hash_.end(), h);
+  for (; it != canon_hash_.end() && *it == h; ++it) {
+    const std::uint32_t id =
+        canon_id_[static_cast<std::size_t>(it - canon_hash_.begin())];
+    if (LengthOf(id) == key.size() && At(id) == key) return id;
+  }
   return std::nullopt;
 }
 
@@ -351,13 +456,58 @@ std::size_t ComputationSpace::RequireIndex(const Computation& c) const {
   return *id;
 }
 
-void ComputationSpace::ForEachIsomorphic(
-    std::size_t id, ProcessSet set,
-    const std::function<void(std::size_t)>& fn) const {
-  ForEachIsomorphicWhile(id, set, [&fn](std::size_t y) {
-    fn(y);
-    return true;
-  });
+ComputationSpace::MemoryStats ComputationSpace::MemoryUsage() const {
+  // Exact sizes of the columnar columns (capacity() x element size; the
+  // columns are shrunk to fit by Enumerate).  The AoS-equivalent mirrors
+  // the seed layout's minimum heap footprint for the same space — per-class
+  // owned event vectors, per-class successor vectors of (id, Event) pairs,
+  // vector-of-vector buckets, and an unordered_map canonical index —
+  // computed from the same class lengths and counts.  Labels are assumed
+  // SSO-resident in the AoS estimate (true of every system in the repo);
+  // allocator headers are excluded on both sides, so the comparison favors
+  // the AoS side if anything.
+  auto vec_bytes = [](const auto& v) {
+    return v.capacity() * sizeof(v[0]);
+  };
+  MemoryStats s;
+  s.classes = links_.size();
+  s.bytes_event_pool = vec_bytes(event_pool_);
+  for (const Event& e : event_pool_)
+    if (e.label.capacity() > std::string().capacity())
+      s.bytes_event_pool += e.label.capacity() + 1;
+  s.bytes_class_links = vec_bytes(links_);
+  s.bytes_canon_index = vec_bytes(canon_hash_) + vec_bytes(canon_id_);
+  s.bytes_projection = vec_bytes(proj_class_);
+  for (const auto& offsets : bucket_offsets_) s.bytes_buckets += vec_bytes(offsets);
+  for (const auto& ids : bucket_ids_) s.bytes_buckets += vec_bytes(ids);
+  s.bytes_successors =
+      vec_bytes(succ_offsets_) + vec_bytes(succ_class_) + vec_bytes(succ_event_);
+  s.bytes_total = s.bytes_event_pool + s.bytes_class_links +
+                  s.bytes_canon_index + s.bytes_projection + s.bytes_buckets +
+                  s.bytes_successors;
+
+  std::size_t total_events = 0;
+  for (const ClassLink& link : links_) total_events += link.length;
+  const std::size_t num_successors = succ_class_.size();
+  std::size_t num_buckets = 0;
+  for (const auto& offsets : bucket_offsets_) num_buckets += offsets.size() - 1;
+  // Seed AoS layout: std::vector<Computation> (header + owned Event buffer),
+  // std::vector<std::vector<Successor>> with Successor = {std::size_t,
+  // Event}, unordered_map<std::size_t, std::vector<std::uint32_t>> canonical
+  // index (per class: one id slot + one map node of two words, a bucket
+  // pointer, and a vector header), per-process vector-of-vector buckets,
+  // proj_class_, and the stored by-length permutation.
+  s.bytes_aos_equivalent =
+      s.classes * sizeof(Computation) + total_events * sizeof(Event) +
+      s.classes * sizeof(std::vector<Successor>) +
+      num_successors * (sizeof(std::size_t) + sizeof(Event)) +
+      s.classes * (sizeof(std::uint32_t) + 3 * sizeof(void*) +
+                   sizeof(std::vector<std::uint32_t>)) +
+      num_buckets * sizeof(std::vector<std::uint32_t>) +
+      s.classes * static_cast<std::size_t>(num_processes_) *
+          2 * sizeof(std::uint32_t) +
+      s.classes * sizeof(std::size_t);
+  return s;
 }
 
 bool ComputationSpace::Isomorphic(std::size_t a, std::size_t b,

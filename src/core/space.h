@@ -9,28 +9,48 @@
 // canonical representative per [D]-equivalence class; this both compresses
 // the space and enforces the invariance assumption by construction.
 //
+// The store is columnar.  Events are interned into a shared pool (a system's
+// event alphabet is bounded by its protocol, not by its class count), and a
+// class is 12 bytes: its BFS parent, the pool id of the one event that
+// extends the parent into it, and the splice position where the canonical
+// scheduler emits that event — canonical sequences are never stored, they
+// are materialized on demand by replaying the splice chain from the root
+// (At(), therefore, returns by value).  Successor lists and per-process
+// buckets are CSR-flattened (offset array + flat uint32_t payload), and the
+// canonical-form index is a sorted (hash, id) column.  Compared to the seed
+// layout (one owned std::vector<Event> per class, vector-of-vector buckets
+// and successor lists) this cuts bytes per class by roughly an order of
+// magnitude — MemoryUsage() reports the exact split, plus the seed layout's
+// equivalent footprint for the same space — and makes every bucket sweep a
+// contiguous scan.
+//
 // Per-process buckets group computations with equal projections, so the
 // [p]-equivalence classes are materialized and "for all y: x [P] y" becomes
 // an intersection of bucket scans instead of a scan of the whole space.
+// Projection classes are assigned *during* enumeration: a one-event
+// extension leaves every projection unchanged except on the extending
+// event's process, where it appends that event — so a child's [p]-class is
+// inherited from its parent for p != e.process and looked up (or minted) by
+// the key (parent's [p]-class, event id) for p == e.process.  Classifying a
+// class costs O(1) amortized instead of hashing its projections.
 //
-// Enumeration is parallel: a fixed worker pool expands the BFS frontier one
-// depth level at a time, dedups extensions through per-shard hash maps
-// (sharded by canonical-form hash), and merges shards in the sequential
+// Enumeration is level-synchronous: the BFS frontier expands one depth
+// level at a time, extensions dedup through per-shard hash maps over the
+// level's interned-id sequences, and shards merge in the sequential
 // discovery order — so class ids, successor lists, projection classes, and
 // therefore every knowledge result are byte-identical for every
-// `num_threads` value.  `num_threads = 1` runs the plain sequential loop.
-// Parallel expansion calls `System::EnabledEvents` concurrently from
-// multiple threads, which is safe for every system in the repo because
-// EnabledEvents is a pure function of the computation; custom systems must
-// preserve that (no mutable state in a const EnabledEvents).
+// `num_threads` value (`num_threads = 1` runs the same phases inline).
+// Expansion calls `System::EnabledEvents` concurrently from multiple
+// threads, which is safe for every system in the repo because EnabledEvents
+// is a pure function of the computation; custom systems must preserve that
+// (no mutable state in a const EnabledEvents).
 #ifndef HPL_CORE_SPACE_H_
 #define HPL_CORE_SPACE_H_
 
 #include <cstdint>
-#include <functional>
 #include <optional>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/computation.h"
@@ -48,9 +68,10 @@ struct EnumerationLimits {
   // is still extendable at this depth, unless `allow_truncation` is set —
   // knowledge results on a truncated space are approximations and
   // Enumerate() records the truncation in `ComputationSpace::truncated()`.
+  // Must fit the columnar store's 16-bit splice links: at most 65535.
   int max_depth = 64;
   // Hard cap on the number of [D]-classes (guards against blow-up).
-  std::size_t max_classes = 5'000'000;
+  std::size_t max_classes = 20'000'000;
   bool allow_truncation = false;
   // When true (default), computations are deduplicated by [D]-canonical
   // form — sound for the paper's asynchronous model, whose computation
@@ -59,7 +80,7 @@ struct EnumerationLimits {
   // this to false so the space keeps their literal interleavings.
   bool canonicalize = true;
   // Worker threads for enumeration.  0 = std::thread::hardware_concurrency
-  // (at least 1); 1 = the exact sequential code path.  Any value produces
+  // (at least 1); 1 = the same level phases run inline.  Any value produces
   // byte-identical class ids and derived indexes (see the header comment).
   int num_threads = 0;
 };
@@ -72,12 +93,21 @@ class ComputationSpace {
 
   int num_processes() const noexcept { return num_processes_; }
   ProcessSet AllProcesses() const { return ProcessSet::All(num_processes_); }
-  std::size_t size() const noexcept { return computations_.size(); }
+  std::size_t size() const noexcept { return links_.size(); }
   bool truncated() const noexcept { return truncated_; }
   const std::string& system_name() const noexcept { return system_name_; }
 
-  // Canonical representative of class `id`.
-  const Computation& At(std::size_t id) const { return computations_.at(id); }
+  // Canonical representative of class `id`, materialized from the columnar
+  // store by replaying the class's splice chain (O(length^2) uint32 moves
+  // plus one Event copy per event; lengths are <= max_depth).  Returns by
+  // value — bind with `const Computation& x = space.At(id)` when a
+  // reference is convenient (lifetime extension applies).
+  Computation At(std::size_t id) const;
+
+  // Event count of class `id` without materializing it (O(1)).
+  std::size_t LengthOf(std::size_t id) const {
+    return links_[id].length;
+  }
 
   // Index of the [D]-class of `c`, if `c` (or a permutation of it) is a
   // computation of the system.
@@ -88,25 +118,36 @@ class ComputationSpace {
 
   // Id of the [p]-equivalence class of computation `id` (dense ints).
   std::uint32_t ProjectionClass(std::size_t id, ProcessId p) const {
-    return proj_class_.at(id * num_processes_ + p);
+    return proj_class_[id * static_cast<std::size_t>(num_processes_) +
+                       static_cast<std::size_t>(p)];
   }
 
   // Number of [p]-equivalence classes (valid class ids are dense in
   // [0, NumProjectionClasses(p))).
   std::size_t NumProjectionClasses(ProcessId p) const {
-    return buckets_.at(p).size();
+    return bucket_offsets_.at(static_cast<std::size_t>(p)).size() - 1;
   }
 
-  // All computations y with At(id) [p] y (including id itself).
-  const std::vector<std::uint32_t>& Bucket(ProcessId p,
-                                           std::uint32_t cls) const {
-    return buckets_.at(p).at(cls);
+  // All computations y with At(id) [p] y (including id itself), ascending —
+  // one contiguous slice of the process's CSR bucket column.
+  std::span<const std::uint32_t> Bucket(ProcessId p, std::uint32_t cls) const {
+    const auto& offsets = bucket_offsets_.at(static_cast<std::size_t>(p));
+    const auto& ids = bucket_ids_[static_cast<std::size_t>(p)];
+    return std::span<const std::uint32_t>(ids.data() + offsets.at(cls),
+                                          offsets.at(cls + 1) - offsets[cls]);
   }
 
   // Iterates ids of all y with At(id) [P] y.  P empty relates everything
-  // (the paper: x [{}] y for all x, y).
-  void ForEachIsomorphic(std::size_t id, ProcessSet set,
-                         const std::function<void(std::size_t)>& fn) const;
+  // (the paper: x [{}] y for all x, y).  A thin forward to
+  // ForEachIsomorphicWhile, so `fn` is invoked directly — no std::function
+  // on the sweep path.
+  template <typename Fn>
+  void ForEachIsomorphic(std::size_t id, ProcessSet set, Fn&& fn) const {
+    ForEachIsomorphicWhile(id, set, [&fn](std::size_t y) {
+      fn(y);
+      return true;
+    });
+  }
 
   // As ForEachIsomorphic, but stops as soon as `fn` returns false.  The
   // canonical implementation of the [P]-relation sweep: scans the smallest
@@ -122,9 +163,9 @@ class ComputationSpace {
     ProcessId best = set.First();
     std::size_t best_size = SIZE_MAX;
     set.ForEach([&](ProcessId p) {
-      const auto& bucket = Bucket(p, ProjectionClass(id, p));
-      if (bucket.size() < best_size) {
-        best_size = bucket.size();
+      const std::size_t bucket_size = Bucket(p, ProjectionClass(id, p)).size();
+      if (bucket_size < best_size) {
+        best_size = bucket_size;
         best = p;
       }
     });
@@ -153,48 +194,136 @@ class ComputationSpace {
   std::vector<std::size_t> ComposedReachable(
       std::size_t a, const std::vector<ProcessSet>& stages) const;
 
-  // Ids of classes whose representative extends At(id) by exactly one event
-  // (successor classes), and the extending events.
+  // Classes whose representative extends At(id) by exactly one event
+  // (successor classes), and the extending events.  Backed by the CSR
+  // successor columns; iteration yields Successor values whose events are
+  // copied out of the shared pool.
   struct Successor {
     std::size_t class_id;
     Event event;
   };
-  const std::vector<Successor>& SuccessorsOf(std::size_t id) const {
-    return successors_.at(id);
+  class SuccessorRange {
+   public:
+    class Iterator {
+     public:
+      using value_type = Successor;
+      using difference_type = std::ptrdiff_t;
+      Iterator(const ComputationSpace* space, std::uint32_t i)
+          : space_(space), i_(i) {}
+      Successor operator*() const { return space_->SuccessorAt(i_); }
+      Iterator& operator++() {
+        ++i_;
+        return *this;
+      }
+      bool operator==(const Iterator& o) const { return i_ == o.i_; }
+
+     private:
+      const ComputationSpace* space_;
+      std::uint32_t i_;
+    };
+
+    std::size_t size() const noexcept { return end_ - begin_; }
+    bool empty() const noexcept { return begin_ == end_; }
+    Successor operator[](std::size_t k) const {
+      return space_->SuccessorAt(begin_ + static_cast<std::uint32_t>(k));
+    }
+    Iterator begin() const { return Iterator(space_, begin_); }
+    Iterator end() const { return Iterator(space_, end_); }
+
+   private:
+    friend class ComputationSpace;
+    SuccessorRange(const ComputationSpace* space, std::uint32_t begin,
+                   std::uint32_t end)
+        : space_(space), begin_(begin), end_(end) {}
+    const ComputationSpace* space_;
+    std::uint32_t begin_;
+    std::uint32_t end_;
+  };
+  SuccessorRange SuccessorsOf(std::size_t id) const {
+    return SuccessorRange(this, succ_offsets_.at(id), succ_offsets_.at(id + 1));
   }
 
-  // Ids of all computations in increasing length order.
-  const std::vector<std::size_t>& IdsByLength() const { return by_length_; }
+  // Ids of all computations in increasing length order.  BFS discovers
+  // classes level by level, so this is simply 0..size()-1.
+  std::vector<std::size_t> IdsByLength() const;
+
+  // Exact heap footprint of the columnar store, in bytes, plus what the
+  // seed's array-of-structs layout would need for the same space (one owned
+  // event vector per class, per-class successor vectors, vector-of-vector
+  // buckets, hash-map canonical index) — the before/after line benchmarks
+  // report.  `bytes_total` counts only the columnar columns below it.
+  struct MemoryStats {
+    std::size_t classes = 0;
+    std::size_t bytes_event_pool = 0;    // interned events incl. label heap
+    std::size_t bytes_class_links = 0;   // (parent, event, pos, length)
+    std::size_t bytes_canon_index = 0;   // sorted (hash, id) columns
+    std::size_t bytes_projection = 0;    // proj_class_
+    std::size_t bytes_buckets = 0;       // CSR offsets + payload
+    std::size_t bytes_successors = 0;    // CSR offsets + payload
+    std::size_t bytes_total = 0;
+    std::size_t bytes_aos_equivalent = 0;
+    double BytesPerClass() const {
+      return classes == 0 ? 0.0
+                          : static_cast<double>(bytes_total) /
+                                static_cast<double>(classes);
+    }
+  };
+  MemoryStats MemoryUsage() const;
 
  private:
   ComputationSpace() = default;
 
-  // BFS class discovery (phase 1 of Enumerate): fills computations_,
-  // canon_index_, successors_, and truncated_.
-  static void DiscoverClassesSequential(const System& system,
-                                        const EnumerationLimits& limits,
-                                        ComputationSpace& space);
-  static void DiscoverClassesParallel(const System& system,
-                                      const EnumerationLimits& limits,
-                                      internal::WorkerPool& pool,
-                                      ComputationSpace& space);
-  // Projection classification (phase 2): fills proj_class_ and buckets_,
-  // one independent task per process when a pool is given.
-  static void ClassifyProjections(ComputationSpace& space,
-                                  internal::WorkerPool* pool);
-  static void ClassifyProjectionsFor(ComputationSpace& space, ProcessId p);
+  // One class of the columnar store: the BFS parent, the extending event
+  // (pool id), the canonical splice position of that event in the parent's
+  // sequence, and the sequence length.  The root (class 0) has length 0.
+  struct ClassLink {
+    std::uint32_t parent = 0;
+    std::uint32_t event = 0;
+    std::uint16_t pos = 0;
+    std::uint16_t length = 0;
+  };
+
+  // The shared level-synchronous BFS (phase 1 of Enumerate): fills links_,
+  // event_pool_, proj_class_ (via the incremental projection maps),
+  // canon_hash_/canon_id_, the successor CSR columns, and truncated_.
+  // `pool` may be null: every phase then runs inline, in the exact order
+  // the pooled phases replay.
+  static void DiscoverClasses(const System& system,
+                              const EnumerationLimits& limits,
+                              internal::WorkerPool* pool,
+                              ComputationSpace& space);
+  // Builds the per-process CSR buckets from proj_class_ by counting sort
+  // (phase 2); one independent task per process when a pool is given.
+  static void BuildBuckets(ComputationSpace& space, internal::WorkerPool* pool);
+
+  // Interned-event-id form of the canonical sequence of class `id`,
+  // materialized by replaying the splice chain from the root.
+  std::vector<std::uint32_t> CanonicalIdsOf(std::size_t id) const;
+
+  Successor SuccessorAt(std::uint32_t i) const {
+    return Successor{succ_class_[i], event_pool_[succ_event_[i]]};
+  }
 
   int num_processes_ = 0;
   bool truncated_ = false;
   bool canonicalize_ = true;
   std::string system_name_;
-  std::vector<Computation> computations_;
-  std::unordered_map<std::size_t, std::vector<std::uint32_t>> canon_index_;
-  std::vector<std::uint32_t> proj_class_;  // size * num_processes_
-  // buckets_[p][cls] = ids of computations in [p]-class cls.
-  std::vector<std::vector<std::vector<std::uint32_t>>> buckets_;
-  std::vector<std::vector<Successor>> successors_;
-  std::vector<std::size_t> by_length_;
+
+  // Columnar class store (see header comment).
+  std::vector<Event> event_pool_;
+  std::vector<ClassLink> links_;
+  // Canonical-form index: hashes sorted ascending, ids carried alongside.
+  std::vector<std::size_t> canon_hash_;
+  std::vector<std::uint32_t> canon_id_;
+  std::vector<std::uint32_t> proj_class_;  // size() * num_processes_
+  // CSR buckets: bucket_ids_[p][bucket_offsets_[p][cls] ..
+  // bucket_offsets_[p][cls+1]) = ids of computations in [p]-class cls.
+  std::vector<std::vector<std::uint32_t>> bucket_offsets_;
+  std::vector<std::vector<std::uint32_t>> bucket_ids_;
+  // CSR successors: parallel (class, event-pool-id) columns.
+  std::vector<std::uint32_t> succ_offsets_;  // size() + 1
+  std::vector<std::uint32_t> succ_class_;
+  std::vector<std::uint32_t> succ_event_;
 };
 
 }  // namespace hpl

@@ -1,0 +1,124 @@
+// Determinism contract of the projection-class memo tier
+// (KnowledgeOptions::bucket_memo): for singleton-group Knows / Sure /
+// Possible and for Everyone, the verdict is constant per [p]-bucket, so
+// memoizing per (node, [p]-class) and sweeping each bucket once must
+// reproduce the memo-off engine byte for byte — satisfying sets, batch
+// Holds, pointwise Holds, and CK component labels — at 1 and 4 worker
+// threads, on a canonicalized space and a lockstep (non-canonicalized) one.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/knowledge.h"
+#include "core/random_system.h"
+#include "protocols/lockstep.h"
+
+namespace hpl {
+namespace {
+
+std::vector<FormulaPtr> TierFormulas(const ComputationSpace& space,
+                                     const Predicate& atom) {
+  const ProcessSet all = space.AllProcesses();
+  FormulaPtr a = Formula::Atom(atom);
+  return {
+      // The tier's direct targets: singleton-group modalities ...
+      Formula::Knows(ProcessSet{0}, a),
+      Formula::Sure(ProcessSet{1}, a),
+      Formula::Possible(ProcessSet{0}, Formula::Not(a)),
+      Formula::Everyone(all, a),
+      // ... nested so bucket sweeps trigger from inside other sweeps ...
+      Formula::Knows(ProcessSet{1}, Formula::Knows(ProcessSet{0}, a)),
+      Formula::Everyone(all, Formula::Knows(ProcessSet{0}, a)),
+      Formula::Not(Formula::Sure(ProcessSet{0}, a)),
+      // ... and mixed with nodes the tier does not cover (multi-process
+      // groups, CK), which must keep their own paths intact.
+      Formula::Knows(all, a),
+      Formula::Common(all, a),
+      Formula::Implies(Formula::Knows(ProcessSet{0}, a),
+                       Formula::Everyone(all, a)),
+  };
+}
+
+void ExpectTierInvariant(const ComputationSpace& space, const Predicate& atom) {
+  for (int threads : {1, 4}) {
+    KnowledgeEvaluator memo_off(
+        space, {.num_threads = threads, .bucket_memo = false});
+    KnowledgeEvaluator memo_on(
+        space, {.num_threads = threads, .bucket_memo = true});
+    for (const FormulaPtr& f : TierFormulas(space, atom)) {
+      ASSERT_EQ(memo_off.SatisfyingSet(f), memo_on.SatisfyingSet(f))
+          << f->ToString() << " at " << threads << " threads";
+      ASSERT_EQ(memo_off.HoldsAll(f), memo_on.HoldsAll(f)) << f->ToString();
+      for (std::size_t id = 0; id < space.size(); id += 17)
+        ASSERT_EQ(memo_off.Holds(f, id), memo_on.Holds(f, id))
+            << f->ToString() << " at " << id;
+    }
+    const ProcessSet all = space.AllProcesses();
+    for (std::size_t id = 0; id < space.size(); ++id)
+      ASSERT_EQ(memo_off.CommonComponent(all, id),
+                memo_on.CommonComponent(all, id))
+          << "component of " << id;
+    // The tier actually engaged: bucket entries exist only when it is on.
+    EXPECT_GT(memo_on.MemoryUsage().bucket_entries, 0u);
+    EXPECT_EQ(memo_off.MemoryUsage().bucket_entries, 0u);
+    EXPECT_EQ(memo_off.MemoryUsage().bytes_bucket, 0u);
+  }
+}
+
+TEST(KnowledgeBucketMemoTest, CanonicalizedSpaceIsTierInvariant) {
+  RandomSystemOptions options;
+  options.num_processes = 3;
+  options.num_messages = 4;
+  options.internal_events = 1;
+  options.seed = 42;
+  RandomSystem system(options);
+  const auto space = ComputationSpace::Enumerate(system, {.max_depth = 32});
+  ASSERT_GT(space.size(), 500u);  // large enough to take the parallel path
+  ExpectTierInvariant(space, Predicate::CountOnAtLeast(0, 2));
+}
+
+TEST(KnowledgeBucketMemoTest, LockstepSpaceIsTierInvariant) {
+  protocols::LockstepSystem system(8);
+  EnumerationLimits limits;
+  limits.max_depth = 42;
+  limits.canonicalize = false;
+  const auto space = ComputationSpace::Enumerate(system, limits);
+  ASSERT_GE(space.size(), 128u);  // parallel threshold
+  ExpectTierInvariant(space, system.Crashed());
+}
+
+TEST(KnowledgeBucketMemoTest, SingletonSweepsMemoizePerBucketNotPerMember) {
+  // After one whole-space sweep of K{0} atom, the tier holds exactly one
+  // entry per [0]-class — that is the sum-of-squares -> linear collapse.
+  RandomSystemOptions options;
+  options.seed = 7;
+  RandomSystem system(options);
+  const auto space = ComputationSpace::Enumerate(system, {.max_depth = 24});
+  KnowledgeEvaluator eval(space, {.num_threads = 1});
+  const FormulaPtr f = Formula::Knows(
+      ProcessSet{0}, Formula::Atom(Predicate::CountOnAtLeast(0, 1)));
+  eval.SatisfyingSet(f);
+  EXPECT_EQ(eval.MemoryUsage().bucket_entries,
+            space.NumProjectionClasses(0));
+}
+
+TEST(KnowledgeBucketMemoTest, MemoStatsSplitByTier) {
+  RandomSystemOptions options;
+  options.seed = 3;
+  RandomSystem system(options);
+  const auto space = ComputationSpace::Enumerate(system, {.max_depth = 24});
+  KnowledgeEvaluator eval(space, {.num_threads = 1});
+  EXPECT_EQ(eval.MemoryUsage().bytes_total, 0u);
+  const FormulaPtr f = Formula::Everyone(
+      space.AllProcesses(), Formula::Atom(Predicate::CountOnAtLeast(0, 1)));
+  eval.SatisfyingSet(f);
+  const auto stats = eval.MemoryUsage();
+  EXPECT_EQ(stats.dense_entries, eval.memo_size());
+  EXPECT_GT(stats.bucket_entries, 0u);
+  EXPECT_GT(stats.bytes_dense, 0u);
+  EXPECT_GT(stats.bytes_bucket, 0u);
+  EXPECT_EQ(stats.bytes_total, stats.bytes_dense + stats.bytes_bucket);
+}
+
+}  // namespace
+}  // namespace hpl

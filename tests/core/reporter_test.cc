@@ -15,6 +15,8 @@ JsonResult MakeResult() {
   r.wall_ns = 123456789;
   r.space_classes = 31563;
   r.classes_per_sec = 105210.25;
+  r.bytes_space = 2215908;
+  r.bytes_memo = 16384;
   return r;
 }
 
@@ -41,6 +43,8 @@ TEST(ReporterTest, RoundTripPreservesAllFields) {
   EXPECT_EQ(a.wall_ns, 123456789);
   EXPECT_EQ(a.space_classes, 31563u);
   EXPECT_EQ(a.classes_per_sec, 105210.25);
+  EXPECT_EQ(a.bytes_space, 2215908u);
+  EXPECT_EQ(a.bytes_memo, 16384u);
 
   const JsonResult& b = parsed.results()[1];
   EXPECT_EQ(b.name, second.name);
@@ -51,6 +55,11 @@ TEST(ReporterTest, RoundTripPreservesAllFields) {
   EXPECT_EQ(b.wall_ns, 1);
   EXPECT_EQ(b.space_classes, 0u);
   EXPECT_EQ(b.classes_per_sec, 0.0);
+  // The optional memory gauges default to 0 and are omitted from the JSON.
+  EXPECT_EQ(b.bytes_space, 0u);
+  EXPECT_EQ(b.bytes_memo, 0u);
+  EXPECT_EQ(JsonReporter::Parse(reporter.ToJson()).ToJson(),
+            reporter.ToJson());
 }
 
 TEST(ReporterTest, EmptyReporterRoundTrips) {

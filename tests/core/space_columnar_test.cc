@@ -1,0 +1,145 @@
+// The columnar store behind ComputationSpace: materialization through the
+// splice links must reproduce exactly the canonical sequences the BFS
+// discovered, the CSR successor/bucket columns must agree with the
+// materialized computations, and MemoryUsage() must account for every
+// column — with the AoS-equivalent footprint of the seed layout staying a
+// multiple of the columnar bytes.
+#include "core/space.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/random_system.h"
+#include "protocols/lockstep.h"
+
+namespace hpl {
+namespace {
+
+ComputationSpace MidSizeSpace() {
+  RandomSystemOptions options;
+  options.num_processes = 4;
+  options.num_messages = 5;
+  options.internal_events = 1;
+  options.seed = 42;
+  RandomSystem system(options);
+  return ComputationSpace::Enumerate(system, {.max_depth = 48});
+}
+
+TEST(SpaceColumnarTest, MaterializedSequencesAreCanonical) {
+  const auto space = MidSizeSpace();
+  ASSERT_GT(space.size(), 1000u);
+  for (std::size_t id = 0; id < space.size(); ++id) {
+    const Computation x = space.At(id);
+    EXPECT_EQ(x.size(), space.LengthOf(id)) << "class " << id;
+    // The store holds canonical representatives: materialization must be a
+    // fixed point of Canonical().
+    ASSERT_EQ(x, x.Canonical()) << "class " << id;
+  }
+}
+
+TEST(SpaceColumnarTest, MaterializationMatchesSuccessorExtension) {
+  // Walking the successor CSR and extending the parent's materialized form
+  // must land exactly on the child's materialized form — the splice links
+  // and the canonical extension agree everywhere.
+  const auto space = MidSizeSpace();
+  std::size_t checked = 0;
+  for (std::size_t id = 0; id < space.size(); id += 7) {
+    const Computation x = space.At(id);
+    for (const auto& succ : space.SuccessorsOf(id)) {
+      ASSERT_EQ(space.At(succ.class_id), x.CanonicalExtended(succ.event))
+          << "class " << id << " + " << succ.event.ToString();
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST(SpaceColumnarTest, IndexOfRoundTripsEveryClass) {
+  const auto space = MidSizeSpace();
+  for (std::size_t id = 0; id < space.size(); id += 11) {
+    const auto found = space.IndexOf(space.At(id));
+    ASSERT_TRUE(found.has_value()) << "class " << id;
+    EXPECT_EQ(*found, id);
+  }
+}
+
+TEST(SpaceColumnarTest, SuccessorRangeIsConsistent) {
+  const auto space = MidSizeSpace();
+  for (std::size_t id = 0; id < space.size(); id += 13) {
+    const auto range = space.SuccessorsOf(id);
+    std::size_t count = 0;
+    std::unordered_set<std::size_t> seen;
+    for (const auto& succ : range) {
+      EXPECT_EQ(succ.class_id, range[count].class_id);
+      EXPECT_EQ(succ.event, range[count].event);
+      EXPECT_EQ(space.LengthOf(succ.class_id), space.LengthOf(id) + 1);
+      // One successor entry per distinct child class.
+      EXPECT_TRUE(seen.insert(succ.class_id).second);
+      ++count;
+    }
+    EXPECT_EQ(count, range.size());
+    EXPECT_EQ(range.empty(), count == 0);
+  }
+}
+
+TEST(SpaceColumnarTest, IdsAreDiscoveredInLengthOrder) {
+  const auto space = MidSizeSpace();
+  const auto ids = space.IdsByLength();
+  ASSERT_EQ(ids.size(), space.size());
+  for (std::size_t i = 1; i < ids.size(); ++i)
+    EXPECT_LE(space.LengthOf(ids[i - 1]), space.LengthOf(ids[i]));
+}
+
+TEST(SpaceColumnarTest, MemoryUsageAccountsForEveryColumn) {
+  const auto space = MidSizeSpace();
+  const auto memory = space.MemoryUsage();
+  EXPECT_EQ(memory.classes, space.size());
+  EXPECT_GT(memory.bytes_event_pool, 0u);
+  EXPECT_GT(memory.bytes_class_links, 0u);
+  EXPECT_GT(memory.bytes_canon_index, 0u);
+  EXPECT_GT(memory.bytes_projection, 0u);
+  EXPECT_GT(memory.bytes_buckets, 0u);
+  EXPECT_GT(memory.bytes_successors, 0u);
+  EXPECT_EQ(memory.bytes_total,
+            memory.bytes_event_pool + memory.bytes_class_links +
+                memory.bytes_canon_index + memory.bytes_projection +
+                memory.bytes_buckets + memory.bytes_successors);
+  EXPECT_GT(memory.BytesPerClass(), 0.0);
+  // The headline of the columnar refactor: at least a 5x reduction against
+  // the seed array-of-structs layout on a mid-size space.
+  EXPECT_GE(memory.bytes_aos_equivalent, 5 * memory.bytes_total);
+}
+
+TEST(SpaceColumnarTest, LockstepLiteralSequencesRoundTrip) {
+  // canonicalize = false stores literal interleavings; links then append at
+  // the end (pos == parent length) and materialization must reproduce the
+  // literal sequences.
+  protocols::LockstepSystem system(2);
+  EnumerationLimits limits;
+  limits.max_depth = 12;
+  limits.canonicalize = false;
+  const auto space = ComputationSpace::Enumerate(system, limits);
+  ASSERT_GT(space.size(), 10u);
+  for (std::size_t id = 0; id < space.size(); ++id) {
+    const Computation x = space.At(id);
+    const auto found = space.IndexOf(x);
+    ASSERT_TRUE(found.has_value()) << "class " << id;
+    EXPECT_EQ(*found, id);
+    for (const auto& succ : space.SuccessorsOf(id))
+      EXPECT_EQ(space.At(succ.class_id), x.Extended(succ.event));
+  }
+}
+
+TEST(SpaceColumnarTest, DepthBeyondLinkWidthIsRejected) {
+  RandomSystemOptions options;
+  options.seed = 3;
+  RandomSystem system(options);
+  EXPECT_THROW(
+      ComputationSpace::Enumerate(system, {.max_depth = 70000}),
+      ModelError);
+}
+
+}  // namespace
+}  // namespace hpl

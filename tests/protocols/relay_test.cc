@@ -26,7 +26,7 @@ TEST(RelaySystemTest, SpaceIsFiniteAndComplete) {
   // Maximal computation: fact + (n-1) send/recv pairs = 1 + 2*3 = 7 events.
   std::size_t max_len = 0;
   for (std::size_t id = 0; id < space.size(); ++id)
-    max_len = std::max(max_len, space.At(id).size());
+    max_len = std::max(max_len, space.LengthOf(id));
   EXPECT_EQ(max_len, 7u);
 }
 
@@ -94,7 +94,8 @@ TEST(RelaySystemTest, MinimumMessagesForDepth) {
     for (std::size_t id = 0; id < space.size(); ++id) {
       if (!eval.Holds(nested, id)) continue;
       std::size_t receives = 0;
-      for (const hpl::Event& e : space.At(id).events())
+      const hpl::Computation x = space.At(id);
+      for (const hpl::Event& e : x.events())
         if (e.IsReceive()) ++receives;
       min_receives = std::min(min_receives, receives);
     }

@@ -45,7 +45,8 @@ TEST(TokenBusTest, PassBudgetBoundsTheSpace) {
   // Each computation has at most 2 sends.
   for (std::size_t id = 0; id < space.size(); ++id) {
     int sends = 0;
-    for (const hpl::Event& e : space.At(id).events())
+    const hpl::Computation x = space.At(id);
+    for (const hpl::Event& e : x.events())
       if (e.IsSend()) ++sends;
     EXPECT_LE(sends, 2);
   }

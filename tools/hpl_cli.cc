@@ -4,10 +4,11 @@
 //   hpl space    <system>                enumerate and summarize
 //   hpl diagram  <system>                isomorphism diagram as DOT
 //   hpl atoms    <system>                predicates usable in formulas
-//   hpl check    <system> <formula> [--knowledge-threads=N]
+//   hpl check    <system> <formula> [flags]
 //                                        model-check a formula (prints
-//                                        per-phase enumerate/evaluate times)
-//   hpl check-at <system> <formula> <computation>
+//                                        per-phase enumerate/evaluate times
+//                                        and space/memo memory stats)
+//   hpl check-at <system> <formula> <computation> [flags]
 //                                        evaluate at one computation, given
 //                                        in the serialization format, e.g.
 //                                        "0>1:0/ping 1<0:0/ping" (prints
@@ -21,12 +22,20 @@
 //   hpl fuse     <n> <x> <y> <z> <p0>[,p1...]
 //                                        Theorem-2 fusion of y and z over
 //                                        common prefix x w.r.t. P
-//   hpl bench    <system> [--threads=N] [--knowledge-threads=N] [--repeat=K]
-//                [--json=PATH]           time the enumerate and evaluate
+//   hpl bench    <system> [flags] [--repeat=K]
+//                                        time the enumerate and evaluate
 //                                        phases; optional BENCH_*.json
 //
-// --threads drives ComputationSpace::Enumerate, --knowledge-threads the
-// KnowledgeEvaluator (both: 0 = hardware concurrency, 1 = sequential).
+// check, check-at, and bench share the flags
+//   --threads=N            ComputationSpace::Enumerate workers
+//   --knowledge-threads=N  KnowledgeEvaluator workers
+//                          (both: 0 = hardware concurrency, 1 = sequential)
+//   --max-depth=N          override the system's enumeration depth cap
+//   --max-classes=N        override the [D]-class budget
+//   --allow-truncation     keep going at max_depth (knowledge verdicts are
+//                          then approximations; a WARNING is printed)
+//   --json=PATH            write the phases as hpl-bench-v1 rows, including
+//                          the bytes_space/bytes_memo memory gauges
 //
 // Systems: ping | relay:N | tokenbus:N,PASSES | tracker:FLIPS | random:SEED
 //          | lockstep:ROUNDS
@@ -162,10 +171,10 @@ int CmdSpace(const std::string& spec) {
   std::printf("computations (up to [D]): %zu\n", space.size());
   std::size_t max_len = 0;
   for (std::size_t id = 0; id < space.size(); ++id)
-    max_len = std::max(max_len, space.At(id).size());
+    max_len = std::max(max_len, space.LengthOf(id));
   std::vector<std::size_t> by_len(max_len + 1, 0);
   for (std::size_t id = 0; id < space.size(); ++id)
-    ++by_len[space.At(id).size()];
+    ++by_len[space.LengthOf(id)];
   std::printf("by length:");
   for (std::size_t l = 0; l <= max_len; ++l)
     std::printf(" %zu:%zu", l, by_len[l]);
@@ -198,24 +207,115 @@ int CmdAtoms(const std::string& spec) {
   return 0;
 }
 
+// Trailing flags shared by check / check-at / bench.
+struct CheckFlags {
+  int threads = 0;            // enumeration workers (0 = hardware)
+  int knowledge_threads = 0;  // evaluation workers (0 = hardware)
+  int max_depth = -1;         // < 0: keep the system's default
+  long long max_classes = 0;  // 0: keep the EnumerationLimits default
+  bool allow_truncation = false;
+  int repeat = 3;  // bench only
+};
+
+CheckFlags ParseCheckFlags(int argc, char** argv, int first,
+                           bool allow_repeat = false) {
+  CheckFlags flags;
+  for (int i = first; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0)
+      flags.threads = std::atoi(arg + 10);
+    else if (std::strncmp(arg, "--knowledge-threads=", 20) == 0)
+      flags.knowledge_threads = std::atoi(arg + 20);
+    else if (std::strncmp(arg, "--max-depth=", 12) == 0)
+      flags.max_depth = std::atoi(arg + 12);
+    else if (std::strncmp(arg, "--max-classes=", 14) == 0)
+      flags.max_classes = std::atoll(arg + 14);
+    else if (std::strcmp(arg, "--allow-truncation") == 0)
+      flags.allow_truncation = true;
+    else if (allow_repeat && std::strncmp(arg, "--repeat=", 9) == 0)
+      flags.repeat = std::max(1, std::atoi(arg + 9));
+    else
+      throw ModelError(std::string("unknown flag '") + arg + "'");
+  }
+  return flags;
+}
+
+// The EnumerationLimits for a system under the given flags.
+EnumerationLimits LimitsFor(const NamedSystem& named, const CheckFlags& flags) {
+  EnumerationLimits limits;
+  limits.max_depth = flags.max_depth >= 0 ? flags.max_depth : named.max_depth;
+  if (flags.max_classes > 0)
+    limits.max_classes = static_cast<std::size_t>(flags.max_classes);
+  limits.allow_truncation = flags.allow_truncation;
+  limits.canonicalize = named.canonicalize;
+  limits.num_threads = flags.threads;
+  return limits;
+}
+
+// A truncated space under-approximates the quantifier domain, so verdicts
+// are approximations; say so loudly on every query path.
+void WarnIfTruncated(const ComputationSpace& space) {
+  if (space.truncated())
+    std::fprintf(stderr,
+                 "WARNING: space truncated at max_depth; knowledge verdicts "
+                 "are approximations over the enumerated prefix\n");
+}
+
+// The space/memo memory gauges, printed and attached to JSON rows.
+void PrintMemoryStats(const ComputationSpace::MemoryStats& space_memory,
+                      const KnowledgeEvaluator::MemoStats& memo_memory) {
+  std::printf("memory:  space %.1f KiB (%.1f B/class, AoS-equivalent %.1f "
+              "KiB), memo %.1f KiB\n",
+              static_cast<double>(space_memory.bytes_total) / 1024.0,
+              space_memory.BytesPerClass(),
+              static_cast<double>(space_memory.bytes_aos_equivalent) / 1024.0,
+              static_cast<double>(memo_memory.bytes_total) / 1024.0);
+}
+
+// The enumerate/evaluate phase rows shared by check, check-at, and bench.
+bench::JsonResult EnumerateRow(const NamedSystem& named,
+                               const EnumerationLimits& limits,
+                               const ComputationSpace& space,
+                               std::int64_t wall_ns, int repeat) {
+  bench::JsonResult row;
+  row.name = "enumerate/" + named.system->Name();
+  row.params = {{"threads",
+                 static_cast<double>(internal::ResolveNumThreads(
+                     limits.num_threads))},
+                {"repeat", static_cast<double>(repeat)},
+                {"depth", static_cast<double>(limits.max_depth)},
+                {"truncated", space.truncated() ? 1.0 : 0.0}};
+  row.wall_ns = wall_ns;
+  row.space_classes = space.size();
+  row.classes_per_sec = bench::ClassesPerSec(space.size(), wall_ns);
+  row.bytes_space = space.MemoryUsage().bytes_total;
+  return row;
+}
+
 int CmdCheck(const std::string& spec, const std::string& text,
-             int knowledge_threads) {
+             const CheckFlags& flags,
+             const std::optional<std::string>& json_path) {
   NamedSystem named = MakeSystem(spec);
+  const EnumerationLimits limits = LimitsFor(named, flags);
   bench::WallTimer enumerate_timer;
-  auto space = ComputationSpace::Enumerate(
-      *named.system, {.max_depth = named.max_depth,
-                      .canonicalize = named.canonicalize});
+  auto space = ComputationSpace::Enumerate(*named.system, limits);
   const std::int64_t enumerate_ns = enumerate_timer.ElapsedNs();
-  KnowledgeEvaluator eval(space, {.num_threads = knowledge_threads});
+  WarnIfTruncated(space);
+  KnowledgeEvaluator eval(space, {.num_threads = flags.knowledge_threads});
   FormulaPtr formula = Formula::Parse(text, named.atoms);
-  std::printf("system:  %s (%zu computations)\n",
-              named.system->Name().c_str(), space.size());
+  std::printf("system:  %s (%zu computations%s)\n",
+              named.system->Name().c_str(), space.size(),
+              space.truncated() ? ", TRUNCATED" : "");
   std::printf("formula: %s\n", formula->ToString().c_str());
   bench::WallTimer evaluate_timer;
   const auto sat = eval.SatisfyingSet(formula);
+  const std::int64_t evaluate_ns = evaluate_timer.ElapsedNs();
   std::printf("phases:  enumerate %.3f ms, evaluate %.3f ms\n",
               static_cast<double>(enumerate_ns) / 1e6,
-              static_cast<double>(evaluate_timer.ElapsedNs()) / 1e6);
+              static_cast<double>(evaluate_ns) / 1e6);
+  const ComputationSpace::MemoryStats space_memory = space.MemoryUsage();
+  const KnowledgeEvaluator::MemoStats memo_memory = eval.MemoryUsage();
+  PrintMemoryStats(space_memory, memo_memory);
   std::printf("holds at %zu/%zu computations\n", sat.size(), space.size());
   if (!sat.empty() && sat.size() <= 12) {
     for (std::size_t id : sat)
@@ -224,18 +324,38 @@ int CmdCheck(const std::string& spec, const std::string& text,
     std::printf("  first: %s\n", space.At(sat.front()).ToString().c_str());
     std::printf("  last:  %s\n", space.At(sat.back()).ToString().c_str());
   }
+  if (json_path.has_value()) {
+    bench::JsonReporter reporter("cli_check");
+    reporter.Add(EnumerateRow(named, limits, space, enumerate_ns,
+                              /*repeat=*/1));
+    bench::JsonResult evaluate_row;
+    evaluate_row.name = "check/" + named.system->Name();
+    evaluate_row.params = {
+        {"knowledge_threads",
+         static_cast<double>(
+             internal::ResolveNumThreads(flags.knowledge_threads))},
+        {"satisfying", static_cast<double>(sat.size())},
+        {"memo_entries", static_cast<double>(eval.memo_size())}};
+    evaluate_row.wall_ns = evaluate_ns;
+    evaluate_row.space_classes = space.size();
+    evaluate_row.bytes_space = space_memory.bytes_total;
+    evaluate_row.bytes_memo = memo_memory.bytes_total;
+    reporter.Add(std::move(evaluate_row));
+    if (!reporter.WriteFile(*json_path)) return 1;
+  }
   return 0;
 }
 
 int CmdCheckAt(const std::string& spec, const std::string& text,
-               const std::string& serialized, int knowledge_threads) {
+               const std::string& serialized, const CheckFlags& flags,
+               const std::optional<std::string>& json_path) {
   NamedSystem named = MakeSystem(spec);
+  const EnumerationLimits limits = LimitsFor(named, flags);
   bench::WallTimer enumerate_timer;
-  auto space = ComputationSpace::Enumerate(
-      *named.system, {.max_depth = named.max_depth,
-                      .canonicalize = named.canonicalize});
+  auto space = ComputationSpace::Enumerate(*named.system, limits);
   const std::int64_t enumerate_ns = enumerate_timer.ElapsedNs();
-  KnowledgeEvaluator eval(space, {.num_threads = knowledge_threads});
+  WarnIfTruncated(space);
+  KnowledgeEvaluator eval(space, {.num_threads = flags.knowledge_threads});
   FormulaPtr formula = Formula::Parse(text, named.atoms);
   const Computation at = ParseComputation(serialized);
   const auto id = space.IndexOf(at);
@@ -247,11 +367,31 @@ int CmdCheckAt(const std::string& spec, const std::string& text,
   }
   bench::WallTimer evaluate_timer;
   const bool verdict = eval.Holds(formula, *id);
+  const std::int64_t evaluate_ns = evaluate_timer.ElapsedNs();
   std::printf("at %s:\n  %s  =>  %s\n", at.ToString().c_str(),
               formula->ToString().c_str(), verdict ? "true" : "false");
   std::printf("phases: enumerate %.3f ms, evaluate %.3f ms\n",
               static_cast<double>(enumerate_ns) / 1e6,
-              static_cast<double>(evaluate_timer.ElapsedNs()) / 1e6);
+              static_cast<double>(evaluate_ns) / 1e6);
+  const ComputationSpace::MemoryStats space_memory = space.MemoryUsage();
+  const KnowledgeEvaluator::MemoStats memo_memory = eval.MemoryUsage();
+  PrintMemoryStats(space_memory, memo_memory);
+  if (json_path.has_value()) {
+    bench::JsonReporter reporter("cli_check_at");
+    reporter.Add(EnumerateRow(named, limits, space, enumerate_ns,
+                              /*repeat=*/1));
+    bench::JsonResult evaluate_row;
+    evaluate_row.name = "check_at/" + named.system->Name();
+    evaluate_row.params = {{"verdict", verdict ? 1.0 : 0.0},
+                           {"memo_entries",
+                            static_cast<double>(eval.memo_size())}};
+    evaluate_row.wall_ns = evaluate_ns;
+    evaluate_row.space_classes = space.size();
+    evaluate_row.bytes_space = space_memory.bytes_total;
+    evaluate_row.bytes_memo = memo_memory.bytes_total;
+    reporter.Add(std::move(evaluate_row));
+    if (!reporter.WriteFile(*json_path)) return 1;
+  }
   return 0;
 }
 
@@ -346,37 +486,32 @@ int CmdFuse(int n, const std::string& xs, const std::string& ys,
   return 0;
 }
 
-int CmdBench(const std::string& spec, int threads, int knowledge_threads,
-             int repeat, const std::optional<std::string>& json_path) {
+int CmdBench(const std::string& spec, const CheckFlags& flags,
+             const std::optional<std::string>& json_path) {
   NamedSystem named = MakeSystem(spec);
   bench::JsonReporter reporter("cli");
   // Resolve the 0 = hardware-concurrency knobs up front so the JSON records
   // the actual worker counts — BENCH_*.json rows stay comparable across
   // hosts with different core counts.
-  threads = internal::ResolveNumThreads(threads);
-  knowledge_threads = internal::ResolveNumThreads(knowledge_threads);
+  EnumerationLimits limits = LimitsFor(named, flags);
+  limits.num_threads = internal::ResolveNumThreads(limits.num_threads);
+  const int knowledge_threads =
+      internal::ResolveNumThreads(flags.knowledge_threads);
 
   // Phase 1 — enumerate: best-of-`repeat` wall time; the last space is
   // reused for the evaluate phase below.
   std::int64_t enumerate_ns = INT64_MAX;
   std::optional<ComputationSpace> space;
-  for (int rep = 0; rep < repeat; ++rep) {
+  for (int rep = 0; rep < flags.repeat; ++rep) {
     bench::WallTimer timer;
-    space = ComputationSpace::Enumerate(
-        *named.system, {.max_depth = named.max_depth,
-                        .canonicalize = named.canonicalize,
-                        .num_threads = threads});
+    space = ComputationSpace::Enumerate(*named.system, limits);
     enumerate_ns = std::min(enumerate_ns, timer.ElapsedNs());
   }
+  WarnIfTruncated(*space);
   const std::size_t classes = space->size();
-  bench::JsonResult enum_result;
-  enum_result.name = "enumerate/" + named.system->Name();
-  enum_result.params = {{"threads", static_cast<double>(threads)},
-                        {"repeat", static_cast<double>(repeat)},
-                        {"depth", static_cast<double>(named.max_depth)}};
-  enum_result.wall_ns = enumerate_ns;
-  enum_result.space_classes = classes;
-  enum_result.classes_per_sec = bench::ClassesPerSec(classes, enumerate_ns);
+  const ComputationSpace::MemoryStats space_memory = space->MemoryUsage();
+  bench::JsonResult enum_result =
+      EnumerateRow(named, limits, *space, enumerate_ns, flags.repeat);
   reporter.Add(enum_result);
 
   // Phase 2 — evaluate: satisfying set of K{0} atom for every atom.
@@ -396,38 +531,35 @@ int CmdBench(const std::string& spec, int threads, int knowledge_threads,
                         {"memo_entries", static_cast<double>(eval.memo_size())}};
   know_result.wall_ns = knowledge_timer.ElapsedNs();
   know_result.space_classes = classes;
+  know_result.bytes_space = space_memory.bytes_total;
+  know_result.bytes_memo = eval.MemoryUsage().bytes_total;
   reporter.Add(know_result);
 
   std::printf("system:            %s\n", named.system->Name().c_str());
-  std::printf("threads:           %d enumerate, %d evaluate\n", threads,
-              knowledge_threads);
-  std::printf("classes:           %zu\n", classes);
+  std::printf("threads:           %d enumerate, %d evaluate\n",
+              limits.num_threads, knowledge_threads);
+  std::printf("classes:           %zu%s\n", classes,
+              space->truncated() ? " (TRUNCATED)" : "");
   std::printf("phase enumerate:   %.3f ms best-of-%d  (%.0f classes/sec)\n",
-              static_cast<double>(enumerate_ns) / 1e6, repeat,
+              static_cast<double>(enumerate_ns) / 1e6, flags.repeat,
               enum_result.classes_per_sec);
   std::printf("phase evaluate:    %.3f ms  (%zu atoms, %zu memo entries)\n",
               static_cast<double>(know_result.wall_ns) / 1e6,
               named.atoms.size(), eval.memo_size());
+  PrintMemoryStats(space_memory, eval.MemoryUsage());
   if (json_path.has_value() && !reporter.WriteFile(*json_path)) return 1;
   return 0;
-}
-
-// Parses a trailing --knowledge-threads=N flag (0 when absent).
-int KnowledgeThreadsFlag(int argc, char** argv, int first) {
-  int threads = 0;
-  for (int i = first; i < argc; ++i)
-    if (std::strncmp(argv[i], "--knowledge-threads=", 20) == 0)
-      threads = std::atoi(argv[i] + 20);
-  return threads;
 }
 
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: hpl systems | space <sys> | diagram <sys> | atoms "
-                 "<sys> | check <sys> <formula> [--knowledge-threads=N] | "
-                 "simulate <what> [seed] | bench <sys> [--threads=N] "
-                 "[--knowledge-threads=N] [--repeat=K] [--json=PATH]\n");
+                 "<sys> | check <sys> <formula> | check-at <sys> <formula> "
+                 "<comp> | simulate <what> [seed] | bench <sys> [--repeat=K]"
+                 "\n  check/check-at/bench flags: [--threads=N] "
+                 "[--knowledge-threads=N] [--max-depth=N] [--max-classes=N] "
+                 "[--allow-truncation] [--json=PATH]\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -436,11 +568,16 @@ int Main(int argc, char** argv) {
     if (cmd == "space" && argc >= 3) return CmdSpace(argv[2]);
     if (cmd == "diagram" && argc >= 3) return CmdDiagram(argv[2]);
     if (cmd == "atoms" && argc >= 3) return CmdAtoms(argv[2]);
-    if (cmd == "check" && argc >= 4)
-      return CmdCheck(argv[2], argv[3], KnowledgeThreadsFlag(argc, argv, 4));
-    if (cmd == "check-at" && argc >= 5)
+    if (cmd == "check" && argc >= 4) {
+      auto json_path = bench::JsonReporter::JsonFlag(argc, argv);
+      return CmdCheck(argv[2], argv[3], ParseCheckFlags(argc, argv, 4),
+                      json_path);
+    }
+    if (cmd == "check-at" && argc >= 5) {
+      auto json_path = bench::JsonReporter::JsonFlag(argc, argv);
       return CmdCheckAt(argv[2], argv[3], argv[4],
-                        KnowledgeThreadsFlag(argc, argv, 5));
+                        ParseCheckFlags(argc, argv, 5), json_path);
+    }
     if (cmd == "simulate" && argc >= 3)
       return CmdSimulate(argv[2],
                          argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 1);
@@ -452,15 +589,9 @@ int Main(int argc, char** argv) {
       return CmdFuse(std::atoi(argv[2]), argv[3], argv[4], argv[5], argv[6]);
     if (cmd == "bench" && argc >= 3) {
       auto json_path = bench::JsonReporter::JsonFlag(argc, argv);
-      const int knowledge_threads = KnowledgeThreadsFlag(argc, argv, 3);
-      int threads = 0, repeat = 3;
-      for (int i = 3; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--threads=", 10) == 0)
-          threads = std::atoi(argv[i] + 10);
-        else if (std::strncmp(argv[i], "--repeat=", 9) == 0)
-          repeat = std::max(1, std::atoi(argv[i] + 9));
-      }
-      return CmdBench(argv[2], threads, knowledge_threads, repeat, json_path);
+      return CmdBench(argv[2],
+                      ParseCheckFlags(argc, argv, 3, /*allow_repeat=*/true),
+                      json_path);
     }
   } catch (const ModelError& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
