@@ -91,19 +91,26 @@ std::uint64_t LiveWordMask(std::size_t n, std::size_t w) {
   return tail >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << tail) - 1;
 }
 
-// True for nodes whose quantifier ranges exactly over per-process buckets,
-// making the verdict constant per [p]-class: Knows/Sure/Possible over a
-// singleton {p}, and Everyone (a conjunction of singleton K{p}).
-bool HasBucketTier(const Formula* f) {
+// Number of projection-tier rows a node owns under the given knobs.
+// Singleton modalities (verdict constant per [p]-class) take one [p]-row
+// under bucket_memo.  Multi-process Knows/Sure/Possible quantify exactly
+// over the [G]-bucket, so they take one [G]-row under group_memo.
+// Multi-process Everyone decomposes into singleton K{p} but its verdict is
+// constant on the (finer) [G]-class, so under group_memo it takes one
+// [G]-aggregation row plus one [p]-row per member.
+int TierSegmentCount(const Formula* f, bool bucket_memo, bool group_memo) {
+  const int size = f->group().Size();
   switch (f->kind()) {
     case FormulaKind::kKnows:
     case FormulaKind::kSure:
     case FormulaKind::kPossible:
-      return f->group().Size() == 1;
+      if (size == 1) return bucket_memo ? 1 : 0;
+      return size >= 2 && group_memo ? 1 : 0;
     case FormulaKind::kEveryone:
-      return f->group().Size() >= 1;
+      if (size == 1) return bucket_memo ? 1 : 0;
+      return size >= 2 && group_memo ? 1 + size : 0;
     default:
-      return false;
+      return 0;
   }
 }
 
@@ -120,7 +127,8 @@ KnowledgeEvaluator::KnowledgeEvaluator(const ComputationSpace& space,
     : space_(space),
       words_((space.size() + 63) / 64),
       num_threads_(internal::ResolveNumThreads(options.num_threads)),
-      bucket_memo_(options.bucket_memo) {
+      bucket_memo_(options.bucket_memo),
+      group_memo_(options.group_memo) {
   bucket_bits_.reserve(static_cast<std::size_t>(space.num_processes()));
   for (ProcessId p = 0; p < space.num_processes(); ++p)
     bucket_bits_.emplace_back(space.NumProjectionClasses(p));
@@ -275,7 +283,32 @@ const KnowledgeEvaluator::ComponentIndex& KnowledgeEvaluator::Components(
 void KnowledgeEvaluator::BuildComponentRoots(ProcessSet g,
                                              std::vector<std::uint32_t>& root) {
   const std::size_t n = space_.size();
-  if (!UseParallel()) {
+  if (group_memo_ && g.Size() >= 2) {
+    // [G]-contracted build: all members of a [G]-class are mutually related
+    // through every p in G, so contract them to one union-find node and run
+    // the per-process unions over [G]-class representatives — two
+    // [G]-classes are p-adjacent iff their representatives share a
+    // [p]-class.  O(classes x |G|) unions instead of O(n x |G|); the
+    // normalization below maps the result onto the same smallest-member
+    // labels the uncontracted builds produce.
+    const ComputationSpace::GroupIndex& gi = space_.EnsureGroupIndex(g);
+    const auto num_classes = static_cast<std::uint32_t>(gi.NumClasses());
+    UnionFind uf(num_classes);
+    g.ForEach([&](ProcessId p) {
+      constexpr std::uint32_t kUnset = UINT32_MAX;
+      std::vector<std::uint32_t> first(space_.NumProjectionClasses(p), kUnset);
+      for (std::uint32_t c = 0; c < num_classes; ++c) {
+        const std::uint32_t pc =
+            space_.ProjectionClass(gi.Representative(c), p);
+        if (first[pc] == kUnset)
+          first[pc] = c;
+        else
+          uf.Union(first[pc], c);
+      }
+    });
+    for (std::size_t id = 0; id < n; ++id)
+      root[id] = uf.Find(gi.ClassOf(id));
+  } else if (!UseParallel()) {
     UnionFind uf(n);
     g.ForEach([&](ProcessId p) {
       // All members of one [p]-bucket are mutually indistinguishable to p.
@@ -341,22 +374,37 @@ std::uint32_t KnowledgeEvaluator::InternNode(const Formula* f) {
   planes_.value.resize(planes_.value.size() + words_, 0);
   identity_rows_.push_back(node);
   node_complete_.push_back(0);
-  // Bucket tier: one segment per process in the node's group, rows laid out
-  // append-only in the shared bucket planes.
-  if (bucket_memo_ && HasBucketTier(f)) {
+  // Projection tiers: rows laid out append-only in the shared bucket
+  // planes.  A multi-process node builds (or reuses) the space's [G]-class
+  // index here — always on the interning thread, never inside a parallel
+  // pass (passes pre-intern their whole DAG).
+  const int seg_count = TierSegmentCount(f, bucket_memo_, group_memo_);
+  node_seg_count_.push_back(static_cast<std::uint32_t>(seg_count));
+  if (seg_count > 0) {
     node_seg_begin_.push_back(static_cast<std::uint32_t>(segments_.size()));
-    f->group().ForEach([&](ProcessId p) {
-      BucketSegment seg;
-      seg.process = p;
-      seg.words = static_cast<std::uint32_t>(
-          (space_.NumProjectionClasses(p) + 63) / 64);
+    const bool multi = f->group().Size() >= 2;
+    auto append = [&](BucketSegment seg, std::size_t classes) {
+      seg.group_tier = multi;
+      seg.words = static_cast<std::uint32_t>((classes + 63) / 64);
       seg.shared_offset =
           static_cast<std::uint32_t>(bucket_planes_.known.size());
       segments_.push_back(seg);
       shared_seg_offset_.push_back(seg.shared_offset);
       bucket_planes_.known.resize(bucket_planes_.known.size() + seg.words, 0);
       bucket_planes_.value.resize(bucket_planes_.value.size() + seg.words, 0);
-    });
+    };
+    if (multi) {
+      BucketSegment group_row;
+      group_row.index = &space_.EnsureGroupIndex(f->group());
+      append(group_row, group_row.index->NumClasses());
+    }
+    if (!multi || f->kind() == FormulaKind::kEveryone) {
+      f->group().ForEach([&](ProcessId p) {
+        BucketSegment row;
+        row.process = p;
+        append(row, space_.NumProjectionClasses(p));
+      });
+    }
   } else {
     node_seg_begin_.push_back(kNoSegment);
   }
@@ -416,25 +464,31 @@ void KnowledgeEvaluator::ForEachRelated(std::size_t id, ProcessSet set,
 }
 
 bool KnowledgeEvaluator::BucketVerdict(const Formula* f, std::uint32_t seg,
-                                       ProcessId p, std::size_t id,
-                                       EvalContext& ctx) {
-  const std::uint32_t cls = space_.ProjectionClass(id, p);
+                                       std::size_t id, EvalContext& ctx) {
+  const BucketSegment& row = segments_[seg];
+  const std::uint32_t cls = row.index != nullptr
+                                ? row.index->ClassOf(id)
+                                : space_.ProjectionClass(id, row.process);
   const std::size_t word = ctx.seg_offset[seg] + cls / 64;
   const std::uint64_t bit = std::uint64_t{1} << (cls % 64);
   if (ctx.bucket.known[word] & bit)
     return (ctx.bucket.value[word] & bit) != 0;
 
-  // Miss: sweep Bucket(p, cls) once.  The quantifier of a singleton group
-  // ranges exactly over the bucket, so the verdict below is the same for
-  // every member — memoizing it per [p]-class is what collapses a
-  // whole-space sweep of this node from sum-of-bucket-squares to linear.
+  // Miss: sweep the row's bucket once.  The quantifier of a singleton group
+  // ranges exactly over the [p]-bucket — and of a multi-process group over
+  // the [G]-bucket — so the verdict below is the same for every member;
+  // memoizing it per projection class is what collapses a whole-space sweep
+  // of this node from sum-of-bucket-squares to linear.
+  const std::span<const std::uint32_t> bucket =
+      row.index != nullptr ? row.index->Bucket(cls)
+                           : space_.Bucket(row.process, cls);
   const Formula* child = f->left().get();
   bool result = false;
   switch (f->kind()) {
     case FormulaKind::kKnows:
     case FormulaKind::kEveryone: {
       result = true;
-      for (std::uint32_t y : space_.Bucket(p, cls)) {
+      for (std::uint32_t y : bucket) {
         if (!Eval(child, y, ctx)) {
           result = false;
           break;
@@ -444,7 +498,7 @@ bool KnowledgeEvaluator::BucketVerdict(const Formula* f, std::uint32_t seg,
     }
     case FormulaKind::kPossible: {
       result = false;
-      for (std::uint32_t y : space_.Bucket(p, cls)) {
+      for (std::uint32_t y : bucket) {
         if (Eval(child, y, ctx)) {
           result = true;
           break;
@@ -453,9 +507,9 @@ bool KnowledgeEvaluator::BucketVerdict(const Formula* f, std::uint32_t seg,
       break;
     }
     case FormulaKind::kSure: {
-      // K_p f || K_p !f, decided in one bucket pass.
+      // K_P f || K_P !f, decided in one bucket pass.
       bool all_true = true, all_false = true;
-      for (std::uint32_t y : space_.Bucket(p, cls)) {
+      for (std::uint32_t y : bucket) {
         if (Eval(child, y, ctx))
           all_false = false;
         else
@@ -466,7 +520,7 @@ bool KnowledgeEvaluator::BucketVerdict(const Formula* f, std::uint32_t seg,
       break;
     }
     default:
-      throw ModelError("BucketVerdict: node has no bucket tier");
+      throw ModelError("BucketVerdict: node has no projection tier");
   }
   ctx.bucket.known[word] |= bit;
   if (result) ctx.bucket.value[word] |= bit;
@@ -509,7 +563,7 @@ bool KnowledgeEvaluator::Eval(const Formula* f, std::size_t id,
       break;
     case FormulaKind::kKnows: {
       if (seg != kNoSegment) {
-        result = BucketVerdict(f, seg, f->group().First(), id, ctx);
+        result = BucketVerdict(f, seg, id, ctx);
         break;
       }
       result = true;
@@ -521,7 +575,7 @@ bool KnowledgeEvaluator::Eval(const Formula* f, std::size_t id,
     }
     case FormulaKind::kSure: {
       if (seg != kNoSegment) {
-        result = BucketVerdict(f, seg, f->group().First(), id, ctx);
+        result = BucketVerdict(f, seg, id, ctx);
         break;
       }
       // K_P f || K_P !f, evaluated in one bucket pass.
@@ -562,14 +616,29 @@ bool KnowledgeEvaluator::Eval(const Formula* f, std::size_t id,
     }
     case FormulaKind::kEveryone: {
       // Conjunction of the individual K{p} over the group — each conjunct
-      // is a bucket-tier row of this node when the tier is on.
+      // is a singleton tier row of this node when a tier is on.
       result = true;
       if (seg != kNoSegment) {
-        std::uint32_t s = seg;
-        f->group().ForEach([&](ProcessId p) {
-          if (result && !BucketVerdict(f, s, p, id, ctx)) result = false;
-          ++s;
-        });
+        const std::uint32_t conjuncts = node_seg_count_[node];
+        if (segments_[seg].index != nullptr) {
+          // Multi-process: row `seg` is the [G]-aggregation row — probe it,
+          // fill from the per-member rows on a miss.  The verdict is
+          // constant on the [G]-class because [G] refines every member [p].
+          const std::uint32_t cls = segments_[seg].index->ClassOf(id);
+          const std::size_t word = ctx.seg_offset[seg] + cls / 64;
+          const std::uint64_t bit = std::uint64_t{1} << (cls % 64);
+          if (ctx.bucket.known[word] & bit) {
+            result = (ctx.bucket.value[word] & bit) != 0;
+            break;
+          }
+          for (std::uint32_t k = 1; k < conjuncts && result; ++k)
+            if (!BucketVerdict(f, seg + k, id, ctx)) result = false;
+          ctx.bucket.known[word] |= bit;
+          if (result) ctx.bucket.value[word] |= bit;
+          break;
+        }
+        for (std::uint32_t k = 0; k < conjuncts && result; ++k)
+          if (!BucketVerdict(f, seg + k, id, ctx)) result = false;
         break;
       }
       f->group().ForEach([&](ProcessId p) {
@@ -583,7 +652,7 @@ bool KnowledgeEvaluator::Eval(const Formula* f, std::size_t id,
     }
     case FormulaKind::kPossible: {
       if (seg != kNoSegment) {
-        result = BucketVerdict(f, seg, f->group().First(), id, ctx);
+        result = BucketVerdict(f, seg, id, ctx);
         break;
       }
       // !K{P}!f: some [P]-isomorphic computation satisfies f.
@@ -639,11 +708,11 @@ void KnowledgeEvaluator::EvaluateEverywhereParallel(const Formula* root) {
   std::vector<std::uint32_t> pass_segments;  // global segment ids, in order
   std::size_t bucket_words = 0;
   for (const Formula* f : order) {
-    const std::uint32_t seg0 = node_seg_begin_[InternNode(f)];
+    const std::uint32_t node = InternNode(f);
+    const std::uint32_t seg0 = node_seg_begin_[node];
     if (seg0 == kNoSegment) continue;
-    const int group_size = f->group().Size();
-    for (int k = 0; k < group_size; ++k) {
-      const std::uint32_t s = seg0 + static_cast<std::uint32_t>(k);
+    for (std::uint32_t k = 0; k < node_seg_count_[node]; ++k) {
+      const std::uint32_t s = seg0 + k;
       pass_seg_offset[s] = static_cast<std::uint32_t>(bucket_words);
       pass_segments.push_back(s);
       bucket_words += segments_[s].words;
@@ -712,13 +781,26 @@ std::size_t KnowledgeEvaluator::memo_size() const noexcept {
 KnowledgeEvaluator::MemoStats KnowledgeEvaluator::MemoryUsage() const {
   MemoStats s;
   s.dense_entries = Popcount(planes_.known);
-  s.bucket_entries = Popcount(bucket_planes_.known);
   s.bytes_dense =
       (planes_.known.capacity() + planes_.value.capacity()) * sizeof(std::uint64_t);
-  s.bytes_bucket = (bucket_planes_.known.capacity() +
-                    bucket_planes_.value.capacity()) *
-                   sizeof(std::uint64_t);
-  s.bytes_total = s.bytes_dense + s.bytes_bucket;
+  // The shared bucket planes interleave [p]-tier rows (singleton nodes) and
+  // [G]-tier rows (multi-process nodes); attribute words and known-bit
+  // popcounts per segment.
+  for (const BucketSegment& row : segments_) {
+    std::size_t entries = 0;
+    for (std::uint32_t w = 0; w < row.words; ++w)
+      entries += static_cast<std::size_t>(__builtin_popcountll(
+          bucket_planes_.known[row.shared_offset + w]));
+    const std::size_t bytes = 2 * row.words * sizeof(std::uint64_t);
+    if (row.group_tier) {
+      s.group_entries += entries;
+      s.bytes_group += bytes;
+    } else {
+      s.bucket_entries += entries;
+      s.bytes_bucket += bytes;
+    }
+  }
+  s.bytes_total = s.bytes_dense + s.bytes_bucket + s.bytes_group;
   return s;
 }
 

@@ -12,17 +12,33 @@
 // a cache probe is two word reads instead of a hash lookup.
 //
 // A second memo tier is granular at the *projection class*: for Knows /
-// Sure / Possible over a singleton {p} — and Everyone, which decomposes
-// into the singleton K{p} — the quantifier ranges exactly over the
-// [p]-bucket of x, so the verdict is constant across the bucket.  Those
+// Sure / Possible over a singleton {p} the quantifier ranges exactly over
+// the [p]-bucket of x, so the verdict is constant across the bucket.  Those
 // nodes memo per (node, [p]-class) and sweep each bucket once per node
 // instead of once per member, collapsing the dominant single-process
 // K-sweep cost from the sum of squared bucket sizes to linear in the space
 // (KnowledgeOptions::bucket_memo gates the tier; verdicts are identical
 // either way).  The [p]-class buckets are additionally packed into
 // per-class uint64_t membership bitsets (built lazily for large buckets),
-// so the multi-process quantifier sweeps of Knows/Sure/Possible become
-// word-parallel bitset intersections.
+// so the untierable multi-process quantifier sweeps become word-parallel
+// bitset intersections.
+//
+// A third memo tier covers multi-process groups through the space's
+// [G]-class layer (ComputationSpace::EnsureGroupIndex — the common
+// refinement of the member [p]-partitions): the [G]-relation of
+// Knows/Sure/Possible over |G| >= 2 is exactly the [G]-bucket of x, so
+// those nodes memo per (node, [G]-class) and sweep each [G]-bucket once per
+// node instead of once per member — the same sum-of-bucket-squares ->
+// linear collapse, now for group modalities.  Everyone(G, f) with |G| >= 2
+// is a conjunction of singleton K{p} whose verdict is constant on the
+// (finer) [G]-class; the tier gives it one [G]-aggregation row probed in
+// O(1) plus one per-member [p]-row per conjunct, so a whole-space sweep
+// costs one pass per member bucket column instead of per-member bucket
+// rescans.  KnowledgeOptions::group_memo gates the tier (default on);
+// verdicts are identical either way and at any thread count.  The tier also
+// routes common-knowledge component construction through the [G]-index:
+// [G]-classes are contracted first and the per-process unions run over
+// [G]-class representatives instead of every computation.
 // Common knowledge CK{G} f is the greatest fixpoint "f and (p knows CK f)
 // for all p in G", computed as: f holds at every computation reachable from
 // x through the union of the [p] relations, p in G — i.e. on x's whole
@@ -69,10 +85,15 @@ struct KnowledgeOptions {
   // than an internal threshold always run sequentially.
   int num_threads = 0;
   // Enables the (node, [p]-class) memo tier for singleton-group Knows /
-  // Sure / Possible and for Everyone.  Off, every member of a [p]-bucket
+  // Sure / Possible / Everyone.  Off, every member of a [p]-bucket
   // re-sweeps the bucket; verdicts are identical either way (the knob
   // exists for differential tests and ablation benches).
   bool bucket_memo = true;
+  // Enables the (node, [G]-class) memo tier for multi-process Knows / Sure /
+  // Possible / Everyone and the [G]-contracted common-knowledge component
+  // build (see the header comment).  Off, group modalities fall back to
+  // per-member relation sweeps; verdicts are identical either way.
+  bool group_memo = true;
 };
 
 class KnowledgeEvaluator {
@@ -129,13 +150,17 @@ class KnowledgeEvaluator {
   std::size_t memo_size() const noexcept;
 
   // Memo footprint and fill, split by tier: the dense (node, [D]-class)
-  // planes and the (node, [p]-class) bucket planes.  Bytes are the
-  // allocated plane sizes; entries are known-bit popcounts.
+  // planes, the (node, [p]-class) rows of singleton-group nodes, and the
+  // [G]-tier rows of multi-process nodes (their [G]-class rows plus, for
+  // Everyone, the per-member conjunct rows).  Bytes are the allocated row
+  // sizes; entries are known-bit popcounts.
   struct MemoStats {
     std::size_t dense_entries = 0;
     std::size_t bucket_entries = 0;
+    std::size_t group_entries = 0;
     std::size_t bytes_dense = 0;
     std::size_t bytes_bucket = 0;
+    std::size_t bytes_group = 0;
     std::size_t bytes_total = 0;
   };
   MemoStats MemoryUsage() const;
@@ -156,11 +181,19 @@ class KnowledgeEvaluator {
     std::vector<std::uint64_t> value;
   };
 
-  // One bucket-tier row: (node, p) owns one known/value bit per [p]-class.
-  // Rows of one node are contiguous in `segments_`, in group ForEach order.
+  // One projection-tier row.  A singleton row ((node, p): index == nullptr)
+  // owns one known/value bit per [p]-class; a group row ((node, [G]):
+  // index != nullptr) one per [G]-class.  Rows of one node are contiguous
+  // in `segments_`: multi-process Everyone lays out its [G]-aggregation row
+  // first, then one singleton row per member in group ForEach order.
+  // `group_tier` tags rows owned by multi-process nodes for the MemoStats
+  // split (a multi-Everyone's member rows belong to the group tier — they
+  // exist exactly when group_memo is on).
   struct BucketSegment {
-    ProcessId process = 0;
-    std::uint32_t words = 0;          // ceil(NumProjectionClasses(p) / 64)
+    ProcessId process = 0;  // singleton rows only
+    const ComputationSpace::GroupIndex* index = nullptr;  // group rows only
+    bool group_tier = false;
+    std::uint32_t words = 0;          // ceil(classes-of-this-row / 64)
     std::uint32_t shared_offset = 0;  // word offset in bucket_planes_
   };
   static constexpr std::uint32_t kNoSegment = UINT32_MAX;
@@ -178,11 +211,13 @@ class KnowledgeEvaluator {
   };
 
   bool Eval(const Formula* f, std::size_t id, EvalContext& ctx);
-  // The bucket-tier probe/sweep for segment `seg` (a (node, p) row): returns
-  // the memoized verdict of `f`'s quantifier over Bucket(p, [p]-class of
-  // id), sweeping the bucket once on a miss.
-  bool BucketVerdict(const Formula* f, std::uint32_t seg, ProcessId p,
-                     std::size_t id, EvalContext& ctx);
+  // The projection-tier probe/sweep for segment `seg`: returns the memoized
+  // verdict of `f`'s quantifier over the row's bucket of `id` (the
+  // [p]-bucket of a singleton row, the [G]-bucket of a group row), sweeping
+  // the bucket once on a miss.  Not used for the [G]-aggregation row of a
+  // multi-process Everyone, which Eval fills from the member rows.
+  bool BucketVerdict(const Formula* f, std::uint32_t seg, std::size_t id,
+                     EvalContext& ctx);
   std::uint32_t InternNode(const Formula* f);
   const ComponentIndex& Components(ProcessSet g);
   void BuildComponentRoots(ProcessSet g, std::vector<std::uint32_t>& root);
@@ -213,6 +248,7 @@ class KnowledgeEvaluator {
   std::size_t words_ = 0;  // bitset words per formula node: ceil(size/64)
   int num_threads_ = 1;
   bool bucket_memo_ = true;
+  bool group_memo_ = true;
   std::unique_ptr<internal::WorkerPool> pool_;  // lazily created
 
   std::unordered_map<const Formula*, std::uint32_t> node_index_;
@@ -221,10 +257,11 @@ class KnowledgeEvaluator {
   // Per node: 1 once a whole-space pass has memoized it at every class id,
   // so repeat whole-space queries skip straight to the plane reads.
   std::vector<char> node_complete_;
-  // Bucket tier: per node, the index of its first segment in segments_
-  // (kNoSegment when the node has no bucket tier); segments and the shared
-  // bucket planes grow append-only at intern time.
+  // Projection tiers: per node, the index of its first segment in segments_
+  // (kNoSegment when the node has no tier rows) and its segment count;
+  // segments and the shared bucket planes grow append-only at intern time.
   std::vector<std::uint32_t> node_seg_begin_;
+  std::vector<std::uint32_t> node_seg_count_;
   std::vector<BucketSegment> segments_;
   std::vector<std::uint32_t> shared_seg_offset_;  // segments_[s].shared_offset
   MemoPlanes bucket_planes_;

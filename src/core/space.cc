@@ -29,6 +29,90 @@ void RunJob(internal::WorkerPool* pool, std::size_t count,
   for (std::size_t i = 0; i < count; ++i) fn(i);
 }
 
+// Mints dense [G]-class ids for classes visited in ascending id order.  A
+// child whose extending event lies outside G inherits its parent's class
+// (its member projections are the parent's); otherwise the class is
+// hash-consed by the child's tuple of member [p]-class ids.  The tuple is
+// the only sound key for |G| >= 2: the same [G]-tuple is reachable through
+// parents that extend different member processes, so any
+// (parent-class, event)-shaped key would mint duplicate ids (see space.h).
+// Ids come out in first-occurrence order, so the incremental (BFS merge)
+// and lazy (link replay) callers produce byte-identical tables.
+class GroupClassMinter {
+ public:
+  GroupClassMinter(ProcessSet g, int num_processes)
+      : g_(g), num_processes_(static_cast<std::size_t>(num_processes)) {}
+
+  // Visit class `id` (ids strictly ascending from 0, the root).  `proj` is
+  // the space's proj_class_ column, already filled through `id`'s row.
+  void Classify(std::size_t id, std::size_t parent, ProcessId extend_process,
+                const std::vector<std::uint32_t>& proj) {
+    if (id == 0) {
+      // The root: every projection is empty.  Its tuple can never collide
+      // with a minted one (minting appends an event on a member process),
+      // so it is not registered in the hash index.
+      rep_.push_back(0);
+      cls_.push_back(0);
+      return;
+    }
+    if (!g_.Contains(extend_process)) {
+      cls_.push_back(cls_[parent]);
+      return;
+    }
+    std::size_t h = 14695981039346656037ull;  // FNV-1a over the tuple
+    g_.ForEach([&](ProcessId p) {
+      h ^= proj[id * num_processes_ + static_cast<std::size_t>(p)];
+      h *= 1099511628211ull;
+    });
+    auto& with_hash = by_hash_[h];
+    for (std::uint32_t c : with_hash) {
+      if (TupleEqual(id, rep_[c], proj)) {
+        cls_.push_back(c);
+        return;
+      }
+    }
+    const auto c = static_cast<std::uint32_t>(rep_.size());
+    with_hash.push_back(c);
+    rep_.push_back(static_cast<std::uint32_t>(id));
+    cls_.push_back(c);
+  }
+
+  std::uint32_t num_classes() const {
+    return static_cast<std::uint32_t>(rep_.size());
+  }
+  std::vector<std::uint32_t> TakeClasses() { return std::move(cls_); }
+
+ private:
+  bool TupleEqual(std::size_t a, std::size_t b,
+                  const std::vector<std::uint32_t>& proj) const {
+    bool equal = true;
+    g_.ForEach([&](ProcessId p) {
+      if (equal &&
+          proj[a * num_processes_ + static_cast<std::size_t>(p)] !=
+              proj[b * num_processes_ + static_cast<std::size_t>(p)])
+        equal = false;
+    });
+    return equal;
+  }
+
+  ProcessSet g_;
+  std::size_t num_processes_;
+  std::vector<std::uint32_t> cls_;  // per visited id: its [G]-class
+  std::vector<std::uint32_t> rep_;  // per [G]-class: first member id
+  std::unordered_map<std::size_t, std::vector<std::uint32_t>> by_hash_;
+};
+
+// Rejects group sets the space cannot index.
+void CheckGroup(ProcessSet g, int num_processes, const char* where) {
+  if (g.IsEmpty())
+    throw ModelError(std::string(where) +
+                     ": the empty set has no projection classes (x [{}] y "
+                     "relates everything)");
+  if (num_processes < 64 && (g.bits() >> num_processes) != 0)
+    throw ModelError(std::string(where) +
+                     ": group contains a process outside the system");
+}
+
 }  // namespace
 
 ComputationSpace ComputationSpace::Enumerate(const System& system,
@@ -117,12 +201,25 @@ void ComputationSpace::DiscoverClasses(const System& system,
       static_cast<std::size_t>(P));
   std::vector<std::uint32_t> proj_count(static_cast<std::size_t>(P), 1);
 
+  // Requested group indexes, minted incrementally as classes appear —
+  // deduped by mask so each partition is built once.
+  std::vector<std::pair<ProcessSet, GroupClassMinter>> group_minters;
+  for (ProcessSet g : limits.groups) {
+    CheckGroup(g, P, "ComputationSpace::Enumerate");
+    bool seen = false;
+    for (const auto& [existing, minter] : group_minters)
+      if (existing.bits() == g.bits()) seen = true;
+    if (!seen) group_minters.emplace_back(g, GroupClassMinter(g, P));
+  }
+
   // Root: the empty computation.
   space.links_.push_back(ClassLink{});
   space.proj_class_.assign(static_cast<std::size_t>(P), 0);
   space.canon_hash_.push_back(Computation().SequenceHash());
   space.canon_id_.push_back(0);
   space.succ_offsets_.push_back(0);
+  for (auto& [g, minter] : group_minters)
+    minter.Classify(0, 0, 0, space.proj_class_);
 
   // The current BFS level: classes [level_begin, level_begin + level_count),
   // all of length `depth`, with their interned-id sequences materialized in
@@ -330,6 +427,12 @@ void ComputationSpace::DiscoverClasses(const System& system,
               proj_extend[ep].try_emplace(key, proj_count[ep]);
           if (minted) ++proj_count[ep];
           space.proj_class_[child_row + ep] = it->second;
+          // Incremental [G]-classification: the child's [p]-class row is
+          // complete, so the minters can inherit or hash-cons now.
+          for (auto& [g, minter] : group_minters)
+            minter.Classify(id, parent,
+                            space.event_pool_[c.event_id].process,
+                            space.proj_class_);
           // Next level arena row.
           const std::uint32_t* seq =
               ext_seqs[i].data() +
@@ -369,6 +472,17 @@ void ComputationSpace::DiscoverClasses(const System& system,
   for (int p = 0; p < P; ++p)
     space.bucket_offsets_[static_cast<std::size_t>(p)].assign(
         proj_count[static_cast<std::size_t>(p)] + 1, 0);
+
+  // Publish the incrementally minted group partitions; BuildBuckets fills
+  // their CSR columns alongside the singleton ones.
+  for (auto& [g, minter] : group_minters) {
+    auto index = std::make_unique<GroupIndex>();
+    index->mask_ = g.bits();
+    index->cls_ = minter.TakeClasses();
+    index->cls_.shrink_to_fit();
+    index->offsets_.assign(minter.num_classes() + 1, 0);
+    space.group_index_.emplace(g.bits(), std::move(index));
+  }
 }
 
 void ComputationSpace::BuildBuckets(ComputationSpace& space,
@@ -390,13 +504,77 @@ void ComputationSpace::BuildBuckets(ComputationSpace& space,
       ids[cursor[space.proj_class_[id * P + p]]++] =
           static_cast<std::uint32_t>(id);
   };
-  if (pool != nullptr && P > 1) {
-    // Processes are independent; each task runs the exact sequential
-    // per-process code, so results do not depend on the pool.
-    pool->Run(P, build_for);
+  // Group indexes minted during phase 1 still need their CSR columns; the
+  // sorts are independent of the per-process ones, so they join the task
+  // list.
+  std::vector<GroupIndex*> group_tasks;
+  for (auto& [mask, index] : space.group_index_)
+    group_tasks.push_back(index.get());
+  auto task = [&](std::size_t t) {
+    if (t < P) {
+      build_for(t);
+    } else {
+      BuildGroupBuckets(*group_tasks[t - P]);
+    }
+  };
+  const std::size_t num_tasks = P + group_tasks.size();
+  if (pool != nullptr && num_tasks > 1) {
+    // Tasks are independent; each runs the exact sequential code, so
+    // results do not depend on the pool.
+    pool->Run(num_tasks, task);
   } else {
-    for (std::size_t p = 0; p < P; ++p) build_for(p);
+    for (std::size_t t = 0; t < num_tasks; ++t) task(t);
   }
+}
+
+void ComputationSpace::BuildGroupBuckets(GroupIndex& index) {
+  // Counting sort of class ids by [G]-class; ids land ascending within each
+  // bucket because they are scanned in ascending order.  offsets_ is
+  // pre-assigned to NumClasses() + 1 zeros by both callers.
+  auto& offsets = index.offsets_;
+  const std::size_t n = index.cls_.size();
+  for (std::size_t id = 0; id < n; ++id) ++offsets[index.cls_[id] + 1];
+  for (std::size_t c = 1; c < offsets.size(); ++c) offsets[c] += offsets[c - 1];
+  index.ids_.resize(n);
+  std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (std::size_t id = 0; id < n; ++id)
+    index.ids_[cursor[index.cls_[id]]++] = static_cast<std::uint32_t>(id);
+}
+
+void ComputationSpace::BuildGroupIndex(GroupIndex& index) const {
+  // Lazy path: replay the class links in id order — BFS parents always have
+  // smaller ids, so the minter sees exactly the sequence the incremental
+  // path fed it during enumeration, and the tables come out byte-identical.
+  const ProcessSet g = ProcessSet::FromBits(index.mask_);
+  GroupClassMinter minter(g, num_processes_);
+  const std::size_t n = links_.size();
+  for (std::size_t id = 0; id < n; ++id) {
+    const ClassLink& link = links_[id];
+    const ProcessId extend_process =
+        id == 0 ? ProcessId{0} : event_pool_[link.event].process;
+    minter.Classify(id, link.parent, extend_process, proj_class_);
+  }
+  index.cls_ = minter.TakeClasses();
+  index.cls_.shrink_to_fit();
+  index.offsets_.assign(minter.num_classes() + 1, 0);
+  BuildGroupBuckets(index);
+}
+
+const ComputationSpace::GroupIndex& ComputationSpace::EnsureGroupIndex(
+    ProcessSet g) const {
+  CheckGroup(g, num_processes_, "ComputationSpace::EnsureGroupIndex");
+  std::lock_guard<std::mutex> lock(*group_mutex_);
+  auto it = group_index_.find(g.bits());
+  if (it != group_index_.end()) return *it->second;
+  auto index = std::make_unique<GroupIndex>();
+  index->mask_ = g.bits();
+  BuildGroupIndex(*index);
+  return *group_index_.emplace(g.bits(), std::move(index)).first->second;
+}
+
+bool ComputationSpace::HasGroupIndex(ProcessSet g) const {
+  std::lock_guard<std::mutex> lock(*group_mutex_);
+  return group_index_.find(g.bits()) != group_index_.end();
 }
 
 std::vector<std::uint32_t> ComputationSpace::CanonicalIdsOf(
@@ -482,9 +660,14 @@ ComputationSpace::MemoryStats ComputationSpace::MemoryUsage() const {
   for (const auto& ids : bucket_ids_) s.bytes_buckets += vec_bytes(ids);
   s.bytes_successors =
       vec_bytes(succ_offsets_) + vec_bytes(succ_class_) + vec_bytes(succ_event_);
+  {
+    std::lock_guard<std::mutex> lock(*group_mutex_);
+    for (const auto& [mask, index] : group_index_)
+      s.bytes_group_index += index->MemoryBytes();
+  }
   s.bytes_total = s.bytes_event_pool + s.bytes_class_links +
                   s.bytes_canon_index + s.bytes_projection + s.bytes_buckets +
-                  s.bytes_successors;
+                  s.bytes_successors + s.bytes_group_index;
 
   std::size_t total_events = 0;
   for (const ClassLink& link : links_) total_events += link.length;

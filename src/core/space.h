@@ -34,6 +34,22 @@
 // the key (parent's [p]-class, event id) for p == e.process.  Classifying a
 // class costs O(1) amortized instead of hashing its projections.
 //
+// On top of the singleton [p]-classes sits the group ([G]-class) layer: for
+// a process set G, the [G]-equivalence x [G] y (equal projections on every
+// member) is the common refinement of the member [p]-partitions, and its
+// classes are materialized as a GroupIndex — one dense class id per
+// [D]-class plus a CSR bucket column, exactly the singleton layout.  A
+// child whose extending event lies outside G inherits its parent's
+// [G]-class; otherwise the class is looked up (or minted) by the child's
+// tuple of member [p]-class ids.  (Unlike the singleton case, the key
+// (parent [G]-class, event) would be UNSOUND for |G| >= 2: the same
+// [G]-tuple is reachable through parents that extend different member
+// processes, which would mint duplicate ids — the tuple key is canonical.)
+// Indexes are built incrementally during the BFS merge for the groups in
+// EnumerationLimits::groups, and lazily afterwards by replaying the class
+// links in id order through EnsureGroupIndex's mask-keyed cache; both scans
+// visit classes in the same order, so they mint byte-identical tables.
+//
 // Enumeration is level-synchronous: the BFS frontier expands one depth
 // level at a time, extensions dedup through per-shard hash maps over the
 // level's interned-id sequences, and shards merge in the sequential
@@ -48,9 +64,12 @@
 #define HPL_CORE_SPACE_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/computation.h"
@@ -83,6 +102,12 @@ struct EnumerationLimits {
   // (at least 1); 1 = the same level phases run inline.  Any value produces
   // byte-identical class ids and derived indexes (see the header comment).
   int num_threads = 0;
+  // Process groups whose [G]-class indexes are materialized incrementally
+  // during the BFS merge (one inherit-or-mint step per discovered class)
+  // instead of by a whole-space replay on first use.  Duplicates (by mask)
+  // are built once; empty sets are rejected.  The resulting tables are
+  // byte-identical to the lazy EnsureGroupIndex path.
+  std::vector<ProcessSet> groups = {};
 };
 
 class ComputationSpace {
@@ -135,6 +160,63 @@ class ComputationSpace {
     const auto& ids = bucket_ids_[static_cast<std::size_t>(p)];
     return std::span<const std::uint32_t>(ids.data() + offsets.at(cls),
                                           offsets.at(cls + 1) - offsets[cls]);
+  }
+
+  // One materialized [G]-class partition: the common refinement of the
+  // member [p]-partitions, stored like the singleton layer — a dense class
+  // id per [D]-class and a CSR bucket column.  Instances are owned by the
+  // space (built by Enumerate for EnumerationLimits::groups, or lazily by
+  // EnsureGroupIndex) and their addresses are stable for the space's
+  // lifetime, so hot sweeps hold the reference and never touch the cache.
+  class GroupIndex {
+   public:
+    std::uint64_t mask() const noexcept { return mask_; }
+    std::size_t NumClasses() const noexcept { return offsets_.size() - 1; }
+    std::uint32_t ClassOf(std::size_t id) const { return cls_[id]; }
+    // All y with x [G] y for any x in [G]-class `cls` (ascending ids).
+    std::span<const std::uint32_t> Bucket(std::uint32_t cls) const {
+      return std::span<const std::uint32_t>(ids_.data() + offsets_[cls],
+                                            offsets_[cls + 1] - offsets_[cls]);
+    }
+    // First (smallest) member of [G]-class `cls` — its representative.
+    std::uint32_t Representative(std::uint32_t cls) const {
+      return ids_[offsets_[cls]];
+    }
+    std::size_t MemoryBytes() const noexcept {
+      return (cls_.capacity() + offsets_.capacity() + ids_.capacity()) *
+             sizeof(std::uint32_t);
+    }
+
+   private:
+    friend class ComputationSpace;
+    std::uint64_t mask_ = 0;
+    std::vector<std::uint32_t> cls_;      // per [D]-class: its [G]-class
+    std::vector<std::uint32_t> offsets_;  // CSR offsets (NumClasses() + 1)
+    std::vector<std::uint32_t> ids_;      // CSR payload, ascending per bucket
+  };
+
+  // The [G]-class index for `g`, built on first use (a replay of the class
+  // links in id order) and cached by process mask; `g` must be non-empty.
+  // Thread-safe; the returned reference stays valid for the space's
+  // lifetime.  |G| = 1 builds a real table whose classes coincide with the
+  // singleton ProjectionClass/Bucket columns.
+  const GroupIndex& EnsureGroupIndex(ProcessSet g) const;
+
+  // True when the [G]-class index for `g` is already materialized (via
+  // EnumerationLimits::groups or a previous EnsureGroupIndex).
+  bool HasGroupIndex(ProcessSet g) const;
+
+  // Convenience forwards to EnsureGroupIndex(g) — each call pays the cache
+  // lookup; hold the GroupIndex reference on hot paths.
+  std::uint32_t GroupClass(std::size_t id, ProcessSet g) const {
+    return EnsureGroupIndex(g).ClassOf(id);
+  }
+  std::size_t NumGroupClasses(ProcessSet g) const {
+    return EnsureGroupIndex(g).NumClasses();
+  }
+  std::span<const std::uint32_t> GroupBucket(ProcessSet g,
+                                             std::uint32_t cls) const {
+    return EnsureGroupIndex(g).Bucket(cls);
   }
 
   // Iterates ids of all y with At(id) [P] y.  P empty relates everything
@@ -260,6 +342,7 @@ class ComputationSpace {
     std::size_t bytes_projection = 0;    // proj_class_
     std::size_t bytes_buckets = 0;       // CSR offsets + payload
     std::size_t bytes_successors = 0;    // CSR offsets + payload
+    std::size_t bytes_group_index = 0;   // cached [G]-class indexes
     std::size_t bytes_total = 0;
     std::size_t bytes_aos_equivalent = 0;
     double BytesPerClass() const {
@@ -293,8 +376,18 @@ class ComputationSpace {
                               internal::WorkerPool* pool,
                               ComputationSpace& space);
   // Builds the per-process CSR buckets from proj_class_ by counting sort
-  // (phase 2); one independent task per process when a pool is given.
+  // (phase 2); one independent task per process when a pool is given.  Also
+  // finishes the CSR columns of any group indexes minted during phase 1.
   static void BuildBuckets(ComputationSpace& space, internal::WorkerPool* pool);
+
+  // Fills `index` (mask already set) by replaying the class links in id
+  // order — the same inherit-or-mint scan the incremental path runs during
+  // the BFS merge, so both produce byte-identical tables.
+  void BuildGroupIndex(GroupIndex& index) const;
+
+  // Counting sort of the CSR bucket column of a finished `cls_` column
+  // (offsets_ pre-assigned to NumClasses() + 1 zeros by the caller).
+  static void BuildGroupBuckets(GroupIndex& index);
 
   // Interned-event-id form of the canonical sequence of class `id`,
   // materialized by replaying the splice chain from the root.
@@ -324,6 +417,14 @@ class ComputationSpace {
   std::vector<std::uint32_t> succ_offsets_;  // size() + 1
   std::vector<std::uint32_t> succ_class_;
   std::vector<std::uint32_t> succ_event_;
+  // Group-partition cache, keyed by process mask.  unique_ptr values keep
+  // GroupIndex addresses stable across rehashes; the mutex guards only the
+  // map (indexes are immutable once published).  Held by unique_ptr so the
+  // space stays movable.
+  mutable std::unique_ptr<std::mutex> group_mutex_ =
+      std::make_unique<std::mutex>();
+  mutable std::unordered_map<std::uint64_t, std::unique_ptr<GroupIndex>>
+      group_index_;
 };
 
 }  // namespace hpl

@@ -30,8 +30,9 @@ std::vector<FormulaPtr> TierFormulas(const ComputationSpace& space,
       Formula::Knows(ProcessSet{1}, Formula::Knows(ProcessSet{0}, a)),
       Formula::Everyone(all, Formula::Knows(ProcessSet{0}, a)),
       Formula::Not(Formula::Sure(ProcessSet{0}, a)),
-      // ... and mixed with nodes the tier does not cover (multi-process
-      // groups, CK), which must keep their own paths intact.
+      // ... and mixed with nodes this tier does not cover (multi-process
+      // groups — the [G]-tier's domain, see knowledge_group_memo_test —
+      // and CK), which must keep their own paths intact.
       Formula::Knows(all, a),
       Formula::Common(all, a),
       Formula::Implies(Formula::Knows(ProcessSet{0}, a),
@@ -109,15 +110,20 @@ TEST(KnowledgeBucketMemoTest, MemoStatsSplitByTier) {
   const auto space = ComputationSpace::Enumerate(system, {.max_depth = 24});
   KnowledgeEvaluator eval(space, {.num_threads = 1});
   EXPECT_EQ(eval.MemoryUsage().bytes_total, 0u);
-  const FormulaPtr f = Formula::Everyone(
-      space.AllProcesses(), Formula::Atom(Predicate::CountOnAtLeast(0, 1)));
-  eval.SatisfyingSet(f);
+  // A singleton modality fills [p]-tier rows; a multi-process Everyone owns
+  // [G]-tier rows (its aggregation row plus per-member conjunct rows).
+  const FormulaPtr atom = Formula::Atom(Predicate::CountOnAtLeast(0, 1));
+  eval.SatisfyingSet(Formula::Knows(ProcessSet{0}, atom));
+  eval.SatisfyingSet(Formula::Everyone(space.AllProcesses(), atom));
   const auto stats = eval.MemoryUsage();
   EXPECT_EQ(stats.dense_entries, eval.memo_size());
   EXPECT_GT(stats.bucket_entries, 0u);
+  EXPECT_GT(stats.group_entries, 0u);
   EXPECT_GT(stats.bytes_dense, 0u);
   EXPECT_GT(stats.bytes_bucket, 0u);
-  EXPECT_EQ(stats.bytes_total, stats.bytes_dense + stats.bytes_bucket);
+  EXPECT_GT(stats.bytes_group, 0u);
+  EXPECT_EQ(stats.bytes_total,
+            stats.bytes_dense + stats.bytes_bucket + stats.bytes_group);
 }
 
 }  // namespace

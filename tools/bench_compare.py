@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Compare hpl-bench-v1 JSON results against checked-in baselines.
+
+The CI `bench-regression` job runs the scaling sweeps with --json and feeds
+the fresh BENCH_*.json files through this script against bench/baselines/.
+Rows are matched by (file, name, identity params); for each matched row the
+gate checks
+
+  * wall_ns     — FAIL above --wall-tolerance (default +25%) when the
+                  baseline row is at least --min-wall-ms (default 5 ms) and
+                  single-threaded; shorter rows and multi-threaded rows
+                  (params threads/knowledge_threads > 1) only WARN — short
+                  timings are timer noise and multi-threaded timings are
+                  scheduler noise on shared runners,
+  * bytes_space / bytes_memo
+                — FAIL above --memory-tolerance (default +10%); these
+                  gauges are deterministic, so the tolerance only absorbs
+                  allocator-rounding drift,
+  * space_classes
+                — FAIL on any difference (the enumerated space is
+                  byte-identical by contract; a size change means the
+                  benchmark measures a different workload and the baseline
+                  must be refreshed).
+
+Baseline rows with no current match (and vice versa) FAIL: a silently
+dropped row is how a regression hides.  Refresh baselines with --update
+(or the workflow_dispatch `refresh_baselines` input, which uploads them as
+an artifact to commit).
+
+usage: bench_compare.py --baseline-dir bench/baselines --current-dir . \
+           [--wall-tolerance 0.25] [--memory-tolerance 0.10] \
+           [--min-wall-ms 5.0] [--update]
+
+Exit status: 0 = no failures (warnings allowed), 1 = at least one failure,
+2 = usage / IO error.
+"""
+
+import argparse
+import glob
+import json
+import os
+import shutil
+import sys
+
+# Params that identify a row (everything else — measured outputs like
+# memo_entries or satisfying counts, and derived gauges — is excluded from
+# the match key so a perf change does not masquerade as a row mismatch).
+VOLATILE_PARAMS = {
+    "memo_entries",
+    "satisfying",
+    "bytes_per_class",
+    "bytes_aos_equivalent",
+    "classes_per_sec",
+    "deterministic",
+    "truncated",
+}
+
+
+def row_key(row):
+    identity = tuple(
+        sorted(
+            (k, v)
+            for k, v in row.get("params", {}).items()
+            if k not in VOLATILE_PARAMS
+        )
+    )
+    return (row["name"], identity)
+
+
+def load_rows(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "hpl-bench-v1":
+        raise ValueError(f"{path}: not an hpl-bench-v1 document")
+    rows = {}
+    for row in doc.get("results", []):
+        key = row_key(row)
+        if key in rows:
+            raise ValueError(f"{path}: duplicate row key {key}")
+        rows[key] = row
+    return rows
+
+
+def fmt_key(key):
+    name, identity = key
+    params = ",".join(f"{k}={v:g}" for k, v in identity)
+    return f"{name}[{params}]" if params else name
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="hpl-bench-v1 perf-regression gate"
+    )
+    parser.add_argument("--baseline-dir", required=True)
+    parser.add_argument("--current-dir", required=True)
+    parser.add_argument("--wall-tolerance", type=float, default=0.25)
+    parser.add_argument("--memory-tolerance", type=float, default=0.10)
+    parser.add_argument("--min-wall-ms", type=float, default=5.0)
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy the current BENCH_*.json files over the baselines "
+        "instead of comparing",
+    )
+    args = parser.parse_args()
+
+    baseline_files = sorted(
+        glob.glob(os.path.join(args.baseline_dir, "BENCH_*.json"))
+    )
+    if not baseline_files and not args.update:
+        print(f"no baselines under {args.baseline_dir}", file=sys.stderr)
+        return 2
+
+    if args.update:
+        current_files = sorted(
+            glob.glob(os.path.join(args.current_dir, "BENCH_*.json"))
+        )
+        if not current_files:
+            print(f"no BENCH_*.json under {args.current_dir}", file=sys.stderr)
+            return 2
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        for src in current_files:
+            load_rows(src)  # validate before overwriting the baseline
+            dst = os.path.join(args.baseline_dir, os.path.basename(src))
+            shutil.copyfile(src, dst)
+            print(f"updated {dst}")
+        return 0
+
+    failures = warnings = compared = 0
+    baseline_names = {os.path.basename(p) for p in baseline_files}
+
+    def fail(msg):
+        nonlocal failures
+        failures += 1
+        print(f"FAIL  {msg}")
+
+    def warn(msg):
+        nonlocal warnings
+        warnings += 1
+        print(f"WARN  {msg}")
+
+    # A current file with no baseline counterpart must fail too: a bench
+    # added to the job without a recorded baseline is never compared.
+    for current_path in sorted(
+        glob.glob(os.path.join(args.current_dir, "BENCH_*.json"))
+    ):
+        if os.path.basename(current_path) not in baseline_names:
+            fail(
+                f"{os.path.basename(current_path)}: no baseline under "
+                f"{args.baseline_dir} (refresh baselines)"
+            )
+
+    for baseline_path in baseline_files:
+        name = os.path.basename(baseline_path)
+        current_path = os.path.join(args.current_dir, name)
+        if not os.path.exists(current_path):
+            fail(f"{name}: missing from {args.current_dir}")
+            continue
+        baseline = load_rows(baseline_path)
+        current = load_rows(current_path)
+
+        for key in baseline.keys() - current.keys():
+            fail(f"{name}: baseline row {fmt_key(key)} has no current match")
+        for key in current.keys() - baseline.keys():
+            fail(f"{name}: new row {fmt_key(key)} not in the baseline "
+                 f"(refresh baselines)")
+
+        for key in sorted(baseline.keys() & current.keys()):
+            base, cur = baseline[key], current[key]
+            compared += 1
+            label = f"{name}: {fmt_key(key)}"
+
+            if base.get("space_classes", 0) != cur.get("space_classes", 0):
+                fail(
+                    f"{label}: space_classes "
+                    f"{base.get('space_classes', 0)} -> "
+                    f"{cur.get('space_classes', 0)} (space changed; "
+                    f"refresh baselines)"
+                )
+
+            base_ms = base.get("wall_ns", 0) / 1e6
+            cur_ms = cur.get("wall_ns", 0) / 1e6
+            if base_ms > 0 and cur_ms > base_ms * (1 + args.wall_tolerance):
+                msg = (
+                    f"{label}: wall {base_ms:.2f} ms -> {cur_ms:.2f} ms "
+                    f"(+{100 * (cur_ms / base_ms - 1):.0f}%)"
+                )
+                params = base.get("params", {})
+                workers = max(
+                    params.get("threads", 1),
+                    params.get("knowledge_threads", 1),
+                )
+                if base_ms < args.min_wall_ms:
+                    warn(msg + f" [below --min-wall-ms={args.min_wall_ms:g}]")
+                elif workers > 1:
+                    warn(msg + " [multi-threaded row]")
+                else:
+                    fail(msg)
+
+            for gauge in ("bytes_space", "bytes_memo"):
+                base_bytes = base.get(gauge, 0)
+                cur_bytes = cur.get(gauge, 0)
+                if base_bytes == 0 and cur_bytes == 0:
+                    continue
+                if base_bytes == 0 or cur_bytes == 0:
+                    warn(
+                        f"{label}: {gauge} present on only one side "
+                        f"({base_bytes} vs {cur_bytes})"
+                    )
+                    continue
+                if cur_bytes > base_bytes * (1 + args.memory_tolerance):
+                    fail(
+                        f"{label}: {gauge} {base_bytes} -> {cur_bytes} "
+                        f"(+{100 * (cur_bytes / base_bytes - 1):.0f}%)"
+                    )
+
+    print(
+        f"bench_compare: {compared} rows compared, "
+        f"{failures} failure(s), {warnings} warning(s)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

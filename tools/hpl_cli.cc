@@ -34,8 +34,16 @@
 //   --max-classes=N        override the [D]-class budget
 //   --allow-truncation     keep going at max_depth (knowledge verdicts are
 //                          then approximations; a WARNING is printed)
+//   --group=P0,P1[,...]    materialize the [G]-class index of this process
+//                          group incrementally during enumeration
+//                          (repeatable); group stats are printed and, with
+//                          --json, emitted as group_index/ rows
 //   --json=PATH            write the phases as hpl-bench-v1 rows, including
 //                          the bytes_space/bytes_memo memory gauges
+//
+// bench re-runs its enumerate and evaluate phases sequentially and exits
+// non-zero (after writing --json, rows flagged deterministic=0) if any
+// multi-threaded row fails that determinism check.
 //
 // Systems: ping | relay:N | tokenbus:N,PASSES | tracker:FLIPS | random:SEED
 //          | lockstep:ROUNDS
@@ -207,6 +215,28 @@ int CmdAtoms(const std::string& spec) {
   return 0;
 }
 
+ProcessSet ParseSet(const std::string& arg) {
+  ProcessSet out;
+  std::size_t pos = 0;
+  while (pos < arg.size()) {
+    auto comma = arg.find(',', pos);
+    if (comma == std::string::npos) comma = arg.size();
+    const std::string token = arg.substr(pos, comma - pos);
+    std::size_t parsed = 0;
+    int id = -1;
+    try {
+      id = std::stoi(token, &parsed);
+    } catch (const std::exception&) {
+      // fall through to the error below
+    }
+    if (parsed != token.size() || id < 0)
+      throw ModelError("bad process id '" + token + "' in set '" + arg + "'");
+    out.Insert(id);
+    pos = comma + 1;
+  }
+  return out;
+}
+
 // Trailing flags shared by check / check-at / bench.
 struct CheckFlags {
   int threads = 0;            // enumeration workers (0 = hardware)
@@ -214,7 +244,8 @@ struct CheckFlags {
   int max_depth = -1;         // < 0: keep the system's default
   long long max_classes = 0;  // 0: keep the EnumerationLimits default
   bool allow_truncation = false;
-  int repeat = 3;  // bench only
+  std::vector<ProcessSet> groups;  // --group= [G]-indexes to materialize
+  int repeat = 3;                  // bench only
 };
 
 CheckFlags ParseCheckFlags(int argc, char** argv, int first,
@@ -232,6 +263,8 @@ CheckFlags ParseCheckFlags(int argc, char** argv, int first,
       flags.max_classes = std::atoll(arg + 14);
     else if (std::strcmp(arg, "--allow-truncation") == 0)
       flags.allow_truncation = true;
+    else if (std::strncmp(arg, "--group=", 8) == 0)
+      flags.groups.push_back(ParseSet(arg + 8));
     else if (allow_repeat && std::strncmp(arg, "--repeat=", 9) == 0)
       flags.repeat = std::max(1, std::atoi(arg + 9));
     else
@@ -249,7 +282,35 @@ EnumerationLimits LimitsFor(const NamedSystem& named, const CheckFlags& flags) {
   limits.allow_truncation = flags.allow_truncation;
   limits.canonicalize = named.canonicalize;
   limits.num_threads = flags.threads;
+  limits.groups = flags.groups;
   return limits;
+}
+
+// The group-layer stats of every --group= index: printed on check paths and
+// emitted as group_index/ rows in --json.
+void PrintGroupStats(const ComputationSpace& space,
+                     const std::vector<ProcessSet>& groups) {
+  for (ProcessSet g : groups) {
+    const auto& index = space.EnsureGroupIndex(g);
+    std::printf("group %s: %zu [G]-classes over %zu computations, %.1f KiB\n",
+                g.ToString().c_str(), index.NumClasses(), space.size(),
+                static_cast<double>(index.MemoryBytes()) / 1024.0);
+  }
+}
+
+void AddGroupRows(bench::JsonReporter& reporter, const NamedSystem& named,
+                  const ComputationSpace& space,
+                  const std::vector<ProcessSet>& groups) {
+  for (ProcessSet g : groups) {
+    const auto& index = space.EnsureGroupIndex(g);
+    bench::JsonResult row;
+    row.name = "group_index/" + named.system->Name() + "/" + g.ToString();
+    row.params = {{"group_size", static_cast<double>(g.Size())},
+                  {"group_classes", static_cast<double>(index.NumClasses())}};
+    row.space_classes = space.size();
+    row.bytes_space = index.MemoryBytes();
+    reporter.Add(std::move(row));
+  }
 }
 
 // A truncated space under-approximates the quantifier domain, so verdicts
@@ -316,6 +377,7 @@ int CmdCheck(const std::string& spec, const std::string& text,
   const ComputationSpace::MemoryStats space_memory = space.MemoryUsage();
   const KnowledgeEvaluator::MemoStats memo_memory = eval.MemoryUsage();
   PrintMemoryStats(space_memory, memo_memory);
+  PrintGroupStats(space, flags.groups);
   std::printf("holds at %zu/%zu computations\n", sat.size(), space.size());
   if (!sat.empty() && sat.size() <= 12) {
     for (std::size_t id : sat)
@@ -341,6 +403,7 @@ int CmdCheck(const std::string& spec, const std::string& text,
     evaluate_row.bytes_space = space_memory.bytes_total;
     evaluate_row.bytes_memo = memo_memory.bytes_total;
     reporter.Add(std::move(evaluate_row));
+    AddGroupRows(reporter, named, space, flags.groups);
     if (!reporter.WriteFile(*json_path)) return 1;
   }
   return 0;
@@ -376,6 +439,7 @@ int CmdCheckAt(const std::string& spec, const std::string& text,
   const ComputationSpace::MemoryStats space_memory = space.MemoryUsage();
   const KnowledgeEvaluator::MemoStats memo_memory = eval.MemoryUsage();
   PrintMemoryStats(space_memory, memo_memory);
+  PrintGroupStats(space, flags.groups);
   if (json_path.has_value()) {
     bench::JsonReporter reporter("cli_check_at");
     reporter.Add(EnumerateRow(named, limits, space, enumerate_ns,
@@ -390,6 +454,7 @@ int CmdCheckAt(const std::string& spec, const std::string& text,
     evaluate_row.bytes_space = space_memory.bytes_total;
     evaluate_row.bytes_memo = memo_memory.bytes_total;
     reporter.Add(std::move(evaluate_row));
+    AddGroupRows(reporter, named, space, flags.groups);
     if (!reporter.WriteFile(*json_path)) return 1;
   }
   return 0;
@@ -456,18 +521,6 @@ int CmdChains(int n, const std::string& serialized,
   return 0;
 }
 
-ProcessSet ParseSet(const std::string& arg) {
-  ProcessSet out;
-  std::size_t pos = 0;
-  while (pos < arg.size()) {
-    auto comma = arg.find(',', pos);
-    if (comma == std::string::npos) comma = arg.size();
-    out.Insert(std::atoi(arg.substr(pos, comma - pos).c_str()));
-    pos = comma + 1;
-  }
-  return out;
-}
-
 int CmdFuse(int n, const std::string& xs, const std::string& ys,
             const std::string& zs, const std::string& pset) {
   const Computation x = ParseComputation(xs);
@@ -518,18 +571,65 @@ int CmdBench(const std::string& spec, const CheckFlags& flags,
   KnowledgeEvaluator eval(*space, {.num_threads = knowledge_threads});
   bench::WallTimer knowledge_timer;
   std::size_t satisfying = 0;
-  for (const Predicate& atom : named.atoms)
-    satisfying +=
-        eval.SatisfyingSet(Formula::Knows(ProcessSet{0}, Formula::Atom(atom)))
-            .size();
+  std::vector<std::vector<std::size_t>> atom_sets;
+  for (const Predicate& atom : named.atoms) {
+    atom_sets.push_back(eval.SatisfyingSet(
+        Formula::Knows(ProcessSet{0}, Formula::Atom(atom))));
+    satisfying += atom_sets.back().size();
+  }
+  const std::int64_t knowledge_ns = knowledge_timer.ElapsedNs();
+
+  // Built-in determinism check: both phases must reproduce the sequential
+  // engines byte for byte.  A violation still writes the --json rows
+  // (flagged deterministic=0) but the command exits non-zero, so CI jobs
+  // consuming the JSON cannot ship a divergence silently.
+  bool deterministic = true;
+  if (limits.num_threads != 1) {
+    EnumerationLimits seq_limits = limits;
+    seq_limits.num_threads = 1;
+    const auto seq_space = ComputationSpace::Enumerate(*named.system,
+                                                       seq_limits);
+    if (seq_space.size() != classes) deterministic = false;
+    for (std::size_t id = 0; deterministic && id < classes; ++id) {
+      if (space->LengthOf(id) != seq_space.LengthOf(id)) deterministic = false;
+      for (ProcessId p = 0; deterministic && p < space->num_processes(); ++p)
+        if (space->ProjectionClass(id, p) != seq_space.ProjectionClass(id, p))
+          deterministic = false;
+    }
+    // Canonical forms are O(length^2) to materialize; sample them.
+    const std::size_t step = std::max<std::size_t>(1, classes / 997);
+    for (std::size_t id = 0; deterministic && id < classes; id += step)
+      if (!(space->At(id) == seq_space.At(id))) deterministic = false;
+    if (!deterministic)
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: enumerate at %d threads diverges "
+                   "from the sequential space\n",
+                   limits.num_threads);
+  }
+  if (deterministic && knowledge_threads != 1) {
+    KnowledgeEvaluator seq_eval(*space, {.num_threads = 1});
+    for (std::size_t i = 0; deterministic && i < named.atoms.size(); ++i) {
+      if (atom_sets[i] !=
+          seq_eval.SatisfyingSet(Formula::Knows(
+              ProcessSet{0}, Formula::Atom(named.atoms[i])))) {
+        deterministic = false;
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: evaluate at %d threads diverges "
+                     "from the sequential satisfying set of atom '%s'\n",
+                     knowledge_threads, named.atoms[i].name().c_str());
+      }
+    }
+  }
+
   bench::JsonResult know_result;
   know_result.name = "knowledge_sweep/" + named.system->Name();
   know_result.params = {{"atoms", static_cast<double>(named.atoms.size())},
                         {"knowledge_threads",
                          static_cast<double>(knowledge_threads)},
                         {"satisfying", static_cast<double>(satisfying)},
-                        {"memo_entries", static_cast<double>(eval.memo_size())}};
-  know_result.wall_ns = knowledge_timer.ElapsedNs();
+                        {"memo_entries", static_cast<double>(eval.memo_size())},
+                        {"deterministic", deterministic ? 1.0 : 0.0}};
+  know_result.wall_ns = knowledge_ns;
   know_result.space_classes = classes;
   know_result.bytes_space = space_memory.bytes_total;
   know_result.bytes_memo = eval.MemoryUsage().bytes_total;
@@ -547,7 +647,9 @@ int CmdBench(const std::string& spec, const CheckFlags& flags,
               static_cast<double>(know_result.wall_ns) / 1e6,
               named.atoms.size(), eval.memo_size());
   PrintMemoryStats(space_memory, eval.MemoryUsage());
+  PrintGroupStats(*space, flags.groups);
   if (json_path.has_value() && !reporter.WriteFile(*json_path)) return 1;
+  if (!deterministic) return 1;
   return 0;
 }
 
@@ -559,7 +661,7 @@ int Main(int argc, char** argv) {
                  "<comp> | simulate <what> [seed] | bench <sys> [--repeat=K]"
                  "\n  check/check-at/bench flags: [--threads=N] "
                  "[--knowledge-threads=N] [--max-depth=N] [--max-classes=N] "
-                 "[--allow-truncation] [--json=PATH]\n");
+                 "[--allow-truncation] [--group=P0,P1[,...]] [--json=PATH]\n");
     return 2;
   }
   const std::string cmd = argv[1];
