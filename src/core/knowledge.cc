@@ -213,6 +213,47 @@ std::vector<std::size_t> KnowledgeEvaluator::SatisfyingSet(
   return out;
 }
 
+std::vector<std::vector<std::size_t>> KnowledgeEvaluator::SatisfyingSets(
+    std::span<const FormulaPtr> formulas) {
+  for (const FormulaPtr& f : formulas)
+    if (!f)
+      throw ModelError("KnowledgeEvaluator::SatisfyingSets: null formula");
+  std::vector<std::vector<std::size_t>> out(formulas.size());
+  if (formulas.empty() || space_.size() == 0) return out;
+  for (const FormulaPtr& f : formulas) retained_.push_back(f);
+
+  if (UseParallel()) {
+    std::vector<const Formula*> roots;
+    roots.reserve(formulas.size());
+    for (const FormulaPtr& f : formulas) roots.push_back(f.get());
+    EvaluateEverywhereParallel(
+        std::span<const Formula* const>(roots.data(), roots.size()));
+    for (std::size_t k = 0; k < formulas.size(); ++k) {
+      const std::uint64_t* value =
+          &planes_.value[InternNode(roots[k]) * words_];
+      for (std::size_t w = 0; w < words_; ++w) {
+        std::uint64_t word = value[w];
+        while (word != 0) {
+          out[k].push_back(w * 64 +
+                           static_cast<std::size_t>(__builtin_ctzll(word)));
+          word &= word - 1;
+        }
+      }
+    }
+    return out;
+  }
+
+  // Sequential fused sweep: id-outer, formula-inner, so at each id the
+  // dense plane-stack is warm and shared subformulas evaluate once for the
+  // whole batch.  Identical verdicts to per-formula SatisfyingSet calls —
+  // Eval is a pure function of (node, id) — just fewer cold probes.
+  EvalContext ctx = SharedContext();
+  for (std::size_t id = 0; id < space_.size(); ++id)
+    for (std::size_t k = 0; k < formulas.size(); ++k)
+      if (Eval(formulas[k].get(), id, ctx)) out[k].push_back(id);
+  return out;
+}
+
 bool KnowledgeEvaluator::Knows(ProcessSet p, const Predicate& b,
                                std::size_t id) {
   return Holds(Formula::Knows(p, Formula::Atom(b)), id);
@@ -671,18 +712,31 @@ bool KnowledgeEvaluator::Eval(const Formula* f, std::size_t id,
 }
 
 void KnowledgeEvaluator::EvaluateEverywhereParallel(const Formula* root) {
-  const std::uint32_t root_node = InternNode(root);
-  // A completed pass memoized the root at every id in the shared planes;
-  // repeat whole-space queries go straight to the plane reads.
-  if (node_complete_[root_node]) return;
+  const Formula* roots[1] = {root};
+  EvaluateEverywhereParallel(std::span<const Formula* const>(roots));
+}
 
-  // Pre-intern the DAG and pre-build its CK component indexes so workers
-  // never mutate the node index, resize the shared planes, or touch the
-  // component cache; BucketBits remains safe through its CAS publication.
+void KnowledgeEvaluator::EvaluateEverywhereParallel(
+    std::span<const Formula* const> all_roots) {
+  // A completed pass memoized a root at every id in the shared planes;
+  // repeat whole-space queries go straight to the plane reads.  Only the
+  // still-incomplete roots drive this pass.
+  std::vector<const Formula*> roots;
+  roots.reserve(all_roots.size());
+  for (const Formula* root : all_roots)
+    if (!node_complete_[InternNode(root)]) roots.push_back(root);
+  if (roots.empty()) return;
+
+  // Pre-intern the combined DAG of every root and pre-build its CK
+  // component indexes so workers never mutate the node index, resize the
+  // shared planes, or touch the component cache; BucketBits remains safe
+  // through its CAS publication.  One shared `seen` set fuses the DAGs:
+  // a subformula common to several roots gets one compact row, one
+  // evaluation, and N plane reads.
   std::vector<const Formula*> order;
   {
     std::unordered_set<const Formula*> seen;
-    PostOrder(root, seen, order);
+    for (const Formula* root : roots) PostOrder(root, seen, order);
   }
   for (const Formula* f : order) InternNode(f);
   for (const Formula* f : order)
@@ -750,7 +804,11 @@ void KnowledgeEvaluator::EvaluateEverywhereParallel(const Formula* root) {
                         pass_rows,
                         worker_bucket_planes_[static_cast<std::size_t>(worker)],
                         pass_seg_offset};
-        for (std::size_t id = begin; id < end; ++id) Eval(root, id, ctx);
+        // Root-inner, id-outer: at each id the whole plane-stack is warm,
+        // so every root after the first mostly hits the memo bits the
+        // earlier roots' shared subformulas just wrote.
+        for (std::size_t id = begin; id < end; ++id)
+          for (const Formula* root : roots) Eval(root, id, ctx);
       });
   for (const MemoPlanes& planes : worker_planes_) {
     for (std::size_t i = 0; i < order.size(); ++i) {
@@ -771,7 +829,7 @@ void KnowledgeEvaluator::EvaluateEverywhereParallel(const Formula* root) {
       }
     }
   }
-  node_complete_[root_node] = 1;
+  for (const Formula* root : roots) node_complete_[InternNode(root)] = 1;
 }
 
 std::size_t KnowledgeEvaluator::memo_size() const noexcept {

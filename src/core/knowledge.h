@@ -70,6 +70,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -117,6 +118,19 @@ class KnowledgeEvaluator {
 
   // All class ids at which `f` holds, ascending.
   std::vector<std::size_t> SatisfyingSet(const FormulaPtr& f);
+
+  // Fused multi-formula sweep: the satisfying sets of every formula in the
+  // batch, in input order, computed in ONE pass over the class-id range
+  // instead of one whole-space pass per formula.  The batch shares a single
+  // plane-stack per columnar sweep — subformula nodes common to several
+  // formulas (or memoized by earlier queries) are evaluated once and hit
+  // the dense memo for every other root — so a batch of N related formulas
+  // costs roughly one sweep plus N plane reads, not N sweeps.  Results are
+  // byte-identical to calling SatisfyingSet per formula, at any thread
+  // count and memo-tier setting.  Null formulas throw; an empty batch
+  // returns an empty vector.
+  std::vector<std::vector<std::size_t>> SatisfyingSets(
+      std::span<const FormulaPtr> formulas);
 
   // (P knows b) at id, for a plain predicate.
   bool Knows(ProcessSet p, const Predicate& b, std::size_t id);
@@ -237,6 +251,10 @@ class KnowledgeEvaluator {
   // every class id, with the per-worker-plane engine described in the
   // header comment.  Requires UseParallel().
   void EvaluateEverywhereParallel(const Formula* root);
+  // Multi-root form: one sharded pass memoizes EVERY root at every class
+  // id against a combined DAG — the fused engine behind SatisfyingSets.
+  // Roots already completed by earlier passes are skipped.
+  void EvaluateEverywhereParallel(std::span<const Formula* const> roots);
   // Retains f, runs the parallel whole-space pass, and returns f's value
   // plane (one verdict bit per class id) — the shared preamble of every
   // parallel whole-space query.  Requires UseParallel().

@@ -1,7 +1,15 @@
 #include "core/serialization.h"
 
+#include <algorithm>
 #include <cctype>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
 #include <sstream>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace hpl {
@@ -29,6 +37,24 @@ std::string EventToken(const Event& e) {
   throw ModelError("EventToken: bad kind");
 }
 
+// Strict decimal parse of the whole of `text`: rejects empty input, signs,
+// non-digits, trailing garbage and overflow (std::stoi would accept "1x" as
+// 1, which is exactly the silent-garbage failure mode this file must not
+// have).  `what` names the field for the error message.
+template <typename Int>
+Int ParseTokenNumber(std::string_view text, const char* what) {
+  Int value{};
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec == std::errc::result_out_of_range)
+    throw ModelError(std::string(what) + " '" + std::string(text) +
+                     "' is out of range");
+  if (ec != std::errc{} || end != text.data() + text.size() || text.empty())
+    throw ModelError(std::string(what) + " '" + std::string(text) +
+                     "' is not a number");
+  return value;
+}
+
 Event TokenToEvent(const std::string& token) {
   // Find the discriminating character after the leading process number.
   std::size_t i = 0;
@@ -36,31 +62,33 @@ Event TokenToEvent(const std::string& token) {
          std::isdigit(static_cast<unsigned char>(token[i])))
     ++i;
   if (i == 0 || i == token.size())
-    throw ModelError("ParseComputation: bad token '" + token + "'");
-  const int first = std::stoi(token.substr(0, i));
+    throw ModelError("expected <proc>('>'|'<'|'.')..., got '" + token + "'");
+  const std::string_view view(token);
+  const int first = ParseTokenNumber<int>(view.substr(0, i), "process");
   const char kind = token[i];
-  const std::string rest = token.substr(i + 1);
+  const std::string_view rest = view.substr(i + 1);
 
   if (kind == '.') {
-    return Internal(first, rest);
+    return Internal(first, std::string(rest));
   }
   if (kind == '>' || kind == '<') {
     const auto colon = rest.find(':');
-    if (colon == std::string::npos)
-      throw ModelError("ParseComputation: missing ':' in '" + token + "'");
-    const int second = std::stoi(rest.substr(0, colon));
-    std::string tail = rest.substr(colon + 1);
+    if (colon == std::string_view::npos)
+      throw ModelError("missing ':' after peer process");
+    const int second = ParseTokenNumber<int>(rest.substr(0, colon), "process");
+    std::string_view tail = rest.substr(colon + 1);
     std::string label;
     const auto slash = tail.find('/');
-    if (slash != std::string::npos) {
-      label = tail.substr(slash + 1);
+    if (slash != std::string_view::npos) {
+      label = std::string(tail.substr(slash + 1));
       tail = tail.substr(0, slash);
     }
-    const MessageId message = std::stoll(tail);
+    const MessageId message = ParseTokenNumber<MessageId>(tail, "message id");
     return kind == '>' ? Send(first, second, message, label)
                        : Receive(first, second, message, label);
   }
-  throw ModelError("ParseComputation: bad token '" + token + "'");
+  throw ModelError("bad event separator '" + std::string(1, kind) +
+                   "' (expected '>', '<' or '.')");
 }
 
 }  // namespace
@@ -77,18 +105,440 @@ std::string FormatComputation(const Computation& x) {
 Computation ParseComputation(const std::string& text) {
   std::istringstream stream(text);
   std::vector<Event> events;
+  Computation built;  // prefix validated so far
   std::string token;
+  std::size_t index = 0;  // 1-based token index, for error context
   while (stream >> token) {
+    ++index;
+    const std::string context =
+        "ParseComputation: token #" + std::to_string(index) + " '" + token +
+        "': ";
+    Event e;
     try {
-      events.push_back(TokenToEvent(token));
-    } catch (const std::invalid_argument&) {
-      throw ModelError("ParseComputation: bad number in '" + token + "'");
-    } catch (const std::out_of_range&) {
-      throw ModelError("ParseComputation: number out of range in '" + token +
-                       "'");
+      e = TokenToEvent(token);
+    } catch (const ModelError& err) {
+      throw ModelError(context + err.what());
+    }
+    // Validate incrementally so the error names the offending event, not
+    // just "the sequence is invalid".
+    std::string why;
+    if (!CanExtend(built, e, &why)) throw ModelError(context + why);
+    events.push_back(std::move(e));
+    built = Computation::TrustedFromEvents(events);
+  }
+  return built;
+}
+
+// --- Binary space snapshots (hpl-space-v1) ---------------------------------
+
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'H', 'P', 'L', 'S', 'P', 'A', 'C', 'E'};
+
+// Counts in a snapshot beyond this are assumed corruption, not data: the
+// columnar store itself caps classes at EnumerationLimits::max_classes
+// (default 20M), so a multi-billion count means a garbage header — reject
+// it before reserve() turns it into a bad_alloc.
+constexpr std::uint64_t kMaxPlausibleCount = std::uint64_t{1} << 33;
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+// Little-endian writer over an ostream, folding an FNV-1a checksum of every
+// byte it emits.
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  void Bytes(const void* data, std::size_t n) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(n));
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= kFnvPrime;
     }
   }
-  return Computation(std::move(events));  // validates
+  void U8(std::uint8_t v) { Bytes(&v, 1); }
+  void U16(std::uint16_t v) {
+    const unsigned char b[2] = {static_cast<unsigned char>(v),
+                                static_cast<unsigned char>(v >> 8)};
+    Bytes(b, 2);
+  }
+  void U32(std::uint32_t v) {
+    unsigned char b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    Bytes(b, 4);
+  }
+  void U64(std::uint64_t v) {
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    Bytes(b, 8);
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    Bytes(s.data(), s.size());
+  }
+  void U32Column(const std::vector<std::uint32_t>& column) {
+    U64(column.size());
+    for (std::uint32_t v : column) U32(v);
+  }
+  // Emits the running checksum (not folded into itself) and ends the file.
+  void Checksum() {
+    const std::uint64_t sum = hash_;
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i)
+      b[i] = static_cast<unsigned char>(sum >> (8 * i));
+    out_.write(reinterpret_cast<const char*>(b), 8);
+  }
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ostream& out_;
+  std::uint64_t hash_ = kFnvOffset;
+};
+
+// Little-endian reader mirroring Writer; throws ModelError with `where`
+// context on truncation, and folds the same checksum for the final check.
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(in) {}
+
+  void Bytes(void* data, std::size_t n, const char* where) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (static_cast<std::size_t>(in_.gcount()) != n)
+      throw ModelError(std::string("LoadSpaceSnapshot: truncated snapshot (") +
+                       where + ")");
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= kFnvPrime;
+    }
+  }
+  std::uint8_t U8(const char* where) {
+    std::uint8_t v;
+    Bytes(&v, 1, where);
+    return v;
+  }
+  std::uint16_t U16(const char* where) {
+    unsigned char b[2];
+    Bytes(b, 2, where);
+    return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+  }
+  std::uint32_t U32(const char* where) {
+    unsigned char b[4];
+    Bytes(b, 4, where);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    return v;
+  }
+  std::uint64_t U64(const char* where) {
+    unsigned char b[8];
+    Bytes(b, 8, where);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return v;
+  }
+  std::uint64_t Count(const char* where) {
+    const std::uint64_t n = U64(where);
+    if (n > kMaxPlausibleCount)
+      throw ModelError(std::string("LoadSpaceSnapshot: implausible count ") +
+                       std::to_string(n) + " (" + where + "); corrupt file?");
+    return n;
+  }
+  std::string Str(const char* where) {
+    const std::uint32_t n = U32(where);
+    if (n > kMaxPlausibleCount)
+      throw ModelError(std::string("LoadSpaceSnapshot: implausible string "
+                                   "length (") +
+                       where + "); corrupt file?");
+    std::string s(n, '\0');
+    Bytes(s.data(), n, where);
+    return s;
+  }
+  std::vector<std::uint32_t> U32Column(const char* where) {
+    const std::uint64_t n = Count(where);
+    std::vector<std::uint32_t> column;
+    column.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) column.push_back(U32(where));
+    return column;
+  }
+  // Reads the trailing checksum (without folding it) and verifies it
+  // matches everything read so far.
+  void VerifyChecksum() {
+    const std::uint64_t expected = hash_;
+    unsigned char b[8];
+    in_.read(reinterpret_cast<char*>(b), 8);
+    if (in_.gcount() != 8)
+      throw ModelError("LoadSpaceSnapshot: truncated snapshot (checksum)");
+    std::uint64_t stored = 0;
+    for (int i = 0; i < 8; ++i)
+      stored |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    if (stored != expected)
+      throw ModelError("LoadSpaceSnapshot: checksum mismatch (corrupt file)");
+  }
+
+ private:
+  std::istream& in_;
+  std::uint64_t hash_ = kFnvOffset;
+};
+
+// Header (everything ReadSpaceSnapshotInfo needs), after the magic: version,
+// shape flags, name, and the summary counts.
+void WriteHeader(Writer& w, const SpaceSnapshotInfo& info) {
+  w.Bytes(kSnapshotMagic, sizeof(kSnapshotMagic));
+  w.U32(info.version);
+  w.U32(static_cast<std::uint32_t>(info.num_processes));
+  w.U8(info.truncated ? 1 : 0);
+  w.U8(info.canonicalize ? 1 : 0);
+  w.U16(0);  // reserved
+  w.Str(info.system_name);
+  w.U64(info.classes);
+  w.U64(info.pool_events);
+  w.U64(info.group_indexes);
+}
+
+SpaceSnapshotInfo ReadHeader(Reader& r) {
+  char magic[8];
+  r.Bytes(magic, sizeof(magic), "magic");
+  if (std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0)
+    throw ModelError("LoadSpaceSnapshot: not an hpl-space snapshot "
+                     "(bad magic)");
+  SpaceSnapshotInfo info;
+  info.version = r.U32("version");
+  if (info.version != kSpaceSnapshotVersion)
+    throw ModelError("LoadSpaceSnapshot: unsupported snapshot version " +
+                     std::to_string(info.version) + " (this build reads " +
+                     std::to_string(kSpaceSnapshotVersion) + ")");
+  const std::uint32_t np = r.U32("num_processes");
+  if (np == 0 || np > static_cast<std::uint32_t>(kMaxProcesses))
+    throw ModelError("LoadSpaceSnapshot: bad process count " +
+                     std::to_string(np));
+  info.num_processes = static_cast<int>(np);
+  info.truncated = r.U8("truncated") != 0;
+  info.canonicalize = r.U8("canonicalize") != 0;
+  r.U16("reserved");
+  info.system_name = r.Str("system_name");
+  info.classes = r.Count("classes");
+  info.pool_events = r.Count("pool_events");
+  info.group_indexes = r.Count("group_indexes");
+  return info;
+}
+
+void WriteEvent(Writer& w, const Event& e) {
+  w.U32(static_cast<std::uint32_t>(e.process));
+  w.U8(static_cast<std::uint8_t>(e.kind));
+  w.U64(static_cast<std::uint64_t>(e.message));
+  w.U32(static_cast<std::uint32_t>(e.peer));
+  w.Str(e.label);
+}
+
+Event ReadEvent(Reader& r) {
+  Event e;
+  e.process = static_cast<ProcessId>(
+      static_cast<std::int32_t>(r.U32("event process")));
+  const std::uint8_t kind = r.U8("event kind");
+  if (kind > static_cast<std::uint8_t>(EventKind::kReceive))
+    throw ModelError("LoadSpaceSnapshot: bad event kind " +
+                     std::to_string(kind));
+  e.kind = static_cast<EventKind>(kind);
+  e.message = static_cast<MessageId>(r.U64("event message"));
+  e.peer =
+      static_cast<ProcessId>(static_cast<std::int32_t>(r.U32("event peer")));
+  e.label = r.Str("event label");
+  return e;
+}
+
+}  // namespace
+
+namespace internal {
+
+// The one place outside ComputationSpace allowed to touch its columns.
+struct SpaceSnapshotIO {
+  static void Save(const ComputationSpace& space, std::ostream& out) {
+    // Group indexes are built lazily under the space's mutex; collect the
+    // published ones under it, then write sorted by mask so identical
+    // spaces serialize byte-identically regardless of build order.
+    std::vector<const ComputationSpace::GroupIndex*> groups;
+    {
+      std::lock_guard<std::mutex> lock(*space.group_mutex_);
+      groups.reserve(space.group_index_.size());
+      for (const auto& [mask, index] : space.group_index_)
+        groups.push_back(index.get());
+    }
+    std::sort(groups.begin(), groups.end(),
+              [](const auto* a, const auto* b) { return a->mask_ < b->mask_; });
+
+    Writer w(out);
+    SpaceSnapshotInfo info;
+    info.version = kSpaceSnapshotVersion;
+    info.system_name = space.system_name_;
+    info.num_processes = space.num_processes_;
+    info.truncated = space.truncated_;
+    info.canonicalize = space.canonicalize_;
+    info.classes = space.links_.size();
+    info.pool_events = space.event_pool_.size();
+    info.group_indexes = groups.size();
+    WriteHeader(w, info);
+
+    for (const Event& e : space.event_pool_) WriteEvent(w, e);
+    for (const auto& link : space.links_) {
+      w.U32(link.parent);
+      w.U32(link.event);
+      w.U16(link.pos);
+      w.U16(link.length);
+    }
+    for (std::size_t h : space.canon_hash_) w.U64(h);
+    for (std::uint32_t id : space.canon_id_) w.U32(id);
+    w.U32Column(space.proj_class_);
+    for (int p = 0; p < space.num_processes_; ++p) {
+      w.U32Column(space.bucket_offsets_[static_cast<std::size_t>(p)]);
+      w.U32Column(space.bucket_ids_[static_cast<std::size_t>(p)]);
+    }
+    w.U32Column(space.succ_offsets_);
+    w.U32Column(space.succ_class_);
+    w.U32Column(space.succ_event_);
+    for (const auto* g : groups) {
+      w.U64(g->mask_);
+      w.U32Column(g->cls_);
+      w.U32Column(g->offsets_);
+      w.U32Column(g->ids_);
+    }
+    w.Checksum();
+    if (!w.ok())
+      throw ModelError("SaveSpaceSnapshot: write failed (stream error)");
+  }
+
+  static ComputationSpace Load(std::istream& in) {
+    Reader r(in);
+    const SpaceSnapshotInfo info = ReadHeader(r);
+
+    ComputationSpace space;
+    space.num_processes_ = info.num_processes;
+    space.truncated_ = info.truncated;
+    space.canonicalize_ = info.canonicalize;
+    space.system_name_ = info.system_name;
+
+    const std::size_t classes = info.classes;
+    space.event_pool_.reserve(info.pool_events);
+    for (std::uint64_t i = 0; i < info.pool_events; ++i)
+      space.event_pool_.push_back(ReadEvent(r));
+
+    space.links_.reserve(classes);
+    for (std::size_t i = 0; i < classes; ++i) {
+      ComputationSpace::ClassLink link;
+      link.parent = r.U32("link parent");
+      link.event = r.U32("link event");
+      link.pos = r.U16("link pos");
+      link.length = r.U16("link length");
+      if (i > 0 && (link.parent >= i ||
+                    link.event >= space.event_pool_.size()))
+        throw ModelError("LoadSpaceSnapshot: class " + std::to_string(i) +
+                         " references out-of-range parent or event");
+      space.links_.push_back(link);
+    }
+
+    space.canon_hash_.reserve(classes);
+    for (std::size_t i = 0; i < classes; ++i)
+      space.canon_hash_.push_back(r.U64("canon hash"));
+    space.canon_id_.reserve(classes);
+    for (std::size_t i = 0; i < classes; ++i) {
+      const std::uint32_t id = r.U32("canon id");
+      if (id >= classes)
+        throw ModelError("LoadSpaceSnapshot: canonical index id out of range");
+      space.canon_id_.push_back(id);
+    }
+
+    space.proj_class_ = r.U32Column("projection classes");
+    if (space.proj_class_.size() !=
+        classes * static_cast<std::size_t>(info.num_processes))
+      throw ModelError("LoadSpaceSnapshot: projection column size mismatch");
+
+    space.bucket_offsets_.resize(static_cast<std::size_t>(info.num_processes));
+    space.bucket_ids_.resize(static_cast<std::size_t>(info.num_processes));
+    for (int p = 0; p < info.num_processes; ++p) {
+      auto& offsets = space.bucket_offsets_[static_cast<std::size_t>(p)];
+      auto& ids = space.bucket_ids_[static_cast<std::size_t>(p)];
+      offsets = r.U32Column("bucket offsets");
+      ids = r.U32Column("bucket ids");
+      if (offsets.empty() || offsets.back() != ids.size() ||
+          ids.size() != classes)
+        throw ModelError(
+            "LoadSpaceSnapshot: bucket CSR columns inconsistent for process " +
+            std::to_string(p));
+    }
+
+    space.succ_offsets_ = r.U32Column("successor offsets");
+    space.succ_class_ = r.U32Column("successor classes");
+    space.succ_event_ = r.U32Column("successor events");
+    if (space.succ_offsets_.size() != classes + (classes ? 1 : 0) ||
+        (classes && space.succ_offsets_.back() != space.succ_class_.size()) ||
+        space.succ_class_.size() != space.succ_event_.size())
+      throw ModelError("LoadSpaceSnapshot: successor CSR columns "
+                       "inconsistent");
+
+    std::uint64_t last_mask = 0;
+    for (std::uint64_t i = 0; i < info.group_indexes; ++i) {
+      auto index = std::make_unique<ComputationSpace::GroupIndex>();
+      index->mask_ = r.U64("group mask");
+      if (i > 0 && index->mask_ <= last_mask)
+        throw ModelError("LoadSpaceSnapshot: group indexes out of order");
+      last_mask = index->mask_;
+      index->cls_ = r.U32Column("group classes");
+      index->offsets_ = r.U32Column("group offsets");
+      index->ids_ = r.U32Column("group ids");
+      if (index->cls_.size() != classes || index->offsets_.empty() ||
+          index->offsets_.back() != index->ids_.size() ||
+          index->ids_.size() != classes)
+        throw ModelError("LoadSpaceSnapshot: group index columns "
+                         "inconsistent");
+      space.group_index_.emplace(index->mask_, std::move(index));
+    }
+
+    r.VerifyChecksum();
+    return space;
+  }
+};
+
+}  // namespace internal
+
+void SaveSpaceSnapshot(const ComputationSpace& space, std::ostream& out) {
+  internal::SpaceSnapshotIO::Save(space, out);
+}
+
+void SaveSpaceSnapshot(const ComputationSpace& space, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out)
+    throw ModelError("SaveSpaceSnapshot: cannot open '" + path +
+                     "' for writing");
+  internal::SpaceSnapshotIO::Save(space, out);
+  out.flush();
+  if (!out)
+    throw ModelError("SaveSpaceSnapshot: write to '" + path + "' failed");
+}
+
+ComputationSpace LoadSpaceSnapshot(std::istream& in) {
+  return internal::SpaceSnapshotIO::Load(in);
+}
+
+ComputationSpace LoadSpaceSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw ModelError("LoadSpaceSnapshot: cannot open '" + path + "'");
+  return internal::SpaceSnapshotIO::Load(in);
+}
+
+SpaceSnapshotInfo ReadSpaceSnapshotInfo(std::istream& in) {
+  Reader r(in);
+  return ReadHeader(r);
+}
+
+SpaceSnapshotInfo ReadSpaceSnapshotInfo(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw ModelError("ReadSpaceSnapshotInfo: cannot open '" + path + "'");
+  Reader r(in);
+  return ReadHeader(r);
 }
 
 }  // namespace hpl

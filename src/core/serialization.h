@@ -1,18 +1,42 @@
-// Compact text serialization of computations, for CLI input, golden files
-// and debugging.
+// Serialization of computations and computation spaces.
 //
-// Grammar (whitespace-separated tokens, one per event):
-//   send:      <from>'>'<to>':'<msg>[ '/'<label> ]      e.g.  0>1:0/ping
-//   receive:   <at>'<'<from>':'<msg>[ '/'<label> ]      e.g.  1<0:0/ping
-//   internal:  <proc>'.'<label>                          e.g.  2.crash
-// Labels may contain any characters except whitespace.  Parse validates
-// the result as a system computation; Format is its inverse.
+// 1. Compact text serialization of computations, for CLI input, golden
+//    files and debugging.
+//
+//    Grammar (whitespace-separated tokens, one per event):
+//      send:      <from>'>'<to>':'<msg>[ '/'<label> ]      e.g.  0>1:0/ping
+//      receive:   <at>'<'<from>':'<msg>[ '/'<label> ]      e.g.  1<0:0/ping
+//      internal:  <proc>'.'<label>                          e.g.  2.crash
+//    Labels may contain any characters except whitespace.  Parse validates
+//    the result as a system computation — incrementally, so errors name the
+//    offending token (1-based index and text); Format is its inverse.
+//
+// 2. Binary space snapshots (format `hpl-space-v1`): versioned,
+//    little-endian save/load of the full columnar ComputationSpace — the
+//    interned event pool, splice links, canonical-hash index, per-process
+//    [p]-class tables, CSR successors and buckets, and every materialized
+//    GroupIndex.  A loaded space is byte-identical to the one saved: same
+//    class ids, canonical hashes, projection classes, buckets, successor
+//    lists and group tables, so knowledge verdicts evaluated against it
+//    match the freshly enumerated space exactly.  This is what lets
+//    `hpl_cli serve` enumerate once and answer queries forever after.
+//
+//    Layout: an 8-byte magic ("HPLSPACE"), a u32 format version, a header
+//    (process count, flags, system name), the columns in a fixed order,
+//    and a trailing FNV-1a checksum of everything before it.  All integers
+//    are explicit little-endian, so snapshots are portable across hosts.
+//    Load rejects bad magic, unknown versions, truncated files,
+//    inconsistent column sizes, and checksum mismatches with a ModelError
+//    naming the problem.
 #ifndef HPL_CORE_SERIALIZATION_H_
 #define HPL_CORE_SERIALIZATION_H_
 
+#include <cstdint>
+#include <iosfwd>
 #include <string>
 
 #include "core/computation.h"
+#include "core/space.h"
 
 namespace hpl {
 
@@ -21,8 +45,44 @@ namespace hpl {
 std::string FormatComputation(const Computation& x);
 
 // Parses the token format; throws ModelError on syntax errors or when the
-// event sequence is not a valid computation.
+// event sequence is not a valid computation.  Errors carry the 1-based
+// index and text of the offending token.
 Computation ParseComputation(const std::string& text);
+
+// --- Binary space snapshots (hpl-space-v1) ---------------------------------
+
+// The snapshot format version this build writes (and the only one it reads).
+inline constexpr std::uint32_t kSpaceSnapshotVersion = 1;
+
+// Header summary of a snapshot, readable without loading the columns.
+struct SpaceSnapshotInfo {
+  std::uint32_t version = 0;
+  std::string system_name;
+  int num_processes = 0;
+  bool truncated = false;
+  bool canonicalize = true;
+  std::uint64_t classes = 0;       // [D]-classes in the space
+  std::uint64_t pool_events = 0;   // interned event alphabet size
+  std::uint64_t group_indexes = 0; // materialized [G]-class tables
+};
+
+// Writes the space as an hpl-space-v1 snapshot.  The stream overload writes
+// to any binary ostream; the path overload creates/truncates the file and
+// throws ModelError on I/O failure.  Group indexes are saved in ascending
+// mask order, so identical spaces produce byte-identical snapshots.
+void SaveSpaceSnapshot(const ComputationSpace& space, std::ostream& out);
+void SaveSpaceSnapshot(const ComputationSpace& space, const std::string& path);
+
+// Reads a snapshot back into a ComputationSpace.  Throws ModelError on bad
+// magic, version mismatch, truncation, inconsistent columns, or checksum
+// failure.
+ComputationSpace LoadSpaceSnapshot(std::istream& in);
+ComputationSpace LoadSpaceSnapshot(const std::string& path);
+
+// Reads only the header (cheap: no column payloads).  The checksum is NOT
+// verified — use LoadSpaceSnapshot to validate a snapshot end to end.
+SpaceSnapshotInfo ReadSpaceSnapshotInfo(std::istream& in);
+SpaceSnapshotInfo ReadSpaceSnapshotInfo(const std::string& path);
 
 }  // namespace hpl
 

@@ -80,6 +80,7 @@ namespace hpl {
 
 namespace internal {
 class WorkerPool;
+struct SpaceSnapshotIO;  // serialization.cc: binary snapshot save/load
 }  // namespace internal
 
 struct EnumerationLimits {
@@ -189,6 +190,7 @@ class ComputationSpace {
 
    private:
     friend class ComputationSpace;
+    friend struct internal::SpaceSnapshotIO;
     std::uint64_t mask_ = 0;
     std::vector<std::uint32_t> cls_;      // per [D]-class: its [G]-class
     std::vector<std::uint32_t> offsets_;  // CSR offsets (NumClasses() + 1)
@@ -354,6 +356,10 @@ class ComputationSpace {
   MemoryStats MemoryUsage() const;
 
  private:
+  // Snapshot save/load (serialization.cc) reads and rebuilds the columnar
+  // members directly; it is the only code outside this class that may.
+  friend struct internal::SpaceSnapshotIO;
+
   ComputationSpace() = default;
 
   // One class of the columnar store: the BFS parent, the extending event

@@ -23,11 +23,14 @@ TEST(SerializationTest, RoundTrips) {
   EXPECT_EQ(FormatComputation(Computation{}), "");
 }
 
+// Format -> Parse round-trip property over randomly generated computations:
+// every prefix of every run of several seeded systems survives the text
+// format unchanged.
 TEST(SerializationTest, RoundTripsRandomRuns) {
-  for (std::uint64_t seed : {1u, 2u, 3u}) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
     RandomSystemOptions options;
-    options.num_processes = 4;
-    options.num_messages = 5;
+    options.num_processes = 2 + static_cast<int>(seed % 4);
+    options.num_messages = 3 + static_cast<int>(seed % 3);
     options.seed = seed;
     RandomSystem system(options);
     Computation z;
@@ -35,8 +38,9 @@ TEST(SerializationTest, RoundTripsRandomRuns) {
       auto enabled = system.EnabledEvents(z);
       if (enabled.empty()) break;
       z = z.Extended(enabled[z.size() % enabled.size()]);
+      // Prefixes are computations too; round-trip every one.
+      EXPECT_EQ(ParseComputation(FormatComputation(z)), z) << seed;
     }
-    EXPECT_EQ(ParseComputation(FormatComputation(z)), z) << seed;
   }
 }
 
@@ -53,6 +57,33 @@ TEST(SerializationTest, RejectsMalformedTokens) {
   EXPECT_THROW(ParseComputation("0>1"), ModelError);      // missing ':'
   EXPECT_THROW(ParseComputation("0?1:0"), ModelError);    // bad kind
   EXPECT_THROW(ParseComputation("0>x:0"), ModelError);    // bad number
+  EXPECT_THROW(ParseComputation("0>1:5x"), ModelError);   // trailing garbage
+  EXPECT_THROW(ParseComputation("0>1x:5"), ModelError);   // trailing garbage
+}
+
+// Errors must pinpoint WHICH of the whitespace-separated tokens failed,
+// with its 1-based index and text.
+TEST(SerializationTest, ErrorsNameTheOffendingToken) {
+  try {
+    ParseComputation("0>1:0/m 1<0:0/m 0?2:1");
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& error) {
+    EXPECT_NE(std::string(error.what()).find("token #3"), std::string::npos)
+        << error.what();
+    EXPECT_NE(std::string(error.what()).find("0?2:1"), std::string::npos)
+        << error.what();
+  }
+  // A semantically invalid event (receive without its send) is also blamed
+  // on its token, not on the sequence as a whole.
+  try {
+    ParseComputation("0>1:0/m 1<0:9/m");
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& error) {
+    EXPECT_NE(std::string(error.what()).find("token #2"), std::string::npos)
+        << error.what();
+    EXPECT_NE(std::string(error.what()).find("1<0:9/m"), std::string::npos)
+        << error.what();
+  }
 }
 
 TEST(SerializationTest, RejectsInvalidComputations) {

@@ -53,6 +53,13 @@ VOLATILE_PARAMS = {
     "classes_per_sec",
     "deterministic",
     "truncated",
+    # bench_query_service measured outputs.
+    "snapshot_bytes",
+    "enumerate_ns",
+    "load_speedup",
+    "queries_per_sec",
+    "warm_cold_ratio",
+    "fused_speedup",
 }
 
 

@@ -25,6 +25,28 @@
 //   hpl bench    <system> [flags] [--repeat=K]
 //                                        time the enumerate and evaluate
 //                                        phases; optional BENCH_*.json
+//   hpl snapshot save <system> <path> [flags]
+//                                        enumerate and write a binary
+//                                        hpl-space-v1 snapshot
+//   hpl snapshot info <path>             print a snapshot's header
+//   hpl snapshot load <path>             load + verify a snapshot
+//   hpl serve    <system> [--snapshot=PATH] [flags]
+//                                        long-lived query service: loads the
+//                                        snapshot (or enumerates, then saves
+//                                        it when --snapshot is given) ONCE,
+//                                        then answers newline-delimited JSON
+//                                        requests on stdin with one JSON
+//                                        response per line on stdout,
+//                                        keeping the evaluator's memo planes
+//                                        warm across requests.  Requests:
+//                                          {"op":"check","formula":"K{0} b"}
+//                                          {"op":"check","formulas":[...]}
+//                                          {"op":"check-at","formula":"...",
+//                                           "at":"0>1:0/ping ..."}
+//                                          {"op":"info"} {"op":"ping"}
+//                                          {"op":"quit"}
+//                                        A "formulas" batch runs as ONE
+//                                        fused multi-formula sweep.
 //
 // check, check-at, and bench share the flags
 //   --threads=N            ComputationSpace::Enumerate workers
@@ -49,12 +71,19 @@
 //          | lockstep:ROUNDS
 // Formulas use the text syntax, e.g.  "K{1} (sent && !K{0} K{1} sent)".
 #include <algorithm>
+#include <charconv>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "bench/reporter.h"
@@ -82,9 +111,33 @@ struct NamedSystem {
   int max_depth = 32;
 };
 
+// Strict decimal integer parse for CLI input.  Unlike std::atoi/std::stoi,
+// rejects empty input, non-digits, trailing garbage ("1x"), and values
+// outside [min_value, max_value] — each with a diagnostic that names the
+// flag or argument (`what`), thrown as ModelError so Main exits non-zero.
+long long ParseIntArg(const std::string& what, std::string_view text,
+                      long long min_value, long long max_value) {
+  long long value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [parsed_to, ec] = std::from_chars(begin, end, value);
+  if (ec == std::errc::result_out_of_range ||
+      (ec == std::errc{} && parsed_to == end &&
+       (value < min_value || value > max_value)))
+    throw ModelError(what + ": '" + std::string(text) + "' is out of range [" +
+                     std::to_string(min_value) + ", " +
+                     std::to_string(max_value) + "]");
+  if (ec != std::errc{} || parsed_to != end)
+    throw ModelError(what + ": '" + std::string(text) +
+                     "' is not a number");
+  return value;
+}
+
 int ParseIntAfter(const std::string& spec, std::size_t pos, int fallback) {
   if (pos >= spec.size()) return fallback;
-  return std::atoi(spec.c_str() + pos);
+  return static_cast<int>(ParseIntArg("system spec '" + spec + "'",
+                                      std::string_view(spec).substr(pos), 0,
+                                      1'000'000));
 }
 
 // Builds a system from its spec string; throws ModelError on bad specs.
@@ -122,7 +175,16 @@ NamedSystem MakeSystem(const std::string& spec) {
   }
   if (spec.rfind("tokenbus:", 0) == 0) {
     int n = 5, passes = 4;
-    std::sscanf(spec.c_str() + 9, "%d,%d", &n, &passes);
+    const std::string params = spec.substr(9);
+    if (!params.empty()) {
+      const auto comma = params.find(',');
+      n = static_cast<int>(ParseIntArg("system spec '" + spec + "'",
+                                       params.substr(0, comma), 1, 64));
+      if (comma != std::string::npos)
+        passes = static_cast<int>(ParseIntArg("system spec '" + spec + "'",
+                                              params.substr(comma + 1), 0,
+                                              1'000'000));
+    }
     auto bus = std::make_unique<protocols::TokenBusSystem>(n, passes);
     for (ProcessId p = 0; p < n; ++p) out.atoms.push_back(bus->HoldsToken(p));
     out.system = std::move(bus);
@@ -222,15 +284,8 @@ ProcessSet ParseSet(const std::string& arg) {
     auto comma = arg.find(',', pos);
     if (comma == std::string::npos) comma = arg.size();
     const std::string token = arg.substr(pos, comma - pos);
-    std::size_t parsed = 0;
-    int id = -1;
-    try {
-      id = std::stoi(token, &parsed);
-    } catch (const std::exception&) {
-      // fall through to the error below
-    }
-    if (parsed != token.size() || id < 0)
-      throw ModelError("bad process id '" + token + "' in set '" + arg + "'");
+    const int id = static_cast<int>(
+        ParseIntArg("process set '" + arg + "'", token, 0, kMaxProcesses - 1));
     out.Insert(id);
     pos = comma + 1;
   }
@@ -249,24 +304,35 @@ struct CheckFlags {
 };
 
 CheckFlags ParseCheckFlags(int argc, char** argv, int first,
-                           bool allow_repeat = false) {
+                           bool allow_repeat = false,
+                           std::optional<std::string>* snapshot = nullptr) {
   CheckFlags flags;
   for (int i = first; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--threads=", 10) == 0)
-      flags.threads = std::atoi(arg + 10);
+      flags.threads = static_cast<int>(
+          ParseIntArg("--threads", arg + 10, 0, 4096));
     else if (std::strncmp(arg, "--knowledge-threads=", 20) == 0)
-      flags.knowledge_threads = std::atoi(arg + 20);
+      flags.knowledge_threads = static_cast<int>(
+          ParseIntArg("--knowledge-threads", arg + 20, 0, 4096));
     else if (std::strncmp(arg, "--max-depth=", 12) == 0)
-      flags.max_depth = std::atoi(arg + 12);
+      // [1, 65535]: the columnar store's 16-bit splice links cannot hold
+      // deeper computations, and depth 0 would enumerate nothing — reject
+      // at parse time instead of clamping or failing later.
+      flags.max_depth = static_cast<int>(
+          ParseIntArg("--max-depth", arg + 12, 1, 65535));
     else if (std::strncmp(arg, "--max-classes=", 14) == 0)
-      flags.max_classes = std::atoll(arg + 14);
+      flags.max_classes = ParseIntArg("--max-classes", arg + 14, 1,
+                                      std::numeric_limits<long long>::max());
     else if (std::strcmp(arg, "--allow-truncation") == 0)
       flags.allow_truncation = true;
     else if (std::strncmp(arg, "--group=", 8) == 0)
       flags.groups.push_back(ParseSet(arg + 8));
     else if (allow_repeat && std::strncmp(arg, "--repeat=", 9) == 0)
-      flags.repeat = std::max(1, std::atoi(arg + 9));
+      flags.repeat = static_cast<int>(
+          ParseIntArg("--repeat", arg + 9, 1, 1'000'000));
+    else if (snapshot != nullptr && std::strncmp(arg, "--snapshot=", 11) == 0)
+      *snapshot = std::string(arg + 11);
     else
       throw ModelError(std::string("unknown flag '") + arg + "'");
   }
@@ -311,6 +377,28 @@ void AddGroupRows(bench::JsonReporter& reporter, const NamedSystem& named,
     row.bytes_space = index.MemoryBytes();
     reporter.Add(std::move(row));
   }
+}
+
+// FNV-1a over the satisfying class ids (8 little-endian bytes each): a
+// stable fingerprint of a satisfying set.  `check` prints it and `serve`
+// returns it per response, so "serve verdicts are byte-identical to a
+// standalone check" is testable by comparing two short hex strings.
+std::uint64_t HashSatisfyingSet(const std::vector<std::size_t>& sat) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t id : sat) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (static_cast<std::uint64_t>(id) >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+std::string SatisfyingHashHex(const std::vector<std::size_t>& sat) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(HashSatisfyingSet(sat)));
+  return std::string(buffer);
 }
 
 // A truncated space under-approximates the quantifier domain, so verdicts
@@ -379,6 +467,7 @@ int CmdCheck(const std::string& spec, const std::string& text,
   PrintMemoryStats(space_memory, memo_memory);
   PrintGroupStats(space, flags.groups);
   std::printf("holds at %zu/%zu computations\n", sat.size(), space.size());
+  std::printf("satisfying-hash: %s\n", SatisfyingHashHex(sat).c_str());
   if (!sat.empty() && sat.size() <= 12) {
     for (std::size_t id : sat)
       std::printf("  %s\n", space.At(id).ToString().c_str());
@@ -507,7 +596,8 @@ int CmdChains(int n, const std::string& serialized,
   const Computation z = ParseComputation(serialized);
   std::vector<ProcessSet> stages;
   for (const std::string& arg : stage_args)
-    stages.push_back(ProcessSet::Of(std::atoi(arg.c_str())));
+    stages.push_back(ProcessSet::Of(static_cast<int>(
+        ParseIntArg("chain stage process", arg, 0, kMaxProcesses - 1))));
   ChainDetector detector(z, n);
   const auto witness = detector.FindChain(stages);
   if (!witness.has_value()) {
@@ -536,6 +626,526 @@ int CmdFuse(int n, const std::string& xs, const std::string& ys,
   std::printf("w = %s\n", FormatComputation(fused->fused).c_str());
   std::printf("   (all events on %s from y + all on its complement from z)\n",
               p.ToString().c_str());
+  return 0;
+}
+
+// --- Minimal JSON for the serve request/response protocol -------------------
+//
+// serve speaks newline-delimited JSON over stdin/stdout; this is a small
+// strict parser for exactly that traffic (objects, arrays, strings with the
+// standard escapes, numbers, true/false/null) — malformed input throws
+// ModelError, which serve turns into an {"ok":false,...} response instead
+// of crashing or hanging.
+
+namespace json {
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> members;
+
+  // First member with the key, or null (objects only).
+  const Value* Find(const std::string& key) const {
+    for (const auto& [k, v] : members)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value Parse() {
+    Value v = ParseValue();
+    SkipSpace();
+    if (pos_ != text_.size())
+      throw ModelError("bad JSON: trailing characters after value");
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r' ||
+            text_[pos_] == '\n'))
+      ++pos_;
+  }
+  char Peek() {
+    if (pos_ >= text_.size()) throw ModelError("bad JSON: unexpected end");
+    return text_[pos_];
+  }
+  void Expect(char c) {
+    if (Peek() != c)
+      throw ModelError(std::string("bad JSON: expected '") + c + "' at offset " +
+                       std::to_string(pos_));
+    ++pos_;
+  }
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Value ParseValue() {
+    SkipSpace();
+    const char c = Peek();
+    Value v;
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      v.type = Value::Type::kString;
+      v.string = ParseString();
+      return v;
+    }
+    if (Literal("true")) {
+      v.type = Value::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (Literal("false")) {
+      v.type = Value::Type::kBool;
+      return v;
+    }
+    if (Literal("null")) return v;
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      v.type = Value::Type::kNumber;
+      const char* begin = text_.data() + pos_;
+      char* end = nullptr;
+      v.number = std::strtod(begin, &end);
+      if (end == begin) throw ModelError("bad JSON: malformed number");
+      pos_ += static_cast<std::size_t>(end - begin);
+      return v;
+    }
+    throw ModelError(std::string("bad JSON: unexpected character '") + c +
+                     "' at offset " + std::to_string(pos_));
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size())
+        throw ModelError("bad JSON: unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        throw ModelError("bad JSON: control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size())
+        throw ModelError("bad JSON: unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size())
+            throw ModelError("bad JSON: truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              throw ModelError("bad JSON: bad hex digit in \\u escape");
+          }
+          // Formula/computation texts are ASCII; reject the rest rather
+          // than carrying a UTF-8 encoder for input that cannot occur.
+          if (code > 0x7f)
+            throw ModelError("bad JSON: non-ASCII \\u escape unsupported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          throw ModelError(std::string("bad JSON: unknown escape '\\") + e +
+                           "'");
+      }
+    }
+  }
+
+  Value ParseArray() {
+    Expect('[');
+    Value v;
+    v.type = Value::Type::kArray;
+    SkipSpace();
+    if (Peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(ParseValue());
+      SkipSpace();
+      const char c = Peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') throw ModelError("bad JSON: expected ',' or ']' in array");
+    }
+  }
+
+  Value ParseObject() {
+    Expect('{');
+    Value v;
+    v.type = Value::Type::kObject;
+    SkipSpace();
+    if (Peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      SkipSpace();
+      std::string key = ParseString();
+      SkipSpace();
+      Expect(':');
+      v.members.emplace_back(std::move(key), ParseValue());
+      SkipSpace();
+      const char c = Peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') throw ModelError("bad JSON: expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Value Parse(std::string_view text) { return Parser(text).Parse(); }
+
+}  // namespace json
+
+// --- hpl serve: the long-lived query service --------------------------------
+
+// Structural formula interner.  Formula::Parse builds fresh nodes on every
+// call, and the evaluator's memo planes are keyed by node pointer — so a
+// server that parsed each request in isolation would never hit its own
+// cache and its plane set would grow per request.  Interning rebuilds every
+// parsed formula bottom-up, deduplicating each subformula by its canonical
+// ToString, so the hundredth "K{0} sent" IS the first one (pointer-equal)
+// and nested queries share subformula nodes — and therefore memo rows —
+// with every earlier request.
+class FormulaInterner {
+ public:
+  FormulaPtr Intern(const FormulaPtr& f) {
+    if (!f) return nullptr;
+    const std::string key = f->ToString();
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    const FormulaPtr left = Intern(f->left());
+    const FormulaPtr right = Intern(f->right());
+    FormulaPtr rebuilt;
+    switch (f->kind()) {
+      case FormulaKind::kAtom: rebuilt = f; break;
+      case FormulaKind::kNot: rebuilt = Formula::Not(left); break;
+      case FormulaKind::kAnd: rebuilt = Formula::And(left, right); break;
+      case FormulaKind::kOr: rebuilt = Formula::Or(left, right); break;
+      case FormulaKind::kImplies:
+        rebuilt = Formula::Implies(left, right);
+        break;
+      case FormulaKind::kKnows:
+        rebuilt = Formula::Knows(f->group(), left);
+        break;
+      case FormulaKind::kSure: rebuilt = Formula::Sure(f->group(), left); break;
+      case FormulaKind::kCommon:
+        rebuilt = Formula::Common(f->group(), left);
+        break;
+      case FormulaKind::kEveryone:
+        rebuilt = Formula::Everyone(f->group(), left);
+        break;
+      case FormulaKind::kPossible:
+        rebuilt = Formula::Possible(f->group(), left);
+        break;
+    }
+    cache_.emplace(key, rebuilt);
+    return rebuilt;
+  }
+
+  std::size_t size() const noexcept { return cache_.size(); }
+
+ private:
+  std::unordered_map<std::string, FormulaPtr> cache_;
+};
+
+struct ServeContext {
+  NamedSystem named;
+  ComputationSpace space;
+  std::unique_ptr<KnowledgeEvaluator> eval;
+  FormulaInterner interner;
+  // Request text -> interned formula, so repeat queries skip the parse too.
+  std::unordered_map<std::string, FormulaPtr> by_text;
+  std::uint64_t requests = 0;
+
+  explicit ServeContext(NamedSystem n, ComputationSpace s, int threads)
+      : named(std::move(n)), space(std::move(s)) {
+    eval = std::make_unique<KnowledgeEvaluator>(space,
+                                                KnowledgeOptions{
+                                                    .num_threads = threads});
+  }
+
+  FormulaPtr FormulaFor(const std::string& text) {
+    const auto it = by_text.find(text);
+    if (it != by_text.end()) return it->second;
+    FormulaPtr f = interner.Intern(Formula::Parse(text, named.atoms));
+    by_text.emplace(text, f);
+    return f;
+  }
+};
+
+// The per-formula fragment of a check response.
+std::string CheckResultJson(const std::vector<std::size_t>& sat,
+                            bool with_ids) {
+  std::string out = "\"count\":" + std::to_string(sat.size()) +
+                    ",\"hash\":\"" + SatisfyingHashHex(sat) + "\"";
+  if (with_ids) {
+    out += ",\"satisfying\":[";
+    for (std::size_t i = 0; i < sat.size(); ++i) {
+      if (i) out += ",";
+      out += std::to_string(sat[i]);
+    }
+    out += "]";
+  }
+  return out;
+}
+
+// Requires `key` to be a string member of the request.
+const std::string& RequireString(const json::Value& request,
+                                 const std::string& key) {
+  const json::Value* v = request.Find(key);
+  if (v == nullptr || v->type != json::Value::Type::kString)
+    throw ModelError("request needs a string field \"" + key + "\"");
+  return v->string;
+}
+
+// The request's "formula" field, parsed and interned through the context.
+FormulaPtr FormulaFor(ServeContext& ctx, const json::Value& request) {
+  return ctx.FormulaFor(RequireString(request, "formula"));
+}
+
+// One request -> one single-line JSON response.  Throws on malformed or
+// failing requests; the serve loop turns the exception into an
+// {"ok":false,...} response and keeps serving.
+std::string HandleServeRequest(ServeContext& ctx, const json::Value& request,
+                               bool* quit) {
+  if (request.type != json::Value::Type::kObject)
+    throw ModelError("request must be a JSON object");
+  const std::string& op = RequireString(request, "op");
+  ++ctx.requests;
+
+  if (op == "ping") return "{\"ok\":true,\"op\":\"ping\"}";
+  if (op == "quit") {
+    *quit = true;
+    return "{\"ok\":true,\"op\":\"quit\"}";
+  }
+  if (op == "info") {
+    const auto memo = ctx.eval->MemoryUsage();
+    return "{\"ok\":true,\"op\":\"info\",\"system\":\"" +
+           json::Escape(ctx.space.system_name()) +
+           "\",\"classes\":" + std::to_string(ctx.space.size()) +
+           ",\"truncated\":" + (ctx.space.truncated() ? "true" : "false") +
+           ",\"memo_entries\":" + std::to_string(ctx.eval->memo_size()) +
+           ",\"bytes_memo\":" + std::to_string(memo.bytes_total) +
+           ",\"formulas_interned\":" + std::to_string(ctx.interner.size()) +
+           ",\"requests\":" + std::to_string(ctx.requests) + "}";
+  }
+  if (op == "check") {
+    const json::Value* ids = request.Find("ids");
+    const bool with_ids =
+        ids != nullptr && ids->type == json::Value::Type::kBool && ids->boolean;
+    const json::Value* batch = request.Find("formulas");
+    if (batch != nullptr) {
+      if (batch->type != json::Value::Type::kArray || batch->array.empty())
+        throw ModelError("\"formulas\" must be a non-empty array of strings");
+      std::vector<FormulaPtr> formulas;
+      formulas.reserve(batch->array.size());
+      for (const json::Value& v : batch->array) {
+        if (v.type != json::Value::Type::kString)
+          throw ModelError("\"formulas\" must be a non-empty array of strings");
+        formulas.push_back(ctx.FormulaFor(v.string));
+      }
+      // The whole batch runs as ONE fused sweep.
+      const auto sets = ctx.eval->SatisfyingSets(formulas);
+      std::string out = "{\"ok\":true,\"op\":\"check\",\"classes\":" +
+                        std::to_string(ctx.space.size()) + ",\"results\":[";
+      for (std::size_t k = 0; k < sets.size(); ++k) {
+        if (k) out += ",";
+        out += "{" + CheckResultJson(sets[k], with_ids) + "}";
+      }
+      return out + "]}";
+    }
+    const auto sat = ctx.eval->SatisfyingSet(FormulaFor(ctx, request));
+    return "{\"ok\":true,\"op\":\"check\",\"classes\":" +
+           std::to_string(ctx.space.size()) + "," +
+           CheckResultJson(sat, with_ids) + "}";
+  }
+  if (op == "check-at") {
+    const FormulaPtr f = FormulaFor(ctx, request);
+    const Computation at = ParseComputation(RequireString(request, "at"));
+    const auto id = ctx.space.IndexOf(at);
+    if (!id.has_value())
+      throw ModelError("computation is not in the space of " +
+                       ctx.space.system_name());
+    const bool verdict = ctx.eval->Holds(f, *id);
+    return std::string("{\"ok\":true,\"op\":\"check-at\",\"verdict\":") +
+           (verdict ? "true" : "false") +
+           ",\"id\":" + std::to_string(*id) + "}";
+  }
+  throw ModelError("unknown op '" + op + "' (check, check-at, info, ping, "
+                   "quit)");
+}
+
+int CmdServe(const std::string& spec, const CheckFlags& flags,
+             const std::optional<std::string>& snapshot_path) {
+  NamedSystem named = MakeSystem(spec);
+  const EnumerationLimits limits = LimitsFor(named, flags);
+
+  std::optional<ComputationSpace> space;
+  if (snapshot_path.has_value()) {
+    // Probe: load the snapshot when it exists, else enumerate and write it
+    // so the NEXT serve (or a snapshot-driven tool) starts warm.
+    std::ifstream probe(*snapshot_path, std::ios::binary);
+    if (probe) {
+      probe.close();
+      bench::WallTimer timer;
+      space = LoadSpaceSnapshot(*snapshot_path);
+      if (space->system_name() != named.system->Name())
+        throw ModelError("snapshot '" + *snapshot_path + "' holds system '" +
+                         space->system_name() + "', not '" +
+                         named.system->Name() + "'");
+      std::fprintf(stderr, "serve: loaded snapshot '%s' (%zu classes, %.3f "
+                           "ms)\n",
+                   snapshot_path->c_str(), space->size(),
+                   static_cast<double>(timer.ElapsedNs()) / 1e6);
+    }
+  }
+  if (!space.has_value()) {
+    bench::WallTimer timer;
+    space = ComputationSpace::Enumerate(*named.system, limits);
+    std::fprintf(stderr, "serve: enumerated %zu classes in %.3f ms\n",
+                 space->size(),
+                 static_cast<double>(timer.ElapsedNs()) / 1e6);
+    if (snapshot_path.has_value()) {
+      SaveSpaceSnapshot(*space, *snapshot_path);
+      std::fprintf(stderr, "serve: wrote snapshot '%s'\n",
+                   snapshot_path->c_str());
+    }
+  }
+  WarnIfTruncated(*space);
+
+  ServeContext ctx(std::move(named), std::move(*space),
+                   flags.knowledge_threads);
+  std::fprintf(stderr,
+               "serve: %s ready (%zu classes); newline-delimited JSON "
+               "requests on stdin, one response per line on stdout\n",
+               ctx.space.system_name().c_str(), ctx.space.size());
+
+  std::string line;
+  bool quit = false;
+  while (!quit && std::getline(std::cin, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::string response;
+    try {
+      const json::Value request = json::Parse(line);
+      response = HandleServeRequest(ctx, request, &quit);
+    } catch (const std::exception& error) {
+      response = std::string("{\"ok\":false,\"error\":\"") +
+                 json::Escape(error.what()) + "\"}";
+    }
+    std::fputs(response.c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  }
+  std::fprintf(stderr, "serve: done (%llu requests)\n",
+               static_cast<unsigned long long>(ctx.requests));
+  return 0;
+}
+
+// --- hpl snapshot save / info / load ----------------------------------------
+
+int CmdSnapshotSave(const std::string& spec, const std::string& path,
+                    const CheckFlags& flags) {
+  NamedSystem named = MakeSystem(spec);
+  const EnumerationLimits limits = LimitsFor(named, flags);
+  bench::WallTimer enumerate_timer;
+  const auto space = ComputationSpace::Enumerate(*named.system, limits);
+  const double enumerate_ms =
+      static_cast<double>(enumerate_timer.ElapsedNs()) / 1e6;
+  WarnIfTruncated(space);
+  bench::WallTimer save_timer;
+  SaveSpaceSnapshot(space, path);
+  std::printf("snapshot: wrote '%s' (version %u)\n", path.c_str(),
+              kSpaceSnapshotVersion);
+  std::printf("system:   %s, %zu classes%s\n", space.system_name().c_str(),
+              space.size(), space.truncated() ? " (TRUNCATED)" : "");
+  std::printf("phases:   enumerate %.3f ms, save %.3f ms\n", enumerate_ms,
+              static_cast<double>(save_timer.ElapsedNs()) / 1e6);
+  return 0;
+}
+
+int CmdSnapshotInfo(const std::string& path) {
+  const SpaceSnapshotInfo info = ReadSpaceSnapshotInfo(path);
+  std::printf("snapshot:      %s\n", path.c_str());
+  std::printf("version:       %u\n", info.version);
+  std::printf("system:        %s\n", info.system_name.c_str());
+  std::printf("processes:     %d\n", info.num_processes);
+  std::printf("classes:       %llu%s\n",
+              static_cast<unsigned long long>(info.classes),
+              info.truncated ? " (TRUNCATED)" : "");
+  std::printf("event pool:    %llu events\n",
+              static_cast<unsigned long long>(info.pool_events));
+  std::printf("group indexes: %llu\n",
+              static_cast<unsigned long long>(info.group_indexes));
+  std::printf("canonicalize:  %s\n", info.canonicalize ? "yes" : "no");
+  return 0;
+}
+
+int CmdSnapshotLoad(const std::string& path) {
+  bench::WallTimer timer;
+  const auto space = LoadSpaceSnapshot(path);
+  std::printf("snapshot '%s' verified: %s, %zu classes, %.1f KiB columnar, "
+              "loaded in %.3f ms\n",
+              path.c_str(), space.system_name().c_str(), space.size(),
+              static_cast<double>(space.MemoryUsage().bytes_total) / 1024.0,
+              static_cast<double>(timer.ElapsedNs()) / 1e6);
   return 0;
 }
 
@@ -658,8 +1268,10 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: hpl systems | space <sys> | diagram <sys> | atoms "
                  "<sys> | check <sys> <formula> | check-at <sys> <formula> "
-                 "<comp> | simulate <what> [seed] | bench <sys> [--repeat=K]"
-                 "\n  check/check-at/bench flags: [--threads=N] "
+                 "<comp> | simulate <what> [seed] | bench <sys> [--repeat=K] "
+                 "| serve <sys> [--snapshot=PATH] | snapshot save <sys> "
+                 "<path> | snapshot info <path> | snapshot load <path>"
+                 "\n  check/check-at/bench/serve flags: [--threads=N] "
                  "[--knowledge-threads=N] [--max-depth=N] [--max-classes=N] "
                  "[--allow-truncation] [--group=P0,P1[,...]] [--json=PATH]\n");
     return 2;
@@ -681,19 +1293,44 @@ int Main(int argc, char** argv) {
                         ParseCheckFlags(argc, argv, 5), json_path);
     }
     if (cmd == "simulate" && argc >= 3)
-      return CmdSimulate(argv[2],
-                         argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 1);
+      return CmdSimulate(
+          argv[2],
+          argc >= 4
+              ? static_cast<std::uint64_t>(ParseIntArg(
+                    "simulate seed", argv[3], 0,
+                    std::numeric_limits<long long>::max()))
+              : 1);
     if (cmd == "chains" && argc >= 5) {
       std::vector<std::string> stages(argv + 4, argv + argc);
-      return CmdChains(std::atoi(argv[2]), argv[3], stages);
+      return CmdChains(
+          static_cast<int>(ParseIntArg("chains <n>", argv[2], 1,
+                                       kMaxProcesses)),
+          argv[3], stages);
     }
     if (cmd == "fuse" && argc >= 7)
-      return CmdFuse(std::atoi(argv[2]), argv[3], argv[4], argv[5], argv[6]);
+      return CmdFuse(static_cast<int>(
+                         ParseIntArg("fuse <n>", argv[2], 1, kMaxProcesses)),
+                     argv[3], argv[4], argv[5], argv[6]);
     if (cmd == "bench" && argc >= 3) {
       auto json_path = bench::JsonReporter::JsonFlag(argc, argv);
       return CmdBench(argv[2],
                       ParseCheckFlags(argc, argv, 3, /*allow_repeat=*/true),
                       json_path);
+    }
+    if (cmd == "serve" && argc >= 3) {
+      std::optional<std::string> snapshot;
+      const CheckFlags flags = ParseCheckFlags(argc, argv, 3,
+                                               /*allow_repeat=*/false,
+                                               &snapshot);
+      return CmdServe(argv[2], flags, snapshot);
+    }
+    if (cmd == "snapshot" && argc >= 4) {
+      const std::string sub = argv[2];
+      if (sub == "save" && argc >= 5)
+        return CmdSnapshotSave(argv[3], argv[4],
+                               ParseCheckFlags(argc, argv, 5));
+      if (sub == "info" && argc == 4) return CmdSnapshotInfo(argv[3]);
+      if (sub == "load" && argc == 4) return CmdSnapshotLoad(argv[3]);
     }
   } catch (const ModelError& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
