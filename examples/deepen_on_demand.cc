@@ -1,0 +1,92 @@
+// Deepen on demand: enumerate shallow, query, then grow the space in
+// place when a deeper question arrives — the SpaceBuilder workflow behind
+// `hpl_cli serve`'s {"op":"deepen"} request.
+//
+//   $ ./deepen_on_demand
+//
+// A capped space answers what it can; Deepen resumes the BFS from the
+// retained frontier (byte-identical to enumerating the target depth from
+// scratch), KnowledgeEvaluator::Refresh() re-syncs the warm memo planes,
+// and Ingest splices one observed run past the cap without enumerating
+// anything else.
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "core/knowledge.h"
+#include "core/space.h"
+#include "protocols/token_bus.h"
+
+using namespace hpl;
+
+namespace {
+
+void Report(KnowledgeEvaluator& eval, const FormulaPtr& f,
+            const char* label) {
+  std::printf("  |%-28s| holds at %zu classes\n", label,
+              eval.SatisfyingSet(f).size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Deepen on demand: resumable spaces ==\n\n");
+
+  // 1. Build shallow: three processes pass a token around for three
+  // rounds, but we only enumerate the first four events' worth of space.
+  protocols::TokenBusSystem bus(3, 3);
+  SpaceBuilder builder;
+  builder.Build(bus, {.max_depth = 4, .allow_truncation = true});
+  std::printf("built %s to depth %d: %zu classes (complete: %s)\n",
+              bus.Name().c_str(), builder.built_depth(),
+              builder.space().size(), builder.complete() ? "yes" : "no");
+
+  // 2. Query the capped space with a warm evaluator.
+  KnowledgeEvaluator eval(builder.space(), {});
+  const FormulaPtr k0 =
+      Formula::Knows(ProcessSet::Of(0), Formula::Atom(bus.HoldsToken(0)));
+  const FormulaPtr ck = Formula::Common(
+      ProcessSet::Of(0).Union(ProcessSet::Of(1)),
+      Formula::Atom(bus.HoldsToken(0)));
+  Report(eval, k0, "K{0} token_at_p0");
+  Report(eval, ck, "CK{0,1} token_at_p0");
+
+  // 3. A deeper question arrives: deepen instead of rebuilding.  The
+  // evaluator keeps every memo the new classes cannot invalidate.
+  while (!builder.complete()) {
+    const std::size_t added = builder.Deepen(1);
+    eval.Refresh();
+    std::printf("\ndeepened to depth %d: +%zu classes (total %zu)\n",
+                builder.built_depth(), added, builder.space().size());
+    Report(eval, k0, "K{0} token_at_p0");
+    Report(eval, ck, "CK{0,1} token_at_p0");
+  }
+  std::printf("\nthe space is complete at depth %d — Deepen(1) now adds "
+              "%zu classes\n",
+              builder.built_depth(), builder.Deepen(1));
+
+  // 4. Ingest: splice one observed run into a fresh shallow space.  Only
+  // the run's own prefixes gain classes — the rest of depth 5+ stays
+  // unenumerated, which is the point when a trace is all you trust.
+  SpaceBuilder online;
+  online.Build(bus, {.max_depth = 2, .allow_truncation = true});
+  std::vector<Event> run;
+  {
+    Computation x;
+    for (int step = 0; step < 5; ++step) {
+      const auto enabled = bus.EnabledEvents(x);
+      if (enabled.empty()) break;
+      run.push_back(enabled.front());
+      x = x.Extended(enabled.front());
+    }
+  }
+  const std::size_t before = online.space().size();
+  const std::size_t minted = online.Ingest(std::span<const Event>(run));
+  std::printf("\ningested a %zu-event observed run into a depth-2 space: "
+              "%zu -> %zu classes (%zu minted)\n",
+              run.size(), before, online.space().size(), minted);
+  const Computation observed = Computation::TrustedFromEvents(run);
+  std::printf("the observed run now has a class: id %zu\n",
+              static_cast<std::size_t>(online.space().RequireIndex(observed)));
+  return 0;
+}

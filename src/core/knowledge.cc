@@ -126,6 +126,7 @@ KnowledgeEvaluator::KnowledgeEvaluator(const ComputationSpace& space,
                                        const KnowledgeOptions& options)
     : space_(space),
       words_((space.size() + 63) / 64),
+      synced_size_(space.size()),
       num_threads_(internal::ResolveNumThreads(options.num_threads)),
       bucket_memo_(options.bucket_memo),
       group_memo_(options.group_memo) {
@@ -137,6 +138,222 @@ KnowledgeEvaluator::KnowledgeEvaluator(const ComputationSpace& space,
 KnowledgeEvaluator::~KnowledgeEvaluator() {
   for (auto& per_process : bucket_bits_)
     for (auto& slot : per_process) delete slot.load(std::memory_order_acquire);
+}
+
+void KnowledgeEvaluator::Refresh() {
+  const std::size_t n = space_.size();
+  if (n == synced_size_) return;  // edge-only growth never changes verdicts
+  if (n < synced_size_)
+    throw ModelError("KnowledgeEvaluator::Refresh: the space shrank");
+  const std::size_t old_n = synced_size_;
+  const std::size_t old_words = words_;
+  const std::size_t new_words = (n + 63) / 64;
+  const std::size_t num_nodes = node_index_.size();
+
+  const auto test_bit = [](const std::vector<std::uint64_t>& bits,
+                           std::size_t id) {
+    return (bits[id / 64] & (std::uint64_t{1} << (id % 64))) != 0;
+  };
+  const auto set_bit = [](std::vector<std::uint64_t>& bits, std::size_t id) {
+    bits[id / 64] |= std::uint64_t{1} << (id % 64);
+  };
+
+  // A bucket (the quantifier range of some modal node restricted to one
+  // equivalence class) forces recomputation iff it gained a new class or
+  // contains an id where the child verdict itself may have changed.
+  const auto bucket_dirty = [&](std::span<const std::uint32_t> bucket,
+                                const std::vector<std::uint64_t>& child) {
+    for (std::uint32_t y : bucket)
+      if (y >= old_n || test_bit(child, y)) return true;
+    return false;
+  };
+  // Marks every OLD member of every dirty [p]-bucket.
+  const auto close_over_p = [&](ProcessId p,
+                                const std::vector<std::uint64_t>& child,
+                                std::vector<std::uint64_t>& out) {
+    const std::size_t classes = space_.NumProjectionClasses(p);
+    for (std::uint32_t c = 0; c < classes; ++c) {
+      const auto bucket = space_.Bucket(p, c);
+      if (!bucket_dirty(bucket, child)) continue;
+      for (std::uint32_t y : bucket)
+        if (y < old_n) set_bit(out, y);
+    }
+  };
+  const auto close_over_index = [&](const ComputationSpace::GroupIndex& index,
+                                    const std::vector<std::uint64_t>& child,
+                                    std::vector<std::uint64_t>& out) {
+    const std::size_t classes = index.NumClasses();
+    for (std::uint32_t c = 0; c < classes; ++c) {
+      const auto bucket = index.Bucket(c);
+      if (!bucket_dirty(bucket, child)) continue;
+      for (std::uint32_t y : bucket)
+        if (y < old_n) set_bit(out, y);
+    }
+  };
+
+  // Bottom-up dirty cones over the OLD id range, memoized per subformula:
+  // the set of old ids where the node's verdict may differ from before the
+  // growth.  Atoms are pure functions of the computation, so they are never
+  // dirty; propositional nodes are dirty where a child is; modal nodes
+  // close their child's dirt (plus the new ids) over their quantifier
+  // buckets.  A multi-process modality without a cached [G]-index closes
+  // over the first member's [p]-buckets instead — [G] refines [p], so the
+  // [p]-closure over-approximates soundly.  CK components can merge through
+  // new classes, so kCommon is dirty everywhere.
+  std::unordered_map<const Formula*, std::vector<std::uint64_t>> dirty;
+  auto dirty_of = [&](auto&& self,
+                      const Formula* f) -> const std::vector<std::uint64_t>& {
+    auto it = dirty.find(f);
+    if (it != dirty.end()) return it->second;
+    std::vector<std::uint64_t> bits(old_words, 0);
+    switch (f->kind()) {
+      case FormulaKind::kAtom:
+        break;
+      case FormulaKind::kNot:
+        bits = self(self, f->left().get());
+        break;
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr:
+      case FormulaKind::kImplies: {
+        bits = self(self, f->left().get());
+        const auto& rhs = self(self, f->right().get());
+        for (std::size_t w = 0; w < old_words; ++w) bits[w] |= rhs[w];
+        break;
+      }
+      case FormulaKind::kKnows:
+      case FormulaKind::kSure:
+      case FormulaKind::kPossible: {
+        const auto& child = self(self, f->left().get());
+        const ProcessSet g = f->group();
+        if (g.Size() >= 2 && space_.HasGroupIndex(g))
+          close_over_index(space_.EnsureGroupIndex(g), child, bits);
+        else
+          close_over_p(g.First(), child, bits);
+        break;
+      }
+      case FormulaKind::kEveryone: {
+        const auto& child = self(self, f->left().get());
+        f->group().ForEach(
+            [&](ProcessId p) { close_over_p(p, child, bits); });
+        break;
+      }
+      case FormulaKind::kCommon:
+        for (std::size_t w = 0; w < old_words; ++w)
+          bits[w] = LiveWordMask(old_n, w);
+        break;
+    }
+    return dirty.emplace(f, std::move(bits)).first->second;
+  };
+
+  // Dense planes: re-layout every node row from old_words to new_words,
+  // keeping known bits wherever the node's cone is clean.  New ids land in
+  // the zeroed tail (unknown), exactly like a fresh evaluator.
+  {
+    MemoPlanes grown;
+    grown.known.assign(num_nodes * new_words, 0);
+    grown.value.assign(num_nodes * new_words, 0);
+    for (const auto& [f, node] : node_index_) {
+      const auto& d = dirty_of(dirty_of, f);
+      for (std::size_t w = 0; w < old_words; ++w) {
+        const std::uint64_t keep = ~d[w];
+        grown.known[node * new_words + w] =
+            planes_.known[node * old_words + w] & keep;
+        grown.value[node * new_words + w] =
+            planes_.value[node * old_words + w] & keep;
+      }
+    }
+    planes_ = std::move(grown);
+  }
+
+  // Bucket/group tier: rows are sized by per-process / per-group class
+  // counts, which grew too.  Re-lay the segment planes out for the new
+  // counts; a row cell survives iff its bucket is clean under the owning
+  // node's child cone (same rule as the dense tier, one level up).
+  if (!segments_.empty()) {
+    std::vector<std::uint32_t> new_seg_words(segments_.size());
+    std::vector<std::uint32_t> new_offsets(segments_.size());
+    std::size_t off = 0;
+    for (std::size_t s = 0; s < segments_.size(); ++s) {
+      const BucketSegment& seg = segments_[s];
+      const std::size_t classes =
+          seg.index != nullptr
+              ? seg.index->NumClasses()
+              : space_.NumProjectionClasses(seg.process);
+      new_seg_words[s] = static_cast<std::uint32_t>((classes + 63) / 64);
+      new_offsets[s] = static_cast<std::uint32_t>(off);
+      off += new_seg_words[s];
+    }
+    MemoPlanes grown;
+    grown.known.assign(off, 0);
+    grown.value.assign(off, 0);
+    for (const auto& [f, node] : node_index_) {
+      if (node_seg_begin_[node] == kNoSegment) continue;
+      const auto& child = dirty.at(f->left().get());
+      for (std::uint32_t k = 0; k < node_seg_count_[node]; ++k) {
+        const std::uint32_t s = node_seg_begin_[node] + k;
+        const BucketSegment& seg = segments_[s];
+        const std::size_t classes =
+            seg.index != nullptr
+                ? seg.index->NumClasses()
+                : space_.NumProjectionClasses(seg.process);
+        for (std::uint32_t c = 0; c < classes; ++c) {
+          if (c / 64 >= seg.words) continue;  // row cell did not exist yet
+          const std::uint64_t bit = std::uint64_t{1} << (c % 64);
+          if ((bucket_planes_.known[seg.shared_offset + c / 64] & bit) == 0)
+            continue;
+          // Keep rule per row shape: a singleton [p]-row (and a [G]-row of
+          // distributed K/Sure/Possible, whose quantifier is exactly the
+          // [G]-bucket) checks its own bucket.  The [G]-aggregation row of
+          // a multi-process Everyone is an AND of member [p]-row verdicts,
+          // and each member [p]-bucket is a superset of the [G]-bucket — so
+          // it must check every member bucket of the class representative
+          // (all [G]-equivalent ids share their [p]-classes for p in G).
+          bool row_dirty;
+          if (seg.index != nullptr && f->kind() == FormulaKind::kEveryone) {
+            const std::uint32_t rep = seg.index->Representative(c);
+            row_dirty = false;
+            f->group().ForEach([&](ProcessId p) {
+              if (!row_dirty &&
+                  bucket_dirty(
+                      space_.Bucket(p, space_.ProjectionClass(rep, p)),
+                      child))
+                row_dirty = true;
+            });
+          } else {
+            row_dirty = bucket_dirty(seg.index != nullptr
+                                         ? seg.index->Bucket(c)
+                                         : space_.Bucket(seg.process, c),
+                                     child);
+          }
+          if (row_dirty) continue;
+          grown.known[new_offsets[s] + c / 64] |= bit;
+          if (bucket_planes_.value[seg.shared_offset + c / 64] & bit)
+            grown.value[new_offsets[s] + c / 64] |= bit;
+        }
+      }
+    }
+    bucket_planes_ = std::move(grown);
+    for (std::size_t s = 0; s < segments_.size(); ++s) {
+      segments_[s].words = new_seg_words[s];
+      segments_[s].shared_offset = new_offsets[s];
+      shared_seg_offset_[s] = new_offsets[s];
+    }
+  }
+
+  // Whole-space completion flags, CK components, and the packed bucket
+  // bitsets all key off the old id range; drop them wholesale (they are
+  // rebuilt lazily, and components can merge through new classes).
+  std::fill(node_complete_.begin(), node_complete_.end(), 0);
+  components_.clear();
+  for (auto& per_process : bucket_bits_)
+    for (auto& slot : per_process) delete slot.load(std::memory_order_acquire);
+  bucket_bits_.clear();
+  bucket_bits_.reserve(static_cast<std::size_t>(space_.num_processes()));
+  for (ProcessId p = 0; p < space_.num_processes(); ++p)
+    bucket_bits_.emplace_back(space_.NumProjectionClasses(p));
+
+  words_ = new_words;
+  synced_size_ = n;
 }
 
 bool KnowledgeEvaluator::UseParallel() const noexcept {

@@ -153,6 +153,20 @@ class KnowledgeEvaluator {
 
   const ComputationSpace& space() const noexcept { return space_; }
 
+  // Frontier-aware invalidation after the underlying space grew (a
+  // SpaceBuilder::Deepen or Ingest on the space this evaluator wraps).
+  // Memoized verdicts survive wherever they provably cannot have changed:
+  // a (node, class) verdict is recomputed only when the node's modal cone
+  // is touched — its quantifier bucket gained a new member, or a
+  // transitively dirty subformula verdict lies inside that bucket.  Atoms
+  // and propositional combinations of clean verdicts are kept as-is;
+  // common-knowledge nodes invalidate everywhere (new classes can merge
+  // indistinguishability components).  The bucket/group tier rows are
+  // re-laid out for the grown class counts with the same keep/clear rule.
+  // Verdicts after Refresh are byte-identical to a fresh evaluator over
+  // the grown space.  Not thread-safe against concurrent queries.
+  void Refresh();
+
   // Exact number of (interned formula node, [D]-class) pairs whose verdict
   // is memoized, i.e. the popcount of the shared "known" plane.  Parallel
   // passes OR-merge every per-worker plane back into the shared one before
@@ -264,6 +278,9 @@ class KnowledgeEvaluator {
 
   const ComputationSpace& space_;
   std::size_t words_ = 0;  // bitset words per formula node: ceil(size/64)
+  // space_.size() the memo layout was last sized for; Refresh() compares
+  // against it to find the new-id range.
+  std::size_t synced_size_ = 0;
   int num_threads_ = 1;
   bool bucket_memo_ = true;
   bool group_memo_ = true;

@@ -284,7 +284,7 @@ class Reader {
 };
 
 // Header (everything ReadSpaceSnapshotInfo needs), after the magic: version,
-// shape flags, name, and the summary counts.
+// shape flags, name, the summary counts, and (v2) the frontier fields.
 void WriteHeader(Writer& w, const SpaceSnapshotInfo& info) {
   w.Bytes(kSnapshotMagic, sizeof(kSnapshotMagic));
   w.U32(info.version);
@@ -296,6 +296,11 @@ void WriteHeader(Writer& w, const SpaceSnapshotInfo& info) {
   w.U64(info.classes);
   w.U64(info.pool_events);
   w.U64(info.group_indexes);
+  if (info.version >= 2) {
+    w.U8(info.frontier);
+    w.U32(info.built_depth);
+    w.U64(info.frontier_begin);
+  }
 }
 
 SpaceSnapshotInfo ReadHeader(Reader& r) {
@@ -306,9 +311,11 @@ SpaceSnapshotInfo ReadHeader(Reader& r) {
                      "(bad magic)");
   SpaceSnapshotInfo info;
   info.version = r.U32("version");
-  if (info.version != kSpaceSnapshotVersion)
+  if (info.version < kMinSpaceSnapshotVersion ||
+      info.version > kSpaceSnapshotVersion)
     throw ModelError("LoadSpaceSnapshot: unsupported snapshot version " +
                      std::to_string(info.version) + " (this build reads " +
+                     std::to_string(kMinSpaceSnapshotVersion) + " through " +
                      std::to_string(kSpaceSnapshotVersion) + ")");
   const std::uint32_t np = r.U32("num_processes");
   if (np == 0 || np > static_cast<std::uint32_t>(kMaxProcesses))
@@ -322,6 +329,20 @@ SpaceSnapshotInfo ReadHeader(Reader& r) {
   info.classes = r.Count("classes");
   info.pool_events = r.Count("pool_events");
   info.group_indexes = r.Count("group_indexes");
+  if (info.version >= 2) {
+    info.frontier = r.U8("frontier state");
+    if (info.frontier > 3)
+      throw ModelError("LoadSpaceSnapshot: bad frontier state " +
+                       std::to_string(info.frontier));
+    info.built_depth = r.U32("built depth");
+    info.frontier_begin = r.U64("frontier begin");
+    if (info.frontier == 2 &&
+        (info.frontier_begin >= info.classes))
+      throw ModelError(
+          "LoadSpaceSnapshot: capped snapshot with out-of-range frontier "
+          "begin " +
+          std::to_string(info.frontier_begin));
+  }
   return info;
 }
 
@@ -355,7 +376,23 @@ namespace internal {
 
 // The one place outside ComputationSpace allowed to touch its columns.
 struct SpaceSnapshotIO {
-  static void Save(const ComputationSpace& space, std::ostream& out) {
+  // Shape of the builder frontier a save records / a load restores.  The
+  // u8 wire values match SpaceBuilder::FrontierState.
+  struct FrontierMeta {
+    std::uint8_t state = 0;  // sealed
+    std::uint32_t built_depth = 0;
+    std::uint64_t begin = 0;
+  };
+
+  static void Save(const ComputationSpace& space, std::ostream& out,
+                   std::uint32_t version, const FrontierMeta& frontier) {
+    if (version < kMinSpaceSnapshotVersion ||
+        version > kSpaceSnapshotVersion)
+      throw ModelError("SaveSpaceSnapshot: unsupported snapshot version " +
+                       std::to_string(version) + " (this build writes " +
+                       std::to_string(kMinSpaceSnapshotVersion) +
+                       " through " + std::to_string(kSpaceSnapshotVersion) +
+                       ")");
     // Group indexes are built lazily under the space's mutex; collect the
     // published ones under it, then write sorted by mask so identical
     // spaces serialize byte-identically regardless of build order.
@@ -371,7 +408,7 @@ struct SpaceSnapshotIO {
 
     Writer w(out);
     SpaceSnapshotInfo info;
-    info.version = kSpaceSnapshotVersion;
+    info.version = version;
     info.system_name = space.system_name_;
     info.num_processes = space.num_processes_;
     info.truncated = space.truncated_;
@@ -379,6 +416,9 @@ struct SpaceSnapshotIO {
     info.classes = space.links_.size();
     info.pool_events = space.event_pool_.size();
     info.group_indexes = groups.size();
+    info.frontier = frontier.state;
+    info.built_depth = frontier.built_depth;
+    info.frontier_begin = frontier.begin;
     WriteHeader(w, info);
 
     for (const Event& e : space.event_pool_) WriteEvent(w, e);
@@ -409,9 +449,11 @@ struct SpaceSnapshotIO {
       throw ModelError("SaveSpaceSnapshot: write failed (stream error)");
   }
 
-  static ComputationSpace Load(std::istream& in) {
+  static ComputationSpace Load(std::istream& in,
+                               SpaceSnapshotInfo* info_out = nullptr) {
     Reader r(in);
     const SpaceSnapshotInfo info = ReadHeader(r);
+    if (info_out != nullptr) *info_out = info;
 
     ComputationSpace space;
     space.num_processes_ = info.num_processes;
@@ -496,25 +538,113 @@ struct SpaceSnapshotIO {
     }
 
     r.VerifyChecksum();
+
+    // built_depth: stored in v2; a v1 file predates Ingest, so its classes
+    // are in BFS level order and the last link's length is the depth the
+    // BFS reached.
+    space.built_depth_ = info.version >= 2
+                             ? static_cast<int>(info.built_depth)
+                             : (space.links_.empty()
+                                    ? 0
+                                    : static_cast<int>(space.links_.back().length));
     return space;
+  }
+
+  // The frontier a bare ComputationSpace save records: an exhaustive space
+  // is `complete` (loadable into a builder whose Deepen is a no-op), a
+  // truncated one lost its frontier when the builder was torn down, so it
+  // is `sealed`.
+  static FrontierMeta SealedFrontier(const ComputationSpace& space) {
+    FrontierMeta meta;
+    meta.state = space.truncated_ ? 0 : 1;
+    meta.built_depth = static_cast<std::uint32_t>(space.built_depth_);
+    return meta;
+  }
+
+  static FrontierMeta BuilderFrontier(const SpaceBuilder& builder) {
+    FrontierMeta meta;
+    if (builder.sealed_) {
+      meta.state = 0;
+    } else if (builder.ingested_) {
+      meta.state = 3;
+    } else if (builder.complete_) {
+      meta.state = 1;
+    } else {
+      meta.state = 2;
+      meta.begin = builder.FrontierBegin();
+    }
+    meta.built_depth =
+        static_cast<std::uint32_t>(builder.space_->built_depth_);
+    return meta;
+  }
+
+  static SpaceBuilder LoadBuilder(const System& system, std::istream& in,
+                                  const EnumerationLimits& limits) {
+    SpaceSnapshotInfo info;
+    auto space = std::unique_ptr<ComputationSpace>(
+        new ComputationSpace(Load(in, &info)));
+    if (info.system_name != system.Name() ||
+        info.num_processes != system.NumProcesses())
+      throw ModelError(
+          "LoadSpaceBuilderSnapshot: snapshot was enumerated from system '" +
+          info.system_name + "' (" + std::to_string(info.num_processes) +
+          " processes), not '" + system.Name() + "' (" +
+          std::to_string(system.NumProcesses()) + ")");
+    SpaceBuilder builder;
+    builder.AdoptSpace(std::move(space),
+                       static_cast<SpaceBuilder::FrontierState>(info.frontier),
+                       info.frontier_begin, &system, limits);
+    return builder;
   }
 };
 
 }  // namespace internal
 
 void SaveSpaceSnapshot(const ComputationSpace& space, std::ostream& out) {
-  internal::SpaceSnapshotIO::Save(space, out);
+  SaveSpaceSnapshot(space, out, kSpaceSnapshotVersion);
 }
 
 void SaveSpaceSnapshot(const ComputationSpace& space, const std::string& path) {
+  SaveSpaceSnapshot(space, path, kSpaceSnapshotVersion);
+}
+
+void SaveSpaceSnapshot(const ComputationSpace& space, std::ostream& out,
+                       std::uint32_t version) {
+  internal::SpaceSnapshotIO::Save(
+      space, out, version, internal::SpaceSnapshotIO::SealedFrontier(space));
+}
+
+void SaveSpaceSnapshot(const ComputationSpace& space, const std::string& path,
+                       std::uint32_t version) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out)
     throw ModelError("SaveSpaceSnapshot: cannot open '" + path +
                      "' for writing");
-  internal::SpaceSnapshotIO::Save(space, out);
+  SaveSpaceSnapshot(space, out, version);
   out.flush();
   if (!out)
     throw ModelError("SaveSpaceSnapshot: write to '" + path + "' failed");
+}
+
+void SaveSpaceBuilderSnapshot(const SpaceBuilder& builder, std::ostream& out) {
+  if (!builder.has_space())
+    throw ModelError("SaveSpaceBuilderSnapshot: builder holds no space");
+  internal::SpaceSnapshotIO::Save(
+      builder.space(), out, kSpaceSnapshotVersion,
+      internal::SpaceSnapshotIO::BuilderFrontier(builder));
+}
+
+void SaveSpaceBuilderSnapshot(const SpaceBuilder& builder,
+                              const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out)
+    throw ModelError("SaveSpaceBuilderSnapshot: cannot open '" + path +
+                     "' for writing");
+  SaveSpaceBuilderSnapshot(builder, out);
+  out.flush();
+  if (!out)
+    throw ModelError("SaveSpaceBuilderSnapshot: write to '" + path +
+                     "' failed");
 }
 
 ComputationSpace LoadSpaceSnapshot(std::istream& in) {
@@ -526,6 +656,20 @@ ComputationSpace LoadSpaceSnapshot(const std::string& path) {
   if (!in)
     throw ModelError("LoadSpaceSnapshot: cannot open '" + path + "'");
   return internal::SpaceSnapshotIO::Load(in);
+}
+
+SpaceBuilder LoadSpaceBuilderSnapshot(const System& system, std::istream& in,
+                                      const EnumerationLimits& limits) {
+  return internal::SpaceSnapshotIO::LoadBuilder(system, in, limits);
+}
+
+SpaceBuilder LoadSpaceBuilderSnapshot(const System& system,
+                                      const std::string& path,
+                                      const EnumerationLimits& limits) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw ModelError("LoadSpaceBuilderSnapshot: cannot open '" + path + "'");
+  return internal::SpaceSnapshotIO::LoadBuilder(system, in, limits);
 }
 
 SpaceSnapshotInfo ReadSpaceSnapshotInfo(std::istream& in) {

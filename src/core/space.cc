@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/parallel.h"
+#include "sim/trace.h"  // header-only use (inline entries()); no link dep
 
 namespace hpl {
 
@@ -80,6 +81,9 @@ class GroupClassMinter {
   std::uint32_t num_classes() const {
     return static_cast<std::uint32_t>(rep_.size());
   }
+  // The classification so far, for callers that keep the minter alive
+  // (SpaceBuilder republishes after every Deepen and keeps classifying).
+  const std::vector<std::uint32_t>& classes() const { return cls_; }
   std::vector<std::uint32_t> TakeClasses() { return std::move(cls_); }
 
  private:
@@ -117,119 +121,214 @@ void CheckGroup(ProcessSet g, int num_processes, const char* where) {
 
 ComputationSpace ComputationSpace::Enumerate(const System& system,
                                              const EnumerationLimits& limits) {
-  const int threads = internal::ResolveNumThreads(limits.num_threads);
-
-  ComputationSpace space;
-  space.num_processes_ = system.NumProcesses();
-  space.system_name_ = system.Name();
-  space.canonicalize_ = limits.canonicalize;
-
-  if (threads == 1) {
-    DiscoverClasses(system, limits, nullptr, space);
-    BuildBuckets(space, nullptr);
-  } else {
-    internal::WorkerPool pool(threads);
-    DiscoverClasses(system, limits, &pool, space);
-    BuildBuckets(space, &pool);
-  }
-
-  // Sort the canonical index into its searchable (hash, id) column form.
-  // Entries were appended in id order, so a stable sort by hash keeps ids
-  // ascending within equal hashes.
-  const std::size_t n = space.links_.size();
-  std::vector<std::uint32_t> order(n);
-  std::iota(order.begin(), order.end(), 0u);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::uint32_t a, std::uint32_t b) {
-                     return space.canon_hash_[a] < space.canon_hash_[b];
-                   });
-  std::vector<std::size_t> sorted_hash(n);
-  std::vector<std::uint32_t> sorted_id(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    sorted_hash[i] = space.canon_hash_[order[i]];
-    sorted_id[i] = space.canon_id_[order[i]];
-  }
-  space.canon_hash_ = std::move(sorted_hash);
-  space.canon_id_ = std::move(sorted_id);
-
-  // The columns were grown by push_back; drop the growth slack so
-  // MemoryUsage() reports (and the process keeps) only what the space needs.
-  space.event_pool_.shrink_to_fit();
-  space.links_.shrink_to_fit();
-  space.canon_hash_.shrink_to_fit();
-  space.canon_id_.shrink_to_fit();
-  space.proj_class_.shrink_to_fit();
-  space.succ_offsets_.shrink_to_fit();
-  space.succ_class_.shrink_to_fit();
-  space.succ_event_.shrink_to_fit();
-  return space;
+  SpaceBuilder builder;
+  builder.Build(system, limits);
+  return std::move(builder).Take();
 }
 
-void ComputationSpace::DiscoverClasses(const System& system,
-                                       const EnumerationLimits& limits,
-                                       internal::WorkerPool* pool,
-                                       ComputationSpace& space) {
+// Transient construction state retained between Build/Deepen/Ingest calls:
+// the event interner, the incremental projection-class maps, the live group
+// minters, and the BFS frontier arena — everything the one-shot BFS used to
+// discard when it returned.  All of it is reconstructible from the sealed
+// columns by an id-order replay, which is how a loaded hpl-space-v2
+// snapshot resumes (AdoptSpace).
+struct SpaceBuilder::State {
+  // Event interner: pool-id lists per event hash.  Read-only while a
+  // level's parallel phases are in flight; misses are interned between
+  // phases, sequentially in discovery order, so pool ids are deterministic
+  // whatever the thread count.
+  std::unordered_map<std::size_t, std::vector<std::uint32_t>> event_index;
+  std::vector<std::size_t> event_hash;  // per pool id: HashEvent
+
+  // Incremental projection-class minting: a one-event extension only
+  // changes the projection on the event's own process, where it appends the
+  // event — so a child [p]-class is the parent's for p != e.process, and
+  // the class minted for (parent [p]-class, event id) for p == e.process.
+  // Class 0 is the empty projection on every process.
+  std::vector<std::unordered_map<std::uint64_t, std::uint32_t>> proj_extend;
+  std::vector<std::uint32_t> proj_count;
+
+  // Group minters for EnumerationLimits::groups (deduped by mask), kept
+  // live across Deepen/Ingest so classification continues incrementally;
+  // Finalize republishes their tables after every growth step.
+  std::vector<std::pair<ProcessSet, GroupClassMinter>> minters;
+
+  // The BFS frontier: classes [level_begin, level_begin + level_count),
+  // all of length `depth`, with their interned-id sequences materialized in
+  // the flat level arena (level_count rows of `depth` ids).  The arena is
+  // the only place sequences exist in full; it survives a depth-cap stop so
+  // Deepen can resume, and retires level by level otherwise.
+  std::size_t level_begin = 0;
+  std::size_t level_count = 0;
+  std::vector<std::uint32_t> level_seq;
+  int depth = 0;
+
+  // Canonical-index entries [0, finalized_canon) are already in sorted
+  // (hash, id) form; the suffix past it is in id-append order until the
+  // next Finalize merges it in.
+  std::size_t finalized_canon = 0;
+
+  std::uint32_t LookupEvent(const ComputationSpace& sp, const Event& e,
+                            std::size_t h) const {
+    auto it = event_index.find(h);
+    if (it == event_index.end()) return kNoEventId;
+    for (std::uint32_t id : it->second)
+      if (sp.event_pool_[id] == e) return id;
+    return kNoEventId;
+  }
+
+  std::uint32_t InternEvent(ComputationSpace& sp, Event e, std::size_t h) {
+    const auto id = static_cast<std::uint32_t>(sp.event_pool_.size());
+    event_index[h].push_back(id);
+    event_hash.push_back(h);
+    sp.event_pool_.push_back(std::move(e));
+    return id;
+  }
+};
+
+SpaceBuilder::SpaceBuilder() = default;
+SpaceBuilder::~SpaceBuilder() = default;
+SpaceBuilder::SpaceBuilder(SpaceBuilder&&) noexcept = default;
+SpaceBuilder& SpaceBuilder::operator=(SpaceBuilder&&) noexcept = default;
+
+void SpaceBuilder::RequireSpace(const char* what) const {
+  if (space_ == nullptr)
+    throw ModelError(std::string(what) +
+                     ": builder holds no space (call Build first)");
+}
+
+std::size_t SpaceBuilder::FrontierBegin() const {
+  return state_ != nullptr ? state_->level_begin : 0;
+}
+
+const ComputationSpace& SpaceBuilder::space() const {
+  RequireSpace("SpaceBuilder::space");
+  return *space_;
+}
+
+ComputationSpace& SpaceBuilder::space() {
+  RequireSpace("SpaceBuilder::space");
+  return *space_;
+}
+
+int SpaceBuilder::built_depth() const {
+  RequireSpace("SpaceBuilder::built_depth");
+  return space_->built_depth_;
+}
+
+ComputationSpace SpaceBuilder::Take() && {
+  RequireSpace("SpaceBuilder::Take");
+  ComputationSpace out = std::move(*space_);
+  space_.reset();
+  state_.reset();
+  system_ = nullptr;
+  sealed_ = complete_ = capped_ = ingested_ = false;
+  return out;
+}
+
+void SpaceBuilder::Build(const System& system,
+                         const EnumerationLimits& limits) {
   if (limits.max_depth > kMaxStoredDepth)
     throw ModelError(
         "ComputationSpace::Enumerate: max_depth exceeds the columnar "
         "store's 16-bit depth links (" +
         std::to_string(kMaxStoredDepth) + ")");
-  const std::size_t num_shards =
-      pool != nullptr ? static_cast<std::size_t>(pool->size()) : 1;
+  system_ = &system;
+  limits_ = limits;
+  sealed_ = complete_ = capped_ = ingested_ = false;
+  space_.reset(new ComputationSpace());
+  state_ = std::make_unique<State>();
+  ComputationSpace& space = *space_;
+  State& st = *state_;
+  space.num_processes_ = system.NumProcesses();
+  space.system_name_ = system.Name();
+  space.canonicalize_ = limits.canonicalize;
   const int P = space.num_processes_;
 
-  // Transient event interner: pool-id lists per event hash.  Read-only
-  // while a level's parallel phases are in flight; misses are interned
-  // between phases, sequentially in discovery order, so pool ids are
-  // deterministic whatever the thread count.
-  std::unordered_map<std::size_t, std::vector<std::uint32_t>> event_index;
-  std::vector<std::size_t> event_hash;  // per pool id: HashEvent
-  auto lookup_event = [&](const Event& e, std::size_t h) -> std::uint32_t {
-    auto it = event_index.find(h);
-    if (it == event_index.end()) return kNoEventId;
-    for (std::uint32_t id : it->second)
-      if (space.event_pool_[id] == e) return id;
-    return kNoEventId;
-  };
-
-  // Transient projection-class minting: a one-event extension only changes
-  // the projection on the event's own process, where it appends the event —
-  // so a child [p]-class is the parent's for p != e.process, and the class
-  // minted for (parent [p]-class, event id) for p == e.process.  Class 0 is
-  // the empty projection on every process.
-  std::vector<std::unordered_map<std::uint64_t, std::uint32_t>> proj_extend(
-      static_cast<std::size_t>(P));
-  std::vector<std::uint32_t> proj_count(static_cast<std::size_t>(P), 1);
+  st.proj_extend.resize(static_cast<std::size_t>(P));
+  st.proj_count.assign(static_cast<std::size_t>(P), 1);
 
   // Requested group indexes, minted incrementally as classes appear —
   // deduped by mask so each partition is built once.
-  std::vector<std::pair<ProcessSet, GroupClassMinter>> group_minters;
   for (ProcessSet g : limits.groups) {
     CheckGroup(g, P, "ComputationSpace::Enumerate");
     bool seen = false;
-    for (const auto& [existing, minter] : group_minters)
+    for (const auto& [existing, minter] : st.minters)
       if (existing.bits() == g.bits()) seen = true;
-    if (!seen) group_minters.emplace_back(g, GroupClassMinter(g, P));
+    if (!seen) st.minters.emplace_back(g, GroupClassMinter(g, P));
   }
 
   // Root: the empty computation.
-  space.links_.push_back(ClassLink{});
+  space.links_.push_back(ComputationSpace::ClassLink{});
   space.proj_class_.assign(static_cast<std::size_t>(P), 0);
   space.canon_hash_.push_back(Computation().SequenceHash());
   space.canon_id_.push_back(0);
   space.succ_offsets_.push_back(0);
-  for (auto& [g, minter] : group_minters)
+  for (auto& [g, minter] : st.minters)
     minter.Classify(0, 0, 0, space.proj_class_);
+  st.level_begin = 0;
+  st.level_count = 1;
+  st.depth = 0;
 
-  // The current BFS level: classes [level_begin, level_begin + level_count),
-  // all of length `depth`, with their interned-id sequences materialized in
-  // the flat level arena (level_count rows of `depth` ids).  The arena is
-  // the only place sequences exist in full; it is dropped when the level
-  // retires.
-  std::size_t level_begin = 0;
-  std::size_t level_count = 1;
-  std::vector<std::uint32_t> level_seq;
-  int depth = 0;
+  const int threads = internal::ResolveNumThreads(limits.num_threads);
+  if (threads == 1) {
+    RunLevels(limits.max_depth, nullptr);
+    Finalize(nullptr);
+  } else {
+    internal::WorkerPool pool(threads);
+    RunLevels(limits.max_depth, &pool);
+    Finalize(&pool);
+  }
+}
+
+std::size_t SpaceBuilder::Deepen(int extra_levels) {
+  RequireSpace("SpaceBuilder::Deepen");
+  if (extra_levels <= 0)
+    throw ModelError("SpaceBuilder::Deepen: extra_levels must be positive");
+  if (sealed_)
+    throw ModelError(
+        "SpaceBuilder::Deepen: the space carries no frontier (loaded from "
+        "a sealed snapshot); re-enumerate or save with builder state");
+  if (ingested_)
+    throw ModelError(
+        "SpaceBuilder::Deepen: Ingest minted classes out of BFS level "
+        "order; this builder can only keep ingesting");
+  if (complete_) return 0;
+  ComputationSpace& space = *space_;
+  State& st = *state_;
+  if (st.depth > kMaxStoredDepth - extra_levels)
+    throw ModelError(
+        "SpaceBuilder::Deepen: target depth exceeds the columnar store's "
+        "16-bit depth links (" +
+        std::to_string(kMaxStoredDepth) + ")");
+  const int target = st.depth + extra_levels;
+
+  // Un-finalize the parked frontier: drop the empty successor rows recorded
+  // for it and the truncation verdict — the resumed run re-derives both.
+  space.succ_offsets_.resize(st.level_begin + 1);
+  space.truncated_ = false;
+  capped_ = false;
+
+  const std::size_t before = space.size();
+  const int threads = internal::ResolveNumThreads(limits_.num_threads);
+  if (threads == 1) {
+    RunLevels(target, nullptr);
+    Finalize(nullptr);
+  } else {
+    internal::WorkerPool pool(threads);
+    RunLevels(target, &pool);
+    Finalize(&pool);
+  }
+  return space.size() - before;
+}
+
+void SpaceBuilder::RunLevels(int target_depth, internal::WorkerPool* pool) {
+  ComputationSpace& space = *space_;
+  State& st = *state_;
+  const System& system = *system_;
+  const std::size_t num_shards =
+      pool != nullptr ? static_cast<std::size_t>(pool->size()) : 1;
+  const int P = space.num_processes_;
 
   struct Candidate {
     Event event;  // moved out once interned
@@ -241,9 +340,12 @@ void ComputationSpace::DiscoverClasses(const System& system,
     bool first = false;        // first occurrence of its class this level
   };
 
-  while (level_count > 0) {
+  while (st.level_count > 0) {
+    const std::size_t level_begin = st.level_begin;
+    const std::size_t level_count = st.level_count;
+    const int depth = st.depth;
     const auto row_of = [&](std::size_t i) {
-      return level_seq.data() + i * static_cast<std::size_t>(depth);
+      return st.level_seq.data() + i * static_cast<std::size_t>(depth);
     };
 
     // Phase A (parallel): materialize each member from the arena, ask the
@@ -251,7 +353,7 @@ void ComputationSpace::DiscoverClasses(const System& system,
     // pairs, resolving event-pool ids where the event is already interned.
     std::vector<std::vector<Candidate>> expanded(level_count);
     std::vector<char> extendable(level_count, 0);
-    const bool at_depth_cap = depth >= limits.max_depth;
+    const bool at_depth_cap = depth >= target_depth;
     RunJob(pool, level_count, [&](std::size_t i) {
       std::vector<Event> events;
       events.reserve(static_cast<std::size_t>(depth));
@@ -275,9 +377,9 @@ void ComputationSpace::DiscoverClasses(const System& system,
                            ": " + why);
         Candidate c;
         c.pos = static_cast<std::uint16_t>(
-            limits.canonicalize ? x.CanonicalInsertPos(e)
+            space.canonicalize_ ? x.CanonicalInsertPos(e)
                                 : static_cast<std::size_t>(depth));
-        c.event_id = lookup_event(e, HashEvent(e));
+        c.event_id = st.LookupEvent(space, e, HashEvent(e));
         c.event = std::move(e);
         out.push_back(std::move(c));
       }
@@ -285,13 +387,25 @@ void ComputationSpace::DiscoverClasses(const System& system,
 
     if (std::any_of(extendable.begin(), extendable.end(),
                     [](char f) { return f != 0; })) {
-      if (!limits.allow_truncation)
+      if (!limits_.allow_truncation)
         throw ModelError(
             "ComputationSpace::Enumerate: system '" + system.Name() +
             "' still extendable at max_depth=" +
-            std::to_string(limits.max_depth) +
+            std::to_string(target_depth) +
             "; raise the limit or pass allow_truncation");
       space.truncated_ = true;
+    }
+
+    if (at_depth_cap) {
+      // Park the frontier: record the empty successor rows a one-shot
+      // enumeration would have emitted for this level (phases B–E see no
+      // candidates at the cap), keep the arena, and hand control back so
+      // Deepen can resume from here.  Deepen rewinds these rows first.
+      for (std::size_t i = 0; i < level_count; ++i)
+        space.succ_offsets_.push_back(
+            static_cast<std::uint32_t>(space.succ_class_.size()));
+      capped_ = true;
+      return;
     }
 
     // Phase B (sequential): intern the events phase A missed.  New alphabet
@@ -300,12 +414,9 @@ void ComputationSpace::DiscoverClasses(const System& system,
       for (Candidate& c : out) {
         if (c.event_id != kNoEventId) continue;
         const std::size_t h = HashEvent(c.event);
-        c.event_id = lookup_event(c.event, h);
+        c.event_id = st.LookupEvent(space, c.event, h);
         if (c.event_id != kNoEventId) continue;
-        c.event_id = static_cast<std::uint32_t>(space.event_pool_.size());
-        event_index[h].push_back(c.event_id);
-        event_hash.push_back(h);
-        space.event_pool_.push_back(std::move(c.event));
+        c.event_id = st.InternEvent(space, std::move(c.event), h);
       }
     }
 
@@ -327,7 +438,8 @@ void ComputationSpace::DiscoverClasses(const System& system,
         dst[c.pos] = c.event_id;
         std::copy(row + c.pos, row + depth, dst + c.pos + 1);
         SequenceHashFold fold(ext_len);
-        for (std::size_t k = 0; k < ext_len; ++k) fold.Add(event_hash[dst[k]]);
+        for (std::size_t k = 0; k < ext_len; ++k)
+          fold.Add(st.event_hash[dst[k]]);
         c.key = fold.hash();
         c.shard = static_cast<std::uint32_t>(c.key % num_shards);
       }
@@ -395,11 +507,11 @@ void ComputationSpace::DiscoverClasses(const System& system,
       for (Candidate& c : expanded[i]) {
         std::uint32_t id;
         if (c.first) {
-          if (space.links_.size() >= limits.max_classes)
+          if (space.links_.size() >= limits_.max_classes)
             throw ModelError("Enumerate: class budget exhausted for system '" +
                              system.Name() + "'");
           id = static_cast<std::uint32_t>(space.links_.size());
-          ClassLink link;
+          ComputationSpace::ClassLink link;
           link.parent = static_cast<std::uint32_t>(parent);
           link.event = c.event_id;
           link.pos = c.pos;
@@ -424,12 +536,12 @@ void ComputationSpace::DiscoverClasses(const System& system,
                << 32) |
               c.event_id;
           auto [it, minted] =
-              proj_extend[ep].try_emplace(key, proj_count[ep]);
-          if (minted) ++proj_count[ep];
+              st.proj_extend[ep].try_emplace(key, st.proj_count[ep]);
+          if (minted) ++st.proj_count[ep];
           space.proj_class_[child_row + ep] = it->second;
           // Incremental [G]-classification: the child's [p]-class row is
           // complete, so the minters can inherit or hash-cons now.
-          for (auto& [g, minter] : group_minters)
+          for (auto& [g, minter] : st.minters)
             minter.Classify(id, parent,
                             space.event_pool_[c.event_id].process,
                             space.proj_class_);
@@ -459,29 +571,370 @@ void ComputationSpace::DiscoverClasses(const System& system,
           static_cast<std::uint32_t>(space.succ_class_.size()));
     }
 
-    level_begin += level_count;
-    level_count = next_count;
-    level_seq = std::move(next_seq);
-    ++depth;
+    st.level_begin += level_count;
+    st.level_count = next_count;
+    st.level_seq = std::move(next_seq);
+    ++st.depth;
+  }
+
+  // The BFS drained: every computation of the system is in the space, so
+  // there is nothing left to deepen into.
+  complete_ = true;
+  capped_ = false;
+}
+
+void SpaceBuilder::Finalize(internal::WorkerPool* pool) {
+  ComputationSpace& space = *space_;
+  State& st = *state_;
+  const int P = space.num_processes_;
+  const std::size_t n = space.links_.size();
+
+  // Merge the canonical-index suffix appended since the last Finalize into
+  // the sorted (hash, id) columns.  Suffix entries were appended in id
+  // order, so a stable sort by hash keeps ids ascending within equal
+  // hashes; and because every suffix id exceeds every prefix id, merging
+  // with ties taken from the prefix reproduces exactly what one stable
+  // sort over the whole column would have produced.
+  if (st.finalized_canon < n) {
+    const std::size_t mid = st.finalized_canon;
+    std::vector<std::uint32_t> order(n - mid);
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return space.canon_hash_[mid + a] <
+                              space.canon_hash_[mid + b];
+                     });
+    std::vector<std::size_t> merged_hash(n);
+    std::vector<std::uint32_t> merged_id(n);
+    std::size_t a = 0;      // cursor into the sorted prefix
+    std::size_t b = 0;      // cursor into `order` (sorted suffix)
+    for (std::size_t out = 0; out < n; ++out) {
+      const bool take_prefix =
+          a < mid && (b >= order.size() ||
+                      space.canon_hash_[a] <=
+                          space.canon_hash_[mid + order[b]]);
+      if (take_prefix) {
+        merged_hash[out] = space.canon_hash_[a];
+        merged_id[out] = space.canon_id_[a];
+        ++a;
+      } else {
+        merged_hash[out] = space.canon_hash_[mid + order[b]];
+        merged_id[out] = space.canon_id_[mid + order[b]];
+        ++b;
+      }
+    }
+    space.canon_hash_ = std::move(merged_hash);
+    space.canon_id_ = std::move(merged_id);
+    st.finalized_canon = n;
   }
 
   // NumProjectionClasses(p) is derived from the offset columns; pre-size
-  // them here so BuildBuckets only has to count and fill.
-  space.bucket_offsets_.resize(static_cast<std::size_t>(P));
-  space.bucket_ids_.resize(static_cast<std::size_t>(P));
+  // them here so BuildBuckets only has to count and fill.  The bucket CSR
+  // is a pure function of proj_class_, so rebuilding from scratch after a
+  // Deepen/Ingest matches a fresh enumeration bit for bit.
+  space.bucket_offsets_.assign(static_cast<std::size_t>(P), {});
+  space.bucket_ids_.assign(static_cast<std::size_t>(P), {});
   for (int p = 0; p < P; ++p)
     space.bucket_offsets_[static_cast<std::size_t>(p)].assign(
-        proj_count[static_cast<std::size_t>(p)] + 1, 0);
+        st.proj_count[static_cast<std::size_t>(p)] + 1, 0);
 
   // Publish the incrementally minted group partitions; BuildBuckets fills
-  // their CSR columns alongside the singleton ones.
-  for (auto& [g, minter] : group_minters) {
-    auto index = std::make_unique<GroupIndex>();
-    index->mask_ = g.bits();
-    index->cls_ = minter.TakeClasses();
-    index->cls_.shrink_to_fit();
-    index->offsets_.assign(minter.num_classes() + 1, 0);
-    space.group_index_.emplace(g.bits(), std::move(index));
+  // their CSR columns alongside the singleton ones.  Indexes that already
+  // exist are refreshed in place — evaluators hold references to them, and
+  // the minter replay visits ids in the same order as the original build,
+  // so old ids keep their [G]-classes.  Indexes minted lazily (no live
+  // minter, e.g. after a snapshot load) are re-replayed from the links.
+  {
+    std::lock_guard<std::mutex> lock(*space.group_mutex_);
+    for (auto& [g, minter] : st.minters) {
+      auto it = space.group_index_.find(g.bits());
+      if (it == space.group_index_.end()) {
+        auto index = std::make_unique<ComputationSpace::GroupIndex>();
+        index->mask_ = g.bits();
+        it = space.group_index_.emplace(g.bits(), std::move(index)).first;
+      }
+      it->second->cls_ = minter.classes();
+      it->second->cls_.shrink_to_fit();
+      it->second->offsets_.assign(minter.num_classes() + 1, 0);
+    }
+    for (auto& [mask, index] : space.group_index_) {
+      if (index->cls_.size() == n) {
+        // Refreshed above, or a lazily-built index untouched by a
+        // zero-growth Finalize; either way the counting sort in
+        // BuildBuckets needs its offsets zeroed again.
+        std::fill(index->offsets_.begin(), index->offsets_.end(), 0);
+        continue;
+      }
+      index->ids_.clear();
+      space.ReplayGroupClasses(*index);
+    }
+  }
+
+  ComputationSpace::BuildBuckets(space, pool);
+
+  // Sealed spaces report the depth their BFS reached; Ingest can splice in
+  // longer classes without extending the exhaustive frontier, so it leaves
+  // the depth alone.
+  if (!ingested_)
+    space.built_depth_ =
+        capped_ ? st.depth
+                : (space.links_.empty() ? 0 : space.links_.back().length);
+
+  // The columns were grown by push_back; drop the growth slack so
+  // MemoryUsage() reports (and the process keeps) only what the space
+  // needs.
+  space.event_pool_.shrink_to_fit();
+  space.links_.shrink_to_fit();
+  space.canon_hash_.shrink_to_fit();
+  space.canon_id_.shrink_to_fit();
+  space.proj_class_.shrink_to_fit();
+  space.succ_offsets_.shrink_to_fit();
+  space.succ_class_.shrink_to_fit();
+  space.succ_event_.shrink_to_fit();
+}
+
+std::size_t SpaceBuilder::Ingest(std::span<const Event> events) {
+  RequireSpace("SpaceBuilder::Ingest");
+  if (sealed_)
+    throw ModelError(
+        "SpaceBuilder::Ingest: the space carries no frontier (loaded from "
+        "a sealed snapshot); re-enumerate or save with builder state");
+  ComputationSpace& space = *space_;
+  State& st = *state_;
+  const System& system = *system_;
+  const int P = space.num_processes_;
+  std::size_t minted = 0;
+  bool changed = false;
+
+  // Walk the observed prefix event by event, keeping `stored` — the form
+  // the space files the prefix under (canonical or literal, matching the
+  // enumeration mode) — and `cur`, the class id it lives at.  Every prefix
+  // either already has a class (ensure the successor edge exists) or mints
+  // one spliced onto the previous prefix's class.
+  Computation stored;
+  std::vector<Event> literal;  // literal prefix, for the non-canonical mode
+  std::size_t cur = 0;
+  for (std::size_t k = 0; k < events.size(); ++k) {
+    const Event& e = events[k];
+    if (e.process < 0 || e.process >= P)
+      throw ModelError("SpaceBuilder::Ingest: event #" + std::to_string(k) +
+                       " (" + e.ToString() + ") names process " +
+                       std::to_string(e.process) + " outside the system's " +
+                       std::to_string(P) + " processes");
+    std::string why;
+    if (!CanExtend(stored, e, &why))
+      throw ModelError("SpaceBuilder::Ingest: event #" + std::to_string(k) +
+                       " (" + e.ToString() +
+                       ") does not extend the observed prefix: " + why);
+    const auto pos = static_cast<std::uint16_t>(
+        space.canonicalize_ ? stored.CanonicalInsertPos(e) : stored.size());
+    if (space.canonicalize_) {
+      stored = stored.CanonicalExtended(e);
+    } else {
+      literal.push_back(e);
+      stored = Computation::TrustedFromEvents(literal);
+    }
+    if (stored.size() > static_cast<std::size_t>(kMaxStoredDepth))
+      throw ModelError(
+          "SpaceBuilder::Ingest: trace prefix exceeds the columnar store's "
+          "16-bit depth links (" +
+          std::to_string(kMaxStoredDepth) + ")");
+
+    // Locate the extension in the canonical index.
+    const std::size_t h = stored.SequenceHash();
+    std::size_t found = SIZE_MAX;
+    auto it = std::lower_bound(space.canon_hash_.begin(),
+                               space.canon_hash_.end(), h);
+    for (; it != space.canon_hash_.end() && *it == h; ++it) {
+      const std::uint32_t id = space.canon_id_[static_cast<std::size_t>(
+          it - space.canon_hash_.begin())];
+      if (space.LengthOf(id) == stored.size() && space.At(id) == stored) {
+        found = id;
+        break;
+      }
+    }
+
+    const std::size_t eh = HashEvent(e);
+    std::uint32_t eid = st.LookupEvent(space, e, eh);
+    if (found != SIZE_MAX) {
+      // Known class: make sure the parent's successor row carries the edge
+      // (it can be missing when `cur` was parked on a capped frontier or
+      // minted by an earlier Ingest).
+      bool has_edge = false;
+      for (std::uint32_t j = space.succ_offsets_[cur];
+           j < space.succ_offsets_[cur + 1]; ++j) {
+        if (space.succ_class_[j] == found) {
+          has_edge = true;
+          break;
+        }
+      }
+      if (!has_edge) {
+        if (eid == kNoEventId) eid = st.InternEvent(space, e, eh);
+        const std::uint32_t at = space.succ_offsets_[cur + 1];
+        space.succ_class_.insert(space.succ_class_.begin() + at, found);
+        space.succ_event_.insert(space.succ_event_.begin() + at, eid);
+        for (std::size_t j = cur + 1; j < space.succ_offsets_.size(); ++j)
+          ++space.succ_offsets_[j];
+        changed = true;  // an edge splice still reshapes the CSR
+      }
+      cur = found;
+      continue;
+    }
+
+    // New class: splice it onto `cur` exactly as phase E would have.
+    if (space.links_.size() >= limits_.max_classes)
+      throw ModelError(
+          "SpaceBuilder::Ingest: class budget exhausted for system '" +
+          system.Name() + "'");
+    if (eid == kNoEventId) eid = st.InternEvent(space, e, eh);
+    const auto id = static_cast<std::uint32_t>(space.links_.size());
+    ComputationSpace::ClassLink link;
+    link.parent = static_cast<std::uint32_t>(cur);
+    link.event = eid;
+    link.pos = pos;
+    link.length = static_cast<std::uint16_t>(stored.size());
+    space.links_.push_back(link);
+
+    // Keep the canonical index sorted: all existing ids are smaller, so
+    // inserting at the upper bound of the hash run preserves the
+    // ids-ascending-within-equal-hash invariant.
+    const auto ins = std::upper_bound(space.canon_hash_.begin(),
+                                      space.canon_hash_.end(), h);
+    const auto at = static_cast<std::size_t>(ins - space.canon_hash_.begin());
+    space.canon_hash_.insert(ins, h);
+    space.canon_id_.insert(space.canon_id_.begin() + at, id);
+    ++st.finalized_canon;
+
+    // Projection row: inherit, then extend on the event's own process.
+    const std::size_t parent_row = cur * static_cast<std::size_t>(P);
+    const std::size_t child_row =
+        static_cast<std::size_t>(id) * static_cast<std::size_t>(P);
+    space.proj_class_.resize(child_row + static_cast<std::size_t>(P));
+    for (int p = 0; p < P; ++p)
+      space.proj_class_[child_row + static_cast<std::size_t>(p)] =
+          space.proj_class_[parent_row + static_cast<std::size_t>(p)];
+    const auto ep = static_cast<std::size_t>(e.process);
+    const std::uint64_t pkey =
+        (static_cast<std::uint64_t>(space.proj_class_[parent_row + ep])
+         << 32) |
+        eid;
+    auto [pit, pminted] = st.proj_extend[ep].try_emplace(pkey, st.proj_count[ep]);
+    if (pminted) ++st.proj_count[ep];
+    space.proj_class_[child_row + ep] = pit->second;
+    for (auto& [g, minter] : st.minters)
+      minter.Classify(id, cur, e.process, space.proj_class_);
+
+    // Successor CSR: an empty row for the newcomer, then the parent edge.
+    space.succ_offsets_.push_back(space.succ_offsets_.back());
+    const std::uint32_t edge_at = space.succ_offsets_[cur + 1];
+    space.succ_class_.insert(space.succ_class_.begin() + edge_at, id);
+    space.succ_event_.insert(space.succ_event_.begin() + edge_at, eid);
+    for (std::size_t j = cur + 1; j < space.succ_offsets_.size(); ++j)
+      ++space.succ_offsets_[j];
+
+    ++minted;
+    changed = true;
+    cur = id;
+  }
+
+  if (changed) {
+    // Ingested classes break the levels-in-id-order invariant the BFS
+    // frontier relies on, so the builder trades Deepen for Ingest from
+    // here on.
+    ingested_ = true;
+    Finalize(nullptr);
+  }
+  return minted;
+}
+
+std::size_t SpaceBuilder::Ingest(const sim::Trace& trace) {
+  return Ingest(trace, trace.entries().size());
+}
+
+std::size_t SpaceBuilder::Ingest(const sim::Trace& trace,
+                                 std::size_t prefix_len) {
+  const auto& entries = trace.entries();
+  if (prefix_len > entries.size())
+    throw ModelError("SpaceBuilder::Ingest: prefix length " +
+                     std::to_string(prefix_len) + " exceeds trace size " +
+                     std::to_string(entries.size()));
+  std::vector<Event> events;
+  events.reserve(prefix_len);
+  for (std::size_t i = 0; i < prefix_len; ++i)
+    events.push_back(entries[i].event);
+  return Ingest(std::span<const Event>(events));
+}
+
+void SpaceBuilder::AdoptSpace(std::unique_ptr<ComputationSpace> space,
+                              FrontierState frontier,
+                              std::size_t frontier_begin, const System* system,
+                              const EnumerationLimits& limits) {
+  space_ = std::move(space);
+  system_ = system;
+  limits_ = limits;
+  ingested_ = frontier == FrontierState::kIngested;
+  sealed_ = frontier == FrontierState::kSealed;
+  complete_ = frontier == FrontierState::kComplete;
+  capped_ = frontier == FrontierState::kCapped;
+  state_ = std::make_unique<State>();
+  ComputationSpace& sp = *space_;
+  State& st = *state_;
+  const auto P = static_cast<std::size_t>(sp.num_processes_);
+  const std::size_t n = sp.links_.size();
+  st.finalized_canon = n;
+  if (sealed_) return;  // Deepen/Ingest both refuse; skip the O(n) replay
+
+  // Rebuild the event interner from the pool (pool ids are the intern
+  // order, so re-interning index i at id i reproduces the live maps).
+  st.event_hash.reserve(sp.event_pool_.size());
+  for (std::size_t i = 0; i < sp.event_pool_.size(); ++i) {
+    const std::size_t h = HashEvent(sp.event_pool_[i]);
+    st.event_index[h].push_back(static_cast<std::uint32_t>(i));
+    st.event_hash.push_back(h);
+  }
+
+  // Replay the projection-extension maps from the links in id order: the
+  // stored rows force every map value, and the mint counters resume at the
+  // stored class counts.
+  st.proj_extend.resize(P);
+  st.proj_count.assign(P, 1);
+  for (std::size_t p = 0; p < P; ++p)
+    st.proj_count[p] = static_cast<std::uint32_t>(
+        sp.NumProjectionClasses(static_cast<ProcessId>(p)));
+  for (std::size_t id = 1; id < n; ++id) {
+    const auto& link = sp.links_[id];
+    const auto ep =
+        static_cast<std::size_t>(sp.event_pool_[link.event].process);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(
+             sp.proj_class_[static_cast<std::size_t>(link.parent) * P + ep])
+         << 32) |
+        link.event;
+    st.proj_extend[ep].try_emplace(key, sp.proj_class_[id * P + ep]);
+  }
+
+  // Group minters stay empty: Finalize replays any cached index from the
+  // links instead, which is byte-identical to continuing a live minter.
+
+  if (capped_) {
+    // Rehydrate the frontier arena from the stored splice chains.
+    st.depth = sp.built_depth_;
+    st.level_begin = frontier_begin;
+    st.level_count = n - frontier_begin;
+    st.level_seq.reserve(st.level_count * static_cast<std::size_t>(st.depth));
+    for (std::size_t id = frontier_begin; id < n; ++id) {
+      const std::vector<std::uint32_t> seq = sp.CanonicalIdsOf(id);
+      if (seq.size() != static_cast<std::size_t>(st.depth))
+        throw ModelError(
+            "SpaceBuilder: corrupt frontier — class " + std::to_string(id) +
+            " has length " + std::to_string(seq.size()) +
+            " but the frontier depth is " + std::to_string(st.depth));
+      st.level_seq.insert(st.level_seq.end(), seq.begin(), seq.end());
+    }
+  } else {
+    st.depth = sp.built_depth_;
+    st.level_begin = n;
+    st.level_count = 0;
   }
 }
 
@@ -541,10 +994,10 @@ void ComputationSpace::BuildGroupBuckets(GroupIndex& index) {
     index.ids_[cursor[index.cls_[id]]++] = static_cast<std::uint32_t>(id);
 }
 
-void ComputationSpace::BuildGroupIndex(GroupIndex& index) const {
-  // Lazy path: replay the class links in id order — BFS parents always have
-  // smaller ids, so the minter sees exactly the sequence the incremental
-  // path fed it during enumeration, and the tables come out byte-identical.
+void ComputationSpace::ReplayGroupClasses(GroupIndex& index) const {
+  // Replay the class links in id order — BFS parents always have smaller
+  // ids, so the minter sees exactly the sequence the incremental path fed
+  // it during enumeration, and the tables come out byte-identical.
   const ProcessSet g = ProcessSet::FromBits(index.mask_);
   GroupClassMinter minter(g, num_processes_);
   const std::size_t n = links_.size();
@@ -557,6 +1010,10 @@ void ComputationSpace::BuildGroupIndex(GroupIndex& index) const {
   index.cls_ = minter.TakeClasses();
   index.cls_.shrink_to_fit();
   index.offsets_.assign(minter.num_classes() + 1, 0);
+}
+
+void ComputationSpace::BuildGroupIndex(GroupIndex& index) const {
+  ReplayGroupClasses(index);
   BuildGroupBuckets(index);
 }
 
@@ -606,8 +1063,14 @@ Computation ComputationSpace::At(std::size_t id) const {
 }
 
 std::vector<std::size_t> ComputationSpace::IdsByLength() const {
+  // BFS mints ids level by level, so ids are already length-sorted there;
+  // SpaceBuilder::Ingest can splice in classes out of length order, which
+  // the stable sort repairs while keeping ids ascending within a length.
   std::vector<std::size_t> ids(size());
   std::iota(ids.begin(), ids.end(), std::size_t{0});
+  std::stable_sort(ids.begin(), ids.end(), [&](std::size_t a, std::size_t b) {
+    return links_[a].length < links_[b].length;
+  });
   return ids;
 }
 

@@ -78,10 +78,16 @@
 
 namespace hpl {
 
+namespace sim {
+class Trace;  // sim/trace.h: recorded event stream (SpaceBuilder::Ingest)
+}  // namespace sim
+
 namespace internal {
 class WorkerPool;
 struct SpaceSnapshotIO;  // serialization.cc: binary snapshot save/load
 }  // namespace internal
+
+class SpaceBuilder;
 
 struct EnumerationLimits {
   // Hard cap on events per computation.  Enumeration throws if any branch
@@ -113,7 +119,9 @@ struct EnumerationLimits {
 
 class ComputationSpace {
  public:
-  // Exhaustively enumerates the system's computations.
+  // Exhaustively enumerates the system's computations.  A thin wrapper over
+  // SpaceBuilder (Build + Take): the result is sealed — keep the builder
+  // instead when the space should be deepened or ingested into later.
   static ComputationSpace Enumerate(const System& system,
                                     const EnumerationLimits& limits = {});
 
@@ -122,6 +130,12 @@ class ComputationSpace {
   std::size_t size() const noexcept { return links_.size(); }
   bool truncated() const noexcept { return truncated_; }
   const std::string& system_name() const noexcept { return system_name_; }
+
+  // Depth the level-synchronous BFS reached: the depth cap for truncated
+  // spaces, the length of the longest class otherwise.  Classes spliced in
+  // by SpaceBuilder::Ingest may be longer — the BFS is exhaustive only up
+  // to this depth.
+  int built_depth() const noexcept { return built_depth_; }
 
   // Canonical representative of class `id`, materialized from the columnar
   // store by replaying the class's splice chain (O(length^2) uint32 moves
@@ -190,6 +204,7 @@ class ComputationSpace {
 
    private:
     friend class ComputationSpace;
+    friend class SpaceBuilder;
     friend struct internal::SpaceSnapshotIO;
     std::uint64_t mask_ = 0;
     std::vector<std::uint32_t> cls_;      // per [D]-class: its [G]-class
@@ -327,8 +342,10 @@ class ComputationSpace {
     return SuccessorRange(this, succ_offsets_.at(id), succ_offsets_.at(id + 1));
   }
 
-  // Ids of all computations in increasing length order.  BFS discovers
-  // classes level by level, so this is simply 0..size()-1.
+  // Ids of all computations in increasing length order (stable: equal
+  // lengths keep ascending ids).  BFS discovers classes level by level, so
+  // for enumerated spaces this is simply 0..size()-1; SpaceBuilder::Ingest
+  // can splice in classes out of length order, which this re-sorts.
   std::vector<std::size_t> IdsByLength() const;
 
   // Exact heap footprint of the columnar store, in bytes, plus what the
@@ -357,8 +374,10 @@ class ComputationSpace {
 
  private:
   // Snapshot save/load (serialization.cc) reads and rebuilds the columnar
-  // members directly; it is the only code outside this class that may.
+  // members directly, and SpaceBuilder grows the columns in place; they are
+  // the only code outside this class that may.
   friend struct internal::SpaceSnapshotIO;
+  friend class SpaceBuilder;
 
   ComputationSpace() = default;
 
@@ -372,24 +391,24 @@ class ComputationSpace {
     std::uint16_t length = 0;
   };
 
-  // The shared level-synchronous BFS (phase 1 of Enumerate): fills links_,
-  // event_pool_, proj_class_ (via the incremental projection maps),
-  // canon_hash_/canon_id_, the successor CSR columns, and truncated_.
-  // `pool` may be null: every phase then runs inline, in the exact order
-  // the pooled phases replay.
-  static void DiscoverClasses(const System& system,
-                              const EnumerationLimits& limits,
-                              internal::WorkerPool* pool,
-                              ComputationSpace& space);
   // Builds the per-process CSR buckets from proj_class_ by counting sort
-  // (phase 2); one independent task per process when a pool is given.  Also
-  // finishes the CSR columns of any group indexes minted during phase 1.
+  // (phase 2 of construction); one independent task per process when a pool
+  // is given.  Also finishes the CSR columns of any group indexes whose
+  // cls_ columns are filled and offsets zeroed (SpaceBuilder::Finalize).
   static void BuildBuckets(ComputationSpace& space, internal::WorkerPool* pool);
 
   // Fills `index` (mask already set) by replaying the class links in id
   // order — the same inherit-or-mint scan the incremental path runs during
   // the BFS merge, so both produce byte-identical tables.
   void BuildGroupIndex(GroupIndex& index) const;
+
+  // The cls_/offsets_ half of BuildGroupIndex without the bucket sort:
+  // replays the links into a fresh cls_ column and zeroes offsets_ so
+  // BuildBuckets (or BuildGroupBuckets) can fill the CSR.  SpaceBuilder
+  // re-runs this over every cached index after Deepen/Ingest — the replay
+  // visits ids in the same order as the original build, so the extended
+  // tables stay byte-identical to a from-scratch enumeration.
+  void ReplayGroupClasses(GroupIndex& index) const;
 
   // Counting sort of the CSR bucket column of a finished `cls_` column
   // (offsets_ pre-assigned to NumClasses() + 1 zeros by the caller).
@@ -406,6 +425,7 @@ class ComputationSpace {
   int num_processes_ = 0;
   bool truncated_ = false;
   bool canonicalize_ = true;
+  int built_depth_ = 0;
   std::string system_name_;
 
   // Columnar class store (see header comment).
@@ -431,6 +451,151 @@ class ComputationSpace {
       std::make_unique<std::mutex>();
   mutable std::unordered_map<std::uint64_t, std::unique_ptr<GroupIndex>>
       group_index_;
+};
+
+// Resumable construction surface over ComputationSpace: owns the space plus
+// the BFS frontier (the per-level pending interned-id sequences and the
+// incremental interner/projection/group-minter state the one-shot BFS used
+// to discard), so depth becomes a dial instead of a rebuild:
+//
+//   SpaceBuilder builder;
+//   builder.Build(system, {.max_depth = 4, .allow_truncation = true});
+//   ... query builder.space() ...
+//   builder.Deepen(1);   // resume the BFS exactly where Build stopped
+//
+// Deepen is byte-identical to a fresh enumeration at the target depth —
+// same class ids, canonical hashes, CSR columns, and group tables, at any
+// thread count — because the resumed BFS replays the very phases a fresh
+// run would have executed past the old cap, and Finalize re-derives every
+// sorted/derived column in a way that is order-equivalent to the
+// from-scratch construction (differential-tested in
+// tests/core/space_builder_test.cc).
+//
+// Ingest splices an observed event stream (a sim::Trace, or a raw event
+// span) into the space online: each prefix of the stream is located (or
+// minted, with its splice link, projection row, canonical-index entry, and
+// successor edge) without touching classes the stream cannot reach.  A
+// builder that minted classes through Ingest can keep ingesting but no
+// longer Deepen — ingested classes break the level-ordered frontier.
+//
+// The space lives behind a stable address: builder.space() remains valid
+// across Deepen/Ingest calls, so long-lived readers (e.g. a
+// KnowledgeEvaluator, which re-syncs via Refresh()) can hold the reference.
+// The System passed to Build is borrowed and must outlive the builder (or
+// at least every later Deepen).  Builders are single-threaded objects: no
+// concurrent calls, and no space reads while a call is in flight.  A
+// builder whose Build/Deepen threw is in an unspecified state; rebuild it.
+//
+// Snapshots: serialization.h saves a builder with its frontier
+// (hpl-space-v2) so a served space can be loaded and then deepened;
+// loading a frontier-less snapshot (v1 files, or a space saved without its
+// builder) yields a sealed builder — Ingest still works, Deepen throws.
+class SpaceBuilder {
+ public:
+  SpaceBuilder();
+  ~SpaceBuilder();
+  SpaceBuilder(SpaceBuilder&&) noexcept;
+  SpaceBuilder& operator=(SpaceBuilder&&) noexcept;
+
+  // Enumerates from scratch up to limits.max_depth, retaining the frontier
+  // (any previous space owned by this builder is discarded).  Equivalent to
+  // Enumerate(system, limits) plus the ability to continue.
+  void Build(const System& system, const EnumerationLimits& limits = {});
+
+  // Resumes the BFS for `extra_levels` more levels from the retained
+  // frontier.  Returns the number of classes minted (0 when the space is
+  // already complete).  Throws on a sealed builder (no frontier), after a
+  // minting Ingest, or past the 16-bit depth cap.  Truncation follows the
+  // limits passed to Build: if the space is still extendable at the new
+  // target and allow_truncation was not set, Deepen throws like Build.
+  std::size_t Deepen(int extra_levels = 1);
+
+  // Splices the event stream into the space: walks the stream's prefixes,
+  // locating each one's [D]-class and minting the missing ones (classes
+  // reachable from the observed events only — never a whole level).
+  // Returns the number of classes minted; re-ingesting a seen stream is a
+  // dedup no-op returning 0.  Throws (before any mutation of the failing
+  // prefix) if an event is not a legal extension of the observed prefix.
+  std::size_t Ingest(std::span<const Event> events);
+
+  // As above, over the first `prefix_len` (default: all) recorded entries
+  // of a simulator trace.
+  std::size_t Ingest(const sim::Trace& trace);
+  std::size_t Ingest(const sim::Trace& trace, std::size_t prefix_len);
+
+  // The space under construction.  The reference (and the object's address)
+  // stays stable across Deepen/Ingest; it is invalidated by Build and Take.
+  const ComputationSpace& space() const;
+  ComputationSpace& space();
+  bool has_space() const noexcept { return space_ != nullptr; }
+
+  // Depth the BFS has reached so far (space().built_depth()).
+  int built_depth() const;
+  // True once the BFS exhausted the system below the depth cap: Deepen
+  // becomes a 0-class no-op.
+  bool complete() const noexcept { return complete_; }
+  // True when the builder carries no frontier (loaded from a v1 snapshot or
+  // one saved without builder state): Deepen throws, Ingest still works.
+  bool sealed() const noexcept { return sealed_; }
+  // True when Deepen can still mint classes.
+  bool CanDeepen() const noexcept {
+    return space_ != nullptr && !sealed_ && !ingested_ && !complete_;
+  }
+
+  // Moves the finished space out, sealing this builder (it returns to the
+  // empty state; Build starts over).
+  ComputationSpace Take() &&;
+
+ private:
+  // Snapshot save/load (serialization.cc) persists the frontier fields.
+  friend struct internal::SpaceSnapshotIO;
+
+  // Transient BFS/interner state (defined in space.cc: it holds the
+  // file-local group-minter machinery).
+  struct State;
+
+  // How the held space relates to its (absent or retained) frontier; the
+  // hpl-space-v2 snapshot stores this byte verbatim.
+  enum class FrontierState : std::uint8_t {
+    kSealed = 0,    // no frontier persisted: query-only
+    kComplete = 1,  // BFS drained: nothing left to deepen into
+    kCapped = 2,    // frontier parked at built_depth: Deepen resumes it
+    kIngested = 3,  // Ingest broke level order: Ingest only, no Deepen
+  };
+
+  // Wraps an existing space (e.g. loaded from a snapshot) in a builder:
+  // reconstructs the transient state — event interner, projection-extension
+  // maps, and for kCapped the frontier arena (classes
+  // [frontier_begin, size)) — by replaying the stored columns in id order,
+  // which reproduces the live maps byte for byte.
+  void AdoptSpace(std::unique_ptr<ComputationSpace> space,
+                  FrontierState frontier, std::size_t frontier_begin,
+                  const System* system, const EnumerationLimits& limits);
+
+  void RequireSpace(const char* what) const;
+  // First class id of the parked frontier level (kCapped builders only);
+  // what a v2 snapshot stores as frontier_begin.  Lives here because State
+  // is incomplete outside space.cc.
+  std::size_t FrontierBegin() const;
+  // The level-synchronous BFS loop: expands full levels while
+  // depth < target_depth, then runs the cap pass (extendability check +
+  // empty successor rows for the frontier) and returns with the frontier
+  // retained — or marks the build complete when a level comes up empty.
+  void RunLevels(int target_depth, internal::WorkerPool* pool);
+  // Re-derives every sorted/derived column after RunLevels or Ingest:
+  // merges the new canonical-index suffix, rebuilds the per-process CSR
+  // buckets, republishes/replays the group indexes in place, records
+  // built_depth, and drops growth slack.
+  void Finalize(internal::WorkerPool* pool);
+
+  const System* system_ = nullptr;
+  EnumerationLimits limits_;
+  std::unique_ptr<ComputationSpace> space_;
+  std::unique_ptr<State> state_;
+  bool sealed_ = false;    // no frontier (snapshot without builder state)
+  bool complete_ = false;  // BFS exhausted below the depth cap
+  bool capped_ = false;    // frontier parked at the depth cap
+  bool ingested_ = false;  // Ingest minted classes: level order broken
 };
 
 }  // namespace hpl

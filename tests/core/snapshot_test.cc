@@ -1,4 +1,6 @@
-// Binary space snapshots (hpl-space-v1): round-trip invariants.
+// Binary space snapshots (hpl-space-v2): round-trip invariants.
+// (Builder snapshots — frontier round-trip, v1 back-compat, legacy byte
+// layout — are covered in space_builder_test.cc.)
 //
 // The contract under test is byte-identity — a loaded space must be
 // indistinguishable from the freshly enumerated one: same class ids,
@@ -152,6 +154,37 @@ TEST(SnapshotTest, InfoMatchesHeader) {
   EXPECT_TRUE(info.canonicalize);
   EXPECT_EQ(info.classes, fresh.size());
   EXPECT_EQ(info.group_indexes, 1u);
+  // A bare save of a complete space records frontier state 1 (complete:
+  // the BFS drained, so there is no parked level to carry).
+  EXPECT_EQ(info.frontier, 1);
+  EXPECT_EQ(info.frontier_begin, 0u);
+}
+
+TEST(SnapshotTest, InfoReportsFrontierMetadata) {
+  RandomSystemOptions options;
+  options.num_processes = 4;
+  options.num_messages = 5;
+  options.seed = 5;
+  RandomSystem system(options);
+
+  SpaceBuilder builder;
+  EnumerationLimits limits;
+  limits.max_depth = 3;
+  limits.allow_truncation = true;
+  builder.Build(system, limits);
+  ASSERT_FALSE(builder.complete());
+
+  std::ostringstream out;
+  SaveSpaceBuilderSnapshot(builder, out);
+  std::istringstream in(out.str());
+  const SpaceSnapshotInfo info = ReadSpaceSnapshotInfo(in);
+  EXPECT_EQ(info.version, kSpaceSnapshotVersion);
+  EXPECT_EQ(info.frontier, 2);  // capped: loadable then deepenable
+  EXPECT_EQ(info.built_depth, 3u);
+  // The parked frontier is the last level: nonempty, and strictly inside
+  // the id range.
+  EXPECT_GT(info.frontier_begin, 0u);
+  EXPECT_LT(info.frontier_begin, info.classes);
 }
 
 TEST(SnapshotTest, SaveIsDeterministic) {

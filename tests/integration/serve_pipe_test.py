@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Integration test: drive `hpl_cli serve` over a pipe.
 
-Contract under test (ISSUE 6 acceptance criteria):
+Contract under test:
 
   * serve answers >= 100 warm check queries from ONE snapshot load, and
     every verdict (count + FNV-1a satisfying-set hash) is byte-identical
@@ -11,7 +11,13 @@ Contract under test (ISSUE 6 acceptance criteria):
     {"ok":false,"error":...} response and the loop keeps serving (no
     crash, no hang),
   * a second serve run against the snapshot written by the first starts
-    from `loaded snapshot` and produces the exact same response stream.
+    from `loaded snapshot` and produces the exact same response stream,
+  * protocol v2: every response (errors included) carries "v":2; a
+    request's "id" member is echoed verbatim on its response; unknown
+    ops name the offending op in a structured "unknown_op" field,
+  * {"op":"deepen"} answers deterministically on a complete space
+    (added=0) -- the same bytes whether the space was enumerated fresh
+    or loaded from the snapshot.
 
 Usage: serve_pipe_test.py <path-to-hpl_cli>
 """
@@ -90,17 +96,22 @@ def standalone_verdicts(cli):
 
 def build_request_stream():
     """>=100 good check queries with malformed requests interleaved."""
-    requests = ['{"op":"ping"}', '{"op":"info"}']
+    requests = ['{"op":"ping","id":"hello"}', '{"op":"info","id":17}']
     for round_index in range(17):  # 17 * 6 = 102 single checks
         for k, formula in enumerate(FORMULAS):
             body = {"op": "check", "formula": formula}
             if (round_index + k) % 5 == 0:
                 body["ids"] = True
+            if (round_index + k) % 3 == 0:
+                body["id"] = f"r{round_index}.{k}"
             requests.append(json.dumps(body))
         # Prove the loop survives garbage mid-stream.
         requests.append(MALFORMED[round_index % len(MALFORMED)])
-    # One fused batch over the whole formula set, then a clean shutdown.
+    # One fused batch over the whole formula set, a deepen (a no-op on this
+    # complete space, so its response bytes are run-independent), then a
+    # clean shutdown.
     requests.append(json.dumps({"op": "check", "formulas": FORMULAS}))
+    requests.append('{"op":"deepen","levels":1,"id":"grow"}')
     requests.append('{"op":"info"}')
     requests.append('{"op":"quit"}')
     return requests
@@ -167,9 +178,22 @@ def main():
         except json.JSONDecodeError:
             well_formed = False
 
+        if response.get("v") != 2:
+            check(False, f'response lacks "v":2: {response_text[:80]}')
+            continue
+        if well_formed and "id" in request:
+            if response.get("id") != request["id"]:
+                check(False, f"id echo mismatch for {request_text[:60]}: "
+                             f"{response_text[:80]}")
+                continue
+
         if request_text in MALFORMED or not well_formed:
             if response.get("ok") is not False or "error" not in response:
                 check(False, f"malformed request got {response_text[:80]}")
+            if well_formed and request.get("op") == "frobnicate" and \
+                    response.get("unknown_op") != "frobnicate":
+                check(False, f"unknown op not named structurally: "
+                             f"{response_text[:80]}")
             continue
         if response.get("ok") is not True:
             # The only intentionally-failing well-formed requests live in
@@ -197,6 +221,11 @@ def main():
                     break
             else:
                 ok_checks += len(request["formulas"])
+        elif request.get("op") == "deepen":
+            if response.get("added") != 0 or response.get("complete") \
+                    is not True:
+                check(False, f"deepen on a complete space should add 0: "
+                             f"{response_text[:80]}")
 
     check(ok_checks >= 100,
           f"{ok_checks} warm check verdicts matched standalone check (>=100)")

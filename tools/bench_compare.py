@@ -60,6 +60,10 @@ VOLATILE_PARAMS = {
     "queries_per_sec",
     "warm_cold_ratio",
     "fused_speedup",
+    # bench_incremental measured outputs (depth/added/minted/events stay in
+    # the key: they are deterministic, so a drift there IS a row mismatch).
+    "deepen_speedup",
+    "events_per_sec",
 }
 
 

@@ -43,10 +43,21 @@
 //                                          {"op":"check","formulas":[...]}
 //                                          {"op":"check-at","formula":"...",
 //                                           "at":"0>1:0/ping ..."}
+//                                          {"op":"deepen","levels":N}
 //                                          {"op":"info"} {"op":"ping"}
 //                                          {"op":"quit"}
 //                                        A "formulas" batch runs as ONE
-//                                        fused multi-formula sweep.
+//                                        fused multi-formula sweep.  The
+//                                        space lives in a resumable
+//                                        SpaceBuilder, so "deepen" grows it
+//                                        N more BFS levels in place and
+//                                        re-warms the evaluator's memo
+//                                        planes (Refresh) instead of
+//                                        rebuilding them.  Serve speaks
+//                                        protocol v2: every response
+//                                        carries "v":2 and echoes the
+//                                        request's "id" member (string or
+//                                        number), if present — errors too.
 //
 // check, check-at, and bench share the flags
 //   --threads=N            ComputationSpace::Enumerate workers
@@ -292,55 +303,80 @@ ProcessSet ParseSet(const std::string& arg) {
   return out;
 }
 
-// Trailing flags shared by check / check-at / bench.
-struct CheckFlags {
+// The one option set shared by every enumerate-and-query subcommand
+// (check, check-at, bench, serve, snapshot save).  One struct and ONE
+// parser: each subcommand passes a CliFlagBits mask naming the extras it
+// accepts, so a flag that exists but does not apply gets a "not accepted
+// by this subcommand" diagnostic instead of "unknown flag", and every
+// numeric value goes through the same strict ParseIntArg.
+struct CliOptions {
   int threads = 0;            // enumeration workers (0 = hardware)
   int knowledge_threads = 0;  // evaluation workers (0 = hardware)
   int max_depth = -1;         // < 0: keep the system's default
   long long max_classes = 0;  // 0: keep the EnumerationLimits default
   bool allow_truncation = false;
   std::vector<ProcessSet> groups;  // --group= [G]-indexes to materialize
-  int repeat = 3;                  // bench only
+  int repeat = 3;                        // --repeat= (bench)
+  std::optional<std::string> json_path;  // --json= (check/check-at/bench)
+  std::optional<std::string> snapshot;   // --snapshot= (serve)
 };
 
-CheckFlags ParseCheckFlags(int argc, char** argv, int first,
-                           bool allow_repeat = false,
-                           std::optional<std::string>* snapshot = nullptr) {
-  CheckFlags flags;
+// Which optional extras a subcommand accepts on top of the shared core.
+enum CliFlagBits : unsigned {
+  kCliJson = 1u << 0,      // --json=PATH
+  kCliRepeat = 1u << 1,    // --repeat=K
+  kCliSnapshot = 1u << 2,  // --snapshot=PATH
+};
+
+void RequireFlagAllowed(unsigned allowed, unsigned bit, const char* flag) {
+  if ((allowed & bit) == 0)
+    throw ModelError(std::string(flag) +
+                     " is not accepted by this subcommand");
+}
+
+CliOptions ParseCliOptions(int argc, char** argv, int first,
+                           unsigned allowed = kCliJson) {
+  CliOptions options;
   for (int i = first; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--threads=", 10) == 0)
-      flags.threads = static_cast<int>(
+      options.threads = static_cast<int>(
           ParseIntArg("--threads", arg + 10, 0, 4096));
     else if (std::strncmp(arg, "--knowledge-threads=", 20) == 0)
-      flags.knowledge_threads = static_cast<int>(
+      options.knowledge_threads = static_cast<int>(
           ParseIntArg("--knowledge-threads", arg + 20, 0, 4096));
     else if (std::strncmp(arg, "--max-depth=", 12) == 0)
       // [1, 65535]: the columnar store's 16-bit splice links cannot hold
       // deeper computations, and depth 0 would enumerate nothing — reject
       // at parse time instead of clamping or failing later.
-      flags.max_depth = static_cast<int>(
+      options.max_depth = static_cast<int>(
           ParseIntArg("--max-depth", arg + 12, 1, 65535));
     else if (std::strncmp(arg, "--max-classes=", 14) == 0)
-      flags.max_classes = ParseIntArg("--max-classes", arg + 14, 1,
-                                      std::numeric_limits<long long>::max());
+      options.max_classes = ParseIntArg("--max-classes", arg + 14, 1,
+                                        std::numeric_limits<long long>::max());
     else if (std::strcmp(arg, "--allow-truncation") == 0)
-      flags.allow_truncation = true;
+      options.allow_truncation = true;
     else if (std::strncmp(arg, "--group=", 8) == 0)
-      flags.groups.push_back(ParseSet(arg + 8));
-    else if (allow_repeat && std::strncmp(arg, "--repeat=", 9) == 0)
-      flags.repeat = static_cast<int>(
+      options.groups.push_back(ParseSet(arg + 8));
+    else if (std::strncmp(arg, "--repeat=", 9) == 0) {
+      RequireFlagAllowed(allowed, kCliRepeat, "--repeat");
+      options.repeat = static_cast<int>(
           ParseIntArg("--repeat", arg + 9, 1, 1'000'000));
-    else if (snapshot != nullptr && std::strncmp(arg, "--snapshot=", 11) == 0)
-      *snapshot = std::string(arg + 11);
-    else
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      RequireFlagAllowed(allowed, kCliJson, "--json");
+      options.json_path = std::string(arg + 7);
+    } else if (std::strncmp(arg, "--snapshot=", 11) == 0) {
+      RequireFlagAllowed(allowed, kCliSnapshot, "--snapshot");
+      options.snapshot = std::string(arg + 11);
+    } else {
       throw ModelError(std::string("unknown flag '") + arg + "'");
+    }
   }
-  return flags;
+  return options;
 }
 
 // The EnumerationLimits for a system under the given flags.
-EnumerationLimits LimitsFor(const NamedSystem& named, const CheckFlags& flags) {
+EnumerationLimits LimitsFor(const NamedSystem& named, const CliOptions& flags) {
   EnumerationLimits limits;
   limits.max_depth = flags.max_depth >= 0 ? flags.max_depth : named.max_depth;
   if (flags.max_classes > 0)
@@ -442,8 +478,8 @@ bench::JsonResult EnumerateRow(const NamedSystem& named,
 }
 
 int CmdCheck(const std::string& spec, const std::string& text,
-             const CheckFlags& flags,
-             const std::optional<std::string>& json_path) {
+             const CliOptions& flags) {
+  const std::optional<std::string>& json_path = flags.json_path;
   NamedSystem named = MakeSystem(spec);
   const EnumerationLimits limits = LimitsFor(named, flags);
   bench::WallTimer enumerate_timer;
@@ -499,8 +535,8 @@ int CmdCheck(const std::string& spec, const std::string& text,
 }
 
 int CmdCheckAt(const std::string& spec, const std::string& text,
-               const std::string& serialized, const CheckFlags& flags,
-               const std::optional<std::string>& json_path) {
+               const std::string& serialized, const CliOptions& flags) {
+  const std::optional<std::string>& json_path = flags.json_path;
   NamedSystem named = MakeSystem(spec);
   const EnumerationLimits limits = LimitsFor(named, flags);
   bench::WallTimer enumerate_timer;
@@ -512,9 +548,21 @@ int CmdCheckAt(const std::string& spec, const std::string& text,
   const Computation at = ParseComputation(serialized);
   const auto id = space.IndexOf(at);
   if (!id.has_value()) {
-    std::fprintf(stderr,
-                 "computation is not in the space of %s: %s\n",
-                 named.system->Name().c_str(), at.ToString().c_str());
+    if (space.truncated() &&
+        at.size() > static_cast<std::size_t>(space.built_depth()))
+      // The computation may well belong to the system — the space just
+      // stops before it.  Say that instead of the misleading "not in the
+      // space", which reads as "this computation is invalid".
+      std::fprintf(stderr,
+                   "computation has %zu events but the space of %s is only "
+                   "built to depth %d; re-run with --max-depth=%zu or "
+                   "higher\n",
+                   at.size(), named.system->Name().c_str(),
+                   space.built_depth(), at.size());
+    else
+      std::fprintf(stderr,
+                   "computation is not in the space of %s: %s\n",
+                   named.system->Name().c_str(), at.ToString().c_str());
     return 1;
   }
   bench::WallTimer evaluate_timer;
@@ -906,21 +954,28 @@ class FormulaInterner {
   std::unordered_map<std::string, FormulaPtr> cache_;
 };
 
+// The long-lived state behind one serve process.  The space lives inside a
+// resumable SpaceBuilder so a "deepen" request can grow it in place: the
+// builder owns the space behind a stable pointer, the evaluator holds a
+// reference to it, and after Deepen a single KnowledgeEvaluator::Refresh()
+// re-syncs the memo planes — verdicts for cones closed below the old depth
+// survive, only the frontier-adjacent rows recompute.
 struct ServeContext {
   NamedSystem named;
-  ComputationSpace space;
+  SpaceBuilder builder;
   std::unique_ptr<KnowledgeEvaluator> eval;
   FormulaInterner interner;
   // Request text -> interned formula, so repeat queries skip the parse too.
   std::unordered_map<std::string, FormulaPtr> by_text;
   std::uint64_t requests = 0;
 
-  explicit ServeContext(NamedSystem n, ComputationSpace s, int threads)
-      : named(std::move(n)), space(std::move(s)) {
-    eval = std::make_unique<KnowledgeEvaluator>(space,
-                                                KnowledgeOptions{
-                                                    .num_threads = threads});
+  ServeContext(NamedSystem n, SpaceBuilder b, int threads)
+      : named(std::move(n)), builder(std::move(b)) {
+    eval = std::make_unique<KnowledgeEvaluator>(
+        builder.space(), KnowledgeOptions{.num_threads = threads});
   }
+
+  const ComputationSpace& space() const { return builder.space(); }
 
   FormulaPtr FormulaFor(const std::string& text) {
     const auto it = by_text.find(text);
@@ -961,31 +1016,57 @@ FormulaPtr FormulaFor(ServeContext& ctx, const json::Value& request) {
   return ctx.FormulaFor(RequireString(request, "formula"));
 }
 
-// One request -> one single-line JSON response.  Throws on malformed or
+// The request's "id" member rendered as a `,"id":...` response fragment
+// ("" when absent).  Protocol v2 echoes it verbatim on every response —
+// errors included — so pipelining clients can match responses to requests.
+// Strings and numbers only; anything else is a protocol error.
+std::string IdEcho(const json::Value& request) {
+  const json::Value* id = request.Find("id");
+  if (id == nullptr) return "";
+  if (id->type == json::Value::Type::kString)
+    return ",\"id\":\"" + json::Escape(id->string) + "\"";
+  if (id->type == json::Value::Type::kNumber) {
+    const double n = id->number;
+    const long long integral = static_cast<long long>(n);
+    if (static_cast<double>(integral) == n)
+      return ",\"id\":" + std::to_string(integral);
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", n);
+    return std::string(",\"id\":") + buffer;
+  }
+  throw ModelError("\"id\" must be a string or a number");
+}
+
+// One request -> one single-line JSON response.  `id` is the pre-rendered
+// IdEcho fragment, appended to every response.  Throws on malformed or
 // failing requests; the serve loop turns the exception into an
-// {"ok":false,...} response and keeps serving.
+// {"ok":false,...} response (still carrying "v" and "id") and keeps
+// serving.
 std::string HandleServeRequest(ServeContext& ctx, const json::Value& request,
-                               bool* quit) {
+                               const std::string& id, bool* quit) {
   if (request.type != json::Value::Type::kObject)
     throw ModelError("request must be a JSON object");
   const std::string& op = RequireString(request, "op");
   ++ctx.requests;
 
-  if (op == "ping") return "{\"ok\":true,\"op\":\"ping\"}";
+  if (op == "ping") return "{\"ok\":true,\"v\":2,\"op\":\"ping\"" + id + "}";
   if (op == "quit") {
     *quit = true;
-    return "{\"ok\":true,\"op\":\"quit\"}";
+    return "{\"ok\":true,\"v\":2,\"op\":\"quit\"" + id + "}";
   }
   if (op == "info") {
     const auto memo = ctx.eval->MemoryUsage();
-    return "{\"ok\":true,\"op\":\"info\",\"system\":\"" +
-           json::Escape(ctx.space.system_name()) +
-           "\",\"classes\":" + std::to_string(ctx.space.size()) +
-           ",\"truncated\":" + (ctx.space.truncated() ? "true" : "false") +
+    const ComputationSpace& space = ctx.space();
+    return "{\"ok\":true,\"v\":2,\"op\":\"info\",\"system\":\"" +
+           json::Escape(space.system_name()) +
+           "\",\"classes\":" + std::to_string(space.size()) +
+           ",\"truncated\":" + (space.truncated() ? "true" : "false") +
+           ",\"built_depth\":" + std::to_string(space.built_depth()) +
+           ",\"deepenable\":" + (ctx.builder.CanDeepen() ? "true" : "false") +
            ",\"memo_entries\":" + std::to_string(ctx.eval->memo_size()) +
            ",\"bytes_memo\":" + std::to_string(memo.bytes_total) +
            ",\"formulas_interned\":" + std::to_string(ctx.interner.size()) +
-           ",\"requests\":" + std::to_string(ctx.requests) + "}";
+           ",\"requests\":" + std::to_string(ctx.requests) + id + "}";
   }
   if (op == "check") {
     const json::Value* ids = request.Find("ids");
@@ -1004,91 +1085,140 @@ std::string HandleServeRequest(ServeContext& ctx, const json::Value& request,
       }
       // The whole batch runs as ONE fused sweep.
       const auto sets = ctx.eval->SatisfyingSets(formulas);
-      std::string out = "{\"ok\":true,\"op\":\"check\",\"classes\":" +
-                        std::to_string(ctx.space.size()) + ",\"results\":[";
+      std::string out = "{\"ok\":true,\"v\":2,\"op\":\"check\",\"classes\":" +
+                        std::to_string(ctx.space().size()) + ",\"results\":[";
       for (std::size_t k = 0; k < sets.size(); ++k) {
         if (k) out += ",";
         out += "{" + CheckResultJson(sets[k], with_ids) + "}";
       }
-      return out + "]}";
+      return out + "]" + id + "}";
     }
     const auto sat = ctx.eval->SatisfyingSet(FormulaFor(ctx, request));
-    return "{\"ok\":true,\"op\":\"check\",\"classes\":" +
-           std::to_string(ctx.space.size()) + "," +
-           CheckResultJson(sat, with_ids) + "}";
+    return "{\"ok\":true,\"v\":2,\"op\":\"check\",\"classes\":" +
+           std::to_string(ctx.space().size()) + "," +
+           CheckResultJson(sat, with_ids) + id + "}";
   }
   if (op == "check-at") {
     const FormulaPtr f = FormulaFor(ctx, request);
     const Computation at = ParseComputation(RequireString(request, "at"));
-    const auto id = ctx.space.IndexOf(at);
-    if (!id.has_value())
+    const ComputationSpace& space = ctx.space();
+    const auto class_id = space.IndexOf(at);
+    if (!class_id.has_value()) {
+      if (space.truncated() &&
+          at.size() > static_cast<std::size_t>(space.built_depth()))
+        throw ModelError("computation has " + std::to_string(at.size()) +
+                         " events but the space is only built to depth " +
+                         std::to_string(space.built_depth()) +
+                         " (send {\"op\":\"deepen\"} or re-serve with a "
+                         "larger --max-depth)");
       throw ModelError("computation is not in the space of " +
-                       ctx.space.system_name());
-    const bool verdict = ctx.eval->Holds(f, *id);
-    return std::string("{\"ok\":true,\"op\":\"check-at\",\"verdict\":") +
+                       space.system_name());
+    }
+    const bool verdict = ctx.eval->Holds(f, *class_id);
+    // v2 renames the class-id field "id" -> "class": "id" now belongs to
+    // the request-correlation echo.
+    return std::string(
+               "{\"ok\":true,\"v\":2,\"op\":\"check-at\",\"verdict\":") +
            (verdict ? "true" : "false") +
-           ",\"id\":" + std::to_string(*id) + "}";
+           ",\"class\":" + std::to_string(*class_id) + id + "}";
   }
-  throw ModelError("unknown op '" + op + "' (check, check-at, info, ping, "
-                   "quit)");
+  if (op == "deepen") {
+    int levels = 1;
+    if (const json::Value* v = request.Find("levels"); v != nullptr) {
+      if (v->type != json::Value::Type::kNumber ||
+          v->number !=
+              static_cast<double>(static_cast<long long>(v->number)) ||
+          v->number < 1 || v->number > 65535)
+        throw ModelError("\"levels\" must be an integer in [1, 65535]");
+      levels = static_cast<int>(v->number);
+    }
+    bench::WallTimer timer;
+    const std::size_t added = ctx.builder.Deepen(levels);
+    ctx.eval->Refresh();
+    // Timing goes to stderr, NOT the response: the stdout stream must stay
+    // byte-identical between cold and snapshot-warmed runs.
+    std::fprintf(stderr,
+                 "serve: deepen +%d -> depth %d, %zu new classes (%.3f ms)\n",
+                 levels, ctx.builder.built_depth(), added,
+                 static_cast<double>(timer.ElapsedNs()) / 1e6);
+    return "{\"ok\":true,\"v\":2,\"op\":\"deepen\",\"added\":" +
+           std::to_string(added) +
+           ",\"classes\":" + std::to_string(ctx.space().size()) +
+           ",\"built_depth\":" + std::to_string(ctx.builder.built_depth()) +
+           ",\"complete\":" + (ctx.builder.complete() ? "true" : "false") +
+           id + "}";
+  }
+  // Unknown ops get a STRUCTURED error naming the op, not just prose: a
+  // client probing for capabilities can switch on "unknown_op" instead of
+  // parsing the message.
+  return "{\"ok\":false,\"v\":2,\"error\":\"unknown op '" + json::Escape(op) +
+         "' (check, check-at, deepen, info, ping, quit)\",\"unknown_op\":\"" +
+         json::Escape(op) + "\"" + id + "}";
 }
 
-int CmdServe(const std::string& spec, const CheckFlags& flags,
-             const std::optional<std::string>& snapshot_path) {
+int CmdServe(const std::string& spec, const CliOptions& flags) {
+  const std::optional<std::string>& snapshot_path = flags.snapshot;
   NamedSystem named = MakeSystem(spec);
   const EnumerationLimits limits = LimitsFor(named, flags);
 
-  std::optional<ComputationSpace> space;
+  std::optional<SpaceBuilder> builder;
   if (snapshot_path.has_value()) {
     // Probe: load the snapshot when it exists, else enumerate and write it
-    // so the NEXT serve (or a snapshot-driven tool) starts warm.
+    // so the NEXT serve (or a snapshot-driven tool) starts warm.  The load
+    // goes through LoadSpaceBuilderSnapshot, so a v2 `capped` snapshot
+    // comes back with its BFS frontier live and "deepen" requests resume
+    // it; v1 snapshots load as sealed (query-only) spaces.  System name
+    // and process count are validated by the loader.
     std::ifstream probe(*snapshot_path, std::ios::binary);
     if (probe) {
       probe.close();
       bench::WallTimer timer;
-      space = LoadSpaceSnapshot(*snapshot_path);
-      if (space->system_name() != named.system->Name())
-        throw ModelError("snapshot '" + *snapshot_path + "' holds system '" +
-                         space->system_name() + "', not '" +
-                         named.system->Name() + "'");
+      builder = LoadSpaceBuilderSnapshot(*named.system, *snapshot_path,
+                                         limits);
       std::fprintf(stderr, "serve: loaded snapshot '%s' (%zu classes, %.3f "
                            "ms)\n",
-                   snapshot_path->c_str(), space->size(),
+                   snapshot_path->c_str(), builder->space().size(),
                    static_cast<double>(timer.ElapsedNs()) / 1e6);
     }
   }
-  if (!space.has_value()) {
+  if (!builder.has_value()) {
     bench::WallTimer timer;
-    space = ComputationSpace::Enumerate(*named.system, limits);
+    builder.emplace();
+    builder->Build(*named.system, limits);
     std::fprintf(stderr, "serve: enumerated %zu classes in %.3f ms\n",
-                 space->size(),
+                 builder->space().size(),
                  static_cast<double>(timer.ElapsedNs()) / 1e6);
     if (snapshot_path.has_value()) {
-      SaveSpaceSnapshot(*space, *snapshot_path);
+      SaveSpaceBuilderSnapshot(*builder, *snapshot_path);
       std::fprintf(stderr, "serve: wrote snapshot '%s'\n",
                    snapshot_path->c_str());
     }
   }
-  WarnIfTruncated(*space);
+  WarnIfTruncated(builder->space());
 
-  ServeContext ctx(std::move(named), std::move(*space),
+  ServeContext ctx(std::move(named), std::move(*builder),
                    flags.knowledge_threads);
   std::fprintf(stderr,
-               "serve: %s ready (%zu classes); newline-delimited JSON "
-               "requests on stdin, one response per line on stdout\n",
-               ctx.space.system_name().c_str(), ctx.space.size());
+               "serve: %s ready (%zu classes, depth %d%s); "
+               "newline-delimited JSON requests on stdin, one response per "
+               "line on stdout\n",
+               ctx.space().system_name().c_str(), ctx.space().size(),
+               ctx.builder.built_depth(),
+               ctx.builder.CanDeepen() ? ", deepenable" : "");
 
   std::string line;
   bool quit = false;
   while (!quit && std::getline(std::cin, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     std::string response;
+    std::string id;  // stays "" until the request parses as an object
     try {
       const json::Value request = json::Parse(line);
-      response = HandleServeRequest(ctx, request, &quit);
+      if (request.type == json::Value::Type::kObject) id = IdEcho(request);
+      response = HandleServeRequest(ctx, request, id, &quit);
     } catch (const std::exception& error) {
-      response = std::string("{\"ok\":false,\"error\":\"") +
-                 json::Escape(error.what()) + "\"}";
+      response = std::string("{\"ok\":false,\"v\":2,\"error\":\"") +
+                 json::Escape(error.what()) + "\"" + id + "}";
     }
     std::fputs(response.c_str(), stdout);
     std::fputc('\n', stdout);
@@ -1102,7 +1232,7 @@ int CmdServe(const std::string& spec, const CheckFlags& flags,
 // --- hpl snapshot save / info / load ----------------------------------------
 
 int CmdSnapshotSave(const std::string& spec, const std::string& path,
-                    const CheckFlags& flags) {
+                    const CliOptions& flags) {
   NamedSystem named = MakeSystem(spec);
   const EnumerationLimits limits = LimitsFor(named, flags);
   bench::WallTimer enumerate_timer;
@@ -1149,8 +1279,8 @@ int CmdSnapshotLoad(const std::string& path) {
   return 0;
 }
 
-int CmdBench(const std::string& spec, const CheckFlags& flags,
-             const std::optional<std::string>& json_path) {
+int CmdBench(const std::string& spec, const CliOptions& flags) {
+  const std::optional<std::string>& json_path = flags.json_path;
   NamedSystem named = MakeSystem(spec);
   bench::JsonReporter reporter("cli");
   // Resolve the 0 = hardware-concurrency knobs up front so the JSON records
@@ -1282,16 +1412,11 @@ int Main(int argc, char** argv) {
     if (cmd == "space" && argc >= 3) return CmdSpace(argv[2]);
     if (cmd == "diagram" && argc >= 3) return CmdDiagram(argv[2]);
     if (cmd == "atoms" && argc >= 3) return CmdAtoms(argv[2]);
-    if (cmd == "check" && argc >= 4) {
-      auto json_path = bench::JsonReporter::JsonFlag(argc, argv);
-      return CmdCheck(argv[2], argv[3], ParseCheckFlags(argc, argv, 4),
-                      json_path);
-    }
-    if (cmd == "check-at" && argc >= 5) {
-      auto json_path = bench::JsonReporter::JsonFlag(argc, argv);
+    if (cmd == "check" && argc >= 4)
+      return CmdCheck(argv[2], argv[3], ParseCliOptions(argc, argv, 4));
+    if (cmd == "check-at" && argc >= 5)
       return CmdCheckAt(argv[2], argv[3], argv[4],
-                        ParseCheckFlags(argc, argv, 5), json_path);
-    }
+                        ParseCliOptions(argc, argv, 5));
     if (cmd == "simulate" && argc >= 3)
       return CmdSimulate(
           argv[2],
@@ -1311,24 +1436,17 @@ int Main(int argc, char** argv) {
       return CmdFuse(static_cast<int>(
                          ParseIntArg("fuse <n>", argv[2], 1, kMaxProcesses)),
                      argv[3], argv[4], argv[5], argv[6]);
-    if (cmd == "bench" && argc >= 3) {
-      auto json_path = bench::JsonReporter::JsonFlag(argc, argv);
-      return CmdBench(argv[2],
-                      ParseCheckFlags(argc, argv, 3, /*allow_repeat=*/true),
-                      json_path);
-    }
-    if (cmd == "serve" && argc >= 3) {
-      std::optional<std::string> snapshot;
-      const CheckFlags flags = ParseCheckFlags(argc, argv, 3,
-                                               /*allow_repeat=*/false,
-                                               &snapshot);
-      return CmdServe(argv[2], flags, snapshot);
-    }
+    if (cmd == "bench" && argc >= 3)
+      return CmdBench(argv[2], ParseCliOptions(argc, argv, 3,
+                                               kCliJson | kCliRepeat));
+    if (cmd == "serve" && argc >= 3)
+      return CmdServe(argv[2], ParseCliOptions(argc, argv, 3, kCliSnapshot));
     if (cmd == "snapshot" && argc >= 4) {
       const std::string sub = argv[2];
       if (sub == "save" && argc >= 5)
         return CmdSnapshotSave(argv[3], argv[4],
-                               ParseCheckFlags(argc, argv, 5));
+                               ParseCliOptions(argc, argv, 5,
+                                               /*allowed=*/0));
       if (sub == "info" && argc == 4) return CmdSnapshotInfo(argv[3]);
       if (sub == "load" && argc == 4) return CmdSnapshotLoad(argv[3]);
     }
