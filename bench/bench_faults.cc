@@ -1,0 +1,235 @@
+// Experiment E28 — the price of crash-fault semantics:
+//
+//   * consensus under fire: wall time and rounds-to-decide for the
+//     Chandra-Toueg ◇S actor across the acceptance grid (n, drop rate,
+//     crash count), averaged over seeds.  Every cell must decide with
+//     agreement and validity — a bench run that measures a broken
+//     consensus is worthless, so any violation is FATAL,
+//   * enumeration vs failure budget: how much a CrashFaultSystem wrapper
+//     inflates the computation space over its fault-free base (classes,
+//     bytes, classes/sec) as f grows,
+//   * the correct-group knowledge path: FailurePatternIndex construction
+//     plus a CommonAmongCorrect sweep over every class of the faulty
+//     space — the per-failure-pattern fixpoint machinery the knowledge
+//     tests lean on.
+//
+//   bench_faults [--preset=smoke|default] [--json=PATH]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/reporter.h"
+#include "bench/table.h"
+#include "core/faults.h"
+#include "core/knowledge.h"
+#include "core/random_system.h"
+#include "core/space.h"
+#include "protocols/consensus.h"
+
+using namespace hpl;
+
+namespace {
+
+// Sub-second measurements re-run once and keep the better wall — the CI
+// gate compares a ratio of two of these, and short timings are the
+// noise-prone ones (same policy as bench_incremental).
+template <typename Fn>
+std::int64_t TimeBest(Fn&& fn) {
+  bench::WallTimer timer;
+  fn();
+  std::int64_t wall_ns = timer.ElapsedNs();
+  if (wall_ns < 1'000'000'000) {
+    bench::WallTimer retimer;
+    fn();
+    wall_ns = std::min(wall_ns, retimer.ElapsedNs());
+  }
+  return wall_ns;
+}
+
+struct ConsensusCell {
+  int processes;
+  double drop;
+  int crashes;
+};
+
+// One grid cell: run the scenario over the seed range, checking the
+// safety/liveness envelope on every run.  Returns false on any violation.
+struct CellOutcome {
+  int max_round = 0;
+  sim::Time last_decision = 0;
+  bool ok = true;
+};
+
+CellOutcome RunCell(const ConsensusCell& cell, std::uint64_t seeds) {
+  CellOutcome outcome;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    protocols::ConsensusScenario scenario;
+    scenario.num_processes = cell.processes;
+    scenario.network.drop_probability = cell.drop;
+    scenario.seed = seed;
+    for (int c = 0; c < cell.crashes; ++c)
+      scenario.faults.push_back(
+          {c, static_cast<sim::Time>(20 + 30 * c), false, false});
+    const auto result = protocols::RunConsensusScenario(scenario);
+    if (!result.all_correct_decided || !result.agreement || !result.validity)
+      outcome.ok = false;
+    outcome.max_round = std::max(outcome.max_round, result.max_round);
+    outcome.last_decision =
+        std::max(outcome.last_decision, result.last_decision_time);
+  }
+  return outcome;
+}
+
+std::string CellLabel(const ConsensusCell& cell) {
+  char drop[16];
+  std::snprintf(drop, sizeof drop, "%.2f", cell.drop);
+  return "n=" + std::to_string(cell.processes) + ",drop=" + drop +
+         ",f=" + std::to_string(cell.crashes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto json_path = bench::JsonReporter::JsonFlag(argc, argv);
+  std::string preset = "default";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--preset=", 9) == 0) {
+      preset = argv[i] + 9;
+    } else {
+      std::fprintf(stderr, "usage: %s [--preset=smoke|default] [--json=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<ConsensusCell> cells;
+  std::uint64_t seeds = 5;
+  std::vector<int> budgets;  // crash budgets for the enumeration sweep
+  int base_processes = 3, base_messages = 3;
+  if (preset == "smoke") {
+    cells = {{3, 0.0, 0}, {3, 0.2, 1}, {5, 0.1, 2}};
+    seeds = 3;
+    budgets = {0, 1};
+  } else if (preset == "default") {
+    for (const int n : {3, 5})
+      for (const double drop : {0.0, 0.1, 0.2})
+        for (int crashes = 0; crashes <= (n - 1) / 2; ++crashes)
+          cells.push_back({n, drop, crashes});
+    budgets = {0, 1, 2};
+  } else {
+    std::fprintf(stderr, "unknown preset '%s'\n", preset.c_str());
+    return 2;
+  }
+
+  std::printf("E28: crash faults end to end (preset=%s)\n\n", preset.c_str());
+  bench::JsonReporter reporter("faults");
+
+  // --- Consensus under crashes and message loss. ---
+  bench::Table consensus_table(
+      {"cell", "seeds", "wall ms", "max round", "last decide"});
+  for (const ConsensusCell& cell : cells) {
+    CellOutcome outcome;
+    const std::int64_t wall_ns =
+        TimeBest([&] { outcome = RunCell(cell, seeds); });
+    if (!outcome.ok) {
+      std::fprintf(stderr,
+                   "FATAL: consensus violated its envelope at %s\n",
+                   CellLabel(cell).c_str());
+      return 1;
+    }
+    consensus_table.AddRow(
+        {CellLabel(cell), std::to_string(seeds), bench::Fmt(wall_ns / 1e6),
+         std::to_string(outcome.max_round),
+         std::to_string(static_cast<long long>(outcome.last_decision))});
+    reporter.Add(
+        {.name = "consensus/" + CellLabel(cell),
+         .params = {{"processes", static_cast<double>(cell.processes)},
+                    {"drop", cell.drop},
+                    {"crashes", static_cast<double>(cell.crashes)},
+                    {"seeds", static_cast<double>(seeds)},
+                    {"rounds", static_cast<double>(outcome.max_round)}},
+         .wall_ns = wall_ns});
+  }
+  consensus_table.Print();
+
+  // --- Enumeration cost vs crash budget over a fixed random base. ---
+  RandomSystemOptions base_options;
+  base_options.num_processes = base_processes;
+  base_options.num_messages = base_messages;
+  base_options.internal_events = 1;
+  base_options.seed = 42;
+  const RandomSystem base(base_options);
+  const std::string base_label =
+      "random(n=" + std::to_string(base_processes) +
+      ",m=" + std::to_string(base_messages) + ",seed=42)";
+
+  bench::Table enum_table(
+      {"system", "f", "classes", "wall ms", "classes/s", "bytes"});
+  std::vector<ComputationSpace> spaces;  // kept for the knowledge sweep
+  for (const int f : budgets) {
+    const CrashFaultSystem faulty(
+        base, {.max_crashes = f, .may_crash = ProcessSet::All(base_processes)});
+    const System& system = f == 0 ? static_cast<const System&>(base) : faulty;
+    EnumerationLimits limits;
+    limits.max_depth = 64;
+    limits.num_threads = 1;
+    const std::int64_t wall_ns =
+        TimeBest([&] { (void)ComputationSpace::Enumerate(system, limits); });
+    spaces.push_back(ComputationSpace::Enumerate(system, limits));
+    const ComputationSpace& space = spaces.back();
+    enum_table.AddRow(
+        {f == 0 ? base_label : faulty.Name(), std::to_string(f),
+         std::to_string(space.size()), bench::Fmt(wall_ns / 1e6),
+         bench::Fmt(bench::ClassesPerSec(space.size(), wall_ns)),
+         std::to_string(space.MemoryUsage().bytes_total)});
+    reporter.Add(
+        {.name = "enumerate/crash(" + base_label + ")",
+         .params = {{"f", static_cast<double>(f)}, {"threads", 1.0}},
+         .wall_ns = wall_ns,
+         .space_classes = space.size(),
+         .classes_per_sec = bench::ClassesPerSec(space.size(), wall_ns),
+         .bytes_space = space.MemoryUsage().bytes_total});
+  }
+  enum_table.Print();
+
+  // --- Failure-pattern index + correct-group common knowledge. ---
+  // The deepest-budget space from the sweep above: time the per-class
+  // pattern labelling and one CommonAmongCorrect fixpoint per distinct
+  // failure pattern — the whole dynamic-group query path.
+  {
+    const ComputationSpace& space = spaces.back();
+    const int f = budgets.back();
+    const FormulaPtr fact =
+        Formula::Atom(Predicate::DidInternal(0, "i0_0"));
+    std::size_t patterns = 0;
+    std::size_t common_true = 0;
+    const std::int64_t wall_ns = TimeBest([&] {
+      const FailurePatternIndex index(space);
+      patterns = index.patterns().size();
+      KnowledgeEvaluator eval(space, {.num_threads = 1});
+      const auto verdicts = CommonAmongCorrect(eval, index, fact);
+      common_true = 0;
+      for (const auto v : verdicts) common_true += v != 0;
+    });
+    bench::Table ck_table(
+        {"space", "f", "patterns", "classes", "wall ms", "classes/s"});
+    ck_table.AddRow({"crash(" + base_label + ")", std::to_string(f),
+                     std::to_string(patterns), std::to_string(space.size()),
+                     bench::Fmt(wall_ns / 1e6),
+                     bench::Fmt(bench::ClassesPerSec(space.size(), wall_ns))});
+    ck_table.Print();
+    reporter.Add(
+        {.name = "knowledge/common-among-correct(" + base_label + ")",
+         .params = {{"f", static_cast<double>(f)},
+                    {"patterns", static_cast<double>(patterns)},
+                    {"satisfying", static_cast<double>(common_true)},
+                    {"knowledge_threads", 1.0}},
+         .wall_ns = wall_ns,
+         .space_classes = space.size(),
+         .classes_per_sec = bench::ClassesPerSec(space.size(), wall_ns)});
+  }
+
+  if (json_path && !reporter.WriteFile(*json_path)) return 1;
+  return 0;
+}

@@ -1,0 +1,288 @@
+#include "protocols/consensus.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "protocols/heartbeat.h"
+
+namespace hpl::protocols {
+
+using hpl::sim::Context;
+using hpl::sim::Message;
+using hpl::sim::MessageClass;
+using hpl::sim::Time;
+using hpl::sim::TimerId;
+
+namespace {
+
+// (value, ts) estimates travel packed into one message field.
+constexpr std::int64_t kValueBits = 20;
+constexpr std::int64_t kValueMask = (std::int64_t{1} << kValueBits) - 1;
+
+std::int64_t Pack(std::int64_t value, std::int64_t ts) {
+  return (ts << kValueBits) | value;
+}
+std::int64_t PackedValue(std::int64_t b) { return b & kValueMask; }
+std::int64_t PackedTs(std::int64_t b) { return b >> kValueBits; }
+
+class ConsensusActor : public hpl::sim::Actor {
+ public:
+  ConsensusActor(const ConsensusScenario& scenario, std::int64_t initial)
+      : scenario_(scenario),
+        detector_(scenario.num_processes, scenario.suspect_timeout),
+        estimate_(initial) {}
+
+  void OnStart(Context& ctx) override {
+    EnterRound(ctx, 0);
+    ctx.SetTimer(scenario_.tick_interval);
+  }
+
+  void OnTimer(Context& ctx, TimerId) override {
+    if (ctx.Now() > scenario_.run_until) return;  // wind down: stop ticking
+    Broadcast(ctx, MessageClass::kOverhead, "hb");
+    if (decided_) {
+      Broadcast(ctx, MessageClass::kUnderlying, "decide", round_, decision_);
+    } else {
+      // ◇S step: a silent coordinator is presumed crashed; move on.  False
+      // suspicion just burns a round — safety never depends on it.
+      if (Coordinator() != ctx.Self() &&
+          detector_.Suspects(Coordinator(), ctx.Now()))
+        EnterRound(ctx, round_ + 1);
+      Retransmit(ctx);
+    }
+    ctx.SetTimer(scenario_.tick_interval);
+  }
+
+  void OnMessage(Context& ctx, const Message& msg) override {
+    detector_.HeardFrom(msg.from, ctx.Now());
+    if (msg.type == "hb") return;
+    if (msg.type == "decide") {
+      if (!decided_) Decide(ctx, msg.b);
+      decided_at_.Insert(msg.from);
+      MaybeHaltAllDecided(ctx);
+      return;
+    }
+    if (decided_) {
+      // Help stragglers directly instead of waiting for the next tick.
+      ctx.Send(msg.from, MessageClass::kUnderlying, "decide", round_,
+               decision_);
+      return;
+    }
+    if (msg.type == "round") {
+      if (msg.a > round_) EnterRound(ctx, msg.a);
+      return;
+    }
+    if (msg.type == "est") {
+      if (msg.a > round_) EnterRound(ctx, msg.a);
+      if (msg.a != round_ || Coordinator() != ctx.Self()) return;
+      if (proposed_) {
+        // Late estimate after the proposal went out: answer with the
+        // proposal so a drop-delayed participant can still ack.
+        ctx.Send(msg.from, MessageClass::kUnderlying, "prop", round_,
+                 estimate_);
+        return;
+      }
+      CollectEstimate(ctx, msg.from, PackedValue(msg.b), PackedTs(msg.b));
+      return;
+    }
+    if (msg.type == "prop") {
+      if (msg.a > round_) EnterRound(ctx, msg.a);
+      if (msg.a != round_) return;  // stale proposal from a burnt round
+      // Phase 3: adopt and ack.  Re-acking duplicate proposals is how acks
+      // survive message loss (the coordinator retransmits the proposal).
+      estimate_ = msg.b;
+      ts_ = round_;
+      acked_ = true;
+      ctx.Send(Coordinator(), MessageClass::kUnderlying, "ack", round_);
+      return;
+    }
+    if (msg.type == "ack") {
+      if (msg.a != round_ || Coordinator() != ctx.Self() || !proposed_)
+        return;
+      ack_from_.Insert(msg.from);
+      if (ack_from_.Size() > scenario_.num_processes / 2)
+        Decide(ctx, estimate_);
+      return;
+    }
+  }
+
+  void OnRecover(Context& ctx, bool wiped) override {
+    if (wiped) {
+      // Amnesia recovery loses the volatile phase state; the estimate, its
+      // ts, and any decision survive, modelling the stable storage a real
+      // crash-recovery consensus needs (losing the ts lock could let two
+      // majorities decide differently).
+      proposed_ = false;
+      acked_ = false;
+      est_from_ = hpl::ProcessSet();
+      ack_from_ = hpl::ProcessSet();
+      best_ts_ = -1;
+      decided_at_ = decided_ ? hpl::ProcessSet::Of(ctx.Self())
+                             : hpl::ProcessSet();
+    }
+    // The crash cancelled the tick timer; resume the heartbeat/retransmit
+    // loop unless the run is already winding down.
+    if (ctx.Now() <= scenario_.run_until) ctx.SetTimer(scenario_.tick_interval);
+  }
+
+  bool decided() const noexcept { return decided_; }
+  std::int64_t decision() const noexcept { return decision_; }
+  int max_round() const noexcept { return max_round_; }
+  Time decision_time() const noexcept { return decision_time_; }
+
+ private:
+  hpl::ProcessId Coordinator() const {
+    return static_cast<hpl::ProcessId>(round_ % scenario_.num_processes);
+  }
+
+  void Broadcast(Context& ctx, MessageClass klass, const char* type,
+                 std::int64_t a = 0, std::int64_t b = 0) {
+    for (hpl::ProcessId p = 0; p < ctx.NumProcesses(); ++p)
+      if (p != ctx.Self()) ctx.Send(p, klass, type, a, b);
+  }
+
+  void EnterRound(Context& ctx, std::int64_t r) {
+    round_ = r;
+    max_round_ = std::max(max_round_, static_cast<int>(r));
+    proposed_ = false;
+    acked_ = false;
+    est_from_ = hpl::ProcessSet();
+    ack_from_ = hpl::ProcessSet();
+    // Gossip the round so slow processes converge on the highest round
+    // instead of stalling a majority across two rounds.
+    Broadcast(ctx, MessageClass::kOverhead, "round", round_);
+    if (Coordinator() == ctx.Self())
+      CollectEstimate(ctx, ctx.Self(), estimate_, ts_);
+    else
+      SendEstimate(ctx);
+  }
+
+  void SendEstimate(Context& ctx) {
+    ctx.Send(Coordinator(), MessageClass::kUnderlying, "est", round_,
+             Pack(estimate_, ts_));
+  }
+
+  void CollectEstimate(Context& ctx, hpl::ProcessId from, std::int64_t value,
+                       std::int64_t ts) {
+    if (est_from_.Contains(from)) return;
+    est_from_.Insert(from);
+    if (est_from_.Size() == 1 || ts > best_ts_) {
+      best_ts_ = ts;
+      best_value_ = value;
+    }
+    if (est_from_.Size() > scenario_.num_processes / 2) {
+      // Phase 2: propose the highest-ts estimate of a majority; adopt it
+      // ourselves (the coordinator's own ack is implicit).
+      proposed_ = true;
+      estimate_ = best_value_;
+      ts_ = round_;
+      ack_from_ = hpl::ProcessSet::Of(ctx.Self());
+      Broadcast(ctx, MessageClass::kUnderlying, "prop", round_, estimate_);
+      if (ack_from_.Size() > scenario_.num_processes / 2)
+        Decide(ctx, estimate_);  // n == 1 degenerates to deciding alone
+    }
+  }
+
+  void Retransmit(Context& ctx) {
+    if (Coordinator() == ctx.Self()) {
+      if (proposed_)
+        Broadcast(ctx, MessageClass::kUnderlying, "prop", round_, estimate_);
+    } else if (!acked_) {
+      SendEstimate(ctx);
+    }
+    // An acked participant stays quiet: the coordinator's retransmitted
+    // proposal re-triggers the ack if the first one was lost.
+  }
+
+  void Decide(Context& ctx, std::int64_t value) {
+    decided_ = true;
+    decision_ = value;
+    decision_time_ = ctx.Now();
+    ctx.Internal("decide");
+    decided_at_.Insert(ctx.Self());
+    Broadcast(ctx, MessageClass::kUnderlying, "decide", round_, decision_);
+    MaybeHaltAllDecided(ctx);
+  }
+
+  void MaybeHaltAllDecided(Context& ctx) {
+    // Once every process is known to have decided nothing new can happen;
+    // halting keeps fault-free runs (the bench hot path) short.  With
+    // crashes the run simply drains at run_until instead.
+    if (decided_at_ == hpl::ProcessSet::All(scenario_.num_processes))
+      ctx.HaltSimulation("all decided");
+  }
+
+  ConsensusScenario scenario_;
+  SilenceDetector detector_;
+  std::int64_t round_ = 0;
+  int max_round_ = 0;
+  std::int64_t estimate_;
+  std::int64_t ts_ = 0;
+  bool proposed_ = false;  // coordinator: proposal sent this round
+  bool acked_ = false;     // participant: acked this round
+  hpl::ProcessSet est_from_;
+  hpl::ProcessSet ack_from_;
+  std::int64_t best_value_ = 0;
+  std::int64_t best_ts_ = -1;
+  bool decided_ = false;
+  std::int64_t decision_ = -1;
+  Time decision_time_ = -1;
+  hpl::ProcessSet decided_at_;  // processes known to have decided
+};
+
+}  // namespace
+
+ConsensusResult RunConsensusScenario(const ConsensusScenario& scenario) {
+  if (scenario.num_processes < 1 ||
+      scenario.num_processes > hpl::kMaxProcesses)
+    throw hpl::ModelError("consensus: bad process count");
+  std::vector<std::int64_t> initial = scenario.initial_values;
+  if (initial.empty())
+    for (int p = 0; p < scenario.num_processes; ++p) initial.push_back(p);
+  if (static_cast<int>(initial.size()) != scenario.num_processes)
+    throw hpl::ModelError("consensus: initial_values size mismatch");
+  for (std::int64_t v : initial)
+    if (v < 0 || v > kValueMask)
+      throw hpl::ModelError("consensus: initial value out of packed range");
+
+  std::vector<std::unique_ptr<hpl::sim::Actor>> actors;
+  std::vector<const ConsensusActor*> ptrs;
+  for (int p = 0; p < scenario.num_processes; ++p) {
+    auto actor = std::make_unique<ConsensusActor>(
+        scenario, initial[static_cast<std::size_t>(p)]);
+    ptrs.push_back(actor.get());
+    actors.push_back(std::move(actor));
+  }
+
+  hpl::sim::SimulatorOptions options;
+  options.network = scenario.network;
+  options.seed = scenario.seed;
+  options.max_steps = scenario.max_steps;
+  options.faults = scenario.faults;
+  hpl::sim::Simulator sim(std::move(actors), options);
+
+  ConsensusResult result;
+  result.stats = sim.Run();
+  result.all_correct_decided = true;
+  for (int p = 0; p < scenario.num_processes; ++p) {
+    const ConsensusActor* actor = ptrs[static_cast<std::size_t>(p)];
+    result.decisions.push_back(actor->decided() ? actor->decision() : -1);
+    result.max_round = std::max(result.max_round, actor->max_round());
+    if (actor->decided()) {
+      if (result.decided_value == -1) result.decided_value = actor->decision();
+      if (actor->decision() != result.decided_value)
+        result.agreement = false;
+      result.last_decision_time =
+          std::max(result.last_decision_time, actor->decision_time());
+    } else if (!sim.Crashed(p)) {
+      result.all_correct_decided = false;
+    }
+  }
+  if (result.decided_value != -1 &&
+      std::find(initial.begin(), initial.end(), result.decided_value) ==
+          initial.end())
+    result.validity = false;
+  return result;
+}
+
+}  // namespace hpl::protocols

@@ -1,0 +1,72 @@
+// Chandra-Toueg ◇S rotating-coordinator consensus.
+//
+// The paper's Section-5 impossibility says crash detection needs timeouts,
+// and timeouts are sometimes wrong; Chandra-Toueg showed that an
+// *eventually strong* (◇S) detector — one that may suspect falsely, as
+// long as some correct process is eventually never suspected — suffices
+// for consensus with a majority of correct processes.  Each actor here
+// embeds the heartbeat SilenceDetector (heartbeat.h): every process
+// heartbeats every process, and "silent for suspect_timeout ticks" is the
+// suspicion rule whose inevitable false positives the algorithm tolerates.
+//
+// Rounds rotate the coordinator (round r is coordinated by r mod n) and
+// follow the classic four phases, collapsed onto an asynchronous actor:
+//   1. everyone sends its (estimate, ts) to the coordinator;
+//   2. the coordinator picks the estimate with the highest ts from a
+//      majority and proposes it;
+//   3. a participant that receives the proposal adopts it (ts := r) and
+//      acks; one that instead suspects the coordinator moves to round r+1;
+//   4. on a majority of acks the coordinator decides and floods "decide".
+// The ts-locking in phases 2/3 gives agreement: a decided value was
+// adopted by a majority, so every later coordinator's majority overlaps it
+// and must pick that value again.
+//
+// The network may drop up to ~20% of messages (NetworkOptions fault
+// knobs): every phase message is retransmitted on a periodic tick, and
+// round announcements are gossiped so live processes converge on the
+// highest round instead of stalling in partitioned phase states.
+#ifndef HPL_PROTOCOLS_CONSENSUS_H_
+#define HPL_PROTOCOLS_CONSENSUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace hpl::protocols {
+
+struct ConsensusScenario {
+  int num_processes = 3;
+  // Initial value per process; sized to num_processes (default: p -> p).
+  // Values must fit in 20 bits (they are packed with the adoption ts).
+  std::vector<std::int64_t> initial_values;
+  // Heartbeat / retransmission tick.
+  hpl::sim::Time tick_interval = 5;
+  // Silence before suspecting a process.  Must exceed tick_interval plus
+  // the maximum network delay, or every process is suspected immediately.
+  hpl::sim::Time suspect_timeout = 40;
+  // Wind-down horizon: all timers stop after this, draining the queue.
+  hpl::sim::Time run_until = 1500;
+  // Scheduled crashes/recoveries, forwarded to the simulator.
+  std::vector<hpl::sim::FaultEvent> faults;
+  hpl::sim::NetworkOptions network;
+  std::uint64_t seed = 1;
+  std::size_t max_steps = 2'000'000;
+};
+
+struct ConsensusResult {
+  bool all_correct_decided = false;  // every non-crashed process decided
+  bool agreement = true;             // all decisions equal
+  bool validity = true;              // the decision is someone's initial value
+  std::int64_t decided_value = -1;   // -1 if nobody decided
+  std::vector<std::int64_t> decisions;  // per process, -1 = undecided
+  int max_round = 0;                 // highest round any process entered
+  hpl::sim::Time last_decision_time = -1;
+  hpl::sim::RunStats stats;
+};
+
+ConsensusResult RunConsensusScenario(const ConsensusScenario& scenario);
+
+}  // namespace hpl::protocols
+
+#endif  // HPL_PROTOCOLS_CONSENSUS_H_

@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "core/faults.h"
+
 namespace hpl::protocols {
 
 using hpl::sim::Context;
@@ -9,6 +11,30 @@ using hpl::sim::Message;
 using hpl::sim::MessageClass;
 using hpl::sim::Time;
 using hpl::sim::TimerId;
+
+SilenceDetector::SilenceDetector(int num_processes, Time timeout)
+    : last_heard_(static_cast<std::size_t>(num_processes), 0),
+      timeout_(timeout) {
+  if (num_processes <= 0)
+    throw hpl::ModelError("SilenceDetector: no processes");
+  if (timeout <= 0) throw hpl::ModelError("SilenceDetector: timeout <= 0");
+}
+
+void SilenceDetector::HeardFrom(hpl::ProcessId p, Time now) {
+  last_heard_.at(static_cast<std::size_t>(p)) = now;
+}
+
+bool SilenceDetector::Suspects(hpl::ProcessId p, Time now) const {
+  return now - last_heard_.at(static_cast<std::size_t>(p)) >= timeout_;
+}
+
+hpl::ProcessSet SilenceDetector::Suspected(Time now) const {
+  hpl::ProcessSet suspected;
+  for (std::size_t p = 0; p < last_heard_.size(); ++p)
+    if (now - last_heard_[p] >= timeout_)
+      suspected.Insert(static_cast<hpl::ProcessId>(p));
+  return suspected;
+}
 
 namespace {
 
@@ -26,7 +52,13 @@ class MonitoredActor : public hpl::sim::Actor {
       ctx.Crash();
       return;
     }
-    if (ctx.Now() > scenario_.run_until) return;  // wind down
+    if (ctx.Now() > scenario_.run_until) {
+      // Wind down — but a pending crash must still happen, even when it is
+      // scheduled after run_until, or the ground truth would be a lie.
+      if (scenario_.crash_at >= 0)
+        ctx.SetTimer(scenario_.heartbeat_interval);
+      return;
+    }
     ctx.Send(0, MessageClass::kOverhead, "heartbeat");
     ctx.SetTimer(scenario_.heartbeat_interval);
   }
@@ -37,10 +69,12 @@ class MonitoredActor : public hpl::sim::Actor {
   HeartbeatScenario scenario_;
 };
 
-// Process 0: the monitor.
+// Process 0: the monitor — a one-suspect SilenceDetector driven by a
+// re-arming timer.
 class MonitorActor : public hpl::sim::Actor {
  public:
-  explicit MonitorActor(const HeartbeatScenario& s) : scenario_(s) {}
+  explicit MonitorActor(const HeartbeatScenario& s)
+      : scenario_(s), detector_(2, s.timeout >= 0 ? s.timeout : 1) {}
 
   void OnStart(Context& ctx) override {
     if (scenario_.timeout >= 0) ctx.SetTimer(scenario_.timeout);
@@ -49,12 +83,13 @@ class MonitorActor : public hpl::sim::Actor {
   void OnMessage(Context& ctx, const Message& msg) override {
     if (msg.type != "heartbeat") return;
     ++heartbeats_;
+    detector_.HeardFrom(1, ctx.Now());
     last_heartbeat_ = ctx.Now();
   }
 
   void OnTimer(Context& ctx, TimerId) override {
     if (suspected_ || ctx.Now() > scenario_.run_until) return;
-    if (ctx.Now() - last_heartbeat_ >= scenario_.timeout) {
+    if (detector_.Suspects(1, ctx.Now())) {
       suspected_ = true;
       suspect_time_ = ctx.Now();
       ctx.Internal("suspect");
@@ -69,6 +104,7 @@ class MonitorActor : public hpl::sim::Actor {
 
  private:
   HeartbeatScenario scenario_;
+  SilenceDetector detector_;
   Time last_heartbeat_ = 0;
   bool suspected_ = false;
   Time suspect_time_ = -1;
@@ -94,6 +130,15 @@ HeartbeatResult RunHeartbeatScenario(const HeartbeatScenario& scenario) {
   HeartbeatResult result;
   result.crashed = scenario.crash_at >= 0;
   result.crash_time = scenario.crash_at;
+  // The crash happens on the first heartbeat tick at or after crash_at;
+  // report the actual event time so detection latency is measured from the
+  // real silence onset, not the requested one.
+  for (const auto& entry : sim.trace().entries()) {
+    if (hpl::IsCrashEvent(entry.event)) {
+      result.crash_time = entry.time;
+      break;
+    }
+  }
   result.suspected = monitor_ptr->suspected();
   result.suspect_time = monitor_ptr->suspect_time();
   result.heartbeats_received = monitor_ptr->heartbeats();

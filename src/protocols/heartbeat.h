@@ -17,10 +17,34 @@
 #define HPL_PROTOCOLS_HEARTBEAT_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/simulator.h"
 
 namespace hpl::protocols {
+
+// Timeout-on-silence failure detection, factored out for reuse: the
+// consensus actors (consensus.h) embed one per process.  The detector is
+// eventually-strong in spirit (◇S): suspicions can be wrong and are revised
+// whenever the suspect shows any sign of life, which is exactly what the
+// paper's Section-5 argument permits — silence is the only evidence a
+// timeout can act on.
+class SilenceDetector {
+ public:
+  SilenceDetector(int num_processes, hpl::sim::Time timeout);
+
+  // Any message from p counts as a sign of life.
+  void HeardFrom(hpl::ProcessId p, hpl::sim::Time now);
+  // p has been silent for at least `timeout` ticks.
+  bool Suspects(hpl::ProcessId p, hpl::sim::Time now) const;
+  hpl::ProcessSet Suspected(hpl::sim::Time now) const;
+
+  hpl::sim::Time timeout() const noexcept { return timeout_; }
+
+ private:
+  std::vector<hpl::sim::Time> last_heard_;
+  hpl::sim::Time timeout_;
+};
 
 struct HeartbeatScenario {
   // Monitored process behaviour.
@@ -38,6 +62,8 @@ struct HeartbeatResult {
   bool crashed = false;          // ground truth
   bool suspected = false;        // monitor verdict
   hpl::sim::Time suspect_time = -1;
+  // Time of the actual crash event in the trace (the first heartbeat tick
+  // at or after crash_at), -1 if the process never crashed.
   hpl::sim::Time crash_time = -1;
   bool false_suspicion = false;  // suspected while alive
   hpl::sim::Time detection_latency = -1;  // suspect_time - crash_time

@@ -1,10 +1,12 @@
 // Actor: the behaviour of one simulated process.
 //
-// Actors react to three stimuli — start of the run, message delivery, and
-// timer expiry — and act through the Context: sending messages, arming
-// timers, recording internal events, and crashing.  A crashed actor
-// receives nothing and sends nothing ever after, matching the paper's §5
-// failure model ("the process does not send messages after its failure").
+// Actors react to four stimuli — start of the run, message delivery, timer
+// expiry, and recovery from a scheduled crash — and act through the
+// Context: sending messages, arming timers, recording internal events, and
+// crashing.  A crashed actor receives nothing and sends nothing while down,
+// matching the paper's §5 failure model ("the process does not send
+// messages after its failure"); timers armed before the crash never fire,
+// even if the process later recovers.
 #ifndef HPL_SIM_ACTOR_H_
 #define HPL_SIM_ACTOR_H_
 
@@ -53,6 +55,15 @@ class Actor {
   virtual void OnTimer(Context& ctx, TimerId timer) {
     (void)ctx;
     (void)timer;
+  }
+  // Called when a scheduled recovery brings the process back.  `wiped` is
+  // true when the fault event asked for amnesia recovery: the actor should
+  // then reset its protocol state to its initial value before resuming
+  // (local state lives in the actor, so the simulator delegates the wipe).
+  // All pre-crash timers are already cancelled either way; re-arm here.
+  virtual void OnRecover(Context& ctx, bool wiped) {
+    (void)ctx;
+    (void)wiped;
   }
 };
 

@@ -6,20 +6,95 @@
 
 namespace hpl::sim {
 
-Time Network::DeliveryTime(Time now, hpl::ProcessId from, hpl::ProcessId to,
-                           MessageClass klass) {
-  if (from < 0 || from >= hpl::kMaxProcesses || to < 0 ||
-      to >= hpl::kMaxProcesses)
-    throw hpl::ModelError("Network::DeliveryTime: bad endpoint");
+namespace {
+
+bool CutSeparates(const PartitionWindow& window, Time now, hpl::ProcessId from,
+                  hpl::ProcessId to) {
+  if (now < window.begin || now >= window.end) return false;
+  return window.side.Contains(from) != window.side.Contains(to);
+}
+
+}  // namespace
+
+Time& Network::LastDelivery(hpl::ProcessId from, hpl::ProcessId to) {
+  const int need = std::max(from, to) + 1;
+  if (need > dim_) {
+    std::vector<Time> grown(static_cast<std::size_t>(need) * need, 0);
+    for (int f = 0; f < dim_; ++f)
+      for (int t = 0; t < dim_; ++t)
+        grown[static_cast<std::size_t>(f) * need + t] =
+            last_delivery_[static_cast<std::size_t>(f) * dim_ + t];
+    last_delivery_ = std::move(grown);
+    dim_ = need;
+  }
+  return last_delivery_[static_cast<std::size_t>(from) * dim_ + to];
+}
+
+Time Network::DrawDelay(MessageClass klass) {
   Time delay = options_.delay_base;
   if (klass == MessageClass::kUnderlying)
     delay += options_.underlying_extra_delay;
   if (options_.delay_jitter > 0)
     delay += static_cast<Time>(
         rng_.Below(static_cast<std::uint64_t>(options_.delay_jitter) + 1));
-  Time at = now + std::max<Time>(delay, 1);
-  if (options_.fifo) at = std::max(at, last_delivery_[from][to] + 1);
-  last_delivery_[from][to] = at;
+  return std::max<Time>(delay, 1);
+}
+
+Routing Network::Route(Time now, hpl::ProcessId from, hpl::ProcessId to,
+                       MessageClass klass) {
+  if (from < 0 || from >= hpl::kMaxProcesses || to < 0 ||
+      to >= hpl::kMaxProcesses)
+    throw hpl::ModelError("Network::Route: bad endpoint");
+
+  Routing routing;
+  // 1. Partition: a pure function of the send time, so it consumes no
+  //    randomness and cannot shift the draw stream between replays.
+  for (const PartitionWindow& window : options_.partitions) {
+    if (CutSeparates(window, now, from, to)) {
+      routing.dropped = true;
+      routing.reason = DropReason::kPartition;
+      return routing;
+    }
+  }
+  // 2. Jitter draw, 3. loss draw — in that fixed order.
+  const Time delay = DrawDelay(klass);
+  if (options_.drop_probability > 0.0 &&
+      rng_.Chance(options_.drop_probability)) {
+    routing.dropped = true;
+    routing.reason = DropReason::kLoss;
+    return routing;  // the channel clock is NOT advanced for drops
+  }
+  routing.at = now + delay;
+  if (options_.fifo) {
+    Time& last = LastDelivery(from, to);
+    routing.at = std::max(routing.at, last + 1);
+    last = routing.at;
+  }
+  // 4. Duplication draw (+ the copy's own jitter draw).
+  if (options_.duplicate_probability > 0.0 &&
+      rng_.Chance(options_.duplicate_probability)) {
+    routing.duplicated = true;
+    routing.duplicate_at = now + DrawDelay(klass);
+    if (options_.fifo) {
+      Time& last = LastDelivery(from, to);
+      routing.duplicate_at = std::max(routing.duplicate_at, last + 1);
+      last = routing.duplicate_at;
+    }
+  }
+  return routing;
+}
+
+Time Network::DeliveryTime(Time now, hpl::ProcessId from, hpl::ProcessId to,
+                           MessageClass klass) {
+  if (from < 0 || from >= hpl::kMaxProcesses || to < 0 ||
+      to >= hpl::kMaxProcesses)
+    throw hpl::ModelError("Network::DeliveryTime: bad endpoint");
+  Time at = now + DrawDelay(klass);
+  if (options_.fifo) {
+    Time& last = LastDelivery(from, to);
+    at = std::max(at, last + 1);
+    last = at;
+  }
   return at;
 }
 

@@ -1,22 +1,40 @@
-// The simulated network: point-to-point channels with configurable delay
-// and ordering semantics.
+// The simulated network: point-to-point channels with configurable delay,
+// ordering semantics, and fault injection.
 //
 // The paper's model is fully asynchronous — messages take arbitrary finite
 // time and nothing synchronizes processes except messages.  The network
 // model reproduces that: delays are drawn per message from a seeded
 // distribution, and FIFO ordering is optional (the paper does not assume
 // it; some protocols, like Safra's ring token, do not need it either).
+//
+// Faults extend the model with the classic lossy-channel adversary: each
+// message may be dropped with a fixed probability, dropped because a
+// partition window separates its endpoints, or duplicated.  Loss never
+// forges or corrupts messages, so the fair-lossy assumptions behind
+// Chandra-Toueg style algorithms (protocols/consensus.h) hold: a message
+// retransmitted forever is eventually delivered with probability 1.
 #ifndef HPL_SIM_NETWORK_H_
 #define HPL_SIM_NETWORK_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "core/types.h"
 #include "sim/message.h"
 #include "sim/rng.h"
 
 namespace hpl::sim {
 
 using Time = std::int64_t;
+
+// A half-open time window [begin, end) during which messages crossing the
+// cut between `side` and its complement are dropped.  Messages with both
+// endpoints on the same side are unaffected.
+struct PartitionWindow {
+  Time begin = 0;
+  Time end = 0;
+  hpl::ProcessSet side;
+};
 
 struct NetworkOptions {
   // Delay = base + uniform[0, jitter].
@@ -28,25 +46,68 @@ struct NetworkOptions {
   Time underlying_extra_delay = 0;
   // When true, deliveries on each (from, to) channel preserve send order.
   bool fifo = false;
+  // Per-message loss probability in [0, 1].  Drawn independently per send.
+  double drop_probability = 0.0;
+  // Per-message duplication probability in [0, 1].  A duplicated message is
+  // delivered twice, the copy with an independently drawn delay.
+  double duplicate_probability = 0.0;
+  // Partition windows; a message is dropped if its send time falls inside a
+  // window whose cut separates sender from receiver.
+  std::vector<PartitionWindow> partitions;
+};
+
+// Why a message never arrived (or arrived twice).
+enum class DropReason : std::uint8_t { kNone, kLoss, kPartition };
+
+// The routing decision for one send.  Deterministic per (seed, send
+// sequence): see Route() for the fixed draw order.
+struct Routing {
+  bool dropped = false;
+  DropReason reason = DropReason::kNone;
+  Time at = 0;  // delivery time of the primary copy (valid iff !dropped)
+  bool duplicated = false;
+  Time duplicate_at = 0;  // delivery time of the copy (valid iff duplicated)
 };
 
 class Network {
  public:
   Network(NetworkOptions options, std::uint64_t seed)
-      : options_(options), rng_(seed) {}
+      : options_(std::move(options)), rng_(seed) {}
 
-  // Delivery time for a message sent at `now` from->to.  Enforces FIFO by
-  // clamping to the last scheduled delivery on the channel when requested.
+  // Routes a message sent at `now` from->to.  The rng draw order is fixed
+  // so that replay with the same seed is byte-identical:
+  //   1. partition check (no draw — purely a function of `now`),
+  //   2. delay jitter draw (iff delay_jitter > 0),
+  //   3. loss draw (iff drop_probability > 0),
+  //   4. duplication draw (iff duplicate_probability > 0 and not dropped),
+  //      followed by the copy's jitter draw (iff delay_jitter > 0).
+  // The FIFO clamp is updated only by copies that are actually delivered;
+  // dropped messages leave the channel clock untouched, so a later message
+  // may legitimately arrive earlier than the dropped one would have.
+  Routing Route(Time now, hpl::ProcessId from, hpl::ProcessId to,
+                MessageClass klass = MessageClass::kUnderlying);
+
+  // Delivery time for a message sent at `now` from->to, ignoring loss and
+  // duplication (legacy fault-free view; equivalent to Route().at with the
+  // fault knobs at their defaults).  Enforces FIFO by clamping to the last
+  // scheduled delivery on the channel when requested.
   Time DeliveryTime(Time now, hpl::ProcessId from, hpl::ProcessId to,
                     MessageClass klass = MessageClass::kUnderlying);
 
   const NetworkOptions& options() const noexcept { return options_; }
 
  private:
+  // Raw delay draw (base + class extra + jitter), before FIFO clamping.
+  Time DrawDelay(MessageClass klass);
+  // FIFO channel clock for (from, to); lazily sized (see LastDelivery).
+  Time& LastDelivery(hpl::ProcessId from, hpl::ProcessId to);
+
   NetworkOptions options_;
   Rng rng_;
-  // last_delivery_[from][to]; lazily sized.
-  Time last_delivery_[hpl::kMaxProcesses][hpl::kMaxProcesses] = {};
+  // last_delivery_ is a flat [dim_ x dim_] matrix grown on first use of an
+  // endpoint, so small simulations never allocate kMaxProcesses^2 entries.
+  std::vector<Time> last_delivery_;
+  int dim_ = 0;
 };
 
 }  // namespace hpl::sim

@@ -6,11 +6,50 @@ Simulator::Simulator(std::vector<std::unique_ptr<Actor>> actors,
                      const SimulatorOptions& options)
     : actors_(std::move(actors)),
       network_(options.network, options.seed ^ 0xa5a5a5a5a5a5a5a5ull),
-      crashed_(actors_.size(), false) {
+      crashed_(actors_.size(), false),
+      epoch_(actors_.size(), 0) {
   if (actors_.empty()) throw hpl::ModelError("Simulator: no actors");
   if (actors_.size() > static_cast<std::size_t>(hpl::kMaxProcesses))
     throw hpl::ModelError("Simulator: too many actors");
   max_steps_ = options.max_steps;
+  // Schedule fault events first: at equal times they take their sequence
+  // numbers before any message or timer, so a crash at t beats a delivery
+  // at t deterministically.
+  for (const FaultEvent& fault : options.faults) {
+    if (fault.process < 0 ||
+        fault.process >= static_cast<hpl::ProcessId>(actors_.size()))
+      throw hpl::ModelError("Simulator: fault event for unknown process");
+    if (fault.at < 0) throw hpl::ModelError("Simulator: fault event at t<0");
+    Pending p;
+    p.at = fault.at;
+    p.seq = next_seq_++;
+    p.is_fault = true;
+    p.fault_recover = fault.recover;
+    p.fault_wipe = fault.wipe;
+    p.target = fault.process;
+    queue_.push(std::move(p));
+  }
+}
+
+void Simulator::ApplyCrash(hpl::ProcessId p) {
+  if (crashed_.at(p)) return;
+  trace_.Record(hpl::Internal(p, "crash"), now_, MessageClass::kUnderlying);
+  trace_.RecordFault(FaultKind::kCrash, now_, p);
+  crashed_.at(p) = true;
+  ++epoch_.at(p);  // cancels every timer armed before the crash
+  ++stats_.crashes;
+}
+
+void Simulator::ApplyRecover(hpl::ProcessId p, bool wipe) {
+  if (!crashed_.at(p)) return;
+  crashed_.at(p) = false;
+  trace_.Record(hpl::Internal(p, "recover"), now_, MessageClass::kUnderlying);
+  trace_.RecordFault(FaultKind::kRecover, now_, p);
+  ++stats_.recoveries;
+  current_ = p;
+  in_callback_ = true;
+  actors_[p]->OnRecover(*this, wipe);
+  in_callback_ = false;
 }
 
 RunStats Simulator::Run() {
@@ -27,15 +66,39 @@ RunStats Simulator::Run() {
     Pending next = queue_.top();
     queue_.pop();
     now_ = next.at;
+    if (next.is_fault) {
+      if (next.fault_recover)
+        ApplyRecover(next.target, next.fault_wipe);
+      else
+        ApplyCrash(next.target);
+      continue;  // fault events are not delivered stimuli
+    }
     const hpl::ProcessId target =
         next.is_timer ? next.target : next.message.to;
-    if (crashed_.at(target)) continue;  // dropped silently
+    if (crashed_.at(target)) {
+      if (!next.is_timer) {
+        trace_.RecordFault(FaultKind::kDropCrashed, now_, target,
+                           next.message.id, next.message.from);
+        ++stats_.drops_crashed;
+      }
+      continue;  // dropped silently
+    }
+    // A timer from a previous crash epoch was cancelled by the crash.
+    if (next.is_timer && next.timer_epoch != epoch_.at(target)) continue;
 
     ++steps;
     current_ = target;
     in_callback_ = true;
     if (next.is_timer) {
       actors_[target]->OnTimer(*this, next.timer);
+    } else if (next.is_duplicate) {
+      // Channel misbehavior, not a model event: the formal computation has
+      // at most one receive per message, so the copy lands in the fault
+      // ledger only — but the actor still sees it.
+      trace_.RecordFault(FaultKind::kDuplicate, now_, next.message.to,
+                         next.message.id, next.message.from);
+      ++stats_.duplicates;
+      actors_[target]->OnMessage(*this, next.message);
     } else {
       trace_.Record(hpl::Receive(next.message.to, next.message.from,
                                  next.message.id, next.message.Label()),
@@ -77,13 +140,35 @@ hpl::MessageId Simulator::Send(hpl::ProcessId to, MessageClass klass,
   else
     ++stats_.overhead_sent;
 
+  const Routing routing = network_.Route(now_, msg.from, msg.to, msg.klass);
+  if (routing.dropped) {
+    const FaultKind kind = routing.reason == DropReason::kPartition
+                               ? FaultKind::kDropPartition
+                               : FaultKind::kDropLoss;
+    trace_.RecordFault(kind, now_, msg.to, msg.id, msg.from);
+    if (routing.reason == DropReason::kPartition)
+      ++stats_.drops_partition;
+    else
+      ++stats_.drops_loss;
+    return msg.id;  // the send happened; the receive never will
+  }
+
   Pending p;
-  p.at = network_.DeliveryTime(now_, msg.from, msg.to, msg.klass);
+  p.at = routing.at;
   p.seq = next_seq_++;
   p.is_timer = false;
   p.message = msg;
-  queue_.push(std::move(p));
-  return msg.id;
+  queue_.push(p);
+  if (routing.duplicated) {
+    Pending copy;
+    copy.at = routing.duplicate_at;
+    copy.seq = next_seq_++;
+    copy.is_timer = false;
+    copy.is_duplicate = true;
+    copy.message = std::move(msg);
+    queue_.push(std::move(copy));
+  }
+  return p.message.id;
 }
 
 TimerId Simulator::SetTimer(Time delay) {
@@ -95,6 +180,7 @@ TimerId Simulator::SetTimer(Time delay) {
   p.seq = next_seq_++;
   p.is_timer = true;
   p.timer = id;
+  p.timer_epoch = epoch_.at(current_);
   p.target = current_;
   queue_.push(std::move(p));
   return id;
@@ -110,10 +196,7 @@ void Simulator::Internal(std::string label) {
 
 void Simulator::Crash() {
   RequireInCallback();
-  if (crashed_.at(current_)) return;
-  trace_.Record(hpl::Internal(current_, "crash"), now_,
-                MessageClass::kUnderlying);
-  crashed_.at(current_) = true;
+  ApplyCrash(current_);
 }
 
 void Simulator::HaltSimulation(std::string reason) {

@@ -7,7 +7,16 @@
 //
 // Determinism: the event queue breaks time ties by sequence number, and all
 // randomness flows from the constructor seed, so identical inputs replay
-// identical traces.
+// identical traces — including every drop, duplication, crash, and
+// recovery, which land in the trace's fault ledger.
+//
+// Faults: SimulatorOptions::faults schedules crash and recover events per
+// process.  While crashed, a process receives nothing (arriving messages
+// are recorded as kDropCrashed) and sends nothing; its pending timers are
+// cancelled permanently via a per-process crash epoch, so a timer armed
+// before a crash never fires after recovery.  Recovery re-runs nothing by
+// itself: the actor's OnRecover callback decides whether state survives
+// (wiped=false) or is reset (wiped=true).
 #ifndef HPL_SIM_SIMULATOR_H_
 #define HPL_SIM_SIMULATOR_H_
 
@@ -23,12 +32,24 @@
 
 namespace hpl::sim {
 
+// A scheduled crash or recovery.  Crashing an already-crashed process (or
+// recovering a live one) is a no-op, so overlapping schedules are safe.
+struct FaultEvent {
+  hpl::ProcessId process = hpl::kNoProcess;
+  Time at = 0;
+  bool recover = false;  // false: crash at `at`; true: recover at `at`
+  bool wipe = false;     // recover only: ask the actor to reset its state
+};
+
 struct SimulatorOptions {
   NetworkOptions network;
   std::uint64_t seed = 1;
   // Stop after this many delivered stimuli (safety valve against runaway
   // protocols); the run is marked incomplete if hit.
   std::size_t max_steps = 1'000'000;
+  // Scheduled crashes/recoveries, applied in (at, schedule order).  At
+  // equal times a fault fires before message deliveries scheduled later.
+  std::vector<FaultEvent> faults;
 };
 
 struct RunStats {
@@ -37,6 +58,13 @@ struct RunStats {
   std::size_t underlying_sent = 0;
   std::size_t overhead_sent = 0;
   std::size_t internal_events = 0;
+  // Fault accounting (mirrors the trace's fault ledger).
+  std::size_t drops_loss = 0;
+  std::size_t drops_partition = 0;
+  std::size_t drops_crashed = 0;
+  std::size_t duplicates = 0;
+  std::size_t crashes = 0;
+  std::size_t recoveries = 0;
   Time end_time = 0;
   bool completed = false;  // queue drained (or halted) before max_steps
   std::string halt_reason;
@@ -72,7 +100,12 @@ class Simulator : public Context {
     Time at = 0;
     std::uint64_t seq = 0;  // tie-break: FIFO among same-time entries
     bool is_timer = false;
+    bool is_fault = false;      // crash/recover event
+    bool fault_recover = false;
+    bool fault_wipe = false;
+    bool is_duplicate = false;  // second delivery of a duplicated message
     TimerId timer = 0;
+    std::uint64_t timer_epoch = 0;  // crash epoch at arming time
     Message message;
     hpl::ProcessId target = hpl::kNoProcess;
     bool operator>(const Pending& o) const {
@@ -81,6 +114,8 @@ class Simulator : public Context {
     }
   };
 
+  void ApplyCrash(hpl::ProcessId p);
+  void ApplyRecover(hpl::ProcessId p, bool wipe);
   void RequireInCallback() const;
 
   std::vector<std::unique_ptr<Actor>> actors_;
@@ -89,6 +124,9 @@ class Simulator : public Context {
   RunStats stats_;
   std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue_;
   std::vector<bool> crashed_;
+  // Bumped on every crash of p; timers carry the epoch they were armed in
+  // and are discarded on mismatch, so recovery cannot resurrect them.
+  std::vector<std::uint64_t> epoch_;
   Time now_ = 0;
   hpl::ProcessId current_ = hpl::kNoProcess;
   bool in_callback_ = false;

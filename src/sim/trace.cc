@@ -1,9 +1,42 @@
 #include "sim/trace.h"
 
+#include <sstream>
+
 namespace hpl::sim {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropLoss:
+      return "drop-loss";
+    case FaultKind::kDropPartition:
+      return "drop-partition";
+    case FaultKind::kDropCrashed:
+      return "drop-crashed";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kRecover:
+      return "recover";
+  }
+  return "?";
+}
 
 void Trace::Record(hpl::Event event, std::int64_t time, MessageClass klass) {
   entries_.push_back(TraceEntry{std::move(event), time, klass});
+}
+
+void Trace::RecordFault(FaultKind kind, std::int64_t time,
+                        hpl::ProcessId process, hpl::MessageId message,
+                        hpl::ProcessId from) {
+  FaultRecord record;
+  record.kind = kind;
+  record.time = time;
+  record.process = process;
+  record.message = message;
+  record.from = from;
+  record.entry_index = entries_.size();
+  faults_.push_back(record);
 }
 
 hpl::Computation Trace::ToComputation() const {
@@ -34,6 +67,35 @@ std::size_t Trace::CountReceives(MessageClass klass) const {
   for (const TraceEntry& entry : entries_)
     if (entry.event.IsReceive() && entry.klass == klass) ++n;
   return n;
+}
+
+std::size_t Trace::CountFaults(FaultKind kind) const {
+  std::size_t n = 0;
+  for (const FaultRecord& record : faults_)
+    if (record.kind == kind) ++n;
+  return n;
+}
+
+std::string Trace::Flatten() const {
+  std::ostringstream out;
+  std::size_t next_fault = 0;
+  for (std::size_t i = 0; i <= entries_.size(); ++i) {
+    while (next_fault < faults_.size() &&
+           faults_[next_fault].entry_index == i) {
+      const FaultRecord& f = faults_[next_fault++];
+      out << "! " << FaultKindName(f.kind) << " t=" << f.time
+          << " p=" << f.process;
+      if (f.message != hpl::kNoMessage)
+        out << " m=" << f.message << " from=" << f.from;
+      out << '\n';
+    }
+    if (i < entries_.size()) {
+      const TraceEntry& entry = entries_[i];
+      out << entry.time << ' ' << entry.event.ToString()
+          << (entry.klass == MessageClass::kOverhead ? " [oh]" : "") << '\n';
+    }
+  }
+  return out.str();
 }
 
 }  // namespace hpl::sim

@@ -1,9 +1,21 @@
 // Trace: the record of a simulation run, convertible to the paper's formal
 // model (a validated core::Computation).
+//
+// A trace has two streams.  `entries()` holds the model events — sends,
+// receives, and internal events, including the Internal "crash"/"recover"
+// markers — and is what ToComputation() and SpaceBuilder::Ingest consume.
+// `faults()` is the fault ledger: message drops, duplicate deliveries, and
+// crash/recover occurrences.  Drops and duplicates are channel misbehavior
+// with no counterpart in the formal model (a dropped message is simply a
+// send whose receive never happens), so they live only in the ledger; the
+// ledger still participates in Flatten() so deterministic-replay checks
+// cover fault decisions byte for byte.
 #ifndef HPL_SIM_TRACE_H_
 #define HPL_SIM_TRACE_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/computation.h"
@@ -17,12 +29,40 @@ struct TraceEntry {
   MessageClass klass = MessageClass::kUnderlying;
 };
 
+enum class FaultKind : std::uint8_t {
+  kDropLoss,       // message lost by the channel
+  kDropPartition,  // message dropped by a partition window
+  kDropCrashed,    // message arrived at a crashed process
+  kDuplicate,      // second delivery of a duplicated message
+  kCrash,          // process crashed
+  kRecover,        // process recovered
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultRecord {
+  FaultKind kind = FaultKind::kCrash;
+  std::int64_t time = 0;
+  // Crash/recover: the affected process.  Drops/duplicates: the receiver.
+  hpl::ProcessId process = hpl::kNoProcess;
+  // Drops/duplicates: the message and its sender.
+  hpl::MessageId message = hpl::kNoMessage;
+  hpl::ProcessId from = hpl::kNoProcess;
+  // Position in the model-event stream when the fault was recorded; orders
+  // the ledger against entries() in Flatten().
+  std::size_t entry_index = 0;
+};
+
 class Trace {
  public:
   void Record(hpl::Event event, std::int64_t time, MessageClass klass);
+  void RecordFault(FaultKind kind, std::int64_t time, hpl::ProcessId process,
+                   hpl::MessageId message = hpl::kNoMessage,
+                   hpl::ProcessId from = hpl::kNoProcess);
 
   const std::vector<TraceEntry>& entries() const noexcept { return entries_; }
   std::size_t size() const noexcept { return entries_.size(); }
+  const std::vector<FaultRecord>& faults() const noexcept { return faults_; }
 
   // The run as a system computation (throws if the trace violates the
   // model, which would indicate a simulator bug).
@@ -34,9 +74,15 @@ class Trace {
   // Event counts by class/kind.
   std::size_t CountSends(MessageClass klass) const;
   std::size_t CountReceives(MessageClass klass) const;
+  std::size_t CountFaults(FaultKind kind) const;
+
+  // One line per model event and per fault record, interleaved in record
+  // order.  Two runs are byte-identical replays iff their Flatten()s match.
+  std::string Flatten() const;
 
  private:
   std::vector<TraceEntry> entries_;
+  std::vector<FaultRecord> faults_;
 };
 
 }  // namespace hpl::sim

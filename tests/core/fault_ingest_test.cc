@@ -1,0 +1,172 @@
+// A crashed, lossy simulator run splices into a live computation space:
+// the model stream of a faulty trace (sends, receives, internals, crash
+// markers — but not the drop ledger) is a valid computation prefix chain,
+// SpaceBuilder::Ingest mints exactly the missing classes, the failure
+// pattern index labels the spliced classes, and a refreshed evaluator
+// answers like one built from scratch over the grown space.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/faults.h"
+#include "core/knowledge.h"
+#include "core/space.h"
+#include "core/system.h"
+#include "sim/actor.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace hpl {
+namespace {
+
+// p0 announces "go", then pings p1 every 10 ticks; p1 acknowledges each
+// ping with an internal "got".
+class PingSender : public sim::Actor {
+ public:
+  void OnStart(sim::Context& ctx) override {
+    ctx.Internal("go");
+    ctx.Send(1, sim::MessageClass::kUnderlying, "ping");
+    ctx.SetTimer(10);
+  }
+  void OnTimer(sim::Context& ctx, sim::TimerId) override {
+    ctx.Send(1, sim::MessageClass::kUnderlying, "ping");
+    ctx.SetTimer(10);
+  }
+  void OnMessage(sim::Context&, const sim::Message&) override {}
+};
+
+class PingEcho : public sim::Actor {
+ public:
+  void OnMessage(sim::Context& ctx, const sim::Message& msg) override {
+    if (msg.type == "ping") ctx.Internal("got");
+  }
+};
+
+// The enumeration-side mirror of the scenario: "go", then pings with
+// sequential message ids, FIFO delivery, one "got" per delivery.
+LambdaSystem PingMirror(int max_pings) {
+  return LambdaSystem(
+      2,
+      [max_pings](const Computation& x) {
+        bool go = false;
+        int sends = 0, recvs = 0, gots = 0;
+        for (const Event& e : x.events()) {
+          if (IsFaultMarker(e)) continue;
+          if (e.IsInternal() && e.label == "go") go = true;
+          if (e.IsInternal() && e.label == "got") ++gots;
+          if (e.IsSend()) ++sends;
+          if (e.IsReceive()) ++recvs;
+        }
+        std::vector<Event> enabled;
+        if (!go) {
+          enabled.push_back(Internal(0, "go"));
+          return enabled;
+        }
+        if (sends < max_pings)
+          enabled.push_back(Send(0, 1, sends, "ping"));
+        if (recvs < sends) enabled.push_back(Receive(1, 0, recvs, "ping"));
+        if (gots < recvs) enabled.push_back(Internal(1, "got"));
+        return enabled;
+      },
+      "ping-mirror");
+}
+
+sim::Trace RunFaultyScenario(sim::RunStats* stats_out) {
+  std::vector<std::unique_ptr<sim::Actor>> actors;
+  actors.push_back(std::make_unique<PingSender>());
+  actors.push_back(std::make_unique<PingEcho>());
+  sim::SimulatorOptions options;
+  options.network.delay_base = 1;
+  options.network.delay_jitter = 0;
+  // The pings at t=10 and t=20 are cut by the partition; the first one
+  // (t=0) goes through.  p0 dies at t=25, cancelling its next tick.
+  sim::PartitionWindow window;
+  window.begin = 9;
+  window.end = 21;
+  window.side = ProcessSet::Of(0);
+  options.network.partitions.push_back(window);
+  options.faults.push_back({/*process=*/0, /*at=*/25, false, false});
+  sim::Simulator simulator(std::move(actors), options);
+  const sim::RunStats stats = simulator.Run();
+  if (stats_out != nullptr) *stats_out = stats;
+  return simulator.trace();
+}
+
+TEST(FaultIngestTest, CrashedLossyTraceSplicesIntoALiveSpace) {
+  sim::RunStats stats;
+  const sim::Trace trace = RunFaultyScenario(&stats);
+  EXPECT_EQ(stats.drops_partition, 2u);
+  EXPECT_EQ(stats.crashes, 1u);
+  EXPECT_EQ(trace.CountFaults(sim::FaultKind::kDropPartition), 2u);
+  EXPECT_EQ(trace.CountFaults(sim::FaultKind::kCrash), 1u);
+  // Model stream: go, send m0, recv m0, got, send m1, send m2, crash.
+  // The dropped sends stay in the model stream (the send happened); only
+  // their deliveries are missing, which is exactly what a computation with
+  // undelivered messages looks like.
+  ASSERT_EQ(trace.entries().size(), 7u);
+
+  const LambdaSystem base = PingMirror(3);
+  const CrashFaultSystem faulty(
+      base, {.max_crashes = 1, .may_crash = ProcessSet::Of(0)});
+  EnumerationLimits limits;
+  limits.max_depth = 3;
+  limits.allow_truncation = true;
+  limits.num_threads = 1;
+  SpaceBuilder builder;
+  builder.Build(faulty, limits);
+  const std::size_t before = builder.space().size();
+
+  // Warm an evaluator on the shallow space before the splice.
+  KnowledgeEvaluator eval(builder.space(), {.num_threads = 1});
+  const FormulaPtr go = Formula::Atom(Predicate::DidInternal(0, "go"));
+  const FormulaPtr knows_go = Formula::Knows(1, go);
+  eval.SatisfyingSet(knows_go);
+
+  const std::size_t minted = builder.Ingest(trace);
+  EXPECT_GT(minted, 0u);
+  EXPECT_EQ(builder.space().size(), before + minted);
+
+  // Every prefix of the faulty run — including the ones ending in the
+  // crash marker — now has a class of the right length.
+  for (std::size_t n = 0; n <= trace.entries().size(); ++n) {
+    const auto id = builder.space().IndexOf(trace.ToComputationPrefix(n));
+    ASSERT_TRUE(id.has_value()) << n;
+    EXPECT_EQ(builder.space().LengthOf(*id), n) << n;
+  }
+
+  // The failure pattern index labels the spliced classes: crashed {p0}
+  // from the crash marker on, nobody before it.
+  const FailurePatternIndex index(builder.space());
+  const auto full_id =
+      builder.space().RequireIndex(trace.ToComputation());
+  const auto pre_crash_id = builder.space().RequireIndex(
+      trace.ToComputationPrefix(trace.entries().size() - 1));
+  EXPECT_EQ(index.CrashedAt(full_id), ProcessSet::Of(0));
+  EXPECT_EQ(index.CrashedAt(pre_crash_id), ProcessSet());
+  EXPECT_EQ(index.CorrectAt(full_id), ProcessSet::Of(1));
+
+  // Re-ingesting the same trace is a dedup no-op.
+  EXPECT_EQ(builder.Ingest(trace), 0u);
+
+  // The refreshed evaluator agrees with a from-scratch oracle over the
+  // grown space, dynamic correct-group queries included.
+  eval.Refresh();
+  KnowledgeEvaluator oracle(builder.space(), {.num_threads = 1});
+  EXPECT_EQ(eval.SatisfyingSet(knows_go), oracle.SatisfyingSet(knows_go));
+  EXPECT_EQ(CommonAmongCorrect(eval, index, go),
+            CommonAmongCorrect(oracle, index, go));
+  EXPECT_TRUE(eval.Holds(go, full_id));
+  EXPECT_TRUE(eval.Holds(knows_go, full_id));
+}
+
+TEST(FaultIngestTest, FaultyTracePrefixesAreValidComputations) {
+  const sim::Trace trace = RunFaultyScenario(nullptr);
+  for (std::size_t n = 0; n <= trace.entries().size(); ++n)
+    EXPECT_NO_THROW(Computation(trace.ToComputationPrefix(n).events()));
+}
+
+}  // namespace
+}  // namespace hpl

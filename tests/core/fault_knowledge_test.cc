@@ -1,0 +1,420 @@
+// The tentpole's knowledge-theoretic claims, verified over enumerated
+// faulty spaces:
+//
+//  1. Agreement among correct processes is *valid* over every run of a
+//     consensus-style system with crashes — and a valid fact is common
+//     knowledge among the correct processes of every run.  The contrast:
+//     uniform agreement (counting crashed deciders) fails in some runs, and
+//     a contingent fact that every correct process knows is still not
+//     common knowledge — CK cannot be *gained* in an asynchronous system
+//     (paper Section 5).
+//
+//  2. A crash destroys knowledge: K_p(b) holds before p crashes, and after
+//     the crash no correct process attains K(b) in any extension unless a
+//     message sent before the crash carries the fact out.
+//
+//  3. Snapshot consistency is a predicate over recorded states: a complete
+//     snapshot is consistent iff the recorded cut is itself a computation
+//     in the space and the run is permutation-equivalent to one that passes
+//     through it ("the snapshot could have been taken at one instant"), and
+//     the consistency predicate feeds the correct-group CK machinery like
+//     any other [D]-invariant atom.
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/faults.h"
+#include "core/knowledge.h"
+#include "core/space.h"
+#include "core/system.h"
+
+namespace hpl {
+namespace {
+
+EnumerationLimits Limits() {
+  EnumerationLimits limits;
+  limits.max_depth = 16;
+  limits.num_threads = 1;
+  return limits;
+}
+
+bool HasEvent(const Computation& x, const Event& e) {
+  return std::count(x.events().begin(), x.events().end(), e) != 0;
+}
+
+// Ids of every class reachable from `root` by extensions (including root).
+std::vector<std::size_t> Descendants(const ComputationSpace& space,
+                                     std::size_t root) {
+  std::vector<std::uint8_t> seen(space.size(), 0);
+  std::deque<std::size_t> frontier{root};
+  std::vector<std::size_t> out;
+  seen[root] = 1;
+  while (!frontier.empty()) {
+    const std::size_t id = frontier.front();
+    frontier.pop_front();
+    out.push_back(id);
+    for (const auto& succ : space.SuccessorsOf(id)) {
+      if (seen[succ.class_id]) continue;
+      seen[succ.class_id] = 1;
+      frontier.push_back(succ.class_id);
+    }
+  }
+  return out;
+}
+
+// --- 1. Agreement as common knowledge ---------------------------------------
+
+// A three-process consensus sketch with its own crash events (at most one),
+// small enough to enumerate:
+//
+//   p0 decides its value 0 ("decide0"), then broadcasts it; a receiver
+//   decides 0.  If p0 crashes before sending anything, p1 may time out
+//   (the ◇S accuracy assumption: timeouts fire only on processes that
+//   really crashed), decide its own value 1, and relay it to p2.
+//
+// The two fallback paths are mutually exclusive by construction — p1 times
+// out only when p0 sent nothing, so nobody can receive both values — which
+// is exactly why agreement *among correct processes* holds in every run,
+// while uniform agreement fails when p0 decides 0 and dies silently.
+LambdaSystem MiniConsensus() {
+  return LambdaSystem(
+      3,
+      [](const Computation& x) {
+        const ProcessSet crashed = CrashedIn(x);
+        bool decided[3] = {false, false, false};
+        bool sent[4] = {false, false, false, false};  // by message id
+        bool got[4] = {false, false, false, false};
+        bool p0_sent_any = false;
+        for (const Event& e : x.events()) {
+          if (IsFaultMarker(e)) continue;
+          if (e.IsInternal()) decided[e.process] = true;
+          if (e.IsSend()) {
+            sent[e.message] = true;
+            if (e.process == 0) p0_sent_any = true;
+          }
+          if (e.IsReceive()) got[e.message] = true;
+        }
+        std::vector<Event> enabled;
+        const auto add = [&](Event e) {
+          if (!crashed.Contains(e.process)) enabled.push_back(std::move(e));
+        };
+        // p0: decide first, then broadcast the decision.
+        if (!decided[0]) {
+          add(Internal(0, "decide0"));
+        } else {
+          if (!sent[1]) add(Send(0, 1, 1, "v0"));
+          if (!sent[2]) add(Send(0, 2, 2, "v0"));
+        }
+        // Deliveries (events of the receiver: a crashed sender's messages
+        // stay in flight).
+        if (sent[1] && !got[1]) add(Receive(1, 0, 1, "v0"));
+        if (sent[2] && !got[2]) add(Receive(2, 0, 2, "v0"));
+        if (sent[3] && !got[3]) add(Receive(2, 1, 3, "v1"));
+        // p1: adopt 0 on receipt, or fall back to its own value when the
+        // coordinator demonstrably died before proposing.
+        if (!decided[1]) {
+          if (got[1]) add(Internal(1, "decide0"));
+          if (crashed.Contains(0) && !p0_sent_any && !got[1])
+            add(Internal(1, "decide1"));
+        } else if (HasEvent(x, Internal(1, "decide1")) && !sent[3]) {
+          add(Send(1, 2, 3, "v1"));
+        }
+        // p2: adopt whichever value reaches it first (only one ever can).
+        if (!decided[2]) {
+          if (got[2]) add(Internal(2, "decide0"));
+          if (got[3]) add(Internal(2, "decide1"));
+        }
+        // The adversary: one crash, any still-correct process.
+        if (crashed.Size() < 1)
+          for (ProcessId p = 0; p < 3; ++p)
+            if (!crashed.Contains(p)) enabled.push_back(CrashEvent(p));
+        return enabled;
+      },
+      "mini-consensus");
+}
+
+Predicate DecidedBoth(bool correct_only) {
+  return Predicate(correct_only ? "correct_disagree" : "some_disagree",
+                   [correct_only](const Computation& x) {
+                     const ProcessSet correct = CorrectIn(x, 3);
+                     bool v0 = false, v1 = false;
+                     for (const Event& e : x.events()) {
+                       if (!e.IsInternal()) continue;
+                       if (correct_only && !correct.Contains(e.process))
+                         continue;
+                       if (e.label == "decide0") v0 = true;
+                       if (e.label == "decide1") v1 = true;
+                     }
+                     return v0 && v1;
+                   });
+}
+
+TEST(FaultKnowledgeTest, AgreementIsCommonKnowledgeAmongCorrectProcesses) {
+  const LambdaSystem system = MiniConsensus();
+  const auto space = ComputationSpace::Enumerate(system, Limits());
+  const FailurePatternIndex index(space);
+  KnowledgeEvaluator eval(space, {.num_threads = 1});
+
+  // Agreement among correct processes is valid: no run of the space lets
+  // two correct processes decide differently.
+  const FormulaPtr agreement = Formula::Not(Formula::Atom(DecidedBoth(true)));
+  const auto agreement_holds = eval.HoldsAll(agreement);
+  EXPECT_EQ(std::count(agreement_holds.begin(), agreement_holds.end(), 0), 0);
+
+  // A valid fact holds on every indistinguishability component, so it is
+  // common knowledge among the correct processes of every single run.
+  const auto ck = CommonAmongCorrect(eval, index, agreement);
+  EXPECT_EQ(std::count(ck.begin(), ck.end(), 0), 0);
+
+  // Uniform agreement is NOT valid: p0 can decide 0 and die before sending,
+  // after which p1 times out and decides 1.
+  const auto split_id = space.RequireIndex(Computation::TrustedFromEvents(
+      {Internal(0, "decide0"), CrashEvent(0), Internal(1, "decide1")}));
+  const FormulaPtr uniform = Formula::Not(Formula::Atom(DecidedBoth(false)));
+  EXPECT_FALSE(eval.Holds(uniform, split_id));
+  // ... and among the correct survivors {p1, p2} the run still agrees.
+  EXPECT_TRUE(eval.Holds(agreement, split_id));
+  EXPECT_NE(ck[split_id], 0);
+}
+
+TEST(FaultKnowledgeTest, ContingentFactsNeverBecomeCommonKnowledge) {
+  const LambdaSystem system = MiniConsensus();
+  const auto space = ComputationSpace::Enumerate(system, Limits());
+  const FailurePatternIndex index(space);
+  KnowledgeEvaluator eval(space, {.num_threads = 1});
+
+  // The completed fallback run: p0 died silently, p1 decided 1 and relayed
+  // it, p2 adopted it.  Both correct processes know the decided value...
+  const auto done_id = space.RequireIndex(Computation::TrustedFromEvents(
+      {CrashEvent(0), Internal(1, "decide1"), Send(1, 2, 3, "v1"),
+       Receive(2, 1, 3, "v1"), Internal(2, "decide1")}));
+  const FormulaPtr value1 =
+      Formula::Atom(Predicate::DidInternal(1, "decide1"));
+  const auto everyone = EveryoneCorrectKnows(eval, index, value1);
+  const auto ck = CommonAmongCorrect(eval, index, value1);
+  EXPECT_EQ(index.CorrectAt(done_id), ProcessSet::Of(1).Union(ProcessSet::Of(2)));
+  EXPECT_NE(everyone[done_id], 0);
+  // ... but it is not common knowledge, there or anywhere: each message
+  // hop leaves the receiver unsure the sender knows it arrived, so the
+  // E^k tower never closes (Section 5: CK cannot be gained by messages).
+  EXPECT_EQ(ck[done_id], 0);
+  EXPECT_EQ(std::count(ck.begin(), ck.end(), 1), 0);
+}
+
+// --- 2. A crash destroys knowledge ------------------------------------------
+
+// p1 may flip a coin-fact and report it to p0; p0 independently ticks once
+// (so post-crash extensions exist).  Wrapped in CrashFaultSystem with p1
+// the only crash candidate.
+LambdaSystem FlipReport() {
+  return LambdaSystem(
+      2,
+      [](const Computation& x) {
+        bool flipped = false, sent = false, got = false, ticked = false;
+        for (const Event& e : x.events()) {
+          if (e.IsInternal() && e.label == "flip") flipped = true;
+          if (e.IsInternal() && e.label == "tick") ticked = true;
+          if (e.IsSend()) sent = true;
+          if (e.IsReceive()) got = true;
+        }
+        std::vector<Event> enabled;
+        if (!flipped) enabled.push_back(Internal(1, "flip"));
+        if (flipped && !sent) enabled.push_back(Send(1, 0, 1, "report"));
+        if (sent && !got) enabled.push_back(Receive(0, 1, 1, "report"));
+        if (!ticked) enabled.push_back(Internal(0, "tick"));
+        return enabled;
+      },
+      "flip-report");
+}
+
+TEST(FaultKnowledgeTest, ACrashDestroysKnowledgeUntilAMessageRestoresIt) {
+  const LambdaSystem base = FlipReport();
+  const CrashFaultSystem faulty(
+      base, {.max_crashes = 1, .may_crash = ProcessSet::Of(1)});
+  const auto space = ComputationSpace::Enumerate(faulty, Limits());
+  const FailurePatternIndex index(space);
+  KnowledgeEvaluator eval(space, {.num_threads = 1});
+  const FormulaPtr fact = Formula::Atom(Predicate::DidInternal(1, "flip"));
+
+  // Before the crash, the flipping process knows the fact; nobody else does.
+  const auto flip_id = space.RequireIndex(
+      Computation::TrustedFromEvents({Internal(1, "flip")}));
+  EXPECT_TRUE(eval.Holds(Formula::Knows(1, fact), flip_id));
+  EXPECT_FALSE(eval.Holds(Formula::Knows(0, fact), flip_id));
+
+  // p1 crashes before reporting.  The fact itself survives in the run, and
+  // the crashed process's (frozen) projection still entails it — but no
+  // *correct* process knows it, in this class or in any extension: the
+  // knowledge died with its only holder.
+  const auto crash_id = space.RequireIndex(Computation::TrustedFromEvents(
+      {Internal(1, "flip"), CrashEvent(1)}));
+  EXPECT_EQ(index.CorrectAt(crash_id), ProcessSet::Of(0));
+  EXPECT_TRUE(eval.Holds(fact, crash_id));
+  EXPECT_TRUE(eval.Holds(Formula::Knows(1, fact), crash_id));
+  const auto everyone = EveryoneCorrectKnows(eval, index, fact);
+  for (const std::size_t id : Descendants(space, crash_id)) {
+    EXPECT_FALSE(eval.Holds(Formula::Knows(0, fact), id)) << id;
+    EXPECT_EQ(everyone[id], 0) << id;
+  }
+
+  // Contrast: if the report was sent before the crash, the message carries
+  // the fact out — p0 attains the knowledge exactly in the extensions that
+  // deliver it.
+  const auto sent_id = space.RequireIndex(Computation::TrustedFromEvents(
+      {Internal(1, "flip"), Send(1, 0, 1, "report"), CrashEvent(1)}));
+  bool some_descendant_knows = false;
+  for (const std::size_t id : Descendants(space, sent_id)) {
+    const bool knows = eval.Holds(Formula::Knows(0, fact), id);
+    const bool delivered = HasEvent(space.At(id), Receive(0, 1, 1, "report"));
+    EXPECT_EQ(knows, delivered) << id;
+    some_descendant_knows |= knows;
+  }
+  EXPECT_TRUE(some_descendant_knows);
+}
+
+// --- 3. Snapshot consistency over recorded states ---------------------------
+
+// The two-process snapshot kernel: each process records its local state at
+// some point; one message ("token") may cross the cut.  A cut that shows
+// the token received but not sent is the classic inconsistent snapshot.
+LambdaSystem TinySnapshot() {
+  return LambdaSystem(
+      2,
+      [](const Computation& x) {
+        bool rec0 = false, rec1 = false, sent = false, got = false;
+        for (const Event& e : x.events()) {
+          if (e.IsInternal() && e.label == "record0") rec0 = true;
+          if (e.IsInternal() && e.label == "record1") rec1 = true;
+          if (e.IsSend()) sent = true;
+          if (e.IsReceive()) got = true;
+        }
+        std::vector<Event> enabled;
+        if (!rec0) enabled.push_back(Internal(0, "record0"));
+        if (!sent) enabled.push_back(Send(0, 1, 1, "token"));
+        if (sent && !got) enabled.push_back(Receive(1, 0, 1, "token"));
+        if (!rec1) enabled.push_back(Internal(1, "record1"));
+        return enabled;
+      },
+      "tiny-snapshot");
+}
+
+struct Snapshot {
+  bool complete = false;    // both processes recorded
+  bool consistent = false;  // no message received in the cut but sent after
+  std::vector<Event> cut;   // recorded global state: cut_0 then cut_1
+  std::vector<Event> rest;  // the remaining events, in run order
+};
+
+Snapshot SnapshotOf(const Computation& x) {
+  Snapshot snap;
+  std::vector<Event> cuts[2];
+  bool recorded[2] = {false, false};
+  for (ProcessId p = 0; p < 2; ++p)
+    for (const Event& e : x.Projection(p)) {
+      if (e.IsInternal() &&
+          e.label == (p == 0 ? "record0" : "record1")) {
+        recorded[p] = true;
+        break;
+      }
+      cuts[p].push_back(e);
+    }
+  snap.complete = recorded[0] && recorded[1];
+  if (!snap.complete) return snap;
+  const auto in_cut = [&](EventKind kind, ProcessId p) {
+    for (const Event& e : cuts[p])
+      if (e.kind == kind && e.message == 1) return true;
+    return false;
+  };
+  snap.consistent = !(in_cut(EventKind::kReceive, 1) &&
+                      !in_cut(EventKind::kSend, 0));
+  snap.cut = cuts[0];
+  snap.cut.insert(snap.cut.end(), cuts[1].begin(), cuts[1].end());
+  for (const Event& e : x.events())
+    if (std::count(snap.cut.begin(), snap.cut.end(), e) == 0)
+      snap.rest.push_back(e);
+  return snap;
+}
+
+TEST(FaultKnowledgeTest, ConsistentSnapshotsAreReachableRecordedStates) {
+  const LambdaSystem base = TinySnapshot();
+  const CrashFaultSystem faulty(base, {.max_crashes = 1, .may_crash = {}});
+  const auto space = ComputationSpace::Enumerate(faulty, Limits());
+
+  std::size_t complete_classes = 0, inconsistent_classes = 0;
+  for (std::size_t id = 0; id < space.size(); ++id) {
+    const Computation x = space.At(id);
+    const Snapshot snap = SnapshotOf(x);
+    if (!snap.complete) continue;
+    ++complete_classes;
+
+    // The recorded cut is a computation of the space iff it is consistent
+    // (an inconsistent cut contains a receive with no send — not a valid
+    // computation of anything).
+    const auto cut_id = [&]() -> std::optional<std::size_t> {
+      try {
+        return space.IndexOf(Computation(snap.cut));
+      } catch (const ModelError&) {
+        return std::nullopt;
+      }
+    }();
+    EXPECT_EQ(snap.consistent, cut_id.has_value()) << id;
+    if (!snap.consistent) {
+      ++inconsistent_classes;
+      continue;
+    }
+
+    // "The snapshot could have been taken at one instant": the run is
+    // permutation-equivalent to cut followed by the rest, i.e. the run
+    // passes through the recorded global state.
+    std::vector<Event> through = snap.cut;
+    through.insert(through.end(), snap.rest.begin(), snap.rest.end());
+    const auto through_id = space.IndexOf(Computation(through));
+    ASSERT_TRUE(through_id.has_value()) << id;
+    EXPECT_EQ(*through_id, id) << id;
+    // And the cut is an ancestor: the run is among its descendants.
+    const auto below = Descendants(space, *cut_id);
+    EXPECT_NE(std::count(below.begin(), below.end(), id), 0) << id;
+  }
+  // The space exercises both verdicts.
+  EXPECT_GT(inconsistent_classes, 0u);
+  EXPECT_GT(complete_classes, inconsistent_classes);
+}
+
+TEST(FaultKnowledgeTest, SnapshotConsistencyFeedsTheCorrectGroupCk) {
+  const LambdaSystem base = TinySnapshot();
+  const CrashFaultSystem faulty(base, {.max_crashes = 1, .may_crash = {}});
+  const auto space = ComputationSpace::Enumerate(faulty, Limits());
+  const FailurePatternIndex index(space);
+  KnowledgeEvaluator eval(space, {.num_threads = 1});
+
+  // "No completed snapshot is inconsistent" as a [D]-invariant atom over
+  // recorded states (it is a function of the per-process projections).
+  const FormulaPtr ok = Formula::Atom(
+      Predicate("snapshot_ok", [](const Computation& x) {
+        const Snapshot snap = SnapshotOf(x);
+        return !snap.complete || snap.consistent;
+      }));
+
+  const auto ck = CommonAmongCorrect(eval, index, ok);
+  ASSERT_EQ(ck.size(), space.size());
+  for (std::size_t id = 0; id < space.size(); ++id) {
+    const ProcessSet correct = index.CorrectAt(id);
+    ASSERT_FALSE(correct.IsEmpty());  // f=1 over two processes
+    EXPECT_EQ(ck[id] != 0, eval.Holds(Formula::Common(correct, ok), id)) << id;
+  }
+  // Non-vacuity, and the epistemic content: with both processes correct the
+  // indistinguishability component reaches inconsistent runs, so the cut's
+  // consistency is never common knowledge at the root; once p1 has crashed
+  // after p0 recorded a pre-send state, p0 alone *can* know the snapshot
+  // safe.  Both verdicts must occur.
+  EXPECT_EQ(ck[0], 0);
+  EXPECT_NE(std::count(ck.begin(), ck.end(), 1), 0);
+}
+
+}  // namespace
+}  // namespace hpl

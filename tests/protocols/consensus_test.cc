@@ -1,0 +1,158 @@
+// Chandra-Toueg ◇S consensus: agreement, validity, and termination for
+// every seeded scenario with f < n/2 crashes and drop rates up to 20% —
+// the acceptance envelope of the fault tentpole.
+#include <gtest/gtest.h>
+
+#include "protocols/consensus.h"
+
+namespace hpl::protocols {
+namespace {
+
+void ExpectDecided(const ConsensusResult& result, const std::string& what) {
+  EXPECT_TRUE(result.all_correct_decided) << what;
+  EXPECT_TRUE(result.agreement) << what;
+  EXPECT_TRUE(result.validity) << what;
+  EXPECT_NE(result.decided_value, -1) << what;
+}
+
+TEST(ConsensusTest, FaultFreeRunDecidesInRoundZero) {
+  ConsensusScenario scenario;
+  scenario.num_processes = 3;
+  const auto result = RunConsensusScenario(scenario);
+  ExpectDecided(result, "fault-free");
+  EXPECT_EQ(result.max_round, 0);
+  // Round 0's coordinator is process 0, which proposes its own estimate.
+  EXPECT_EQ(result.decided_value, 0);
+  // The all-decided halt fires well before the wind-down horizon.
+  EXPECT_LT(result.stats.end_time, scenario.run_until);
+  EXPECT_EQ(result.stats.halt_reason, "all decided");
+}
+
+TEST(ConsensusTest, CoordinatorCrashRotatesToTheNextRound) {
+  ConsensusScenario scenario;
+  scenario.num_processes = 3;
+  scenario.faults.push_back({/*process=*/0, /*at=*/1, false, false});
+  const auto result = RunConsensusScenario(scenario);
+  ExpectDecided(result, "coordinator crash");
+  EXPECT_GE(result.max_round, 1);  // round 0 dies with its coordinator
+  EXPECT_EQ(result.decisions[0], -1);  // the crashed process never decides
+}
+
+TEST(ConsensusTest, DecidesUnderMaximalCrashesAndTwentyPercentDrops) {
+  // The acceptance sweep: n in {3, 5}, every crash count below n/2, drop
+  // rates up to 20%, several seeds.  All must decide with agreement and
+  // validity.
+  for (const int n : {3, 5}) {
+    for (const double drop : {0.0, 0.1, 0.2}) {
+      for (int crashes = 0; crashes <= (n - 1) / 2; ++crashes) {
+        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+          ConsensusScenario scenario;
+          scenario.num_processes = n;
+          scenario.network.drop_probability = drop;
+          scenario.seed = seed;
+          for (int c = 0; c < crashes; ++c)
+            scenario.faults.push_back(
+                {c, static_cast<hpl::sim::Time>(20 + 30 * c), false, false});
+          const auto result = RunConsensusScenario(scenario);
+          ExpectDecided(result, "n=" + std::to_string(n) +
+                                    " drop=" + std::to_string(drop) +
+                                    " crashes=" + std::to_string(crashes) +
+                                    " seed=" + std::to_string(seed));
+        }
+      }
+    }
+  }
+}
+
+TEST(ConsensusTest, SurvivesPartitionsAndDuplication) {
+  ConsensusScenario scenario;
+  scenario.num_processes = 5;
+  scenario.network.drop_probability = 0.15;
+  scenario.network.duplicate_probability = 0.1;
+  hpl::sim::PartitionWindow window;
+  window.begin = 50;
+  window.end = 250;
+  window.side = hpl::ProcessSet::Of(0).Union(hpl::ProcessSet::Of(1));
+  scenario.network.partitions.push_back(window);
+  scenario.faults.push_back({2, 40, false, false});
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    scenario.seed = seed;
+    ExpectDecided(RunConsensusScenario(scenario),
+                  "partition seed=" + std::to_string(seed));
+  }
+}
+
+TEST(ConsensusTest, RecoveredProcessRejoinsAndDecides) {
+  ConsensusScenario scenario;
+  scenario.num_processes = 5;
+  // Crash before p3 can decide (otherwise the all-decided halt ends the
+  // run before the recovery is due), recover long after the decision.
+  scenario.faults.push_back({3, 1, false, false});
+  scenario.faults.push_back({3, 300, /*recover=*/true, /*wipe=*/true});
+  const auto result = RunConsensusScenario(scenario);
+  ExpectDecided(result, "recovery");
+  // Process 3 is correct at the end of the run, so it must have decided
+  // (learning the value from the decide flood after rejoining).
+  EXPECT_NE(result.decisions[3], -1);
+  EXPECT_EQ(result.decisions[3], result.decided_value);
+  EXPECT_EQ(result.stats.recoveries, 1u);
+}
+
+TEST(ConsensusTest, AgreementHoldsEvenWhenLateDecidersStraggle) {
+  // High drop on a small run: decisions may take many rounds, but every
+  // decided value must be the same one.
+  ConsensusScenario scenario;
+  scenario.num_processes = 3;
+  scenario.network.drop_probability = 0.2;
+  scenario.faults.push_back({1, 100, false, false});
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    scenario.seed = seed;
+    const auto result = RunConsensusScenario(scenario);
+    EXPECT_TRUE(result.agreement) << seed;
+    EXPECT_TRUE(result.validity) << seed;
+    EXPECT_TRUE(result.all_correct_decided) << seed;
+  }
+}
+
+TEST(ConsensusTest, DeterministicPerSeed) {
+  ConsensusScenario scenario;
+  scenario.num_processes = 5;
+  scenario.network.drop_probability = 0.2;
+  scenario.faults.push_back({1, 60, false, false});
+  scenario.seed = 9;
+  const auto a = RunConsensusScenario(scenario);
+  const auto b = RunConsensusScenario(scenario);
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.max_round, b.max_round);
+  EXPECT_EQ(a.last_decision_time, b.last_decision_time);
+  EXPECT_EQ(a.stats.messages_sent, b.stats.messages_sent);
+  EXPECT_EQ(a.stats.drops_loss, b.stats.drops_loss);
+}
+
+TEST(ConsensusTest, ValidatesItsInputs) {
+  ConsensusScenario bad_count;
+  bad_count.num_processes = 0;
+  EXPECT_THROW(RunConsensusScenario(bad_count), hpl::ModelError);
+
+  ConsensusScenario bad_values;
+  bad_values.num_processes = 3;
+  bad_values.initial_values = {1, 2};  // size mismatch
+  EXPECT_THROW(RunConsensusScenario(bad_values), hpl::ModelError);
+
+  ConsensusScenario huge_value;
+  huge_value.num_processes = 2;
+  huge_value.initial_values = {1, std::int64_t{1} << 30};  // outside 20 bits
+  EXPECT_THROW(RunConsensusScenario(huge_value), hpl::ModelError);
+}
+
+TEST(ConsensusTest, DecideEventsLandInTheModelTrace) {
+  ConsensusScenario scenario;
+  scenario.num_processes = 3;
+  scenario.initial_values = {7, 7, 7};
+  const auto result = RunConsensusScenario(scenario);
+  ExpectDecided(result, "trace");
+  EXPECT_EQ(result.decided_value, 7);
+}
+
+}  // namespace
+}  // namespace hpl::protocols

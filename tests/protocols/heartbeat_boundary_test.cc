@@ -1,0 +1,98 @@
+// Boundary coverage for RunHeartbeatScenario: the exact timeout threshold
+// where false suspicion begins, a crash at t=0, and a crash scheduled
+// after the monitor's run_until horizon.
+#include <gtest/gtest.h>
+
+#include "protocols/heartbeat.h"
+
+namespace hpl::protocols {
+namespace {
+
+TEST(HeartbeatBoundaryTest, TimeoutExactlyAtWorstCaseGapFalselySuspects) {
+  // With zero jitter, heartbeats arrive every interval starting at
+  // interval + delay_base.  The monitor's first check fires at
+  // timeout == interval + delay_base, and at a time tie the timer (armed
+  // at t=0, lower sequence number) beats the heartbeat delivery — the
+  // monitor sees silence of exactly `timeout` ticks and suspects.  The
+  // boundary is sharp: one more tick of timeout and the heartbeat wins.
+  HeartbeatScenario scenario;
+  scenario.heartbeat_interval = 10;
+  scenario.crash_at = -1;
+  scenario.network.delay_base = 3;
+  scenario.network.delay_jitter = 0;
+
+  scenario.timeout = 13;  // == interval + delay_base + jitter
+  const auto at_boundary = RunHeartbeatScenario(scenario);
+  EXPECT_TRUE(at_boundary.suspected);
+  EXPECT_TRUE(at_boundary.false_suspicion);
+  EXPECT_EQ(at_boundary.suspect_time, 13);
+
+  scenario.timeout = 14;  // one past the worst-case gap: no false suspicion
+  const auto above = RunHeartbeatScenario(scenario);
+  EXPECT_FALSE(above.suspected);
+  EXPECT_FALSE(above.false_suspicion);
+}
+
+TEST(HeartbeatBoundaryTest, TimeoutAtWorstCaseGapWithJitter) {
+  // Same boundary including jitter: timeout == interval + base + jitter is
+  // reachable silence even in a healthy run, so some seed falsely suspects;
+  // timeout one past it never does (checked across seeds).
+  HeartbeatScenario scenario;
+  scenario.heartbeat_interval = 10;
+  scenario.crash_at = -1;
+  scenario.network.delay_base = 2;
+  scenario.network.delay_jitter = 4;
+  scenario.timeout = 17;  // one past interval + base + jitter == 16
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    scenario.seed = seed;
+    EXPECT_FALSE(RunHeartbeatScenario(scenario).false_suspicion)
+        << "seed " << seed;
+  }
+}
+
+TEST(HeartbeatBoundaryTest, CrashAtTimeZeroMeansNoHeartbeatEver) {
+  // crash_at=0: the monitored process dies on its very first activation,
+  // before any heartbeat is sent.  The monitor hears nothing and its first
+  // timeout check already suspects.
+  HeartbeatScenario scenario;
+  scenario.heartbeat_interval = 10;
+  scenario.crash_at = 0;
+  scenario.timeout = 50;
+  scenario.network.delay_jitter = 0;
+  const auto result = RunHeartbeatScenario(scenario);
+  EXPECT_TRUE(result.crashed);
+  EXPECT_EQ(result.heartbeats_received, 0u);
+  EXPECT_TRUE(result.suspected);
+  EXPECT_FALSE(result.false_suspicion);
+  EXPECT_EQ(result.suspect_time, scenario.timeout);
+  // The crash executes on the first heartbeat tick (the timer is the
+  // earliest moment the actor can act), so the recorded crash time is the
+  // heartbeat interval, and latency is measured from there.
+  EXPECT_EQ(result.crash_time, scenario.heartbeat_interval);
+  EXPECT_EQ(result.detection_latency,
+            result.suspect_time - result.crash_time);
+}
+
+TEST(HeartbeatBoundaryTest, CrashAfterRunUntilStillHappens) {
+  // The monitored process winds down heartbeats after run_until but must
+  // still honour a crash scheduled beyond it — otherwise the result would
+  // claim a crash that never occurred.  The monitor has stopped checking
+  // by then, so the crash goes unsuspected.
+  HeartbeatScenario scenario;
+  scenario.heartbeat_interval = 10;
+  scenario.run_until = 100;
+  scenario.crash_at = 250;
+  scenario.timeout = 40;
+  scenario.network.delay_jitter = 0;
+  const auto result = RunHeartbeatScenario(scenario);
+  EXPECT_TRUE(result.crashed);
+  EXPECT_GE(result.crash_time, scenario.crash_at);
+  EXPECT_FALSE(result.suspected);  // monitor retired at run_until
+  EXPECT_EQ(result.detection_latency, -1);
+  // Heartbeats flowed only during the active window.
+  EXPECT_GT(result.heartbeats_received, 5u);
+  EXPECT_LE(result.heartbeats_received, 10u);
+}
+
+}  // namespace
+}  // namespace hpl::protocols

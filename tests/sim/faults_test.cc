@@ -1,0 +1,353 @@
+// Fault semantics of the simulator and network: message loss, partitions,
+// duplication, scheduled crash/recover, timer cancellation across crashes,
+// and the byte-identical determinism of faulty replays.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace hpl::sim {
+namespace {
+
+// Sends `count` pings to process 1 at fixed intervals; counts deliveries.
+class PingerActor : public Actor {
+ public:
+  PingerActor(int count, Time every) : count_(count), every_(every) {}
+  void OnStart(Context& ctx) override {
+    if (ctx.Self() == 0 && count_ > 0) ctx.SetTimer(every_);
+  }
+  void OnTimer(Context& ctx, TimerId) override {
+    ctx.Send(1, MessageClass::kUnderlying, "ping");
+    if (--count_ > 0) ctx.SetTimer(every_);
+  }
+  void OnMessage(Context&, const Message&) override { ++received_; }
+  int received() const noexcept { return received_; }
+
+ private:
+  int count_;
+  Time every_;
+  int received_ = 0;
+};
+
+RunStats RunPinger(const SimulatorOptions& options, int count, Time every,
+                   int* received = nullptr, std::string* flat = nullptr) {
+  std::vector<std::unique_ptr<Actor>> actors;
+  auto pinger = std::make_unique<PingerActor>(count, every);
+  auto sink = std::make_unique<PingerActor>(0, 1);
+  const PingerActor* sink_ptr = sink.get();
+  actors.push_back(std::move(pinger));
+  actors.push_back(std::move(sink));
+  Simulator sim(std::move(actors), options);
+  const RunStats stats = sim.Run();
+  if (received) *received = sink_ptr->received();
+  if (flat) *flat = sim.trace().Flatten();
+  return stats;
+}
+
+// --- Network routing --------------------------------------------------------
+
+TEST(NetworkFaultsTest, NoFaultKnobsMeansEveryMessageRoutes) {
+  NetworkOptions options;
+  options.delay_jitter = 3;
+  Network network(options, /*seed=*/7);
+  for (int i = 0; i < 100; ++i) {
+    const Routing r = network.Route(i, 0, 1);
+    EXPECT_FALSE(r.dropped);
+    EXPECT_FALSE(r.duplicated);
+    EXPECT_GT(r.at, i);
+  }
+}
+
+TEST(NetworkFaultsTest, DropProbabilityOneDropsEverything) {
+  NetworkOptions options;
+  options.drop_probability = 1.0;
+  Network network(options, 7);
+  for (int i = 0; i < 20; ++i) {
+    const Routing r = network.Route(i, 0, 1);
+    EXPECT_TRUE(r.dropped);
+    EXPECT_EQ(r.reason, DropReason::kLoss);
+  }
+}
+
+TEST(NetworkFaultsTest, DropRateRoughlyMatchesProbability) {
+  NetworkOptions options;
+  options.drop_probability = 0.2;
+  Network network(options, 11);
+  int dropped = 0;
+  for (int i = 0; i < 2000; ++i)
+    if (network.Route(i, 0, 1).dropped) ++dropped;
+  EXPECT_GT(dropped, 300);
+  EXPECT_LT(dropped, 500);
+}
+
+TEST(NetworkFaultsTest, PartitionWindowDropsCrossingMessagesOnly) {
+  NetworkOptions options;
+  options.delay_jitter = 0;
+  PartitionWindow window;
+  window.begin = 10;
+  window.end = 20;
+  window.side = ProcessSet::Of(0);
+  options.partitions.push_back(window);
+  Network network(options, 7);
+
+  // Before, at the boundary, and after: the window is half-open [10, 20).
+  EXPECT_FALSE(network.Route(9, 0, 1).dropped);
+  EXPECT_TRUE(network.Route(10, 0, 1).dropped);
+  EXPECT_EQ(network.Route(10, 0, 1).reason, DropReason::kPartition);
+  EXPECT_TRUE(network.Route(19, 1, 0).dropped);  // both directions cut
+  EXPECT_FALSE(network.Route(20, 0, 1).dropped);
+  // Same-side traffic is unaffected.
+  EXPECT_FALSE(network.Route(15, 1, 2).dropped);
+}
+
+TEST(NetworkFaultsTest, DuplicationDeliversTwice) {
+  NetworkOptions options;
+  options.duplicate_probability = 1.0;
+  options.delay_jitter = 0;
+  Network network(options, 7);
+  const Routing r = network.Route(0, 0, 1);
+  ASSERT_FALSE(r.dropped);
+  ASSERT_TRUE(r.duplicated);
+  EXPECT_EQ(r.at, r.duplicate_at);  // no jitter: both copies take base delay
+}
+
+TEST(NetworkFaultsTest, DroppedMessagesDoNotAdvanceTheFifoClamp) {
+  // Satellite fix: the FIFO clamp is defined over *delivered* messages.  A
+  // dropped message must not leave a ghost timestamp that forces later
+  // messages to queue behind a delivery that never happened.
+  NetworkOptions options;
+  options.fifo = true;
+  options.delay_base = 1;
+  options.delay_jitter = 0;
+  PartitionWindow window;
+  window.begin = 100;
+  window.end = 150;
+  window.side = ProcessSet::Of(0);
+  options.partitions.push_back(window);
+  Network network(options, 7);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_TRUE(network.Route(100 + i, 0, 1).dropped);
+
+  // A fresh channel that never saw the drops schedules the same delivery:
+  // the five dropped messages left no ghost timestamps behind.
+  Network fresh(options, 7);
+  EXPECT_EQ(network.Route(200, 0, 1).at, fresh.Route(200, 0, 1).at);
+  EXPECT_EQ(network.Route(201, 0, 1).at, fresh.Route(201, 0, 1).at);
+}
+
+TEST(NetworkFaultsTest, FifoClampStillOrdersDeliveredMessages) {
+  NetworkOptions options;
+  options.fifo = true;
+  options.delay_base = 5;
+  options.delay_jitter = 0;
+  Network network(options, 7);
+  const Time first = network.Route(10, 0, 1).at;
+  // Sent later but the base delay would land it at the same tick: FIFO
+  // pushes it strictly after the first.
+  const Time second = network.Route(10, 0, 1).at;
+  EXPECT_GT(second, first);
+  // The lazily-sized channel table covers high process ids on demand.
+  EXPECT_GT(network.Route(10, 60, 63).at, 10);
+  EXPECT_GT(network.Route(10, 0, 1).at, second);
+}
+
+TEST(NetworkFaultsTest, RouteValidatesEndpoints) {
+  Network network(NetworkOptions{}, 7);
+  EXPECT_THROW(network.Route(0, -1, 1), ModelError);
+  EXPECT_THROW(network.Route(0, 0, kMaxProcesses), ModelError);
+}
+
+// --- Scheduled crashes and recoveries ---------------------------------------
+
+TEST(SimulatorFaultsTest, ScheduledCrashSilencesTheTarget) {
+  SimulatorOptions options;
+  options.network.delay_jitter = 0;
+  options.faults.push_back({/*process=*/0, /*at=*/25, false, false});
+  int received = 0;
+  // Pings at t=10,20,30,...: the sender crashes at 25, so only two land.
+  const RunStats stats = RunPinger(options, 10, 10, &received);
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(stats.crashes, 1u);
+  EXPECT_EQ(stats.messages_sent, 2u);
+}
+
+TEST(SimulatorFaultsTest, CrashCancelsTimersAcrossRecovery) {
+  // The pinger arms its next timer before the crash; after recovery that
+  // timer must NOT fire (epoch mismatch), so no further pings are sent
+  // even though the process is alive again.
+  SimulatorOptions options;
+  options.network.delay_jitter = 0;
+  options.faults.push_back({0, 25, false, false});
+  options.faults.push_back({0, 45, true, false});
+  int received = 0;
+  const RunStats stats = RunPinger(options, 10, 10, &received);
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(stats.crashes, 1u);
+  EXPECT_EQ(stats.recoveries, 1u);
+}
+
+// Records what OnRecover reports.
+class RecoveryProbe : public Actor {
+ public:
+  void OnMessage(Context&, const Message&) override {}
+  void OnRecover(Context& ctx, bool wiped) override {
+    ++recoveries_;
+    wiped_ = wiped;
+    ctx.Internal(wiped ? "wiped" : "restored");
+  }
+  int recoveries() const noexcept { return recoveries_; }
+  bool wiped() const noexcept { return wiped_; }
+
+ private:
+  int recoveries_ = 0;
+  bool wiped_ = false;
+};
+
+TEST(SimulatorFaultsTest, RecoverInvokesOnRecoverWithWipeFlag) {
+  std::vector<std::unique_ptr<Actor>> actors;
+  auto probe = std::make_unique<RecoveryProbe>();
+  const RecoveryProbe* probe_ptr = probe.get();
+  actors.push_back(std::move(probe));
+  SimulatorOptions options;
+  options.faults.push_back({0, 5, false, false});
+  options.faults.push_back({0, 10, true, /*wipe=*/true});
+  Simulator sim(std::move(actors), options);
+  const RunStats stats = sim.Run();
+  EXPECT_EQ(probe_ptr->recoveries(), 1);
+  EXPECT_TRUE(probe_ptr->wiped());
+  EXPECT_FALSE(sim.Crashed(0));
+  EXPECT_EQ(stats.crashes, 1u);
+  EXPECT_EQ(stats.recoveries, 1u);
+  // The model stream shows crash, recover, then the probe's internal event.
+  const auto& entries = sim.trace().entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].event.label, "crash");
+  EXPECT_EQ(entries[1].event.label, "recover");
+  EXPECT_EQ(entries[2].event.label, "wiped");
+}
+
+TEST(SimulatorFaultsTest, RedundantFaultEventsAreNoOps) {
+  std::vector<std::unique_ptr<Actor>> actors;
+  actors.push_back(std::make_unique<RecoveryProbe>());
+  SimulatorOptions options;
+  options.faults.push_back({0, 3, true, false});   // recover while alive
+  options.faults.push_back({0, 5, false, false});
+  options.faults.push_back({0, 6, false, false});  // crash while crashed
+  Simulator sim(std::move(actors), options);
+  const RunStats stats = sim.Run();
+  EXPECT_EQ(stats.crashes, 1u);
+  EXPECT_EQ(stats.recoveries, 0u);
+}
+
+TEST(SimulatorFaultsTest, FaultEventsAreValidated) {
+  std::vector<std::unique_ptr<Actor>> actors;
+  actors.push_back(std::make_unique<RecoveryProbe>());
+  SimulatorOptions bad_process;
+  bad_process.faults.push_back({7, 5, false, false});
+  EXPECT_THROW(Simulator(std::move(actors), bad_process), ModelError);
+
+  std::vector<std::unique_ptr<Actor>> actors2;
+  actors2.push_back(std::make_unique<RecoveryProbe>());
+  SimulatorOptions bad_time;
+  bad_time.faults.push_back({0, -1, false, false});
+  EXPECT_THROW(Simulator(std::move(actors2), bad_time), ModelError);
+}
+
+// --- Fault ledger and stats -------------------------------------------------
+
+TEST(SimulatorFaultsTest, DropsLandInTheLedgerNotTheModelStream) {
+  SimulatorOptions options;
+  options.network.delay_jitter = 0;
+  options.network.drop_probability = 1.0;
+  int received = 0;
+  std::string flat;
+  const RunStats stats = RunPinger(options, 5, 10, &received, &flat);
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(stats.messages_sent, 5u);
+  EXPECT_EQ(stats.messages_delivered, 0u);
+  EXPECT_EQ(stats.drops_loss, 5u);
+
+  // The model stream has the 5 sends and no receives, and still converts.
+  std::vector<std::unique_ptr<Actor>> actors;
+  actors.push_back(std::make_unique<PingerActor>(5, 10));
+  actors.push_back(std::make_unique<PingerActor>(0, 1));
+  Simulator sim(std::move(actors), options);
+  sim.Run();
+  EXPECT_EQ(sim.trace().size(), 5u);
+  EXPECT_EQ(sim.trace().CountFaults(FaultKind::kDropLoss), 5u);
+  EXPECT_NO_THROW(sim.trace().ToComputation());
+}
+
+TEST(SimulatorFaultsTest, DuplicateDeliveryReachesTheActorTwice) {
+  SimulatorOptions options;
+  options.network.delay_jitter = 0;
+  options.network.duplicate_probability = 1.0;
+  int received = 0;
+  const RunStats stats = RunPinger(options, 3, 10, &received);
+  EXPECT_EQ(received, 6);  // every ping arrives twice
+  EXPECT_EQ(stats.messages_delivered, 3u);  // model deliveries
+  EXPECT_EQ(stats.duplicates, 3u);          // ledger deliveries
+}
+
+TEST(SimulatorFaultsTest, MessagesToCrashedProcessesAreLedgeredDrops) {
+  SimulatorOptions options;
+  options.network.delay_jitter = 0;
+  options.faults.push_back({/*process=*/1, /*at=*/15, false, false});
+  int received = 0;
+  const RunStats stats = RunPinger(options, 4, 10, &received);
+  // Pings sent at 10,20,30,40 (sender alive); receiver dies at 15, so only
+  // the first delivery (t=11) lands.
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(stats.messages_sent, 4u);
+  EXPECT_EQ(stats.drops_crashed, 3u);
+}
+
+// --- Deterministic replay ----------------------------------------------------
+
+TEST(SimulatorFaultsTest, FaultyRunsReplayByteIdentical) {
+  SimulatorOptions options;
+  options.network.drop_probability = 0.25;
+  options.network.duplicate_probability = 0.1;
+  options.network.fifo = true;
+  PartitionWindow window;
+  window.begin = 12;
+  window.end = 30;
+  window.side = ProcessSet::Of(1);
+  options.network.partitions.push_back(window);
+  options.faults.push_back({0, 70, false, false});
+  for (const std::uint64_t seed : {1ull, 42ull, 1234567ull}) {
+    options.seed = seed;
+    std::string first, second;
+    const RunStats a = RunPinger(options, 8, 10, nullptr, &first);
+    const RunStats b = RunPinger(options, 8, 10, nullptr, &second);
+    EXPECT_EQ(first, second) << "seed " << seed;
+    EXPECT_EQ(a.drops_loss, b.drops_loss);
+    EXPECT_EQ(a.drops_partition, b.drops_partition);
+    EXPECT_EQ(a.duplicates, b.duplicates);
+    // The flatten covers the ledger: a run with faults must differ from
+    // the fault-free flatten of the same seed.
+    SimulatorOptions clean;
+    clean.network.fifo = true;
+    clean.seed = seed;
+    std::string clean_flat;
+    RunPinger(clean, 8, 10, nullptr, &clean_flat);
+    EXPECT_NE(first, clean_flat) << "seed " << seed;
+  }
+}
+
+TEST(SimulatorFaultsTest, DifferentSeedsRouteFaultsDifferently) {
+  SimulatorOptions options;
+  options.network.drop_probability = 0.5;
+  options.seed = 1;
+  std::string one, two;
+  RunPinger(options, 20, 10, nullptr, &one);
+  options.seed = 2;
+  RunPinger(options, 20, 10, nullptr, &two);
+  EXPECT_NE(one, two);
+}
+
+}  // namespace
+}  // namespace hpl::sim

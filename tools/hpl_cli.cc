@@ -16,7 +16,11 @@
 //                                        always evaluates sequentially, so
 //                                        --knowledge-threads is accepted
 //                                        but has no effect here)
-//   hpl simulate termination|gossip|heartbeat [seed]
+//   hpl simulate termination|gossip|heartbeat|consensus [seed]
+//                                        consensus also takes the fault
+//                                        knobs below and exits non-zero if
+//                                        agreement/validity/termination is
+//                                        violated
 //   hpl chains   <n> <computation> <p0> [<p1> ...]
 //                                        find a process chain <p0 p1 ...>
 //   hpl fuse     <n> <x> <y> <z> <p0>[,p1...]
@@ -74,6 +78,20 @@
 //   --json=PATH            write the phases as hpl-bench-v1 rows, including
 //                          the bytes_space/bytes_memo memory gauges
 //
+// Fault knobs (check, bench, simulate consensus):
+//   --crash=p[@t]          let process p crash.  On check/bench this wraps
+//                          the system in a CrashFaultSystem (budget = the
+//                          number of --crash flags) and the space then
+//                          contains every failure pattern over the named
+//                          processes; the @t form is simulator-only (the
+//                          space explores every crash point).  On simulate
+//                          consensus, p crashes at time t (default 20).
+//   --drop=P               simulate consensus only: drop each message with
+//                          probability P in [0, 1]
+//   --partition=S@B..E     simulate consensus only: cut the channels
+//                          between process set S (P0,P1,...) and its
+//                          complement for the window [B, E)
+//
 // bench re-runs its enumerate and evaluate phases sequentially and exits
 // non-zero (after writing --json, rows flagged deterministic=0) if any
 // multi-threaded row fails that determinism check.
@@ -99,12 +117,14 @@
 
 #include "bench/reporter.h"
 #include "core/diagram.h"
+#include "core/faults.h"
 #include "core/fusion.h"
 #include "core/knowledge.h"
 #include "core/parallel.h"
 #include "core/process_chain.h"
 #include "core/random_system.h"
 #include "core/serialization.h"
+#include "protocols/consensus.h"
 #include "protocols/gossip.h"
 #include "protocols/heartbeat.h"
 #include "protocols/lockstep.h"
@@ -141,6 +161,24 @@ long long ParseIntArg(const std::string& what, std::string_view text,
   if (ec != std::errc{} || parsed_to != end)
     throw ModelError(what + ": '" + std::string(text) +
                      "' is not a number");
+  return value;
+}
+
+// Strict decimal double parse, same contract as ParseIntArg: rejects empty
+// input, trailing garbage, and values outside [min_value, max_value].
+double ParseDoubleArg(const std::string& what, std::string_view text,
+                      double min_value, double max_value) {
+  double value = 0.0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [parsed_to, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || parsed_to != end)
+    throw ModelError(what + ": '" + std::string(text) +
+                     "' is not a number");
+  if (value < min_value || value > max_value)
+    throw ModelError(what + ": '" + std::string(text) + "' is out of range [" +
+                     std::to_string(min_value) + ", " +
+                     std::to_string(max_value) + "]");
   return value;
 }
 
@@ -319,6 +357,15 @@ struct CliOptions {
   int repeat = 3;                        // --repeat= (bench)
   std::optional<std::string> json_path;  // --json= (check/check-at/bench)
   std::optional<std::string> snapshot;   // --snapshot= (serve)
+  // Fault knobs (--drop/--crash/--partition).  On the simulator path
+  // (simulate consensus) all three map onto NetworkOptions/FaultEvents; on
+  // the enumeration path (check/bench) --crash wraps the system in a
+  // CrashFaultSystem and the network-level knobs are rejected with a
+  // pointer to the simulator (the enumerated space already contains every
+  // loss schedule as an undelivered-message prefix).
+  double drop = 0.0;                         // --drop=P, P in [0,1]
+  std::vector<sim::FaultEvent> crashes;      // --crash=p[@t] (t -1: unset)
+  std::vector<sim::PartitionWindow> partitions;  // --partition=SIDE@B..E
 };
 
 // Which optional extras a subcommand accepts on top of the shared core.
@@ -326,6 +373,7 @@ enum CliFlagBits : unsigned {
   kCliJson = 1u << 0,      // --json=PATH
   kCliRepeat = 1u << 1,    // --repeat=K
   kCliSnapshot = 1u << 2,  // --snapshot=PATH
+  kCliFaults = 1u << 3,    // --drop= / --crash= / --partition=
 };
 
 void RequireFlagAllowed(unsigned allowed, unsigned bit, const char* flag) {
@@ -368,11 +416,78 @@ CliOptions ParseCliOptions(int argc, char** argv, int first,
     } else if (std::strncmp(arg, "--snapshot=", 11) == 0) {
       RequireFlagAllowed(allowed, kCliSnapshot, "--snapshot");
       options.snapshot = std::string(arg + 11);
+    } else if (std::strncmp(arg, "--drop=", 7) == 0) {
+      RequireFlagAllowed(allowed, kCliFaults, "--drop");
+      options.drop = ParseDoubleArg("--drop", arg + 7, 0.0, 1.0);
+    } else if (std::strncmp(arg, "--crash=", 8) == 0) {
+      // p[@t]: which process crashes, optionally when (simulator time).
+      RequireFlagAllowed(allowed, kCliFaults, "--crash");
+      const std::string_view spec(arg + 8);
+      const auto at = spec.find('@');
+      sim::FaultEvent fault;
+      fault.process = static_cast<ProcessId>(ParseIntArg(
+          "--crash process", spec.substr(0, at), 0, kMaxProcesses - 1));
+      fault.at = at == std::string_view::npos
+                     ? -1
+                     : ParseIntArg("--crash time", spec.substr(at + 1), 0,
+                                   std::numeric_limits<long long>::max());
+      options.crashes.push_back(fault);
+    } else if (std::strncmp(arg, "--partition=", 12) == 0) {
+      // SIDE@BEGIN..END: cut all channels between SIDE (a P0,P1,...
+      // process list) and its complement for the time window [BEGIN, END).
+      RequireFlagAllowed(allowed, kCliFaults, "--partition");
+      const std::string spec(arg + 12);
+      const auto at = spec.find('@');
+      const auto dots = spec.find("..", at == std::string::npos ? 0 : at);
+      if (at == std::string::npos || dots == std::string::npos)
+        throw ModelError("--partition: expected SIDE@BEGIN..END, got '" +
+                         spec + "'");
+      sim::PartitionWindow window;
+      window.side = ParseSet(spec.substr(0, at));
+      window.begin = ParseIntArg("--partition begin",
+                                 spec.substr(at + 1, dots - at - 1), 0,
+                                 std::numeric_limits<long long>::max());
+      window.end = ParseIntArg("--partition end", spec.substr(dots + 2),
+                               0, std::numeric_limits<long long>::max());
+      if (window.end < window.begin)
+        throw ModelError("--partition: window ends before it begins");
+      options.partitions.push_back(window);
     } else {
       throw ModelError(std::string("unknown flag '") + arg + "'");
     }
   }
   return options;
+}
+
+// Applies the fault knobs to an enumeration-side subcommand (check/bench):
+// --crash wraps the system in a CrashFaultSystem whose failure budget is
+// the number of --crash flags and whose candidate set is the processes they
+// name.  Crash *times* and the network-level knobs have no meaning in the
+// event-structure model — the space explores every crash point, and a lost
+// message is just a send whose receive never happens — so they are rejected
+// with a pointer to the simulator path instead of being silently ignored.
+void ApplyFaultFlags(NamedSystem& named, const CliOptions& flags) {
+  if (flags.drop > 0.0 || !flags.partitions.empty())
+    throw ModelError(
+        "--drop/--partition are network knobs; use 'simulate consensus' "
+        "(the enumerated space already contains every loss schedule)");
+  if (flags.crashes.empty()) return;
+  CrashFaultOptions options;
+  options.max_crashes = static_cast<int>(flags.crashes.size());
+  for (const sim::FaultEvent& fault : flags.crashes) {
+    if (fault.at >= 0)
+      throw ModelError("--crash=p@t: crash times are a simulator notion; "
+                       "the enumerated space explores every crash point — "
+                       "use --crash=" + std::to_string(fault.process));
+    if (fault.process >= named.system->NumProcesses())
+      throw ModelError("--crash: process " + std::to_string(fault.process) +
+                       " is outside " + named.system->Name());
+    options.may_crash.Insert(fault.process);
+  }
+  // Crash markers lengthen runs; keep the base system's horizon reachable.
+  named.max_depth += options.max_crashes;
+  named.system = std::make_unique<CrashFaultSystem>(std::move(named.system),
+                                                    options);
 }
 
 // The EnumerationLimits for a system under the given flags.
@@ -481,6 +596,7 @@ int CmdCheck(const std::string& spec, const std::string& text,
              const CliOptions& flags) {
   const std::optional<std::string>& json_path = flags.json_path;
   NamedSystem named = MakeSystem(spec);
+  ApplyFaultFlags(named, flags);
   const EnumerationLimits limits = LimitsFor(named, flags);
   bench::WallTimer enumerate_timer;
   auto space = ComputationSpace::Enumerate(*named.system, limits);
@@ -597,7 +713,56 @@ int CmdCheckAt(const std::string& spec, const std::string& text,
   return 0;
 }
 
-int CmdSimulate(const std::string& what, std::uint64_t seed) {
+int CmdSimulate(const std::string& what, std::uint64_t seed,
+                const CliOptions& flags) {
+  if (what == "consensus") {
+    protocols::ConsensusScenario scenario;
+    scenario.num_processes = 5;
+    scenario.seed = seed;
+    scenario.network.drop_probability = flags.drop;
+    scenario.network.partitions = flags.partitions;
+    for (sim::FaultEvent fault : flags.crashes) {
+      if (fault.process >= scenario.num_processes)
+        throw ModelError("--crash: process " +
+                         std::to_string(fault.process) +
+                         " is outside the 5-process consensus scenario");
+      if (fault.at < 0) fault.at = 20;  // bare --crash=p: early crash
+      scenario.faults.push_back(fault);
+    }
+    const auto result = protocols::RunConsensusScenario(scenario);
+    std::printf("consensus n=%d drop=%.2f crashes=%zu partitions=%zu "
+                "seed=%llu:\n",
+                scenario.num_processes, flags.drop, flags.crashes.size(),
+                flags.partitions.size(),
+                static_cast<unsigned long long>(seed));
+    for (int p = 0; p < scenario.num_processes; ++p) {
+      const std::int64_t decision =
+          result.decisions[static_cast<std::size_t>(p)];
+      if (decision >= 0)
+        std::printf("  p%d decided %lld\n", p,
+                    static_cast<long long>(decision));
+      else
+        std::printf("  p%d undecided (crashed)\n", p);
+    }
+    std::printf("  rounds=%d last-decision t=%lld messages=%zu "
+                "drops=%zu crashes=%zu\n",
+                result.max_round,
+                static_cast<long long>(result.last_decision_time),
+                result.stats.messages_sent,
+                result.stats.drops_loss + result.stats.drops_partition,
+                result.stats.crashes);
+    const bool ok = result.all_correct_decided && result.agreement &&
+                    result.validity;
+    std::printf("  agreement=%s validity=%s all-correct-decided=%s\n",
+                result.agreement ? "yes" : "NO",
+                result.validity ? "yes" : "NO",
+                result.all_correct_decided ? "yes" : "NO");
+    return ok ? 0 : 1;
+  }
+  // The remaining simulations predate the fault knobs and script their own
+  // crashes; rejecting the flags beats silently ignoring them.
+  if (flags.drop > 0.0 || !flags.crashes.empty() || !flags.partitions.empty())
+    throw ModelError("fault flags only apply to 'simulate consensus'");
   if (what == "termination") {
     protocols::TerminationExperimentOptions options;
     options.seed = seed;
@@ -1282,6 +1447,7 @@ int CmdSnapshotLoad(const std::string& path) {
 int CmdBench(const std::string& spec, const CliOptions& flags) {
   const std::optional<std::string>& json_path = flags.json_path;
   NamedSystem named = MakeSystem(spec);
+  ApplyFaultFlags(named, flags);
   bench::JsonReporter reporter("cli");
   // Resolve the 0 = hardware-concurrency knobs up front so the JSON records
   // the actual worker counts — BENCH_*.json rows stay comparable across
@@ -1403,7 +1569,9 @@ int Main(int argc, char** argv) {
                  "<path> | snapshot info <path> | snapshot load <path>"
                  "\n  check/check-at/bench/serve flags: [--threads=N] "
                  "[--knowledge-threads=N] [--max-depth=N] [--max-classes=N] "
-                 "[--allow-truncation] [--group=P0,P1[,...]] [--json=PATH]\n");
+                 "[--allow-truncation] [--group=P0,P1[,...]] [--json=PATH]"
+                 "\n  fault knobs (check/bench/simulate consensus): "
+                 "[--crash=p[@t]] [--drop=P] [--partition=S@B..E]\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -1413,18 +1581,23 @@ int Main(int argc, char** argv) {
     if (cmd == "diagram" && argc >= 3) return CmdDiagram(argv[2]);
     if (cmd == "atoms" && argc >= 3) return CmdAtoms(argv[2]);
     if (cmd == "check" && argc >= 4)
-      return CmdCheck(argv[2], argv[3], ParseCliOptions(argc, argv, 4));
+      return CmdCheck(argv[2], argv[3],
+                      ParseCliOptions(argc, argv, 4,
+                                      kCliJson | kCliFaults));
     if (cmd == "check-at" && argc >= 5)
       return CmdCheckAt(argv[2], argv[3], argv[4],
                         ParseCliOptions(argc, argv, 5));
-    if (cmd == "simulate" && argc >= 3)
-      return CmdSimulate(
-          argv[2],
-          argc >= 4
-              ? static_cast<std::uint64_t>(ParseIntArg(
-                    "simulate seed", argv[3], 0,
-                    std::numeric_limits<long long>::max()))
-              : 1);
+    if (cmd == "simulate" && argc >= 3) {
+      const bool has_seed = argc >= 4 && argv[3][0] != '-';
+      const std::uint64_t seed =
+          has_seed ? static_cast<std::uint64_t>(ParseIntArg(
+                         "simulate seed", argv[3], 0,
+                         std::numeric_limits<long long>::max()))
+                   : 1;
+      return CmdSimulate(argv[2], seed,
+                         ParseCliOptions(argc, argv, has_seed ? 4 : 3,
+                                         kCliFaults));
+    }
     if (cmd == "chains" && argc >= 5) {
       std::vector<std::string> stages(argv + 4, argv + argc);
       return CmdChains(
@@ -1437,8 +1610,9 @@ int Main(int argc, char** argv) {
                          ParseIntArg("fuse <n>", argv[2], 1, kMaxProcesses)),
                      argv[3], argv[4], argv[5], argv[6]);
     if (cmd == "bench" && argc >= 3)
-      return CmdBench(argv[2], ParseCliOptions(argc, argv, 3,
-                                               kCliJson | kCliRepeat));
+      return CmdBench(argv[2],
+                      ParseCliOptions(argc, argv, 3,
+                                      kCliJson | kCliRepeat | kCliFaults));
     if (cmd == "serve" && argc >= 3)
       return CmdServe(argv[2], ParseCliOptions(argc, argv, 3, kCliSnapshot));
     if (cmd == "snapshot" && argc >= 4) {
