@@ -9,6 +9,7 @@
 //   * fused multi-formula sweeps (SatisfyingSets over a batch) vs the same
 //     batch as sequential per-formula passes.
 #include <cstdio>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -168,52 +169,73 @@ int main(int argc, char** argv) {
   // sequential passes, so fusion is about even; the win is in the parallel
   // path, where fusion pays the worker-pool dispatch once per batch rather
   // than once per formula.
+  // The kernels axis re-runs both modes with the compiled kernel engine off
+  // and on; all four variants must agree (divergence abort), and the
+  // kernels=off verdicts anchor the comparison to the interpreted engine.
   bench::Table fused_table(
-      {"threads", "mode", "batch", "wall (ms)", "speedup"});
+      {"threads", "kernels", "mode", "batch", "wall (ms)", "speedup"});
+  std::optional<std::size_t> expected_satisfying;
   for (const int threads : {1, 4}) {
-    KnowledgeOptions knowledge;
-    knowledge.num_threads = threads;
+    for (const bool kernels : {false, true}) {
+      KnowledgeOptions knowledge;
+      knowledge.num_threads = threads;
+      knowledge.compiled_kernels = kernels;
 
-    bench::WallTimer sequential_timer;
-    std::size_t sequential_satisfying = 0;
-    {
-      KnowledgeEvaluator evaluator(loaded, knowledge);
-      for (const FormulaPtr& f : queries)
-        sequential_satisfying += evaluator.SatisfyingSet(f).size();
+      bench::WallTimer sequential_timer;
+      std::size_t sequential_satisfying = 0;
+      {
+        KnowledgeEvaluator evaluator(loaded, knowledge);
+        for (const FormulaPtr& f : queries)
+          sequential_satisfying += evaluator.SatisfyingSet(f).size();
+      }
+      const std::int64_t sequential_ns = sequential_timer.ElapsedNs();
+
+      bench::WallTimer fused_timer;
+      std::size_t fused_satisfying = 0;
+      {
+        KnowledgeEvaluator evaluator(loaded, knowledge);
+        for (const auto& set : evaluator.SatisfyingSets(queries))
+          fused_satisfying += set.size();
+      }
+      const std::int64_t fused_ns = fused_timer.ElapsedNs();
+      if (fused_satisfying != sequential_satisfying) {
+        std::fprintf(stderr,
+                     "FATAL: fused/sequential verdicts disagree at %d "
+                     "threads (kernels %s)\n",
+                     threads, kernels ? "on" : "off");
+        return 1;
+      }
+      if (!expected_satisfying.has_value())
+        expected_satisfying = fused_satisfying;
+      if (fused_satisfying != *expected_satisfying) {
+        std::fprintf(stderr,
+                     "FATAL: kernels %s diverges from the interpreted "
+                     "verdicts at %d threads\n",
+                     kernels ? "on" : "off", threads);
+        return 1;
+      }
+      const double fused_speedup =
+          fused_ns > 0 ? static_cast<double>(sequential_ns) /
+                             static_cast<double>(fused_ns)
+                       : 0.0;
+
+      const char* kernels_name = kernels ? "on" : "off";
+      fused_table.AddRow({std::to_string(threads), kernels_name, "sequential",
+                          std::to_string(queries.size()),
+                          bench::Fmt(sequential_ns / 1e6), "1.0x"});
+      fused_table.AddRow({std::to_string(threads), kernels_name, "fused",
+                          std::to_string(queries.size()),
+                          bench::Fmt(fused_ns / 1e6),
+                          bench::Fmt(fused_speedup) + "x"});
+
+      reporter.Add({.name = "query/fused(random(n=4,m=5,seed=42))",
+                    .params = {{"batch", static_cast<double>(queries.size())},
+                               {"threads", static_cast<double>(threads)},
+                               {"kernels", kernels ? 1.0 : 0.0},
+                               {"fused_speedup", fused_speedup}},
+                    .wall_ns = fused_ns,
+                    .space_classes = loaded.size()});
     }
-    const std::int64_t sequential_ns = sequential_timer.ElapsedNs();
-
-    bench::WallTimer fused_timer;
-    std::size_t fused_satisfying = 0;
-    {
-      KnowledgeEvaluator evaluator(loaded, knowledge);
-      for (const auto& set : evaluator.SatisfyingSets(queries))
-        fused_satisfying += set.size();
-    }
-    const std::int64_t fused_ns = fused_timer.ElapsedNs();
-    if (fused_satisfying != sequential_satisfying) {
-      std::fprintf(stderr, "FATAL: fused/sequential verdicts disagree\n");
-      return 1;
-    }
-    const double fused_speedup =
-        fused_ns > 0 ? static_cast<double>(sequential_ns) /
-                           static_cast<double>(fused_ns)
-                     : 0.0;
-
-    fused_table.AddRow({std::to_string(threads), "sequential",
-                        std::to_string(queries.size()),
-                        bench::Fmt(sequential_ns / 1e6), "1.0x"});
-    fused_table.AddRow({std::to_string(threads), "fused",
-                        std::to_string(queries.size()),
-                        bench::Fmt(fused_ns / 1e6),
-                        bench::Fmt(fused_speedup) + "x"});
-
-    reporter.Add({.name = "query/fused(random(n=4,m=5,seed=42))",
-                  .params = {{"batch", static_cast<double>(queries.size())},
-                             {"threads", static_cast<double>(threads)},
-                             {"fused_speedup", fused_speedup}},
-                  .wall_ns = fused_ns,
-                  .space_classes = loaded.size()});
   }
   fused_table.Print();
 

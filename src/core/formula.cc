@@ -285,4 +285,97 @@ FormulaPtr Formula::Parse(const std::string& text,
   return Parser(text, atoms).Parse();
 }
 
+// ---------------------------------------------------------------------------
+// FormulaInterner
+// ---------------------------------------------------------------------------
+namespace {
+
+// Rebuilds `f` with canonical children (used when a child interned to a
+// different node than the one `f` holds).
+FormulaPtr Rebuild(const Formula& f, FormulaPtr l, FormulaPtr r) {
+  switch (f.kind()) {
+    case FormulaKind::kAtom:
+      return Formula::Atom(f.atom());
+    case FormulaKind::kNot:
+      return Formula::Not(std::move(l));
+    case FormulaKind::kAnd:
+      return Formula::And(std::move(l), std::move(r));
+    case FormulaKind::kOr:
+      return Formula::Or(std::move(l), std::move(r));
+    case FormulaKind::kImplies:
+      return Formula::Implies(std::move(l), std::move(r));
+    case FormulaKind::kKnows:
+      return Formula::Knows(f.group(), std::move(l));
+    case FormulaKind::kSure:
+      return Formula::Sure(f.group(), std::move(l));
+    case FormulaKind::kCommon:
+      return Formula::Common(f.group(), std::move(l));
+    case FormulaKind::kEveryone:
+      return Formula::Everyone(f.group(), std::move(l));
+    case FormulaKind::kPossible:
+      return Formula::Possible(f.group(), std::move(l));
+  }
+  throw ModelError("FormulaInterner: unknown formula kind");
+}
+
+void AppendRaw(std::string& key, const void* bytes, std::size_t size) {
+  key.append(static_cast<const char*>(bytes), size);
+}
+
+}  // namespace
+
+FormulaPtr FormulaInterner::Intern(const FormulaPtr& f) {
+  if (!f) throw ModelError("FormulaInterner::Intern: null formula");
+  return InternNode(f);
+}
+
+FormulaPtr FormulaInterner::InternNode(const FormulaPtr& f) {
+  auto hit = by_node_.find(f.get());
+  if (hit != by_node_.end()) return hit->second.canonical;
+
+  FormulaPtr l = f->left() ? InternNode(f->left()) : nullptr;
+  FormulaPtr r = f->right() ? InternNode(f->right()) : nullptr;
+
+  // Structural key: kind + group bits, then the atom name (leaves) or the
+  // canonical child pointers (interior nodes) — children are already
+  // canonical, so structural equality reduces to pointer equality one level
+  // down.  Canonical pointers are retained forever, so they are never
+  // reused for a different node.
+  std::string key;
+  key.push_back(static_cast<char>(f->kind()));
+  const std::uint64_t bits = f->group().bits();
+  AppendRaw(key, &bits, sizeof(bits));
+  if (f->kind() == FormulaKind::kAtom) {
+    key += f->atom().name();
+  } else {
+    const Formula* lp = l.get();
+    const Formula* rp = r.get();
+    AppendRaw(key, &lp, sizeof(lp));
+    AppendRaw(key, &rp, sizeof(rp));
+  }
+
+  FormulaPtr canonical;
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    canonical = it->second;
+  } else {
+    canonical = (l.get() == f->left().get() && r.get() == f->right().get())
+                    ? f
+                    : Rebuild(*f, std::move(l), std::move(r));
+    by_key_.emplace(std::move(key), canonical);
+  }
+  by_node_.emplace(f.get(), Seen{f, canonical});
+  if (canonical.get() != f.get())
+    by_node_.emplace(canonical.get(), Seen{canonical, canonical});
+  return canonical;
+}
+
+std::size_t FormulaInterner::MemoryBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [key, node] : by_key_)
+    bytes += key.capacity() + sizeof(node) + sizeof(Formula);
+  bytes += by_node_.size() * (sizeof(const Formula*) + sizeof(Seen));
+  return bytes;
+}
+
 }  // namespace hpl

@@ -18,6 +18,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/predicate.h"
@@ -98,6 +99,46 @@ class Formula {
   FormulaPtr left_;
   FormulaPtr right_;
   ProcessSet group_;
+};
+
+// Structural interner (hash-consing): maps every formula to a canonical
+// node, so structurally equal formulas built by different code paths — or
+// parsed from different request strings — share one node pointer.  Pointer-
+// keyed consumers (KnowledgeEvaluator's dense memo rows, compiled kernel
+// programs) then see one node, one memo row, and one compiled program
+// instead of re-deriving state per parse.
+//
+// Identity contract: atoms are keyed by predicate *name* (the same contract
+// the text parser and serve protocol already rely on) — two predicates with
+// the same name are treated as the same atom, so names must identify
+// predicate semantics within one interner.  Interior nodes are keyed by
+// (kind, group, canonical child pointers), which makes a key probe O(1) per
+// node instead of O(formula text).
+//
+// The interner retains every canonical node and every node it was shown
+// (preventing pointer reuse from aliasing the cache), so canonical pointers
+// stay valid for the interner's lifetime.  Not thread-safe.
+class FormulaInterner {
+ public:
+  // Returns the canonical node structurally equal to `f`, interning it (and
+  // its whole subtree) on first sight.  Idempotent: canonical nodes intern
+  // to themselves.  Throws ModelError on null.
+  FormulaPtr Intern(const FormulaPtr& f);
+
+  // Number of distinct canonical nodes (subformulas included).
+  std::size_t size() const noexcept { return by_key_.size(); }
+
+  std::size_t MemoryBytes() const;
+
+ private:
+  struct Seen {
+    FormulaPtr source;     // keeps the key pointer alive
+    FormulaPtr canonical;
+  };
+  FormulaPtr InternNode(const FormulaPtr& f);
+
+  std::unordered_map<std::string, FormulaPtr> by_key_;
+  std::unordered_map<const Formula*, Seen> by_node_;  // pointer fast path
 };
 
 }  // namespace hpl

@@ -129,7 +129,8 @@ KnowledgeEvaluator::KnowledgeEvaluator(const ComputationSpace& space,
       synced_size_(space.size()),
       num_threads_(internal::ResolveNumThreads(options.num_threads)),
       bucket_memo_(options.bucket_memo),
-      group_memo_(options.group_memo) {
+      group_memo_(options.group_memo),
+      compiled_kernels_(options.compiled_kernels) {
   bucket_bits_.reserve(static_cast<std::size_t>(space.num_processes()));
   for (ProcessId p = 0; p < space.num_processes(); ++p)
     bucket_bits_.emplace_back(space.NumProjectionClasses(p));
@@ -340,11 +341,13 @@ void KnowledgeEvaluator::Refresh() {
     }
   }
 
-  // Whole-space completion flags, CK components, and the packed bucket
-  // bitsets all key off the old id range; drop them wholesale (they are
-  // rebuilt lazily, and components can merge through new classes).
+  // Whole-space completion flags, CK components, compiled kernel programs,
+  // and the packed bucket bitsets all key off the old id range / plane
+  // layout; drop them wholesale (they are rebuilt lazily, and components
+  // can merge through new classes).
   std::fill(node_complete_.begin(), node_complete_.end(), 0);
   components_.clear();
+  kernel_programs_.clear();
   for (auto& per_process : bucket_bits_)
     for (auto& slot : per_process) delete slot.load(std::memory_order_acquire);
   bucket_bits_.clear();
@@ -360,6 +363,14 @@ bool KnowledgeEvaluator::UseParallel() const noexcept {
   return num_threads_ > 1 && space_.size() >= kMinParallelSpace;
 }
 
+bool KnowledgeEvaluator::UseKernels() const noexcept {
+  return compiled_kernels_;
+}
+
+bool KnowledgeEvaluator::UsePlanes() const noexcept {
+  return UseKernels() || UseParallel();
+}
+
 internal::WorkerPool& KnowledgeEvaluator::Pool() {
   if (!pool_) pool_ = std::make_unique<internal::WorkerPool>(num_threads_);
   return *pool_;
@@ -372,9 +383,9 @@ KnowledgeEvaluator::EvalContext KnowledgeEvaluator::SharedContext() {
 
 bool KnowledgeEvaluator::Holds(const FormulaPtr& f, std::size_t id) {
   if (!f) throw ModelError("KnowledgeEvaluator::Holds: null formula");
-  retained_.push_back(f);
+  const FormulaPtr canon = interner_.Intern(f);
   EvalContext ctx = SharedContext();
-  return Eval(f.get(), id, ctx);
+  return Eval(canon.get(), id, ctx);
 }
 
 bool KnowledgeEvaluator::Holds(const FormulaPtr& f, const Computation& x) {
@@ -384,25 +395,26 @@ bool KnowledgeEvaluator::Holds(const FormulaPtr& f, const Computation& x) {
 const std::uint64_t* KnowledgeEvaluator::EvaluatedValuePlane(
     const FormulaPtr& f) {
   if (!f) throw ModelError("KnowledgeEvaluator: null formula");
-  retained_.push_back(f);
-  EvaluateEverywhereParallel(f.get());
-  return &planes_.value[InternNode(f.get()) * words_];
+  const FormulaPtr canon = interner_.Intern(f);
+  const Formula* root = canon.get();
+  EvaluateEverywhere(std::span<const Formula* const>(&root, 1));
+  return &planes_.value[InternNode(root) * words_];
 }
 
 std::vector<std::uint8_t> KnowledgeEvaluator::HoldsAll(const FormulaPtr& f) {
   if (!f) throw ModelError("KnowledgeEvaluator::HoldsAll: null formula");
   std::vector<std::uint8_t> out(space_.size(), 0);
   if (space_.size() == 0) return out;
-  if (UseParallel()) {
+  if (UsePlanes()) {
     const std::uint64_t* value = EvaluatedValuePlane(f);
     for (std::size_t id = 0; id < space_.size(); ++id)
       out[id] = (value[id / 64] >> (id % 64)) & 1;
     return out;
   }
-  retained_.push_back(f);
+  const FormulaPtr canon = interner_.Intern(f);
   EvalContext ctx = SharedContext();
   for (std::size_t id = 0; id < space_.size(); ++id)
-    out[id] = Eval(f.get(), id, ctx) ? 1 : 0;
+    out[id] = Eval(canon.get(), id, ctx) ? 1 : 0;
   return out;
 }
 
@@ -411,7 +423,7 @@ std::vector<std::size_t> KnowledgeEvaluator::SatisfyingSet(
   if (!f) throw ModelError("KnowledgeEvaluator::SatisfyingSet: null formula");
   std::vector<std::size_t> out;
   if (space_.size() == 0) return out;
-  if (UseParallel()) {
+  if (UsePlanes()) {
     const std::uint64_t* value = EvaluatedValuePlane(f);
     for (std::size_t w = 0; w < words_; ++w) {
       std::uint64_t word = value[w];
@@ -423,10 +435,10 @@ std::vector<std::size_t> KnowledgeEvaluator::SatisfyingSet(
     }
     return out;
   }
-  retained_.push_back(f);
+  const FormulaPtr canon = interner_.Intern(f);
   EvalContext ctx = SharedContext();
   for (std::size_t id = 0; id < space_.size(); ++id)
-    if (Eval(f.get(), id, ctx)) out.push_back(id);
+    if (Eval(canon.get(), id, ctx)) out.push_back(id);
   return out;
 }
 
@@ -437,15 +449,19 @@ std::vector<std::vector<std::size_t>> KnowledgeEvaluator::SatisfyingSets(
       throw ModelError("KnowledgeEvaluator::SatisfyingSets: null formula");
   std::vector<std::vector<std::size_t>> out(formulas.size());
   if (formulas.empty() || space_.size() == 0) return out;
-  for (const FormulaPtr& f : formulas) retained_.push_back(f);
+  // Canonicalize the batch: structurally equal formulas collapse onto one
+  // node, one memo row, and (kernels on) one fused program root.
+  std::vector<FormulaPtr> canon;
+  canon.reserve(formulas.size());
+  for (const FormulaPtr& f : formulas) canon.push_back(interner_.Intern(f));
 
-  if (UseParallel()) {
+  if (UsePlanes()) {
     std::vector<const Formula*> roots;
-    roots.reserve(formulas.size());
-    for (const FormulaPtr& f : formulas) roots.push_back(f.get());
-    EvaluateEverywhereParallel(
+    roots.reserve(canon.size());
+    for (const FormulaPtr& f : canon) roots.push_back(f.get());
+    EvaluateEverywhere(
         std::span<const Formula* const>(roots.data(), roots.size()));
-    for (std::size_t k = 0; k < formulas.size(); ++k) {
+    for (std::size_t k = 0; k < canon.size(); ++k) {
       const std::uint64_t* value =
           &planes_.value[InternNode(roots[k]) * words_];
       for (std::size_t w = 0; w < words_; ++w) {
@@ -466,8 +482,8 @@ std::vector<std::vector<std::size_t>> KnowledgeEvaluator::SatisfyingSets(
   // Eval is a pure function of (node, id) — just fewer cold probes.
   EvalContext ctx = SharedContext();
   for (std::size_t id = 0; id < space_.size(); ++id)
-    for (std::size_t k = 0; k < formulas.size(); ++k)
-      if (Eval(formulas[k].get(), id, ctx)) out[k].push_back(id);
+    for (std::size_t k = 0; k < canon.size(); ++k)
+      if (Eval(canon[k].get(), id, ctx)) out[k].push_back(id);
   return out;
 }
 
@@ -489,34 +505,34 @@ bool KnowledgeEvaluator::IsLocalTo(const FormulaPtr& f, ProcessSet p) {
   if (!f) throw ModelError("KnowledgeEvaluator::IsLocalTo: null formula");
   FormulaPtr sure = Formula::Sure(p, f);
   if (space_.size() == 0) return true;
-  if (UseParallel()) {
+  if (UsePlanes()) {
     const std::uint64_t* value = EvaluatedValuePlane(sure);
     for (std::size_t w = 0; w < words_; ++w)
       if (value[w] != LiveWordMask(space_.size(), w)) return false;
     return true;
   }
-  retained_.push_back(sure);
+  const FormulaPtr canon = interner_.Intern(sure);
   EvalContext ctx = SharedContext();
   for (std::size_t id = 0; id < space_.size(); ++id)
-    if (!Eval(sure.get(), id, ctx)) return false;
+    if (!Eval(canon.get(), id, ctx)) return false;
   return true;
 }
 
 bool KnowledgeEvaluator::IsConstant(const FormulaPtr& f) {
   if (!f) throw ModelError("KnowledgeEvaluator::IsConstant: null formula");
   if (space_.size() == 0) return true;
-  if (UseParallel()) {
+  if (UsePlanes()) {
     const std::uint64_t* value = EvaluatedValuePlane(f);
     const bool v0 = (value[0] & 1) != 0;
     for (std::size_t w = 0; w < words_; ++w)
       if (value[w] != (v0 ? LiveWordMask(space_.size(), w) : 0)) return false;
     return true;
   }
-  retained_.push_back(f);
+  const FormulaPtr canon = interner_.Intern(f);
   EvalContext ctx = SharedContext();
-  const bool v0 = Eval(f.get(), 0, ctx);
+  const bool v0 = Eval(canon.get(), 0, ctx);
   for (std::size_t id = 1; id < space_.size(); ++id)
-    if (Eval(f.get(), id, ctx) != v0) return false;
+    if (Eval(canon.get(), id, ctx) != v0) return false;
   return true;
 }
 
@@ -928,9 +944,137 @@ bool KnowledgeEvaluator::Eval(const Formula* f, std::size_t id,
   return result;
 }
 
-void KnowledgeEvaluator::EvaluateEverywhereParallel(const Formula* root) {
-  const Formula* roots[1] = {root};
-  EvaluateEverywhereParallel(std::span<const Formula* const>(roots));
+void KnowledgeEvaluator::EvaluateEverywhere(
+    std::span<const Formula* const> all_roots) {
+  if (UseKernels() && EvaluateEverywhereKernel(all_roots)) return;
+  if (UseParallel()) {
+    EvaluateEverywhereParallel(all_roots);
+    return;
+  }
+  // Sequential completion: the lazy recursion against the shared planes,
+  // id-outer so shared subformulas stay memo-warm across a multi-root
+  // batch.  This is where a kernel profitability refusal lands at one
+  // thread — the short-circuiting interpreter touches only the child bits
+  // the quantifiers demand, where the kernel would materialize every
+  // subformula plane in full.
+  std::vector<const Formula*> roots;
+  roots.reserve(all_roots.size());
+  for (const Formula* root : all_roots)
+    if (!node_complete_[InternNode(root)]) roots.push_back(root);
+  if (roots.empty()) return;
+  EvalContext ctx = SharedContext();
+  for (std::size_t id = 0; id < space_.size(); ++id)
+    for (const Formula* root : roots) Eval(root, id, ctx);
+  for (const Formula* root : roots) node_complete_[InternNode(root)] = 1;
+}
+
+bool KnowledgeEvaluator::EvaluateEverywhereKernel(
+    std::span<const Formula* const> all_roots) {
+  // Roots completed by earlier passes answer from their planes already.
+  std::vector<const Formula*> roots;
+  roots.reserve(all_roots.size());
+  for (const Formula* root : all_roots)
+    if (!node_complete_[InternNode(root)]) roots.push_back(root);
+  if (roots.empty()) return true;
+
+  // Fused postorder over the combined DAG, stopping at whole-space-complete
+  // subformulas — the compiler reads those as dense leaves, so their
+  // subtrees never re-lower.
+  std::vector<const Formula*> order;
+  {
+    std::unordered_set<const Formula*> seen;
+    auto walk = [&](auto&& self, const Formula* f) -> void {
+      if (f == nullptr || !seen.insert(f).second) return;
+      const auto it = node_index_.find(f);
+      const bool complete =
+          it != node_index_.end() && node_complete_[it->second] != 0;
+      if (!complete) {
+        self(self, f->left().get());
+        self(self, f->right().get());
+      }
+      order.push_back(f);
+    };
+    for (const Formula* root : roots) walk(walk, root);
+  }
+  for (const Formula* f : order) InternNode(f);
+
+  // Profitability: a lone modal root with both memo tiers on and no worker
+  // pool is better served by the lazy interpreter — the kernel computes
+  // every subformula plane at every id, while the short-circuiting
+  // recursion touches only the atom bits its quantifiers demand (measured
+  // ~5x on shallow one-shot `check` queries).  Pure-boolean programs,
+  // fused multi-root batches, memo-off sweeps, and parallel passes all
+  // need (or amortize) the eager planes, so they stay on the kernel.
+  if (roots.size() == 1 && bucket_memo_ && group_memo_ && !UseParallel()) {
+    for (const Formula* f : order) {
+      switch (f->kind()) {
+        case FormulaKind::kKnows:
+        case FormulaKind::kSure:
+        case FormulaKind::kEveryone:
+        case FormulaKind::kCommon:
+        case FormulaKind::kPossible:
+          if (!node_complete_[InternNode(f)]) return false;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  std::vector<std::uint32_t> key;
+  key.reserve(roots.size());
+  for (const Formula* root : roots) key.push_back(InternNode(root));
+  std::sort(key.begin(), key.end());
+  key.erase(std::unique(key.begin(), key.end()), key.end());
+
+  kernel::KernelProgram* program = nullptr;
+  const auto cached = kernel_programs_.find(key);
+  if (cached != kernel_programs_.end()) {
+    program = &cached->second;
+  } else {
+    std::vector<kernel::CompileNode> nodes;
+    nodes.reserve(order.size());
+    for (const Formula* f : order) {
+      kernel::CompileNode cn;
+      cn.f = f;
+      cn.node = InternNode(f);
+      cn.complete = node_complete_[cn.node] != 0;
+      cn.seg_begin = node_seg_begin_[cn.node];
+      nodes.push_back(cn);
+    }
+    kernel::KernelProgram fresh;
+    if (!kernel::Compile(space_, nodes, key, &fresh)) return false;
+    program =
+        &kernel_programs_.emplace(std::move(key), std::move(fresh))
+             .first->second;
+  }
+
+  // Pre-build the CK component labels on this thread; the executor only
+  // reads them.
+  for (const kernel::Op& op : program->ops)
+    if (op.code == kernel::OpCode::kCkComponent) Components(op.node->group());
+
+  kernel::ExecContext ctx;
+  ctx.space = &space_;
+  ctx.n = space_.size();
+  ctx.words = words_;
+  ctx.dense_known = planes_.known.data();
+  ctx.dense_value = planes_.value.data();
+  ctx.bucket_known = bucket_planes_.known.data();
+  ctx.bucket_value = bucket_planes_.value.data();
+  ctx.seg_offset = shared_seg_offset_.data();
+  ctx.ck_roots = [this](const Formula* f) -> std::span<const std::uint32_t> {
+    const ComponentIndex& c = components_.at(f->group().bits());
+    return std::span<const std::uint32_t>(c.root.data(), c.root.size());
+  };
+  ctx.pool = UseParallel() ? &Pool() : nullptr;
+  ctx.worker_regs = &kernel_worker_regs_;
+  ctx.row_scratch = &kernel_row_scratch_;
+  ctx.comp_scratch = &kernel_comp_scratch_;
+  kernel::Execute(*program, ctx);
+
+  for (const std::uint32_t node : program->completed) node_complete_[node] = 1;
+  return true;
 }
 
 void KnowledgeEvaluator::EvaluateEverywhereParallel(
@@ -1075,7 +1219,20 @@ KnowledgeEvaluator::MemoStats KnowledgeEvaluator::MemoryUsage() const {
       s.bytes_bucket += bytes;
     }
   }
-  s.bytes_total = s.bytes_dense + s.bytes_bucket + s.bytes_group;
+  s.kernel_programs = kernel_programs_.size();
+  for (const auto& [key, program] : kernel_programs_) {
+    s.kernel_ops += program.ops.size();
+    s.bytes_kernel +=
+        program.MemoryBytes() + key.capacity() * sizeof(std::uint32_t);
+  }
+  for (const auto& pool : kernel_worker_regs_)
+    for (const auto& reg : pool)
+      s.bytes_kernel += reg.capacity() * sizeof(std::uint64_t);
+  s.bytes_kernel += (kernel_row_scratch_.capacity() +
+                     kernel_comp_scratch_.capacity()) *
+                    sizeof(std::uint64_t);
+  s.bytes_total =
+      s.bytes_dense + s.bytes_bucket + s.bytes_group + s.bytes_kernel;
   return s;
 }
 

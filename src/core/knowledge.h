@@ -69,12 +69,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "core/formula.h"
+#include "core/kernel.h"
 #include "core/space.h"
 
 namespace hpl {
@@ -95,6 +97,18 @@ struct KnowledgeOptions {
   // build (see the header comment).  Off, group modalities fall back to
   // per-member relation sweeps; verdicts are identical either way.
   bool group_memo = true;
+  // Lowers whole-space queries to compiled kernel programs (kernel.h): the
+  // formula DAG becomes a flat postorder array of bitset ops executed
+  // word-at-a-time over the memo planes, with constant / local-formula
+  // folding, instead of the per-(node, id) interpreted recursion.  Programs
+  // are cached per root-set and invalidated by Refresh().  The dispatch
+  // keeps one case on the lazy interpreter even when this is on: a lone
+  // modal root with both memo tiers on and no worker pool, where
+  // short-circuiting quantifiers beat eager plane materialization.  Off,
+  // whole-space queries always run the interpreted engine (the reference
+  // for differential tests); pointwise Holds always does.  Verdicts are
+  // byte-identical either way, at any thread count and memo-tier setting.
+  bool compiled_kernels = true;
 };
 
 class KnowledgeEvaluator {
@@ -186,12 +200,22 @@ class KnowledgeEvaluator {
     std::size_t dense_entries = 0;
     std::size_t bucket_entries = 0;
     std::size_t group_entries = 0;
+    // Compiled kernel cache: program count, total ops across programs, and
+    // the bytes held by programs plus the persistent register-plane pools.
+    std::size_t kernel_programs = 0;
+    std::size_t kernel_ops = 0;
     std::size_t bytes_dense = 0;
     std::size_t bytes_bucket = 0;
     std::size_t bytes_group = 0;
+    std::size_t bytes_kernel = 0;
     std::size_t bytes_total = 0;
   };
   MemoStats MemoryUsage() const;
+
+  // The evaluator's structural interner: every formula handed to a query is
+  // canonicalized through it, so structurally equal formulas from different
+  // parses share one node, one memo row, and one compiled program.
+  const FormulaInterner& interner() const noexcept { return interner_; }
 
  private:
   // Connected components of the union of [p] relations for one group.
@@ -260,18 +284,33 @@ class KnowledgeEvaluator {
 
   // True when whole-space queries should use the worker pool.
   bool UseParallel() const noexcept;
+  // True when whole-space queries should lower to compiled kernels.
+  bool UseKernels() const noexcept;
+  // True when whole-space queries answer from the memo planes (kernel or
+  // interpreted parallel engine) instead of a sequential lazy loop.
+  bool UsePlanes() const noexcept;
   internal::WorkerPool& Pool();
-  // Memoizes `f` (and whatever of its DAG the lazy recursion demands) at
-  // every class id, with the per-worker-plane engine described in the
-  // header comment.  Requires UseParallel().
-  void EvaluateEverywhereParallel(const Formula* root);
-  // Multi-root form: one sharded pass memoizes EVERY root at every class
-  // id against a combined DAG — the fused engine behind SatisfyingSets.
-  // Roots already completed by earlier passes are skipped.
+  // Whole-space dispatch: memoizes every root at every class id in the
+  // shared planes.  Three engines, in preference order: the compiled
+  // kernel executor when UseKernels() (which may refuse — compile failure
+  // or profitability, see the .cc), the interpreted per-worker-plane
+  // engine when UseParallel(), else one sequential lazy pass over the
+  // shared planes.
+  void EvaluateEverywhere(std::span<const Formula* const> roots);
+  // The kernel engine: compiles (or reuses) the program for this root-set
+  // and executes it over the shared planes.  Returns false when the DAG
+  // has a shape the compiler refuses or the program would lose to the
+  // lazy interpreter (a lone modal root, both memo tiers on, no worker
+  // pool); true once every root is whole-space memoized.
+  bool EvaluateEverywhereKernel(std::span<const Formula* const> roots);
+  // The interpreted parallel engine: one sharded pass memoizes EVERY root
+  // at every class id against a combined DAG — shared subformulas get one
+  // compact worker-plane row each.  Roots already completed by earlier
+  // passes are skipped.
   void EvaluateEverywhereParallel(std::span<const Formula* const> roots);
-  // Retains f, runs the parallel whole-space pass, and returns f's value
+  // Canonicalizes f, runs the whole-space pass, and returns f's value
   // plane (one verdict bit per class id) — the shared preamble of every
-  // parallel whole-space query.  Requires UseParallel().
+  // plane-backed whole-space query.  Requires UsePlanes().
   const std::uint64_t* EvaluatedValuePlane(const FormulaPtr& f);
   // The shared-plane EvalContext (identity row/segment maps).
   EvalContext SharedContext();
@@ -284,6 +323,7 @@ class KnowledgeEvaluator {
   int num_threads_ = 1;
   bool bucket_memo_ = true;
   bool group_memo_ = true;
+  bool compiled_kernels_ = true;
   std::unique_ptr<internal::WorkerPool> pool_;  // lazily created
 
   std::unordered_map<const Formula*, std::uint32_t> node_index_;
@@ -314,8 +354,23 @@ class KnowledgeEvaluator {
 
   // Component indexes keyed by group bits.
   std::unordered_map<std::uint64_t, ComponentIndex> components_;
-  // Keeps parsed formula nodes alive while cached.
-  std::vector<FormulaPtr> retained_;
+
+  // Compiled kernel programs keyed by the sorted, deduplicated node ids of
+  // the (incomplete) roots they were lowered from; cleared by Refresh()
+  // (the plane re-layout invalidates the baked segment/row references).
+  std::map<std::vector<std::uint32_t>, kernel::KernelProgram>
+      kernel_programs_;
+  // Executor scratch, persistent across runs: per-worker register-plane
+  // pools, a tier-row buffer for segment ops without memo rows, and the CK
+  // per-component verdict bits.
+  std::vector<std::vector<std::vector<std::uint64_t>>> kernel_worker_regs_;
+  std::vector<std::uint64_t> kernel_row_scratch_;
+  std::vector<std::uint64_t> kernel_comp_scratch_;
+
+  // Canonicalizes every queried formula and keeps the canonical nodes (and
+  // the nodes they were interned from) alive while their memo rows and
+  // compiled programs are cached.
+  FormulaInterner interner_;
 };
 
 }  // namespace hpl

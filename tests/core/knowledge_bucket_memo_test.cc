@@ -7,6 +7,7 @@
 // threads, on a canonicalized space and a lockstep (non-canonicalized) one.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <vector>
 
 #include "core/knowledge.h"
@@ -111,10 +112,15 @@ TEST(KnowledgeBucketMemoTest, MemoStatsSplitByTier) {
   KnowledgeEvaluator eval(space, {.num_threads = 1});
   EXPECT_EQ(eval.MemoryUsage().bytes_total, 0u);
   // A singleton modality fills [p]-tier rows; a multi-process Everyone owns
-  // [G]-tier rows (its aggregation row plus per-member conjunct rows).
+  // [G]-tier rows (its aggregation row plus per-member conjunct rows).  One
+  // fused batch, so the sweep lowers to a compiled kernel (a lone modal
+  // root would stay on the lazy interpreter) and the kernel tier is
+  // populated alongside the projection tiers.
   const FormulaPtr atom = Formula::Atom(Predicate::CountOnAtLeast(0, 1));
-  eval.SatisfyingSet(Formula::Knows(ProcessSet{0}, atom));
-  eval.SatisfyingSet(Formula::Everyone(space.AllProcesses(), atom));
+  const std::vector<FormulaPtr> batch = {
+      Formula::Knows(ProcessSet{0}, atom),
+      Formula::Everyone(space.AllProcesses(), atom)};
+  eval.SatisfyingSets(std::span<const FormulaPtr>(batch.data(), batch.size()));
   const auto stats = eval.MemoryUsage();
   EXPECT_EQ(stats.dense_entries, eval.memo_size());
   EXPECT_GT(stats.bucket_entries, 0u);
@@ -122,8 +128,13 @@ TEST(KnowledgeBucketMemoTest, MemoStatsSplitByTier) {
   EXPECT_GT(stats.bytes_dense, 0u);
   EXPECT_GT(stats.bytes_bucket, 0u);
   EXPECT_GT(stats.bytes_group, 0u);
-  EXPECT_EQ(stats.bytes_total,
-            stats.bytes_dense + stats.bytes_bucket + stats.bytes_group);
+  // Whole-space sweeps lower to compiled kernels by default, so the kernel
+  // tier (cached programs + register pools) is populated too.
+  EXPECT_GT(stats.kernel_programs, 0u);
+  EXPECT_GT(stats.kernel_ops, 0u);
+  EXPECT_GT(stats.bytes_kernel, 0u);
+  EXPECT_EQ(stats.bytes_total, stats.bytes_dense + stats.bytes_bucket +
+                                   stats.bytes_group + stats.bytes_kernel);
 }
 
 }  // namespace

@@ -1,0 +1,321 @@
+// Differential contract of the compiled kernel engine: with
+// KnowledgeOptions::compiled_kernels on, every whole-space query must
+// reproduce the interpreted engine's verdicts byte for byte — across memo
+// tiers (off / bucket-only / full), thread counts, and the sequential
+// engine — on canonicalized, lockstep (literal interleaving), and
+// crash-fault spaces; for single sweeps and fused SatisfyingSets batches;
+// and across Refresh() after Deepen/Ingest, which must invalidate the
+// kernel program cache.  The profitability dispatch (a lone modal root with
+// both memo tiers on and no pool stays on the lazy interpreter) is pinned
+// by LoneModalRootStaysOnInterpreter.
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/computation.h"
+#include "core/faults.h"
+#include "core/knowledge.h"
+#include "core/random_system.h"
+#include "protocols/lockstep.h"
+#include "protocols/token_bus.h"
+
+namespace hpl {
+namespace {
+
+struct TierConfig {
+  bool bucket_memo;
+  bool group_memo;
+};
+
+constexpr TierConfig kTiers[] = {
+    {false, false},  // memo off: scratch-row sweeps everywhere
+    {true, false},   // bucket tier only
+    {true, true},    // full
+};
+
+KnowledgeOptions Config(int threads, TierConfig tier, bool kernels) {
+  KnowledgeOptions options;
+  options.num_threads = threads;
+  options.bucket_memo = tier.bucket_memo;
+  options.group_memo = tier.group_memo;
+  options.compiled_kernels = kernels;
+  return options;
+}
+
+// The battery covers every op the compiler emits: deep pure-boolean DAGs
+// (the fused pointwise mode), singleton and group modalities (kKnowSeg with
+// each quantifier), multi-process Everyone (kEveryoneSeg with and without
+// tier rows), common knowledge (kCkComponent), compile-time local-formula
+// folds (modal child constant on the operator's view), runtime constant
+// folds (tautological children), and the empty-group compile refusal that
+// falls back to the interpreter.
+std::vector<FormulaPtr> KernelFormulas(const FormulaPtr& a,
+                                       const FormulaPtr& b, ProcessSet all) {
+  const ProcessSet pair = ProcessSet::Of(0).Union(ProcessSet::Of(1));
+  const FormulaPtr deep_bool = Formula::Implies(
+      Formula::And(a, Formula::Or(Formula::Not(b), a)),
+      Formula::Or(Formula::And(Formula::Not(a), b),
+                  Formula::Not(Formula::And(a, Formula::Not(b)))));
+  return {
+      a,
+      deep_bool,
+      Formula::Knows(ProcessSet::Of(0), a),
+      Formula::Knows(pair, a),  // distributed knowledge: [G]-row
+      Formula::Knows(all, deep_bool),
+      Formula::Sure(ProcessSet::Of(1), b),
+      Formula::Sure(pair, Formula::Not(a)),
+      Formula::Possible(ProcessSet::Of(0), Formula::Not(a)),
+      Formula::Possible(pair, Formula::And(a, b)),
+      Formula::Everyone(pair, a),
+      Formula::Everyone(all, Formula::Or(a, b)),
+      Formula::Common(pair, a),
+      Formula::Common(all, Formula::Or(a, Formula::Not(a))),  // const fold
+      Formula::Knows(ProcessSet::Of(0), Formula::Or(a, Formula::Not(a))),
+      // Local-formula folds: the child is constant on the operator's view.
+      Formula::Knows(ProcessSet::Of(0), Formula::Common(pair, a)),
+      Formula::Sure(pair, Formula::Knows(ProcessSet::Of(0), a)),
+      Formula::Everyone(pair, Formula::Common(pair, b)),
+      // Nested modal over boolean glue: kernels and interpreter interleave.
+      Formula::Knows(ProcessSet::Of(1),
+                     Formula::And(Formula::Knows(ProcessSet::Of(0), a),
+                                  Formula::Not(b))),
+      // Empty-group modal: the compiler refuses, the evaluator falls back.
+      Formula::Knows(ProcessSet(), a),
+      Formula::Possible(ProcessSet(), Formula::Not(b)),
+  };
+}
+
+void ExpectKernelsMatchInterpreter(const ComputationSpace& space,
+                                   const FormulaPtr& a, const FormulaPtr& b) {
+  const auto battery = KernelFormulas(a, b, space.AllProcesses());
+  // Reference: the sequential interpreted engine, full memo tiers.
+  KnowledgeEvaluator reference(space, Config(1, kTiers[2], false));
+  for (const TierConfig tier : kTiers) {
+    for (const int threads : {1, 4}) {
+      KnowledgeEvaluator interpreted(space, Config(threads, tier, false));
+      KnowledgeEvaluator kernels(space, Config(threads, tier, true));
+      for (const FormulaPtr& f : battery) {
+        const auto expected = reference.SatisfyingSet(f);
+        ASSERT_EQ(interpreted.SatisfyingSet(f), expected)
+            << "interpreted diverged: " << f->ToString() << " threads="
+            << threads << " bucket=" << tier.bucket_memo
+            << " group=" << tier.group_memo;
+        ASSERT_EQ(kernels.SatisfyingSet(f), expected)
+            << "kernels diverged: " << f->ToString() << " threads=" << threads
+            << " bucket=" << tier.bucket_memo << " group=" << tier.group_memo;
+        ASSERT_EQ(kernels.HoldsAll(f), interpreted.HoldsAll(f))
+            << f->ToString();
+      }
+      // Locality/constancy decisions ride the same planes.
+      ASSERT_EQ(kernels.IsConstant(battery[1]),
+                reference.IsConstant(battery[1]));
+      ASSERT_EQ(kernels.IsLocalTo(a, ProcessSet::Of(0)),
+                reference.IsLocalTo(a, ProcessSet::Of(0)));
+    }
+  }
+}
+
+TEST(KnowledgeKernelTest, CanonicalizedSpaceMatchesInterpreter) {
+  RandomSystemOptions options;
+  options.num_processes = 3;
+  options.num_messages = 4;
+  options.seed = 29;
+  RandomSystem system(options);
+  const auto space = ComputationSpace::Enumerate(system, {});
+  ASSERT_GE(space.size(), 128u);
+  ExpectKernelsMatchInterpreter(space,
+                                Formula::Atom(Predicate::Sent(0)),
+                                Formula::Atom(Predicate::Received(1)));
+}
+
+TEST(KnowledgeKernelTest, LockstepSpaceMatchesInterpreter) {
+  protocols::LockstepSystem lockstep(3);
+  EnumerationLimits limits;
+  limits.canonicalize = false;  // literal interleavings
+  const auto space = ComputationSpace::Enumerate(lockstep, limits);
+  ExpectKernelsMatchInterpreter(
+      space, Formula::Atom(Predicate::CountOnAtLeast(0, 2)),
+      Formula::Atom(Predicate::CountOnAtLeast(1, 1)));
+}
+
+TEST(KnowledgeKernelTest, CrashFaultSpaceMatchesInterpreter) {
+  protocols::TokenBusSystem bus(3, 2);
+  const CrashFaultSystem faulty(bus, {.max_crashes = 1, .may_crash = {}});
+  EnumerationLimits limits;
+  limits.max_depth = 5;
+  limits.allow_truncation = true;
+  const auto space = ComputationSpace::Enumerate(faulty, limits);
+  ExpectKernelsMatchInterpreter(space, Formula::Atom(bus.HoldsToken(0)),
+                                Formula::Atom(bus.HoldsToken(1)));
+}
+
+TEST(KnowledgeKernelTest, FusedBatchesAreByteIdentical) {
+  RandomSystemOptions options;
+  options.num_processes = 4;
+  options.num_messages = 5;
+  options.seed = 31;
+  RandomSystem system(options);
+  const auto space = ComputationSpace::Enumerate(system, {});
+  const auto batch =
+      KernelFormulas(Formula::Atom(Predicate::Sent(0)),
+                     Formula::Atom(Predicate::Received(0)),
+                     space.AllProcesses());
+  const std::span<const FormulaPtr> span(batch.data(), batch.size());
+  for (const TierConfig tier : kTiers) {
+    for (const int threads : {1, 4}) {
+      KnowledgeEvaluator interpreted(space, Config(threads, tier, false));
+      KnowledgeEvaluator kernels(space, Config(threads, tier, true));
+      const auto expected = interpreted.SatisfyingSets(span);
+      const auto got = kernels.SatisfyingSets(span);
+      ASSERT_EQ(got, expected)
+          << "threads=" << threads << " bucket=" << tier.bucket_memo
+          << " group=" << tier.group_memo;
+      // A repeat batch hits completed planes and the program cache.
+      ASSERT_EQ(kernels.SatisfyingSets(span), expected);
+    }
+  }
+}
+
+TEST(KnowledgeKernelTest, PointwiseHoldsInterleavesWithKernelSweeps) {
+  RandomSystemOptions options;
+  options.seed = 5;
+  RandomSystem system(options);
+  const auto space = ComputationSpace::Enumerate(system, {.max_depth = 24});
+  const FormulaPtr f = Formula::Knows(
+      ProcessSet::Of(0),
+      Formula::Or(Formula::Atom(Predicate::Sent(0)),
+                  Formula::Atom(Predicate::Received(1))));
+  KnowledgeEvaluator interpreted(space, Config(1, kTiers[2], false));
+  KnowledgeEvaluator kernels(space, Config(1, kTiers[2], true));
+  // Pointwise probes seed partial memo bits; the kernel sweep must respect
+  // and complete them, and pointwise probes after it must hit the planes.
+  for (const std::size_t id : {std::size_t{0}, space.size() / 2})
+    ASSERT_EQ(kernels.Holds(f, id), interpreted.Holds(f, id));
+  ASSERT_EQ(kernels.SatisfyingSet(f), interpreted.SatisfyingSet(f));
+  for (std::size_t id = 0; id < space.size(); ++id)
+    ASSERT_EQ(kernels.Holds(f, id), interpreted.Holds(f, id)) << id;
+}
+
+TEST(KnowledgeKernelTest, StructurallyEqualFormulasShareOneProgram) {
+  RandomSystemOptions options;
+  options.seed = 11;
+  RandomSystem system(options);
+  const auto space = ComputationSpace::Enumerate(system, {.max_depth = 24});
+  // Memo-off tier: a lone modal root with both tiers on would stay on the
+  // lazy interpreter (profitability dispatch) and never compile.
+  KnowledgeEvaluator eval(space, Config(1, kTiers[0], true));
+  // Two structurally equal roots built by different code paths: the
+  // interner must collapse them onto one node, one sweep, one program.
+  auto build = [] {
+    return Formula::Knows(ProcessSet::Of(0),
+                          Formula::And(Formula::Atom(Predicate::Sent(0)),
+                                       Formula::Atom(Predicate::Received(1))));
+  };
+  const auto first = eval.SatisfyingSet(build());
+  const auto stats_after_first = eval.MemoryUsage();
+  ASSERT_GT(stats_after_first.kernel_programs, 0u);
+  EXPECT_EQ(eval.SatisfyingSet(build()), first);
+  const auto stats_after_second = eval.MemoryUsage();
+  // The second sweep hit the completed plane: no new program was compiled.
+  EXPECT_EQ(stats_after_second.kernel_programs,
+            stats_after_first.kernel_programs);
+  EXPECT_EQ(stats_after_second.kernel_ops, stats_after_first.kernel_ops);
+}
+
+// Refresh() after growth must drop compiled programs (the plane re-layout
+// invalidates baked row/segment references) and keep verdicts identical to
+// a fresh evaluator over the grown space.
+TEST(KnowledgeKernelTest, RefreshAfterDeepenInvalidatesProgramCache) {
+  protocols::TokenBusSystem bus(3, 3);
+  SpaceBuilder builder;
+  EnumerationLimits limits;
+  limits.max_depth = 4;
+  limits.allow_truncation = true;
+  builder.Build(bus, limits);
+  // Memo-off tier so the lone modal root compiles (see the profitability
+  // dispatch); the cache-invalidation contract is tier-independent.
+  KnowledgeEvaluator eval(builder.space(), Config(1, kTiers[0], true));
+  const FormulaPtr f = Formula::Knows(
+      ProcessSet::Of(0),
+      Formula::Or(Formula::Atom(bus.HoldsToken(0)),
+                  Formula::Atom(bus.HoldsToken(2))));
+  eval.SatisfyingSet(f);
+  ASSERT_GT(eval.MemoryUsage().kernel_programs, 0u);
+
+  ASSERT_GT(builder.Deepen(1), 0u);
+  eval.Refresh();
+  EXPECT_EQ(eval.MemoryUsage().kernel_programs, 0u);
+
+  KnowledgeEvaluator fresh(builder.space(), Config(1, kTiers[0], true));
+  KnowledgeEvaluator interpreted(builder.space(), Config(1, kTiers[0], false));
+  const auto expected = interpreted.SatisfyingSet(f);
+  EXPECT_EQ(eval.SatisfyingSet(f), expected);
+  EXPECT_EQ(fresh.SatisfyingSet(f), expected);
+  EXPECT_GT(eval.MemoryUsage().kernel_programs, 0u);  // recompiled
+}
+
+TEST(KnowledgeKernelTest, RefreshAfterIngestInvalidatesProgramCache) {
+  protocols::TokenBusSystem bus(3, 2);
+  SpaceBuilder builder;
+  EnumerationLimits limits;
+  limits.max_depth = 3;
+  limits.allow_truncation = true;
+  builder.Build(bus, limits);
+  KnowledgeEvaluator eval(builder.space(), Config(1, kTiers[0], true));
+  const FormulaPtr f =
+      Formula::Everyone(ProcessSet::Of(0).Union(ProcessSet::Of(1)),
+                        Formula::Atom(bus.HoldsToken(0)));
+  eval.SatisfyingSet(f);
+  ASSERT_GT(eval.MemoryUsage().kernel_programs, 0u);
+
+  // Splice the system's lexicographically-first run, two levels past the
+  // built depth, into the space.
+  std::vector<Event> events;
+  while (events.size() < 5) {
+    const auto enabled =
+        bus.EnabledEvents(Computation::TrustedFromEvents(events));
+    if (enabled.empty()) break;
+    events.push_back(enabled.front());
+  }
+  ASSERT_GT(builder.Ingest(std::span<const Event>(events)), 0u);
+
+  eval.Refresh();
+  EXPECT_EQ(eval.MemoryUsage().kernel_programs, 0u);
+  KnowledgeEvaluator interpreted(builder.space(), Config(1, kTiers[0], false));
+  EXPECT_EQ(eval.SatisfyingSet(f), interpreted.SatisfyingSet(f));
+}
+
+// The profitability dispatch: with both memo tiers on and no worker pool, a
+// lone modal root stays on the lazy interpreter (no program compiles), while
+// pure-boolean roots, fused batches, and memo-off sweeps use the kernel.
+TEST(KnowledgeKernelTest, LoneModalRootStaysOnInterpreter) {
+  RandomSystemOptions options;
+  options.seed = 17;
+  RandomSystem system(options);
+  const auto space = ComputationSpace::Enumerate(system, {.max_depth = 24});
+  const FormulaPtr atom = Formula::Atom(Predicate::Sent(0));
+  const FormulaPtr modal = Formula::Knows(ProcessSet::Of(0), atom);
+
+  KnowledgeEvaluator lazy(space, Config(1, kTiers[2], true));
+  lazy.SatisfyingSet(modal);
+  EXPECT_EQ(lazy.MemoryUsage().kernel_programs, 0u);
+
+  KnowledgeEvaluator boolean(space, Config(1, kTiers[2], true));
+  boolean.SatisfyingSet(Formula::And(atom, Formula::Not(atom)));
+  EXPECT_EQ(boolean.MemoryUsage().kernel_programs, 1u);
+
+  KnowledgeEvaluator fused(space, Config(1, kTiers[2], true));
+  const std::vector<FormulaPtr> batch = {modal,
+                                         Formula::Sure(ProcessSet::Of(1), atom)};
+  fused.SatisfyingSets(std::span<const FormulaPtr>(batch.data(), batch.size()));
+  EXPECT_EQ(fused.MemoryUsage().kernel_programs, 1u);
+
+  KnowledgeEvaluator memo_off(space, Config(1, kTiers[0], true));
+  memo_off.SatisfyingSet(modal);
+  EXPECT_EQ(memo_off.MemoryUsage().kernel_programs, 1u);
+}
+
+}  // namespace
+}  // namespace hpl

@@ -64,6 +64,9 @@ VOLATILE_PARAMS = {
     # the key: they are deterministic, so a drift there IS a row mismatch).
     "deepen_speedup",
     "events_per_sec",
+    # bench_knowledge_scaling kernel_speedup gauge rows (the kernels flag
+    # itself stays in the key: it names which engine a row measured).
+    "speedup",
 }
 
 

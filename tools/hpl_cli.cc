@@ -67,6 +67,8 @@
 //   --threads=N            ComputationSpace::Enumerate workers
 //   --knowledge-threads=N  KnowledgeEvaluator workers
 //                          (both: 0 = hardware concurrency, 1 = sequential)
+//   --kernels=on|off       compiled kernel sweeps (default on; off runs the
+//                          interpreted reference engine — see core/kernel.h)
 //   --max-depth=N          override the system's enumeration depth cap
 //   --max-classes=N        override the [D]-class budget
 //   --allow-truncation     keep going at max_depth (knowledge verdicts are
@@ -350,6 +352,7 @@ ProcessSet ParseSet(const std::string& arg) {
 struct CliOptions {
   int threads = 0;            // enumeration workers (0 = hardware)
   int knowledge_threads = 0;  // evaluation workers (0 = hardware)
+  bool kernels = true;        // --kernels=on|off: compiled sweep engine
   int max_depth = -1;         // < 0: keep the system's default
   long long max_classes = 0;  // 0: keep the EnumerationLimits default
   bool allow_truncation = false;
@@ -393,6 +396,16 @@ CliOptions ParseCliOptions(int argc, char** argv, int first,
     else if (std::strncmp(arg, "--knowledge-threads=", 20) == 0)
       options.knowledge_threads = static_cast<int>(
           ParseIntArg("--knowledge-threads", arg + 20, 0, 4096));
+    else if (std::strncmp(arg, "--kernels=", 10) == 0) {
+      const std::string_view value(arg + 10);
+      if (value == "on")
+        options.kernels = true;
+      else if (value == "off")
+        options.kernels = false;
+      else
+        throw ModelError("--kernels: expected 'on' or 'off', got '" +
+                         std::string(value) + "'");
+    }
     else if (std::strncmp(arg, "--max-depth=", 12) == 0)
       // [1, 65535]: the columnar store's 16-bit splice links cannot hold
       // deeper computations, and depth 0 would enumerate nothing — reject
@@ -570,6 +583,9 @@ void PrintMemoryStats(const ComputationSpace::MemoryStats& space_memory,
               space_memory.BytesPerClass(),
               static_cast<double>(space_memory.bytes_aos_equivalent) / 1024.0,
               static_cast<double>(memo_memory.bytes_total) / 1024.0);
+  std::printf("kernels: %zu programs, %zu ops, %.1f KiB compiled+registers\n",
+              memo_memory.kernel_programs, memo_memory.kernel_ops,
+              static_cast<double>(memo_memory.bytes_kernel) / 1024.0);
 }
 
 // The enumerate/evaluate phase rows shared by check, check-at, and bench.
@@ -602,7 +618,8 @@ int CmdCheck(const std::string& spec, const std::string& text,
   auto space = ComputationSpace::Enumerate(*named.system, limits);
   const std::int64_t enumerate_ns = enumerate_timer.ElapsedNs();
   WarnIfTruncated(space);
-  KnowledgeEvaluator eval(space, {.num_threads = flags.knowledge_threads});
+  KnowledgeEvaluator eval(space, {.num_threads = flags.knowledge_threads,
+                                  .compiled_kernels = flags.kernels});
   FormulaPtr formula = Formula::Parse(text, named.atoms);
   std::printf("system:  %s (%zu computations%s)\n",
               named.system->Name().c_str(), space.size(),
@@ -637,6 +654,7 @@ int CmdCheck(const std::string& spec, const std::string& text,
         {"knowledge_threads",
          static_cast<double>(
              internal::ResolveNumThreads(flags.knowledge_threads))},
+        {"kernels", flags.kernels ? 1.0 : 0.0},
         {"satisfying", static_cast<double>(sat.size())},
         {"memo_entries", static_cast<double>(eval.memo_size())}};
     evaluate_row.wall_ns = evaluate_ns;
@@ -659,7 +677,8 @@ int CmdCheckAt(const std::string& spec, const std::string& text,
   auto space = ComputationSpace::Enumerate(*named.system, limits);
   const std::int64_t enumerate_ns = enumerate_timer.ElapsedNs();
   WarnIfTruncated(space);
-  KnowledgeEvaluator eval(space, {.num_threads = flags.knowledge_threads});
+  KnowledgeEvaluator eval(space, {.num_threads = flags.knowledge_threads,
+                                  .compiled_kernels = flags.kernels});
   FormulaPtr formula = Formula::Parse(text, named.atoms);
   const Computation at = ParseComputation(serialized);
   const auto id = space.IndexOf(at);
@@ -700,6 +719,7 @@ int CmdCheckAt(const std::string& spec, const std::string& text,
     bench::JsonResult evaluate_row;
     evaluate_row.name = "check_at/" + named.system->Name();
     evaluate_row.params = {{"verdict", verdict ? 1.0 : 0.0},
+                           {"kernels", flags.kernels ? 1.0 : 0.0},
                            {"memo_entries",
                             static_cast<double>(eval.memo_size())}};
     evaluate_row.wall_ns = evaluate_ns;
@@ -1069,75 +1089,31 @@ Value Parse(std::string_view text) { return Parser(text).Parse(); }
 
 // --- hpl serve: the long-lived query service --------------------------------
 
-// Structural formula interner.  Formula::Parse builds fresh nodes on every
-// call, and the evaluator's memo planes are keyed by node pointer — so a
-// server that parsed each request in isolation would never hit its own
-// cache and its plane set would grow per request.  Interning rebuilds every
-// parsed formula bottom-up, deduplicating each subformula by its canonical
-// ToString, so the hundredth "K{0} sent" IS the first one (pointer-equal)
-// and nested queries share subformula nodes — and therefore memo rows —
-// with every earlier request.
-class FormulaInterner {
- public:
-  FormulaPtr Intern(const FormulaPtr& f) {
-    if (!f) return nullptr;
-    const std::string key = f->ToString();
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
-    const FormulaPtr left = Intern(f->left());
-    const FormulaPtr right = Intern(f->right());
-    FormulaPtr rebuilt;
-    switch (f->kind()) {
-      case FormulaKind::kAtom: rebuilt = f; break;
-      case FormulaKind::kNot: rebuilt = Formula::Not(left); break;
-      case FormulaKind::kAnd: rebuilt = Formula::And(left, right); break;
-      case FormulaKind::kOr: rebuilt = Formula::Or(left, right); break;
-      case FormulaKind::kImplies:
-        rebuilt = Formula::Implies(left, right);
-        break;
-      case FormulaKind::kKnows:
-        rebuilt = Formula::Knows(f->group(), left);
-        break;
-      case FormulaKind::kSure: rebuilt = Formula::Sure(f->group(), left); break;
-      case FormulaKind::kCommon:
-        rebuilt = Formula::Common(f->group(), left);
-        break;
-      case FormulaKind::kEveryone:
-        rebuilt = Formula::Everyone(f->group(), left);
-        break;
-      case FormulaKind::kPossible:
-        rebuilt = Formula::Possible(f->group(), left);
-        break;
-    }
-    cache_.emplace(key, rebuilt);
-    return rebuilt;
-  }
-
-  std::size_t size() const noexcept { return cache_.size(); }
-
- private:
-  std::unordered_map<std::string, FormulaPtr> cache_;
-};
-
 // The long-lived state behind one serve process.  The space lives inside a
 // resumable SpaceBuilder so a "deepen" request can grow it in place: the
 // builder owns the space behind a stable pointer, the evaluator holds a
 // reference to it, and after Deepen a single KnowledgeEvaluator::Refresh()
 // re-syncs the memo planes — verdicts for cones closed below the old depth
 // survive, only the frontier-adjacent rows recompute.
+//
+// Formula::Parse builds fresh nodes per request, but the evaluator
+// canonicalizes every entry formula through its own structural
+// FormulaInterner, so the hundredth "K{0} sent" lands on the first one's
+// memo rows and compiled kernel program; the serve layer only caches
+// request text -> parsed formula to skip re-parsing.
 struct ServeContext {
   NamedSystem named;
   SpaceBuilder builder;
   std::unique_ptr<KnowledgeEvaluator> eval;
-  FormulaInterner interner;
-  // Request text -> interned formula, so repeat queries skip the parse too.
+  // Request text -> parsed formula, so repeat queries skip the parse.
   std::unordered_map<std::string, FormulaPtr> by_text;
   std::uint64_t requests = 0;
 
-  ServeContext(NamedSystem n, SpaceBuilder b, int threads)
+  ServeContext(NamedSystem n, SpaceBuilder b, int threads, bool kernels)
       : named(std::move(n)), builder(std::move(b)) {
     eval = std::make_unique<KnowledgeEvaluator>(
-        builder.space(), KnowledgeOptions{.num_threads = threads});
+        builder.space(), KnowledgeOptions{.num_threads = threads,
+                                          .compiled_kernels = kernels});
   }
 
   const ComputationSpace& space() const { return builder.space(); }
@@ -1145,7 +1121,7 @@ struct ServeContext {
   FormulaPtr FormulaFor(const std::string& text) {
     const auto it = by_text.find(text);
     if (it != by_text.end()) return it->second;
-    FormulaPtr f = interner.Intern(Formula::Parse(text, named.atoms));
+    FormulaPtr f = Formula::Parse(text, named.atoms);
     by_text.emplace(text, f);
     return f;
   }
@@ -1230,7 +1206,11 @@ std::string HandleServeRequest(ServeContext& ctx, const json::Value& request,
            ",\"deepenable\":" + (ctx.builder.CanDeepen() ? "true" : "false") +
            ",\"memo_entries\":" + std::to_string(ctx.eval->memo_size()) +
            ",\"bytes_memo\":" + std::to_string(memo.bytes_total) +
-           ",\"formulas_interned\":" + std::to_string(ctx.interner.size()) +
+           ",\"formulas_interned\":" +
+           std::to_string(ctx.eval->interner().size()) +
+           ",\"kernel_programs\":" + std::to_string(memo.kernel_programs) +
+           ",\"kernel_ops\":" + std::to_string(memo.kernel_ops) +
+           ",\"bytes_kernel\":" + std::to_string(memo.bytes_kernel) +
            ",\"requests\":" + std::to_string(ctx.requests) + id + "}";
   }
   if (op == "check") {
@@ -1362,7 +1342,7 @@ int CmdServe(const std::string& spec, const CliOptions& flags) {
   WarnIfTruncated(builder->space());
 
   ServeContext ctx(std::move(named), std::move(*builder),
-                   flags.knowledge_threads);
+                   flags.knowledge_threads, flags.kernels);
   std::fprintf(stderr,
                "serve: %s ready (%zu classes, depth %d%s); "
                "newline-delimited JSON requests on stdin, one response per "
@@ -1430,6 +1410,13 @@ int CmdSnapshotInfo(const std::string& path) {
   std::printf("group indexes: %llu\n",
               static_cast<unsigned long long>(info.group_indexes));
   std::printf("canonicalize:  %s\n", info.canonicalize ? "yes" : "no");
+  // Snapshots persist the space only; an evaluator over it starts with an
+  // empty kernel cache, so report the per-register-plane footprint a
+  // compiled sweep of this space will use (one 64-bit word per 64 classes).
+  const unsigned long long plane_bytes = ((info.classes + 63) / 64) * 8;
+  std::printf("kernel cache:  0 programs, 0 ops (cold); %.1f KiB per "
+              "register plane\n",
+              static_cast<double>(plane_bytes) / 1024.0);
   return 0;
 }
 
@@ -1474,7 +1461,8 @@ int CmdBench(const std::string& spec, const CliOptions& flags) {
   reporter.Add(enum_result);
 
   // Phase 2 — evaluate: satisfying set of K{0} atom for every atom.
-  KnowledgeEvaluator eval(*space, {.num_threads = knowledge_threads});
+  KnowledgeEvaluator eval(*space, {.num_threads = knowledge_threads,
+                                   .compiled_kernels = flags.kernels});
   bench::WallTimer knowledge_timer;
   std::size_t satisfying = 0;
   std::vector<std::vector<std::size_t>> atom_sets;
@@ -1512,17 +1500,23 @@ int CmdBench(const std::string& spec, const CliOptions& flags) {
                    "from the sequential space\n",
                    limits.num_threads);
   }
-  if (deterministic && knowledge_threads != 1) {
-    KnowledgeEvaluator seq_eval(*space, {.num_threads = 1});
+  // The reference evaluator is sequential AND interpreted, so this pass
+  // doubles as the kernel divergence abort: with kernels on it re-derives
+  // every verdict through the lazy recursion even at 1 thread.
+  if (deterministic && (knowledge_threads != 1 || flags.kernels)) {
+    KnowledgeEvaluator seq_eval(
+        *space, {.num_threads = 1, .compiled_kernels = false});
     for (std::size_t i = 0; deterministic && i < named.atoms.size(); ++i) {
       if (atom_sets[i] !=
           seq_eval.SatisfyingSet(Formula::Knows(
               ProcessSet{0}, Formula::Atom(named.atoms[i])))) {
         deterministic = false;
         std::fprintf(stderr,
-                     "DETERMINISM VIOLATION: evaluate at %d threads diverges "
-                     "from the sequential satisfying set of atom '%s'\n",
-                     knowledge_threads, named.atoms[i].name().c_str());
+                     "DETERMINISM VIOLATION: evaluate at %d threads "
+                     "(kernels %s) diverges from the sequential interpreted "
+                     "satisfying set of atom '%s'\n",
+                     knowledge_threads, flags.kernels ? "on" : "off",
+                     named.atoms[i].name().c_str());
       }
     }
   }
@@ -1532,6 +1526,7 @@ int CmdBench(const std::string& spec, const CliOptions& flags) {
   know_result.params = {{"atoms", static_cast<double>(named.atoms.size())},
                         {"knowledge_threads",
                          static_cast<double>(knowledge_threads)},
+                        {"kernels", flags.kernels ? 1.0 : 0.0},
                         {"satisfying", static_cast<double>(satisfying)},
                         {"memo_entries", static_cast<double>(eval.memo_size())},
                         {"deterministic", deterministic ? 1.0 : 0.0}};
@@ -1542,8 +1537,9 @@ int CmdBench(const std::string& spec, const CliOptions& flags) {
   reporter.Add(know_result);
 
   std::printf("system:            %s\n", named.system->Name().c_str());
-  std::printf("threads:           %d enumerate, %d evaluate\n",
-              limits.num_threads, knowledge_threads);
+  std::printf("threads:           %d enumerate, %d evaluate (kernels %s)\n",
+              limits.num_threads, knowledge_threads,
+              flags.kernels ? "on" : "off");
   std::printf("classes:           %zu%s\n", classes,
               space->truncated() ? " (TRUNCATED)" : "");
   std::printf("phase enumerate:   %.3f ms best-of-%d  (%.0f classes/sec)\n",
@@ -1568,8 +1564,9 @@ int Main(int argc, char** argv) {
                  "| serve <sys> [--snapshot=PATH] | snapshot save <sys> "
                  "<path> | snapshot info <path> | snapshot load <path>"
                  "\n  check/check-at/bench/serve flags: [--threads=N] "
-                 "[--knowledge-threads=N] [--max-depth=N] [--max-classes=N] "
-                 "[--allow-truncation] [--group=P0,P1[,...]] [--json=PATH]"
+                 "[--knowledge-threads=N] [--kernels=on|off] [--max-depth=N] "
+                 "[--max-classes=N] [--allow-truncation] "
+                 "[--group=P0,P1[,...]] [--json=PATH]"
                  "\n  fault knobs (check/bench/simulate consensus): "
                  "[--crash=p[@t]] [--drop=P] [--partition=S@B..E]\n");
     return 2;
