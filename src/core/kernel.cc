@@ -687,14 +687,19 @@ void Execute(const KernelProgram& program, const ExecContext& ctx) {
           for (const Op& op : program.ops)
             RunPointwiseOp(ctx, regs, op, wb, we);
         });
+    if (ctx.space->out_of_core()) ctx.space->TrimResidency();
     return;
   }
 
   // Segmented mode: one barrier pass per op; 64-aligned chunks keep every
   // shared plane word single-writer within a pass, and the pass barrier
-  // orders the next op's reads after this op's writes.
+  // orders the next op's reads after this op's writes.  Each pass barrier
+  // is a quiescent point for the segment store, so an out-of-core space
+  // trims residency between ops — the kernel streams the space's segments
+  // op by op instead of faulting the whole space resident.
   Regs& regs = pools[0];
   for (const Op& op : program.ops) {
+    if (ctx.space->out_of_core()) ctx.space->TrimResidency();
     switch (op.code) {
       case OpCode::kKnowSeg:
         ExecKnowSeg(ctx, regs, op);
@@ -719,6 +724,7 @@ void Execute(const KernelProgram& program, const ExecContext& ctx) {
         break;
     }
   }
+  if (ctx.space->out_of_core()) ctx.space->TrimResidency();
 }
 
 }  // namespace hpl::kernel

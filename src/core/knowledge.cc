@@ -413,8 +413,10 @@ std::vector<std::uint8_t> KnowledgeEvaluator::HoldsAll(const FormulaPtr& f) {
   }
   const FormulaPtr canon = interner_.Intern(f);
   EvalContext ctx = SharedContext();
-  for (std::size_t id = 0; id < space_.size(); ++id)
-    out[id] = Eval(canon.get(), id, ctx) ? 1 : 0;
+  for (auto cur = space_.Classes(0, SIZE_MAX, space_.out_of_core());
+       cur.Valid(); cur.Next())
+    for (std::size_t id = cur.begin(); id < cur.end(); ++id)
+      out[id] = Eval(canon.get(), id, ctx) ? 1 : 0;
   return out;
 }
 
@@ -437,8 +439,10 @@ std::vector<std::size_t> KnowledgeEvaluator::SatisfyingSet(
   }
   const FormulaPtr canon = interner_.Intern(f);
   EvalContext ctx = SharedContext();
-  for (std::size_t id = 0; id < space_.size(); ++id)
-    if (Eval(canon.get(), id, ctx)) out.push_back(id);
+  for (auto cur = space_.Classes(0, SIZE_MAX, space_.out_of_core());
+       cur.Valid(); cur.Next())
+    for (std::size_t id = cur.begin(); id < cur.end(); ++id)
+      if (Eval(canon.get(), id, ctx)) out.push_back(id);
   return out;
 }
 
@@ -481,9 +485,11 @@ std::vector<std::vector<std::size_t>> KnowledgeEvaluator::SatisfyingSets(
   // whole batch.  Identical verdicts to per-formula SatisfyingSet calls —
   // Eval is a pure function of (node, id) — just fewer cold probes.
   EvalContext ctx = SharedContext();
-  for (std::size_t id = 0; id < space_.size(); ++id)
-    for (std::size_t k = 0; k < canon.size(); ++k)
-      if (Eval(canon[k].get(), id, ctx)) out[k].push_back(id);
+  for (auto cur = space_.Classes(0, SIZE_MAX, space_.out_of_core());
+       cur.Valid(); cur.Next())
+    for (std::size_t id = cur.begin(); id < cur.end(); ++id)
+      for (std::size_t k = 0; k < canon.size(); ++k)
+        if (Eval(canon[k].get(), id, ctx)) out[k].push_back(id);
   return out;
 }
 
@@ -513,8 +519,10 @@ bool KnowledgeEvaluator::IsLocalTo(const FormulaPtr& f, ProcessSet p) {
   }
   const FormulaPtr canon = interner_.Intern(sure);
   EvalContext ctx = SharedContext();
-  for (std::size_t id = 0; id < space_.size(); ++id)
-    if (!Eval(canon.get(), id, ctx)) return false;
+  for (auto cur = space_.Classes(0, SIZE_MAX, space_.out_of_core());
+       cur.Valid(); cur.Next())
+    for (std::size_t id = cur.begin(); id < cur.end(); ++id)
+      if (!Eval(canon.get(), id, ctx)) return false;
   return true;
 }
 
@@ -531,8 +539,10 @@ bool KnowledgeEvaluator::IsConstant(const FormulaPtr& f) {
   const FormulaPtr canon = interner_.Intern(f);
   EvalContext ctx = SharedContext();
   const bool v0 = Eval(canon.get(), 0, ctx);
-  for (std::size_t id = 1; id < space_.size(); ++id)
-    if (Eval(canon.get(), id, ctx) != v0) return false;
+  for (auto cur = space_.Classes(1, SIZE_MAX, space_.out_of_core());
+       cur.Valid(); cur.Next())
+    for (std::size_t id = cur.begin(); id < cur.end(); ++id)
+      if (Eval(canon.get(), id, ctx) != v0) return false;
   return true;
 }
 
@@ -963,8 +973,10 @@ void KnowledgeEvaluator::EvaluateEverywhere(
     if (!node_complete_[InternNode(root)]) roots.push_back(root);
   if (roots.empty()) return;
   EvalContext ctx = SharedContext();
-  for (std::size_t id = 0; id < space_.size(); ++id)
-    for (const Formula* root : roots) Eval(root, id, ctx);
+  for (auto cur = space_.Classes(0, SIZE_MAX, space_.out_of_core());
+       cur.Valid(); cur.Next())
+    for (std::size_t id = cur.begin(); id < cur.end(); ++id)
+      for (const Formula* root : roots) Eval(root, id, ctx);
   for (const Formula* root : roots) node_complete_[InternNode(root)] = 1;
 }
 
@@ -1167,10 +1179,15 @@ void KnowledgeEvaluator::EvaluateEverywhereParallel(
                         pass_seg_offset};
         // Root-inner, id-outer: at each id the whole plane-stack is warm,
         // so every root after the first mostly hits the memo bits the
-        // earlier roots' shared subformulas just wrote.
-        for (std::size_t id = begin; id < end; ++id)
-          for (const Formula* root : roots) Eval(root, id, ctx);
+        // earlier roots' shared subformulas just wrote.  Each shard runs
+        // its own non-trimming cursor (pins are per-segment, so shards
+        // never fight); residency trims wait for the pass to finish.
+        for (auto cur = space_.Classes(begin, end, /*trim_behind=*/false);
+             cur.Valid(); cur.Next())
+          for (std::size_t id = cur.begin(); id < cur.end(); ++id)
+            for (const Formula* root : roots) Eval(root, id, ctx);
       });
+  if (space_.out_of_core()) space_.TrimResidency();
   for (const MemoPlanes& planes : worker_planes_) {
     for (std::size_t i = 0; i < order.size(); ++i) {
       const std::size_t to = InternNode(order[i]) * words_;

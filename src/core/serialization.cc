@@ -183,6 +183,10 @@ class Writer {
     U64(column.size());
     for (std::uint32_t v : column) U32(v);
   }
+  void U32SegColumn(const internal::SegColumn<std::uint32_t>& column) {
+    U64(column.size());
+    for (std::size_t i = 0; i < column.size(); ++i) U32(column[i]);
+  }
   // Emits the running checksum (not folded into itself) and ends the file.
   void Checksum() {
     const std::uint64_t sum = hash_;
@@ -283,9 +287,68 @@ class Reader {
   std::uint64_t hash_ = kFnvOffset;
 };
 
+// FNV-1a folds over the little-endian wire form of column elements — the
+// per-column checksums in the v3 segment directory.
+std::uint64_t FoldU16(std::uint64_t h, std::uint16_t v) {
+  for (int i = 0; i < 2; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+std::uint64_t FoldU32(std::uint64_t h, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+std::uint64_t FoldU64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// One v3 segment-directory row: a segmented column's identity and payload
+// checksum, written in the header so corruption is attributed by name.
+struct SegDirEntry {
+  std::string tag;
+  std::uint64_t elems = 0;
+  std::uint32_t segments = 0;
+  std::uint64_t checksum = 0;
+};
+
+// Reads `n` u32 elements into a segmented column in chunks (the bulk-append
+// path of a budget-bounded load), spilling sealed segments as it goes, and
+// returns the FNV-1a checksum of the streamed payload for the directory
+// check.
+std::uint64_t ReadU32SegColumn(Reader& r,
+                               internal::SegColumn<std::uint32_t>& column,
+                               std::uint64_t n, const char* where,
+                               internal::SegmentedSpaceStore* store) {
+  std::uint64_t h = kFnvOffset;
+  std::uint32_t buf[4096];
+  while (n > 0) {
+    const std::size_t take =
+        static_cast<std::size_t>(std::min<std::uint64_t>(n, 4096));
+    for (std::size_t i = 0; i < take; ++i) {
+      buf[i] = r.U32(where);
+      h = FoldU32(h, buf[i]);
+    }
+    column.Append(buf, take);
+    n -= take;
+    if (store != nullptr && store->out_of_core()) store->EnforceBudget();
+  }
+  return h;
+}
+
 // Header (everything ReadSpaceSnapshotInfo needs), after the magic: version,
-// shape flags, name, the summary counts, and (v2) the frontier fields.
-void WriteHeader(Writer& w, const SpaceSnapshotInfo& info) {
+// shape flags, name, the summary counts, (v2) the frontier fields, and (v3)
+// the segment directory.
+void WriteHeader(Writer& w, const SpaceSnapshotInfo& info,
+                 const std::vector<SegDirEntry>& dir) {
   w.Bytes(kSnapshotMagic, sizeof(kSnapshotMagic));
   w.U32(info.version);
   w.U32(static_cast<std::uint32_t>(info.num_processes));
@@ -301,9 +364,20 @@ void WriteHeader(Writer& w, const SpaceSnapshotInfo& info) {
     w.U32(info.built_depth);
     w.U64(info.frontier_begin);
   }
+  if (info.version >= 3) {
+    w.U32(info.segment_shift);
+    w.U32(static_cast<std::uint32_t>(dir.size()));
+    for (const SegDirEntry& e : dir) {
+      w.Str(e.tag);
+      w.U64(e.elems);
+      w.U32(e.segments);
+      w.U64(e.checksum);
+    }
+  }
 }
 
-SpaceSnapshotInfo ReadHeader(Reader& r) {
+SpaceSnapshotInfo ReadHeader(Reader& r,
+                             std::vector<SegDirEntry>* dir = nullptr) {
   char magic[8];
   r.Bytes(magic, sizeof(magic), "magic");
   if (std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0)
@@ -342,6 +416,23 @@ SpaceSnapshotInfo ReadHeader(Reader& r) {
           "LoadSpaceSnapshot: capped snapshot with out-of-range frontier "
           "begin " +
           std::to_string(info.frontier_begin));
+  }
+  if (info.version >= 3) {
+    info.segment_shift = r.U32("segment shift");
+    const std::uint32_t ncols = r.U32("segment column count");
+    if (ncols > 64)
+      throw ModelError("LoadSpaceSnapshot: implausible segment column count " +
+                       std::to_string(ncols) + "; corrupt file?");
+    info.segment_columns = ncols;
+    for (std::uint32_t i = 0; i < ncols; ++i) {
+      SegDirEntry e;
+      e.tag = r.Str("segment column tag");
+      e.elems = r.Count("segment column elems");
+      e.segments = r.U32("segment column segments");
+      e.checksum = r.U64("segment column checksum");
+      info.segments += e.segments;
+      if (dir != nullptr) dir->push_back(e);
+    }
   }
   return info;
 }
@@ -384,6 +475,35 @@ struct SpaceSnapshotIO {
     std::uint64_t begin = 0;
   };
 
+  // Per-column FNV-1a checksums over each column's little-endian wire form,
+  // recorded in the v3 segment directory.  The links column interleaves
+  // field widths, so it gets its own fold.
+  static std::uint64_t LinksChecksum(const ComputationSpace& space) {
+    std::uint64_t h = kFnvOffset;
+    for (std::size_t i = 0; i < space.links_.size(); ++i) {
+      const ComputationSpace::ClassLink link = space.links_[i];
+      h = FoldU32(h, link.parent);
+      h = FoldU32(h, link.event);
+      h = FoldU16(h, link.pos);
+      h = FoldU16(h, link.length);
+    }
+    return h;
+  }
+  static std::uint64_t U64ColumnChecksum(
+      const internal::SegColumn<std::size_t>& column) {
+    std::uint64_t h = kFnvOffset;
+    for (std::size_t i = 0; i < column.size(); ++i)
+      h = FoldU64(h, static_cast<std::uint64_t>(column[i]));
+    return h;
+  }
+  static std::uint64_t U32ColumnChecksum(
+      const internal::SegColumn<std::uint32_t>& column) {
+    std::uint64_t h = kFnvOffset;
+    for (std::size_t i = 0; i < column.size(); ++i)
+      h = FoldU32(h, column[i]);
+    return h;
+  }
+
   static void Save(const ComputationSpace& space, std::ostream& out,
                    std::uint32_t version, const FrontierMeta& frontier) {
     if (version < kMinSpaceSnapshotVersion ||
@@ -406,6 +526,15 @@ struct SpaceSnapshotIO {
     std::sort(groups.begin(), groups.end(),
               [](const auto* a, const auto* b) { return a->mask_ < b->mask_; });
 
+    // Faulting every element twice (once for the directory checksums, once
+    // for the payload) is the price of writing the checksums in the header;
+    // trim the residency budget between passes so saving an out-of-core
+    // space never exceeds it.
+    internal::SegmentedSpaceStore& store = *space.store_;
+    const auto trim = [&store] {
+      if (store.out_of_core()) store.EnforceBudget();
+    };
+
     Writer w(out);
     SpaceSnapshotInfo info;
     info.version = version;
@@ -419,25 +548,68 @@ struct SpaceSnapshotIO {
     info.frontier = frontier.state;
     info.built_depth = frontier.built_depth;
     info.frontier_begin = frontier.begin;
-    WriteHeader(w, info);
+
+    std::vector<SegDirEntry> dir;
+    if (version >= 3) {
+      // The snapshot is a logical serialization: the directory describes the
+      // columns at the format's canonical row-group granularity, NOT at the
+      // in-memory store's shift, so a budget-built space and a resident build
+      // of the same system save byte-identical files.
+      info.segment_shift = SegmentOptions{}.segment_shift;
+      const std::size_t rows_per_seg = std::size_t{1} << info.segment_shift;
+      const auto entry = [&](const char* tag, std::uint64_t elems,
+                             std::size_t rows, std::uint64_t checksum) {
+        const std::size_t segs = (rows + rows_per_seg - 1) / rows_per_seg;
+        dir.push_back(SegDirEntry{tag, elems, static_cast<std::uint32_t>(segs),
+                                  checksum});
+        trim();
+      };
+      entry("links", space.links_.size(), space.links_.rows(),
+            LinksChecksum(space));
+      entry("canonh", space.canon_hash_.size(), space.canon_hash_.rows(),
+            U64ColumnChecksum(space.canon_hash_));
+      entry("canoni", space.canon_id_.size(), space.canon_id_.rows(),
+            U32ColumnChecksum(space.canon_id_));
+      entry("proj", space.proj_class_.size(), space.proj_class_.rows(),
+            U32ColumnChecksum(space.proj_class_));
+      entry("succo", space.succ_offsets_.size(), space.succ_offsets_.rows(),
+            U32ColumnChecksum(space.succ_offsets_));
+      entry("succc", space.succ_class_.size(), space.succ_class_.rows(),
+            U32ColumnChecksum(space.succ_class_));
+      entry("succe", space.succ_event_.size(), space.succ_event_.rows(),
+            U32ColumnChecksum(space.succ_event_));
+      info.segment_columns = dir.size();
+      for (const SegDirEntry& e : dir) info.segments += e.segments;
+    }
+    WriteHeader(w, info, dir);
 
     for (const Event& e : space.event_pool_) WriteEvent(w, e);
-    for (const auto& link : space.links_) {
+    for (std::size_t i = 0; i < space.links_.size(); ++i) {
+      const ComputationSpace::ClassLink link = space.links_[i];
       w.U32(link.parent);
       w.U32(link.event);
       w.U16(link.pos);
       w.U16(link.length);
     }
-    for (std::size_t h : space.canon_hash_) w.U64(h);
-    for (std::uint32_t id : space.canon_id_) w.U32(id);
-    w.U32Column(space.proj_class_);
+    trim();
+    for (std::size_t i = 0; i < space.canon_hash_.size(); ++i)
+      w.U64(space.canon_hash_[i]);
+    trim();
+    for (std::size_t i = 0; i < space.canon_id_.size(); ++i)
+      w.U32(space.canon_id_[i]);
+    trim();
+    w.U32SegColumn(space.proj_class_);
+    trim();
     for (int p = 0; p < space.num_processes_; ++p) {
       w.U32Column(space.bucket_offsets_[static_cast<std::size_t>(p)]);
       w.U32Column(space.bucket_ids_[static_cast<std::size_t>(p)]);
     }
-    w.U32Column(space.succ_offsets_);
-    w.U32Column(space.succ_class_);
-    w.U32Column(space.succ_event_);
+    w.U32SegColumn(space.succ_offsets_);
+    trim();
+    w.U32SegColumn(space.succ_class_);
+    trim();
+    w.U32SegColumn(space.succ_event_);
+    trim();
     for (const auto* g : groups) {
       w.U64(g->mask_);
       w.U32Column(g->cls_);
@@ -449,24 +621,56 @@ struct SpaceSnapshotIO {
       throw ModelError("SaveSpaceSnapshot: write failed (stream error)");
   }
 
-  static ComputationSpace Load(std::istream& in,
+  static ComputationSpace Load(std::istream& in, const SegmentOptions& segments,
                                SpaceSnapshotInfo* info_out = nullptr) {
     Reader r(in);
-    const SpaceSnapshotInfo info = ReadHeader(r);
+    std::vector<SegDirEntry> dir;
+    const SpaceSnapshotInfo info = ReadHeader(r, &dir);
     if (info_out != nullptr) *info_out = info;
+    if (info.version >= 3 && dir.size() != 7)
+      throw ModelError(
+          "LoadSpaceSnapshot: bad segment directory (expected 7 columns, "
+          "found " +
+          std::to_string(dir.size()) + ")");
 
     ComputationSpace space;
     space.num_processes_ = info.num_processes;
     space.truncated_ = info.truncated;
     space.canonicalize_ = info.canonicalize;
     space.system_name_ = info.system_name;
+    // Columns rebuild into the *caller's* segment geometry; the file's
+    // segment_shift is informational.  v1/v2 files carry no directory and
+    // skip the per-column checks below.
+    space.InitColumns(segments);
+    internal::SegmentedSpaceStore& store = *space.store_;
+    const auto trim = [&store] {
+      if (store.out_of_core()) store.EnforceBudget();
+    };
+    const auto check_column = [&](std::size_t idx, const char* tag,
+                                  std::uint64_t elems, std::uint64_t checksum) {
+      if (info.version < 3) return;
+      const SegDirEntry& e = dir[idx];
+      if (e.tag != tag)
+        throw ModelError("LoadSpaceSnapshot: segment directory expects column "
+                         "'" +
+                         std::string(tag) + "' at slot " + std::to_string(idx) +
+                         ", found '" + e.tag + "'");
+      if (e.elems != elems)
+        throw ModelError("LoadSpaceSnapshot: column '" + std::string(tag) +
+                         "' element count mismatch (directory says " +
+                         std::to_string(e.elems) + ", payload has " +
+                         std::to_string(elems) + ")");
+      if (e.checksum != checksum)
+        throw ModelError("LoadSpaceSnapshot: column '" + std::string(tag) +
+                         "' checksum mismatch (corrupt snapshot)");
+    };
 
     const std::size_t classes = info.classes;
     space.event_pool_.reserve(info.pool_events);
     for (std::uint64_t i = 0; i < info.pool_events; ++i)
       space.event_pool_.push_back(ReadEvent(r));
 
-    space.links_.reserve(classes);
+    std::uint64_t fold = kFnvOffset;
     for (std::size_t i = 0; i < classes; ++i) {
       ComputationSpace::ClassLink link;
       link.parent = r.U32("link parent");
@@ -477,24 +681,44 @@ struct SpaceSnapshotIO {
                     link.event >= space.event_pool_.size()))
         throw ModelError("LoadSpaceSnapshot: class " + std::to_string(i) +
                          " references out-of-range parent or event");
+      fold = FoldU32(fold, link.parent);
+      fold = FoldU32(fold, link.event);
+      fold = FoldU16(fold, link.pos);
+      fold = FoldU16(fold, link.length);
       space.links_.push_back(link);
+      if ((i & 0xfff) == 0xfff) trim();
     }
+    check_column(0, "links", classes, fold);
+    trim();
 
-    space.canon_hash_.reserve(classes);
-    for (std::size_t i = 0; i < classes; ++i)
-      space.canon_hash_.push_back(r.U64("canon hash"));
-    space.canon_id_.reserve(classes);
+    fold = kFnvOffset;
+    for (std::size_t i = 0; i < classes; ++i) {
+      const std::uint64_t h = r.U64("canon hash");
+      fold = FoldU64(fold, h);
+      space.canon_hash_.push_back(static_cast<std::size_t>(h));
+      if ((i & 0xfff) == 0xfff) trim();
+    }
+    check_column(1, "canonh", classes, fold);
+    trim();
+    fold = kFnvOffset;
     for (std::size_t i = 0; i < classes; ++i) {
       const std::uint32_t id = r.U32("canon id");
       if (id >= classes)
         throw ModelError("LoadSpaceSnapshot: canonical index id out of range");
+      fold = FoldU32(fold, id);
       space.canon_id_.push_back(id);
+      if ((i & 0xfff) == 0xfff) trim();
     }
+    check_column(2, "canoni", classes, fold);
+    trim();
 
-    space.proj_class_ = r.U32Column("projection classes");
-    if (space.proj_class_.size() !=
-        classes * static_cast<std::size_t>(info.num_processes))
+    const std::uint64_t proj_elems = r.Count("projection classes");
+    if (proj_elems !=
+        classes * static_cast<std::uint64_t>(info.num_processes))
       throw ModelError("LoadSpaceSnapshot: projection column size mismatch");
+    check_column(3, "proj", proj_elems,
+                 ReadU32SegColumn(r, space.proj_class_, proj_elems,
+                                  "projection classes", &store));
 
     space.bucket_offsets_.resize(static_cast<std::size_t>(info.num_processes));
     space.bucket_ids_.resize(static_cast<std::size_t>(info.num_processes));
@@ -510,14 +734,24 @@ struct SpaceSnapshotIO {
             std::to_string(p));
     }
 
-    space.succ_offsets_ = r.U32Column("successor offsets");
-    space.succ_class_ = r.U32Column("successor classes");
-    space.succ_event_ = r.U32Column("successor events");
+    const std::uint64_t succo_elems = r.Count("successor offsets");
+    check_column(4, "succo", succo_elems,
+                 ReadU32SegColumn(r, space.succ_offsets_, succo_elems,
+                                  "successor offsets", &store));
+    const std::uint64_t succc_elems = r.Count("successor classes");
+    check_column(5, "succc", succc_elems,
+                 ReadU32SegColumn(r, space.succ_class_, succc_elems,
+                                  "successor classes", &store));
+    const std::uint64_t succe_elems = r.Count("successor events");
+    check_column(6, "succe", succe_elems,
+                 ReadU32SegColumn(r, space.succ_event_, succe_elems,
+                                  "successor events", &store));
     if (space.succ_offsets_.size() != classes + (classes ? 1 : 0) ||
         (classes && space.succ_offsets_.back() != space.succ_class_.size()) ||
         space.succ_class_.size() != space.succ_event_.size())
       throw ModelError("LoadSpaceSnapshot: successor CSR columns "
                        "inconsistent");
+    trim();
 
     std::uint64_t last_mask = 0;
     for (std::uint64_t i = 0; i < info.group_indexes; ++i) {
@@ -547,6 +781,7 @@ struct SpaceSnapshotIO {
                              : (space.links_.empty()
                                     ? 0
                                     : static_cast<int>(space.links_.back().length));
+    trim();
     return space;
   }
 
@@ -582,7 +817,7 @@ struct SpaceSnapshotIO {
                                   const EnumerationLimits& limits) {
     SpaceSnapshotInfo info;
     auto space = std::unique_ptr<ComputationSpace>(
-        new ComputationSpace(Load(in, &info)));
+        new ComputationSpace(Load(in, limits.segments, &info)));
     if (info.system_name != system.Name() ||
         info.num_processes != system.NumProcesses())
       throw ModelError(
@@ -648,14 +883,24 @@ void SaveSpaceBuilderSnapshot(const SpaceBuilder& builder,
 }
 
 ComputationSpace LoadSpaceSnapshot(std::istream& in) {
-  return internal::SpaceSnapshotIO::Load(in);
+  return internal::SpaceSnapshotIO::Load(in, SegmentOptions{});
+}
+
+ComputationSpace LoadSpaceSnapshot(std::istream& in,
+                                   const SegmentOptions& segments) {
+  return internal::SpaceSnapshotIO::Load(in, segments);
 }
 
 ComputationSpace LoadSpaceSnapshot(const std::string& path) {
+  return LoadSpaceSnapshot(path, SegmentOptions{});
+}
+
+ComputationSpace LoadSpaceSnapshot(const std::string& path,
+                                   const SegmentOptions& segments) {
   std::ifstream in(path, std::ios::binary);
   if (!in)
     throw ModelError("LoadSpaceSnapshot: cannot open '" + path + "'");
-  return internal::SpaceSnapshotIO::Load(in);
+  return internal::SpaceSnapshotIO::Load(in, segments);
 }
 
 SpaceBuilder LoadSpaceBuilderSnapshot(const System& system, std::istream& in,

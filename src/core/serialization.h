@@ -30,6 +30,18 @@
 //    fresh enumeration at the larger depth.  v1 files (which carry no
 //    frontier) still load, as sealed spaces: queryable, not deepenable.
 //
+//    v3 additionally carries the segment directory of the out-of-core
+//    store (segment_store.h): the save-time segment geometry plus, per
+//    segmented column, its tag, element count, segment count and an
+//    FNV-1a checksum of its payload — so corruption is attributed to a
+//    named column, not just "the file".  Loads rebuild the columns into
+//    whatever segment geometry the caller configures (the
+//    SegmentOptions-taking overloads; the plain ones load fully
+//    resident), re-enforcing the residency budget column by column, so a
+//    100M-class snapshot can be opened under a memory budget far below
+//    its payload.  v1/v2 files carry no directory and load the same way,
+//    minus the per-column checksum attribution.
+//
 //    Layout: an 8-byte magic ("HPLSPACE"), a u32 format version, a header
 //    (process count, flags, system name, and in v2 the frontier fields),
 //    the columns in a fixed order, and a trailing FNV-1a checksum of
@@ -62,7 +74,7 @@ Computation ParseComputation(const std::string& text);
 
 // The snapshot format version this build writes by default.  Reads accept
 // kMinSpaceSnapshotVersion through kSpaceSnapshotVersion.
-inline constexpr std::uint32_t kSpaceSnapshotVersion = 2;
+inline constexpr std::uint32_t kSpaceSnapshotVersion = 3;
 inline constexpr std::uint32_t kMinSpaceSnapshotVersion = 1;
 
 // Header summary of a snapshot, readable without loading the columns.
@@ -82,6 +94,10 @@ struct SpaceSnapshotInfo {
   std::uint8_t frontier = 0;
   std::uint32_t built_depth = 0;    // depth the level-synchronous BFS reached
   std::uint64_t frontier_begin = 0; // first class id of the parked frontier
+  // v3 segment-directory fields (0 for older files):
+  std::uint32_t segment_shift = 0;   // save-time log2 class rows per segment
+  std::uint64_t segment_columns = 0; // segmented columns in the directory
+  std::uint64_t segments = 0;        // total segments across those columns
 };
 
 // Writes the space as an hpl-space snapshot.  The stream overload writes
@@ -110,9 +126,15 @@ void SaveSpaceBuilderSnapshot(const SpaceBuilder& builder,
 
 // Reads a snapshot back into a ComputationSpace.  Throws ModelError on bad
 // magic, version mismatch, truncation, inconsistent columns, or checksum
-// failure.
+// failure.  The SegmentOptions overloads rebuild the columns under the
+// given segment geometry / residency budget (spilling cold segments as the
+// load streams in); the plain overloads load fully resident.
 ComputationSpace LoadSpaceSnapshot(std::istream& in);
+ComputationSpace LoadSpaceSnapshot(std::istream& in,
+                                   const SegmentOptions& segments);
 ComputationSpace LoadSpaceSnapshot(const std::string& path);
+ComputationSpace LoadSpaceSnapshot(const std::string& path,
+                                   const SegmentOptions& segments);
 
 // Reads a snapshot into a SpaceBuilder bound to `system` (which must be
 // the system the snapshot was enumerated from — name and process count are
@@ -122,8 +144,9 @@ ComputationSpace LoadSpaceSnapshot(const std::string& path);
 // `ingested` snapshot keeps accepting Ingest.  v1 snapshots (and v2
 // `sealed` ones) load as sealed: queries work, Deepen and Ingest throw.
 // `limits` seeds the builder's Deepen/Ingest budgets (max_classes,
-// num_threads, allow_truncation); max_depth is ignored — pass the target
-// to Deepen instead.
+// num_threads, allow_truncation) and `limits.segments` the loaded store's
+// segment geometry / residency budget; max_depth is ignored — pass the
+// target to Deepen instead.
 SpaceBuilder LoadSpaceBuilderSnapshot(const System& system, std::istream& in,
                                       const EnumerationLimits& limits = {});
 SpaceBuilder LoadSpaceBuilderSnapshot(const System& system,

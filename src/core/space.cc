@@ -1,8 +1,10 @@
 #include "core/space.h"
 
 #include <algorithm>
+#include <array>
 #include <functional>
 #include <numeric>
+#include <stdexcept>
 #include <unordered_map>
 #include <utility>
 
@@ -30,6 +32,38 @@ void RunJob(internal::WorkerPool* pool, std::size_t count,
   for (std::size_t i = 0; i < count; ++i) fn(i);
 }
 
+// Binary search over a segmented column (the canonical-hash index).  The
+// column auto-faults segments on access, so a probe against a spilled
+// segment costs one fault-in; probes re-resolve the base pointer every
+// access, so they stay correct across a concurrent residency trim.
+template <typename T>
+std::size_t LowerBound(const internal::SegColumn<T>& col, const T& v) {
+  std::size_t lo = 0;
+  std::size_t hi = col.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (col[mid] < v)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+template <typename T>
+std::size_t UpperBound(const internal::SegColumn<T>& col, const T& v) {
+  std::size_t lo = 0;
+  std::size_t hi = col.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (col[mid] <= v)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
 // Mints dense [G]-class ids for classes visited in ascending id order.  A
 // child whose extending event lies outside G inherits its parent's class
 // (its member projections are the parent's); otherwise the class is
@@ -47,7 +81,7 @@ class GroupClassMinter {
   // Visit class `id` (ids strictly ascending from 0, the root).  `proj` is
   // the space's proj_class_ column, already filled through `id`'s row.
   void Classify(std::size_t id, std::size_t parent, ProcessId extend_process,
-                const std::vector<std::uint32_t>& proj) {
+                const internal::SegColumn<std::uint32_t>& proj) {
     if (id == 0) {
       // The root: every projection is empty.  Its tuple can never collide
       // with a minted one (minting appends an event on a member process),
@@ -60,9 +94,10 @@ class GroupClassMinter {
       cls_.push_back(cls_[parent]);
       return;
     }
+    const std::uint32_t* row = proj.Row(id);
     std::size_t h = 14695981039346656037ull;  // FNV-1a over the tuple
     g_.ForEach([&](ProcessId p) {
-      h ^= proj[id * num_processes_ + static_cast<std::size_t>(p)];
+      h ^= row[static_cast<std::size_t>(p)];
       h *= 1099511628211ull;
     });
     auto& with_hash = by_hash_[h];
@@ -88,12 +123,15 @@ class GroupClassMinter {
 
  private:
   bool TupleEqual(std::size_t a, std::size_t b,
-                  const std::vector<std::uint32_t>& proj) const {
+                  const internal::SegColumn<std::uint32_t>& proj) const {
+    // Two Row resolutions per probe; comparing rows in different segments
+    // may fault the older one in.
+    const std::uint32_t* ra = proj.Row(a);
+    const std::uint32_t* rb = proj.Row(b);
     bool equal = true;
     g_.ForEach([&](ProcessId p) {
-      if (equal &&
-          proj[a * num_processes_ + static_cast<std::size_t>(p)] !=
-              proj[b * num_processes_ + static_cast<std::size_t>(p)])
+      if (equal && ra[static_cast<std::size_t>(p)] !=
+                       rb[static_cast<std::size_t>(p)])
         equal = false;
     });
     return equal;
@@ -126,11 +164,37 @@ ComputationSpace ComputationSpace::Enumerate(const System& system,
   return std::move(builder).Take();
 }
 
+void ComputationSpace::InitColumns(const SegmentOptions& options) {
+  if (options.segment_shift < 2 || options.segment_shift > 26)
+    throw ModelError(
+        "EnumerationLimits::segments: segment_shift must be in [2, 26], "
+        "got " +
+        std::to_string(options.segment_shift));
+  store_->Configure(options);
+  const unsigned sh = options.segment_shift;
+  auto* s = store_.get();
+  links_.Bind(s, "links", sh);
+  canon_hash_.Bind(s, "canonh", sh);
+  canon_id_.Bind(s, "canoni", sh);
+  proj_class_.Bind(s, "proj", sh, static_cast<std::size_t>(num_processes_));
+  succ_offsets_.Bind(s, "succo", sh);
+  succ_class_.Bind(s, "succc", sh);
+  succ_event_.Bind(s, "succe", sh);
+}
+
+void ComputationSpace::RequireFullyResident(const char* what) const {
+  if (store_->out_of_core())
+    throw ModelError(
+        std::string(what) +
+        ": raw-span access on an out-of-core store (a residency budget is "
+        "set, so spans could dangle across a trim); use the view API");
+}
+
 // Transient construction state retained between Build/Deepen/Ingest calls:
 // the event interner, the incremental projection-class maps, the live group
 // minters, and the BFS frontier arena — everything the one-shot BFS used to
 // discard when it returned.  All of it is reconstructible from the sealed
-// columns by an id-order replay, which is how a loaded hpl-space-v2
+// columns by an id-order replay, which is how a loaded hpl-space-v2/v3
 // snapshot resumes (AdoptSpace).
 struct SpaceBuilder::State {
   // Event interner: pool-id lists per event hash.  Read-only while a
@@ -243,6 +307,7 @@ void SpaceBuilder::Build(const System& system,
   space.num_processes_ = system.NumProcesses();
   space.system_name_ = system.Name();
   space.canonicalize_ = limits.canonicalize;
+  space.InitColumns(limits.segments);
   const int P = space.num_processes_;
 
   st.proj_extend.resize(static_cast<std::size_t>(P));
@@ -260,7 +325,10 @@ void SpaceBuilder::Build(const System& system,
 
   // Root: the empty computation.
   space.links_.push_back(ComputationSpace::ClassLink{});
-  space.proj_class_.assign(static_cast<std::size_t>(P), 0);
+  {
+    std::array<std::uint32_t, kMaxProcesses> zero_row{};
+    space.proj_class_.Append(zero_row.data(), static_cast<std::size_t>(P));
+  }
   space.canon_hash_.push_back(Computation().SequenceHash());
   space.canon_id_.push_back(0);
   space.succ_offsets_.push_back(0);
@@ -305,7 +373,7 @@ std::size_t SpaceBuilder::Deepen(int extra_levels) {
 
   // Un-finalize the parked frontier: drop the empty successor rows recorded
   // for it and the truncation verdict — the resumed run re-derives both.
-  space.succ_offsets_.resize(st.level_begin + 1);
+  space.succ_offsets_.Truncate(st.level_begin + 1);
   space.truncated_ = false;
   capped_ = false;
 
@@ -351,6 +419,9 @@ void SpaceBuilder::RunLevels(int target_depth, internal::WorkerPool* pool) {
     // Phase A (parallel): materialize each member from the arena, ask the
     // system for enabled events, and record candidate (event, splice-pos)
     // pairs, resolving event-pool ids where the event is already interned.
+    // Reads only the arena and the (resident) event pool — never the
+    // segmented columns, so it coexists with segments spilled behind the
+    // frontier.
     std::vector<std::vector<Candidate>> expanded(level_count);
     std::vector<char> extendable(level_count, 0);
     const bool at_depth_cap = depth >= target_depth;
@@ -495,7 +566,11 @@ void SpaceBuilder::RunLevels(int target_depth, internal::WorkerPool* pool) {
     // Phase E (sequential): merge shards deterministically by walking the
     // candidates in discovery order — assign class ids, append links and
     // projection rows, fill the successor CSR for every parent of this
-    // level, and build the next level's arena.
+    // level, and build the next level's arena.  The only phase that touches
+    // the segmented columns: appends go to the open tails, and the one
+    // random read per child (its parent's projection row) targets the
+    // previous level — the hottest segments, resident even under a tight
+    // budget.
     std::vector<std::vector<std::uint32_t>> shard_ids(num_shards);
     for (std::size_t s = 0; s < num_shards; ++s)
       shard_ids[s].resize(shards[s].uniques.size());
@@ -520,25 +595,23 @@ void SpaceBuilder::RunLevels(int target_depth, internal::WorkerPool* pool) {
           space.canon_hash_.push_back(c.key);
           space.canon_id_.push_back(id);
           // Projection row: inherit the parent's classes, then extend on
-          // the event's own process.
-          const std::size_t parent_row =
-              parent * static_cast<std::size_t>(P);
-          const std::size_t child_row =
-              static_cast<std::size_t>(id) * static_cast<std::size_t>(P);
-          space.proj_class_.resize(child_row + static_cast<std::size_t>(P));
-          for (int p = 0; p < P; ++p)
-            space.proj_class_[child_row + static_cast<std::size_t>(p)] =
-                space.proj_class_[parent_row + static_cast<std::size_t>(p)];
+          // the event's own process.  Copied to the stack before the
+          // append — Append can seal (and shrink-reallocate) the tail
+          // segment the parent row lives in.
+          std::array<std::uint32_t, kMaxProcesses> row;
+          {
+            const std::uint32_t* parent_row = space.proj_class_.Row(parent);
+            std::copy(parent_row, parent_row + P, row.begin());
+          }
           const auto ep = static_cast<std::size_t>(
               space.event_pool_[c.event_id].process);
           const std::uint64_t key =
-              (static_cast<std::uint64_t>(space.proj_class_[parent_row + ep])
-               << 32) |
-              c.event_id;
+              (static_cast<std::uint64_t>(row[ep]) << 32) | c.event_id;
           auto [it, minted] =
               st.proj_extend[ep].try_emplace(key, st.proj_count[ep]);
           if (minted) ++st.proj_count[ep];
-          space.proj_class_[child_row + ep] = it->second;
+          row[ep] = it->second;
+          space.proj_class_.Append(row.data(), static_cast<std::size_t>(P));
           // Incremental [G]-classification: the child's [p]-class row is
           // complete, so the minters can inherit or hash-cons now.
           for (auto& [g, minter] : st.minters)
@@ -575,6 +648,10 @@ void SpaceBuilder::RunLevels(int target_depth, internal::WorkerPool* pool) {
     st.level_count = next_count;
     st.level_seq = std::move(next_seq);
     ++st.depth;
+
+    // Quiescent point between levels: no phase holds column pointers here,
+    // so cold segments (everything behind the previous level) can spill.
+    if (space.store_->out_of_core()) space.store_->EnforceBudget();
   }
 
   // The BFS drained: every computation of the system is in the space, so
@@ -594,35 +671,50 @@ void SpaceBuilder::Finalize(internal::WorkerPool* pool) {
   // order, so a stable sort by hash keeps ids ascending within equal
   // hashes; and because every suffix id exceeds every prefix id, merging
   // with ties taken from the prefix reproduces exactly what one stable
-  // sort over the whole column would have produced.
+  // sort over the whole column would have produced.  The merge streams:
+  // the prefix is read in order through the segmented columns (faulting
+  // spilled segments one at a time), the output goes to fresh columns
+  // whose sealed segments are spillable immediately, and the budget is
+  // re-enforced every output segment — only the suffix (the newly minted
+  // levels) is held flat in memory.
   if (st.finalized_canon < n) {
     const std::size_t mid = st.finalized_canon;
-    std::vector<std::uint32_t> order(n - mid);
-    std::iota(order.begin(), order.end(), 0u);
-    std::stable_sort(order.begin(), order.end(),
-                     [&](std::uint32_t a, std::uint32_t b) {
-                       return space.canon_hash_[mid + a] <
-                              space.canon_hash_[mid + b];
+    std::vector<std::pair<std::size_t, std::uint32_t>> suffix(n - mid);
+    for (std::size_t i = 0; i < suffix.size(); ++i)
+      suffix[i] = {space.canon_hash_[mid + i], space.canon_id_[mid + i]};
+    std::stable_sort(suffix.begin(), suffix.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
                      });
-    std::vector<std::size_t> merged_hash(n);
-    std::vector<std::uint32_t> merged_id(n);
-    std::size_t a = 0;      // cursor into the sorted prefix
-    std::size_t b = 0;      // cursor into `order` (sorted suffix)
+    const unsigned sh = space.store_->options().segment_shift;
+    internal::SegColumn<std::size_t> merged_hash;
+    internal::SegColumn<std::uint32_t> merged_id;
+    merged_hash.Bind(space.store_.get(), "canonh", sh);
+    merged_id.Bind(space.store_.get(), "canoni", sh);
+    const std::size_t trim_every = std::size_t{1} << sh;
+    std::size_t since_trim = 0;
+    std::size_t a = 0;  // cursor into the sorted prefix
+    std::size_t b = 0;  // cursor into the sorted suffix
     for (std::size_t out = 0; out < n; ++out) {
       const bool take_prefix =
-          a < mid && (b >= order.size() ||
-                      space.canon_hash_[a] <=
-                          space.canon_hash_[mid + order[b]]);
+          a < mid &&
+          (b >= suffix.size() || space.canon_hash_[a] <= suffix[b].first);
       if (take_prefix) {
-        merged_hash[out] = space.canon_hash_[a];
-        merged_id[out] = space.canon_id_[a];
+        merged_hash.push_back(space.canon_hash_[a]);
+        merged_id.push_back(space.canon_id_[a]);
         ++a;
       } else {
-        merged_hash[out] = space.canon_hash_[mid + order[b]];
-        merged_id[out] = space.canon_id_[mid + order[b]];
+        merged_hash.push_back(suffix[b].first);
+        merged_id.push_back(suffix[b].second);
         ++b;
       }
+      if (space.store_->out_of_core() && ++since_trim == trim_every) {
+        since_trim = 0;
+        space.store_->EnforceBudget();
+      }
     }
+    // Move-assign drops the superseded columns' segments (and spill files;
+    // file names are store-unique, so the replacements never collide).
     space.canon_hash_ = std::move(merged_hash);
     space.canon_id_ = std::move(merged_id);
     st.finalized_canon = n;
@@ -680,17 +772,12 @@ void SpaceBuilder::Finalize(internal::WorkerPool* pool) {
         capped_ ? st.depth
                 : (space.links_.empty() ? 0 : space.links_.back().length);
 
-  // The columns were grown by push_back; drop the growth slack so
-  // MemoryUsage() reports (and the process keeps) only what the space
-  // needs.
+  // The event pool was grown by push_back; drop the growth slack.  The
+  // segmented columns carry at most one partially-reserved open tail per
+  // column (sealing shrinks full segments to fit), so there is no slack to
+  // drop there — just re-enforce the budget now that the space is final.
   space.event_pool_.shrink_to_fit();
-  space.links_.shrink_to_fit();
-  space.canon_hash_.shrink_to_fit();
-  space.canon_id_.shrink_to_fit();
-  space.proj_class_.shrink_to_fit();
-  space.succ_offsets_.shrink_to_fit();
-  space.succ_class_.shrink_to_fit();
-  space.succ_event_.shrink_to_fit();
+  if (space.store_->out_of_core()) space.store_->EnforceBudget();
 }
 
 std::size_t SpaceBuilder::Ingest(std::span<const Event> events) {
@@ -705,6 +792,16 @@ std::size_t SpaceBuilder::Ingest(std::span<const Event> events) {
   const int P = space.num_processes_;
   std::size_t minted = 0;
   bool changed = false;
+
+  // Ingest splices into the middle of the canonical-index and successor
+  // columns, so it needs them heap-resident and mutable; budgets re-apply
+  // at the trim below.  links_/proj_class_ only ever append.
+  space.store_->MakeAllResident();
+  space.canon_hash_.UnsealAll();
+  space.canon_id_.UnsealAll();
+  space.succ_offsets_.UnsealAll();
+  space.succ_class_.UnsealAll();
+  space.succ_event_.UnsealAll();
 
   // Walk the observed prefix event by event, keeping `stored` — the form
   // the space files the prefix under (canonical or literal, matching the
@@ -743,11 +840,9 @@ std::size_t SpaceBuilder::Ingest(std::span<const Event> events) {
     // Locate the extension in the canonical index.
     const std::size_t h = stored.SequenceHash();
     std::size_t found = SIZE_MAX;
-    auto it = std::lower_bound(space.canon_hash_.begin(),
-                               space.canon_hash_.end(), h);
-    for (; it != space.canon_hash_.end() && *it == h; ++it) {
-      const std::uint32_t id = space.canon_id_[static_cast<std::size_t>(
-          it - space.canon_hash_.begin())];
+    for (std::size_t i = LowerBound(space.canon_hash_, h);
+         i < space.canon_hash_.size() && space.canon_hash_[i] == h; ++i) {
+      const std::uint32_t id = space.canon_id_[i];
       if (space.LengthOf(id) == stored.size() && space.At(id) == stored) {
         found = id;
         break;
@@ -771,10 +866,10 @@ std::size_t SpaceBuilder::Ingest(std::span<const Event> events) {
       if (!has_edge) {
         if (eid == kNoEventId) eid = st.InternEvent(space, e, eh);
         const std::uint32_t at = space.succ_offsets_[cur + 1];
-        space.succ_class_.insert(space.succ_class_.begin() + at, found);
-        space.succ_event_.insert(space.succ_event_.begin() + at, eid);
+        space.succ_class_.Insert(at, found);
+        space.succ_event_.Insert(at, eid);
         for (std::size_t j = cur + 1; j < space.succ_offsets_.size(); ++j)
-          ++space.succ_offsets_[j];
+          ++space.succ_offsets_.Mut(j);
         changed = true;  // an edge splice still reshapes the CSR
       }
       cur = found;
@@ -798,39 +893,36 @@ std::size_t SpaceBuilder::Ingest(std::span<const Event> events) {
     // Keep the canonical index sorted: all existing ids are smaller, so
     // inserting at the upper bound of the hash run preserves the
     // ids-ascending-within-equal-hash invariant.
-    const auto ins = std::upper_bound(space.canon_hash_.begin(),
-                                      space.canon_hash_.end(), h);
-    const auto at = static_cast<std::size_t>(ins - space.canon_hash_.begin());
-    space.canon_hash_.insert(ins, h);
-    space.canon_id_.insert(space.canon_id_.begin() + at, id);
+    const std::size_t at = UpperBound(space.canon_hash_, h);
+    space.canon_hash_.Insert(at, h);
+    space.canon_id_.Insert(at, id);
     ++st.finalized_canon;
 
-    // Projection row: inherit, then extend on the event's own process.
-    const std::size_t parent_row = cur * static_cast<std::size_t>(P);
-    const std::size_t child_row =
-        static_cast<std::size_t>(id) * static_cast<std::size_t>(P);
-    space.proj_class_.resize(child_row + static_cast<std::size_t>(P));
-    for (int p = 0; p < P; ++p)
-      space.proj_class_[child_row + static_cast<std::size_t>(p)] =
-          space.proj_class_[parent_row + static_cast<std::size_t>(p)];
+    // Projection row: inherit, then extend on the event's own process
+    // (stack copy first — the append can reallocate the parent's segment).
+    std::array<std::uint32_t, kMaxProcesses> row;
+    {
+      const std::uint32_t* parent_row = space.proj_class_.Row(cur);
+      std::copy(parent_row, parent_row + P, row.begin());
+    }
     const auto ep = static_cast<std::size_t>(e.process);
     const std::uint64_t pkey =
-        (static_cast<std::uint64_t>(space.proj_class_[parent_row + ep])
-         << 32) |
-        eid;
-    auto [pit, pminted] = st.proj_extend[ep].try_emplace(pkey, st.proj_count[ep]);
+        (static_cast<std::uint64_t>(row[ep]) << 32) | eid;
+    auto [pit, pminted] =
+        st.proj_extend[ep].try_emplace(pkey, st.proj_count[ep]);
     if (pminted) ++st.proj_count[ep];
-    space.proj_class_[child_row + ep] = pit->second;
+    row[ep] = pit->second;
+    space.proj_class_.Append(row.data(), static_cast<std::size_t>(P));
     for (auto& [g, minter] : st.minters)
       minter.Classify(id, cur, e.process, space.proj_class_);
 
     // Successor CSR: an empty row for the newcomer, then the parent edge.
     space.succ_offsets_.push_back(space.succ_offsets_.back());
     const std::uint32_t edge_at = space.succ_offsets_[cur + 1];
-    space.succ_class_.insert(space.succ_class_.begin() + edge_at, id);
-    space.succ_event_.insert(space.succ_event_.begin() + edge_at, eid);
+    space.succ_class_.Insert(edge_at, id);
+    space.succ_event_.Insert(edge_at, eid);
     for (std::size_t j = cur + 1; j < space.succ_offsets_.size(); ++j)
-      ++space.succ_offsets_[j];
+      ++space.succ_offsets_.Mut(j);
 
     ++minted;
     changed = true;
@@ -844,6 +936,15 @@ std::size_t SpaceBuilder::Ingest(std::span<const Event> events) {
     ingested_ = true;
     Finalize(nullptr);
   }
+
+  // Close the edit pass: re-seal everything but the open tails so the
+  // budget can spill again, then re-apply it.
+  space.canon_hash_.SealAllButTail();
+  space.canon_id_.SealAllButTail();
+  space.succ_offsets_.SealAllButTail();
+  space.succ_class_.SealAllButTail();
+  space.succ_event_.SealAllButTail();
+  if (space.store_->out_of_core()) space.store_->EnforceBudget();
   return minted;
 }
 
@@ -895,22 +996,23 @@ void SpaceBuilder::AdoptSpace(std::unique_ptr<ComputationSpace> space,
 
   // Replay the projection-extension maps from the links in id order: the
   // stored rows force every map value, and the mint counters resume at the
-  // stored class counts.
+  // stored class counts.  Sequential id-order reads — segments fault in
+  // one at a time and can spill again at the next trim.
   st.proj_extend.resize(P);
   st.proj_count.assign(P, 1);
   for (std::size_t p = 0; p < P; ++p)
     st.proj_count[p] = static_cast<std::uint32_t>(
         sp.NumProjectionClasses(static_cast<ProcessId>(p)));
   for (std::size_t id = 1; id < n; ++id) {
-    const auto& link = sp.links_[id];
+    const ComputationSpace::ClassLink link = sp.links_[id];
     const auto ep =
         static_cast<std::size_t>(sp.event_pool_[link.event].process);
     const std::uint64_t key =
         (static_cast<std::uint64_t>(
-             sp.proj_class_[static_cast<std::size_t>(link.parent) * P + ep])
+             sp.proj_class_.Row(static_cast<std::size_t>(link.parent))[ep])
          << 32) |
         link.event;
-    st.proj_extend[ep].try_emplace(key, sp.proj_class_[id * P + ep]);
+    st.proj_extend[ep].try_emplace(key, sp.proj_class_.Row(id)[ep]);
   }
 
   // Group minters stay empty: Finalize replays any cached index from the
@@ -936,26 +1038,51 @@ void SpaceBuilder::AdoptSpace(std::unique_ptr<ComputationSpace> space,
     st.level_begin = n;
     st.level_count = 0;
   }
+  if (sp.store_->out_of_core()) sp.store_->EnforceBudget();
 }
 
 void ComputationSpace::BuildBuckets(ComputationSpace& space,
                                     internal::WorkerPool* pool) {
   const std::size_t n = space.links_.size();
   const auto P = static_cast<std::size_t>(space.num_processes_);
+  const unsigned shift = space.proj_class_.shift();
   auto build_for = [&](std::size_t p) {
     // Counting sort of class ids by [p]-class: ids land ascending within
-    // each bucket because they are scanned in ascending order.
+    // each bucket because they are scanned in ascending order.  Both
+    // passes stream the projection column segment-at-a-time under a pin —
+    // concurrent build tasks each pin their current segment, so the
+    // per-segment budget trims can never evict a row another task is
+    // reading (only cost it a re-fault later).
     auto& offsets = space.bucket_offsets_[p];
     auto& ids = space.bucket_ids_[p];
-    for (std::size_t id = 0; id < n; ++id)
-      ++offsets[space.proj_class_[id * P + p] + 1];
+    const std::size_t num_segs = space.proj_class_.num_segments();
+    for (std::size_t s = 0; s < num_segs; ++s) {
+      internal::SegmentPin pin;
+      const std::uint32_t* base = space.proj_class_.PinSegment(s, &pin);
+      const std::size_t row0 = s << shift;
+      const std::size_t row1 =
+          std::min(n, row0 + (std::size_t{1} << shift));
+      for (std::size_t row = row0; row < row1; ++row)
+        ++offsets[base[(row - row0) * P + p] + 1];
+      pin.Release();
+      if (space.store_->out_of_core()) space.store_->EnforceBudget();
+    }
     for (std::size_t cls = 1; cls < offsets.size(); ++cls)
       offsets[cls] += offsets[cls - 1];
     ids.resize(n);
     std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
-    for (std::size_t id = 0; id < n; ++id)
-      ids[cursor[space.proj_class_[id * P + p]]++] =
-          static_cast<std::uint32_t>(id);
+    for (std::size_t s = 0; s < num_segs; ++s) {
+      internal::SegmentPin pin;
+      const std::uint32_t* base = space.proj_class_.PinSegment(s, &pin);
+      const std::size_t row0 = s << shift;
+      const std::size_t row1 =
+          std::min(n, row0 + (std::size_t{1} << shift));
+      for (std::size_t row = row0; row < row1; ++row)
+        ids[cursor[base[(row - row0) * P + p]]++] =
+            static_cast<std::uint32_t>(row);
+      pin.Release();
+      if (space.store_->out_of_core()) space.store_->EnforceBudget();
+    }
   };
   // Group indexes minted during phase 1 still need their CSR columns; the
   // sorts are independent of the per-process ones, so they join the task
@@ -1002,7 +1129,7 @@ void ComputationSpace::ReplayGroupClasses(GroupIndex& index) const {
   GroupClassMinter minter(g, num_processes_);
   const std::size_t n = links_.size();
   for (std::size_t id = 0; id < n; ++id) {
-    const ClassLink& link = links_[id];
+    const ClassLink link = links_[id];
     const ProcessId extend_process =
         id == 0 ? ProcessId{0} : event_pool_[link.event].process;
     minter.Classify(id, link.parent, extend_process, proj_class_);
@@ -1038,12 +1165,14 @@ std::vector<std::uint32_t> ComputationSpace::CanonicalIdsOf(
     std::size_t id) const {
   // Replay the splice chain root-to-leaf: collect (pos, event) links by
   // walking parents, then insert each event at its recorded position.
-  const ClassLink& leaf = links_.at(id);
-  const std::size_t n = leaf.length;
+  if (id >= links_.size())
+    throw std::out_of_range("ComputationSpace: class id " +
+                            std::to_string(id) + " out of range");
+  const std::size_t n = links_[id].length;
   std::vector<std::pair<std::uint16_t, std::uint32_t>> splices(n);
   std::size_t cur = id;
   for (std::size_t i = n; i-- > 0;) {
-    const ClassLink& link = links_[cur];
+    const ClassLink link = links_[cur];
     splices[i] = {link.pos, link.event};
     cur = link.parent;
   }
@@ -1060,6 +1189,69 @@ Computation ComputationSpace::At(std::size_t id) const {
   events.reserve(ids.size());
   for (std::uint32_t e : ids) events.push_back(event_pool_[e]);
   return Computation::TrustedFromEvents(std::move(events));
+}
+
+ComputationSpace::SuccessorRange ComputationSpace::SuccessorsOf(
+    std::size_t id) const {
+  if (id + 1 >= succ_offsets_.size())
+    throw std::out_of_range("ComputationSpace::SuccessorsOf: class id " +
+                            std::to_string(id) + " out of range");
+  const std::uint32_t b = succ_offsets_[id];
+  const std::uint32_t e = succ_offsets_[id + 1];
+  SuccessorRange range(this, b, e);
+  if (b < e) {
+    // Pin the payload segments the range covers.  Per-class successor
+    // lists are tiny, so the range touches at most two segments per
+    // column; iteration re-resolves pointers per element anyway, so the
+    // pins are a stability guarantee, not a correctness requirement.
+    const std::size_t s0 = succ_class_.SegOf(b);
+    const std::size_t s1 = succ_class_.SegOf(e - 1);
+    succ_class_.PinSegment(s0, &range.class_pin_[0]);
+    succ_event_.PinSegment(s0, &range.event_pin_[0]);
+    if (s1 != s0) {
+      succ_class_.PinSegment(s1, &range.class_pin_[1]);
+      succ_event_.PinSegment(s1, &range.event_pin_[1]);
+    }
+  }
+  return range;
+}
+
+ComputationSpace::SegmentCursor::SegmentCursor(const ComputationSpace* space,
+                                               std::size_t first_id,
+                                               std::size_t limit,
+                                               bool trim_behind)
+    : space_(space),
+      limit_(std::min(limit, space->size())),
+      trim_(trim_behind) {
+  begin_ = std::min(first_id, limit_);
+  end_ = begin_;
+  if (begin_ < limit_) {
+    seg_ = space_->links_.SegOf(begin_);
+    PinCurrent();
+  }
+}
+
+void ComputationSpace::SegmentCursor::PinCurrent() {
+  // links_ has one element per row, so its segment boundaries are the class
+  // rows' — the same segment index covers the same rows in proj_class_.
+  end_ = std::min(limit_, space_->links_.SegmentEnd(seg_));
+  space_->links_.PinSegment(seg_, &links_pin_);
+  space_->proj_class_.PinSegment(seg_, &proj_pin_);
+}
+
+void ComputationSpace::SegmentCursor::Next() {
+  links_pin_.Release();
+  proj_pin_.Release();
+  if (trim_ && space_->store_->out_of_core()) space_->store_->EnforceBudget();
+  begin_ = end_;
+  if (begin_ >= limit_) return;
+  ++seg_;
+  PinCurrent();
+}
+
+ComputationSpace::SegmentCursor ComputationSpace::Classes(
+    std::size_t first_id, std::size_t limit, bool trim_behind) const {
+  return SegmentCursor(this, first_id, std::min(limit, size()), trim_behind);
 }
 
 std::vector<std::size_t> ComputationSpace::IdsByLength() const {
@@ -1080,10 +1272,9 @@ std::optional<std::size_t> ComputationSpace::IndexOf(
   // Stored sequences are canonical (or literal with canonicalization off),
   // so the index key is always the plain SequenceHash of the lookup form.
   const std::size_t h = key.SequenceHash();
-  auto it = std::lower_bound(canon_hash_.begin(), canon_hash_.end(), h);
-  for (; it != canon_hash_.end() && *it == h; ++it) {
-    const std::uint32_t id =
-        canon_id_[static_cast<std::size_t>(it - canon_hash_.begin())];
+  for (std::size_t i = LowerBound(canon_hash_, h);
+       i < canon_hash_.size() && canon_hash_[i] == h; ++i) {
+    const std::uint32_t id = canon_id_[i];
     if (LengthOf(id) == key.size() && At(id) == key) return id;
   }
   return std::nullopt;
@@ -1098,31 +1289,30 @@ std::size_t ComputationSpace::RequireIndex(const Computation& c) const {
 }
 
 ComputationSpace::MemoryStats ComputationSpace::MemoryUsage() const {
-  // Exact sizes of the columnar columns (capacity() x element size; the
-  // columns are shrunk to fit by Enumerate).  The AoS-equivalent mirrors
-  // the seed layout's minimum heap footprint for the same space — per-class
-  // owned event vectors, per-class successor vectors of (id, Event) pairs,
-  // vector-of-vector buckets, and an unordered_map canonical index —
-  // computed from the same class lengths and counts.  Labels are assumed
-  // SSO-resident in the AoS estimate (true of every system in the repo);
-  // allocator headers are excluded on both sides, so the comparison favors
-  // the AoS side if anything.
-  auto vec_bytes = [](const auto& v) {
-    return v.capacity() * sizeof(v[0]);
-  };
+  // Logical column sizes (elements x element size, independent of where
+  // the segments currently live), plus a residency split from the segment
+  // store.  The AoS-equivalent mirrors the seed layout's minimum heap
+  // footprint for the same space — per-class owned event vectors, per-class
+  // successor vectors of (id, Event) pairs, vector-of-vector buckets, and
+  // an unordered_map canonical index — computed from the same class lengths
+  // and counts.  Labels are assumed SSO-resident in the AoS estimate (true
+  // of every system in the repo); allocator headers are excluded on both
+  // sides, so the comparison favors the AoS side if anything.
   MemoryStats s;
   s.classes = links_.size();
-  s.bytes_event_pool = vec_bytes(event_pool_);
+  s.bytes_event_pool = event_pool_.capacity() * sizeof(Event);
   for (const Event& e : event_pool_)
     if (e.label.capacity() > std::string().capacity())
       s.bytes_event_pool += e.label.capacity() + 1;
-  s.bytes_class_links = vec_bytes(links_);
-  s.bytes_canon_index = vec_bytes(canon_hash_) + vec_bytes(canon_id_);
-  s.bytes_projection = vec_bytes(proj_class_);
-  for (const auto& offsets : bucket_offsets_) s.bytes_buckets += vec_bytes(offsets);
+  s.bytes_class_links = links_.ByteSize();
+  s.bytes_canon_index = canon_hash_.ByteSize() + canon_id_.ByteSize();
+  s.bytes_projection = proj_class_.ByteSize();
+  auto vec_bytes = [](const auto& v) { return v.capacity() * sizeof(v[0]); };
+  for (const auto& offsets : bucket_offsets_)
+    s.bytes_buckets += vec_bytes(offsets);
   for (const auto& ids : bucket_ids_) s.bytes_buckets += vec_bytes(ids);
-  s.bytes_successors =
-      vec_bytes(succ_offsets_) + vec_bytes(succ_class_) + vec_bytes(succ_event_);
+  s.bytes_successors = succ_offsets_.ByteSize() + succ_class_.ByteSize() +
+                       succ_event_.ByteSize();
   {
     std::lock_guard<std::mutex> lock(*group_mutex_);
     for (const auto& [mask, index] : group_index_)
@@ -1132,8 +1322,21 @@ ComputationSpace::MemoryStats ComputationSpace::MemoryUsage() const {
                   s.bytes_canon_index + s.bytes_projection + s.bytes_buckets +
                   s.bytes_successors + s.bytes_group_index;
 
+  // Residency split: segmented payload by state, plus the always-resident
+  // columns (event pool, bucket CSR, group indexes) under bytes_resident.
+  const internal::SegmentedSpaceStore::Stats store = store_->GetStats();
+  s.segments = store.segments;
+  s.spill_faults = static_cast<std::size_t>(store.spill_faults);
+  s.spill_writes = static_cast<std::size_t>(store.spill_writes);
+  s.bytes_mapped = static_cast<std::size_t>(store.bytes_mapped);
+  s.bytes_spilled = static_cast<std::size_t>(store.bytes_spilled);
+  s.bytes_resident = static_cast<std::size_t>(store.bytes_resident) +
+                     s.bytes_event_pool + s.bytes_buckets +
+                     s.bytes_group_index;
+
   std::size_t total_events = 0;
-  for (const ClassLink& link : links_) total_events += link.length;
+  for (std::size_t id = 0; id < s.classes; ++id)
+    total_events += links_[id].length;
   const std::size_t num_successors = succ_class_.size();
   std::size_t num_buckets = 0;
   for (const auto& offsets : bucket_offsets_) num_buckets += offsets.size() - 1;
@@ -1153,6 +1356,9 @@ ComputationSpace::MemoryStats ComputationSpace::MemoryUsage() const {
       s.classes * static_cast<std::size_t>(num_processes_) *
           2 * sizeof(std::uint32_t) +
       s.classes * sizeof(std::size_t);
+  // The AoS scan above faulted every links segment in; don't let a stats
+  // probe permanently blow the budget.
+  if (store_->out_of_core()) store_->EnforceBudget();
   return s;
 }
 

@@ -9,20 +9,39 @@
 // canonical representative per [D]-equivalence class; this both compresses
 // the space and enforces the invariance assumption by construction.
 //
-// The store is columnar.  Events are interned into a shared pool (a system's
-// event alphabet is bounded by its protocol, not by its class count), and a
-// class is 12 bytes: its BFS parent, the pool id of the one event that
-// extends the parent into it, and the splice position where the canonical
-// scheduler emits that event — canonical sequences are never stored, they
-// are materialized on demand by replaying the splice chain from the root
-// (At(), therefore, returns by value).  Successor lists and per-process
-// buckets are CSR-flattened (offset array + flat uint32_t payload), and the
-// canonical-form index is a sorted (hash, id) column.  Compared to the seed
-// layout (one owned std::vector<Event> per class, vector-of-vector buckets
-// and successor lists) this cuts bytes per class by roughly an order of
-// magnitude — MemoryUsage() reports the exact split, plus the seed layout's
-// equivalent footprint for the same space — and makes every bucket sweep a
-// contiguous scan.
+// The store is columnar and segmented.  Events are interned into a shared
+// pool (a system's event alphabet is bounded by its protocol, not by its
+// class count), and a class is 12 bytes: its BFS parent, the pool id of the
+// one event that extends the parent into it, and the splice position where
+// the canonical scheduler emits that event — canonical sequences are never
+// stored, they are materialized on demand by replaying the splice chain
+// from the root (At(), therefore, returns by value).  Successor lists and
+// per-process buckets are CSR-flattened (offset array + flat uint32_t
+// payload), and the canonical-form index is a sorted (hash, id) column.
+//
+// The per-class columns (links, projections, canonical index, successor
+// CSR) live in fixed-size segments (segment_store.h) rather than one flat
+// vector each: the tail segment of each column is append-only and
+// resident, sealed segments are immutable and individually spillable to
+// FNV-checksummed files, faulted back via mmap on demand.  With a
+// residency budget set (EnumerationLimits::segments), BFS enumeration
+// spills cold segments behind the frontier and whole-space sweeps stream
+// segment-at-a-time — the out-of-core mode that takes the store past RAM
+// (the 100M-class regime).  Without a budget (the default) every segment
+// stays resident and behavior matches the flat store exactly.  Because the
+// canonical index is kept globally sorted by hash, its segment boundaries
+// are contiguous hash ranges — the store is effectively sharded by
+// canonical-hash prefix.  The event pool and the bucket CSR columns stay
+// resident: the pool is bounded by the protocol alphabet, and bucket
+// payloads are the one column sweeps genuinely random-access (their
+// footprint is the documented floor of the out-of-core mode).
+//
+// Reads go through view/cursor types instead of raw spans: Bucket()
+// returns a BucketView, SuccessorsOf() a SuccessorRange, and Classes() a
+// SegmentCursor — each pins the segments it touches for its lifetime, so a
+// cooperative residency trim (TrimResidency) can never invalidate an
+// in-flight access.  Deprecated span shims (BucketSpan) remain for
+// out-of-tree code and fail loudly on an out-of-core store.
 //
 // Per-process buckets group computations with equal projections, so the
 // [p]-equivalence classes are materialized and "for all y: x [P] y" becomes
@@ -55,11 +74,13 @@
 // level's interned-id sequences, and shards merge in the sequential
 // discovery order — so class ids, successor lists, projection classes, and
 // therefore every knowledge result are byte-identical for every
-// `num_threads` value (`num_threads = 1` runs the same phases inline).
-// Expansion calls `System::EnabledEvents` concurrently from multiple
-// threads, which is safe for every system in the repo because EnabledEvents
-// is a pure function of the computation; custom systems must preserve that
-// (no mutable state in a const EnabledEvents).
+// `num_threads` value (`num_threads = 1` runs the same phases inline), and
+// independent of the segment size and residency budget (differential-
+// tested in tests/core/space_segmented_test.cc).  Expansion calls
+// `System::EnabledEvents` concurrently from multiple threads, which is
+// safe for every system in the repo because EnabledEvents is a pure
+// function of the computation; custom systems must preserve that (no
+// mutable state in a const EnabledEvents).
 #ifndef HPL_CORE_SPACE_H_
 #define HPL_CORE_SPACE_H_
 
@@ -73,6 +94,7 @@
 #include <vector>
 
 #include "core/computation.h"
+#include "core/segment_store.h"
 #include "core/system.h"
 #include "core/types.h"
 
@@ -115,6 +137,12 @@ struct EnumerationLimits {
   // are built once; empty sets are rejected.  The resulting tables are
   // byte-identical to the lazy EnsureGroupIndex path.
   std::vector<ProcessSet> groups = {};
+  // Segment size / residency budget / spill directory of the columnar
+  // store (segment_store.h).  The default keeps everything resident; a
+  // non-zero residency budget turns on out-of-core enumeration: cold
+  // segments spill behind the BFS frontier.  Class ids and every derived
+  // column are byte-identical whatever these values.
+  SegmentOptions segments = {};
 };
 
 class ComputationSpace {
@@ -144,10 +172,9 @@ class ComputationSpace {
   // reference is convenient (lifetime extension applies).
   Computation At(std::size_t id) const;
 
-  // Event count of class `id` without materializing it (O(1)).
-  std::size_t LengthOf(std::size_t id) const {
-    return links_[id].length;
-  }
+  // Event count of class `id` without materializing it (O(1); faults the
+  // class's links segment in if it is spilled).
+  std::size_t LengthOf(std::size_t id) const { return links_[id].length; }
 
   // Index of the [D]-class of `c`, if `c` (or a permutation of it) is a
   // computation of the system.
@@ -158,8 +185,7 @@ class ComputationSpace {
 
   // Id of the [p]-equivalence class of computation `id` (dense ints).
   std::uint32_t ProjectionClass(std::size_t id, ProcessId p) const {
-    return proj_class_[id * static_cast<std::size_t>(num_processes_) +
-                       static_cast<std::size_t>(p)];
+    return proj_class_.Row(id)[static_cast<std::size_t>(p)];
   }
 
   // Number of [p]-equivalence classes (valid class ids are dense in
@@ -168,13 +194,63 @@ class ComputationSpace {
     return bucket_offsets_.at(static_cast<std::size_t>(p)).size() - 1;
   }
 
+  // Span-like view of one [p]-bucket, pinning whatever segment backs it
+  // for the view's lifetime (today bucket payloads are always resident, so
+  // the pin is empty — the type exists so the contract survives buckets
+  // moving out of core).  Implicitly converts to std::span for code that
+  // only reads.  Move-only: the pin is owned.
+  class BucketView {
+   public:
+    using value_type = std::uint32_t;
+    BucketView() = default;
+    BucketView(BucketView&&) noexcept = default;
+    BucketView& operator=(BucketView&&) noexcept = default;
+
+    const std::uint32_t* data() const noexcept { return data_; }
+    std::size_t size() const noexcept { return size_; }
+    bool empty() const noexcept { return size_ == 0; }
+    std::uint32_t operator[](std::size_t k) const { return data_[k]; }
+    std::uint32_t front() const { return data_[0]; }
+    std::uint32_t back() const { return data_[size_ - 1]; }
+    const std::uint32_t* begin() const noexcept { return data_; }
+    const std::uint32_t* end() const noexcept { return data_ + size_; }
+    std::span<const std::uint32_t> span() const noexcept {
+      return std::span<const std::uint32_t>(data_, size_);
+    }
+    operator std::span<const std::uint32_t>() const noexcept {  // NOLINT
+      return span();
+    }
+
+   private:
+    friend class ComputationSpace;
+    BucketView(const std::uint32_t* data, std::size_t size,
+               internal::SegmentPin pin)
+        : data_(data), size_(size), pin_(std::move(pin)) {}
+    const std::uint32_t* data_ = nullptr;
+    std::size_t size_ = 0;
+    internal::SegmentPin pin_;
+  };
+
   // All computations y with At(id) [p] y (including id itself), ascending —
   // one contiguous slice of the process's CSR bucket column.
-  std::span<const std::uint32_t> Bucket(ProcessId p, std::uint32_t cls) const {
+  BucketView Bucket(ProcessId p, std::uint32_t cls) const {
     const auto& offsets = bucket_offsets_.at(static_cast<std::size_t>(p));
     const auto& ids = bucket_ids_[static_cast<std::size_t>(p)];
-    return std::span<const std::uint32_t>(ids.data() + offsets.at(cls),
-                                          offsets.at(cls + 1) - offsets[cls]);
+    return BucketView(ids.data() + offsets.at(cls),
+                      offsets.at(cls + 1) - offsets[cls],
+                      internal::SegmentPin());
+  }
+
+  // DEPRECATED raw-span shim for out-of-tree callers of the pre-segment
+  // API.  Only valid on a fully resident store: throws ModelError when the
+  // space runs out-of-core (a raw span cannot pin its segment, so handing
+  // one out would dangle across a residency trim).  In-repo code uses
+  // Bucket()/BucketView.
+  [[deprecated("use Bucket(): BucketView pins its segment")]]
+  std::span<const std::uint32_t> BucketSpan(ProcessId p,
+                                            std::uint32_t cls) const {
+    RequireFullyResident("ComputationSpace::BucketSpan");
+    return Bucket(p, cls).span();
   }
 
   // One materialized [G]-class partition: the common refinement of the
@@ -183,6 +259,8 @@ class ComputationSpace {
   // space (built by Enumerate for EnumerationLimits::groups, or lazily by
   // EnsureGroupIndex) and their addresses are stable for the space's
   // lifetime, so hot sweeps hold the reference and never touch the cache.
+  // Group tables are always resident (they are derived, rebuildable
+  // indexes, not part of the segmented class store).
   class GroupIndex {
    public:
     std::uint64_t mask() const noexcept { return mask_; }
@@ -262,13 +340,14 @@ class ComputationSpace {
     ProcessId best = set.First();
     std::size_t best_size = SIZE_MAX;
     set.ForEach([&](ProcessId p) {
-      const std::size_t bucket_size = Bucket(p, ProjectionClass(id, p)).size();
+      const std::size_t bucket_size = BucketSize(p, ProjectionClass(id, p));
       if (bucket_size < best_size) {
         best_size = bucket_size;
         best = p;
       }
     });
-    for (std::uint32_t y : Bucket(best, ProjectionClass(id, best)))
+    const BucketView bucket = Bucket(best, ProjectionClass(id, best));
+    for (std::uint32_t y : bucket)
       if (Isomorphic(id, y, set) && !fn(y)) return;
   }
 
@@ -296,7 +375,9 @@ class ComputationSpace {
   // Classes whose representative extends At(id) by exactly one event
   // (successor classes), and the extending events.  Backed by the CSR
   // successor columns; iteration yields Successor values whose events are
-  // copied out of the shared pool.
+  // copied out of the shared pool.  The range pins the successor-payload
+  // segments it covers, so iteration is stable across a concurrent
+  // residency trim.  Move-only: the pins are owned.
   struct Successor {
     std::size_t class_id;
     Event event;
@@ -321,6 +402,9 @@ class ComputationSpace {
       std::uint32_t i_;
     };
 
+    SuccessorRange(SuccessorRange&&) noexcept = default;
+    SuccessorRange& operator=(SuccessorRange&&) noexcept = default;
+
     std::size_t size() const noexcept { return end_ - begin_; }
     bool empty() const noexcept { return begin_ == end_; }
     Successor operator[](std::size_t k) const {
@@ -337,10 +421,53 @@ class ComputationSpace {
     const ComputationSpace* space_;
     std::uint32_t begin_;
     std::uint32_t end_;
+    // Pins on the first and last successor-payload segment the range
+    // touches, per column (ranges are per-class successor lists — far
+    // smaller than a segment, so two pins per column always suffice).
+    internal::SegmentPin class_pin_[2];
+    internal::SegmentPin event_pin_[2];
   };
-  SuccessorRange SuccessorsOf(std::size_t id) const {
-    return SuccessorRange(this, succ_offsets_.at(id), succ_offsets_.at(id + 1));
-  }
+  SuccessorRange SuccessorsOf(std::size_t id) const;
+
+  // Streaming cursor over the class-id range, one segment at a time: the
+  // current segment's links and projection rows are pinned (faulted in,
+  // eviction-proof) while [begin, end) is processed.  With `trim_behind`
+  // set, advancing past a segment trims residency back to the budget —
+  // only legal on sequential sweeps (see the segment_store.h concurrency
+  // contract); parallel sweeps run their own cursor per shard without
+  // trimming and trim at the next quiescent point.
+  //
+  //   for (auto cur = space.Classes(); cur.Valid(); cur.Next())
+  //     for (std::size_t id = cur.begin(); id < cur.end(); ++id) ...
+  class SegmentCursor {
+   public:
+    SegmentCursor(SegmentCursor&&) noexcept = default;
+    SegmentCursor& operator=(SegmentCursor&&) noexcept = default;
+
+    bool Valid() const noexcept { return begin_ < limit_; }
+    std::size_t segment() const noexcept { return seg_; }
+    std::size_t begin() const noexcept { return begin_; }
+    std::size_t end() const noexcept { return end_; }
+    void Next();
+
+   private:
+    friend class ComputationSpace;
+    SegmentCursor(const ComputationSpace* space, std::size_t first_id,
+                  std::size_t limit, bool trim_behind);
+    void PinCurrent();
+    const ComputationSpace* space_;
+    std::size_t seg_ = 0;
+    std::size_t begin_ = 0;
+    std::size_t end_ = 0;
+    std::size_t limit_ = 0;
+    bool trim_ = false;
+    internal::SegmentPin links_pin_;
+    internal::SegmentPin proj_pin_;
+  };
+  // Cursor over ids [first_id, limit) — limit = SIZE_MAX means size().
+  SegmentCursor Classes(std::size_t first_id = 0,
+                        std::size_t limit = SIZE_MAX,
+                        bool trim_behind = false) const;
 
   // Ids of all computations in increasing length order (stable: equal
   // lengths keep ascending ids).  BFS discovers classes level by level, so
@@ -348,11 +475,40 @@ class ComputationSpace {
   // can splice in classes out of length order, which this re-sorts.
   std::vector<std::size_t> IdsByLength() const;
 
-  // Exact heap footprint of the columnar store, in bytes, plus what the
-  // seed's array-of-structs layout would need for the same space (one owned
-  // event vector per class, per-class successor vectors, vector-of-vector
-  // buckets, hash-map canonical index) — the before/after line benchmarks
-  // report.  `bytes_total` counts only the columnar columns below it.
+  // --- residency control / observability -----------------------------------
+
+  // The segment configuration this space was built (or loaded) with.
+  const SegmentOptions& segment_options() const noexcept {
+    return store_->options();
+  }
+  // True when a residency budget is set (segments may be spilled).
+  bool out_of_core() const noexcept { return store_->out_of_core(); }
+  // Spills LRU sealed unpinned segments until the store fits its budget.
+  // Cooperative: only call from quiescent points (no unpinned concurrent
+  // readers).  Returns segments spilled.  No-op without a budget.
+  std::size_t TrimResidency() const { return store_->EnforceBudget(); }
+  // Faults every spilled segment back in (heap-backed): required before
+  // handing the space to code that still assumes full residency.
+  void MakeFullyResident() const { store_->MakeAllResident(); }
+  // Residency / spill counters of the segment store.
+  internal::SegmentedSpaceStore::Stats SegmentStats() const {
+    return store_->GetStats();
+  }
+  // Per-segment residency rows (serve {"op":"residency"}).
+  std::vector<internal::SegmentedSpaceStore::SegmentInfo> SegmentResidency()
+      const {
+    return store_->Residency();
+  }
+
+  // Exact memory footprint of the columnar store, in bytes, split by
+  // residency — `bytes_total` is the logical column payload wherever it
+  // lives; `bytes_resident` is what actually occupies heap (counts toward
+  // RSS), `bytes_mapped` is mmapped segment payload (file-backed,
+  // reclaimable), `bytes_spilled` is on disk only.  Also reports what the
+  // seed's array-of-structs layout would need for the same space (one
+  // owned event vector per class, per-class successor vectors,
+  // vector-of-vector buckets, hash-map canonical index) — the before/after
+  // line benchmarks report.
   struct MemoryStats {
     std::size_t classes = 0;
     std::size_t bytes_event_pool = 0;    // interned events incl. label heap
@@ -362,7 +518,15 @@ class ComputationSpace {
     std::size_t bytes_buckets = 0;       // CSR offsets + payload
     std::size_t bytes_successors = 0;    // CSR offsets + payload
     std::size_t bytes_group_index = 0;   // cached [G]-class indexes
-    std::size_t bytes_total = 0;
+    std::size_t bytes_total = 0;         // logical sum of the above
+    // Residency split (segmented columns by state + always-resident
+    // columns under bytes_resident).
+    std::size_t bytes_resident = 0;
+    std::size_t bytes_mapped = 0;
+    std::size_t bytes_spilled = 0;
+    std::size_t segments = 0;
+    std::size_t spill_faults = 0;
+    std::size_t spill_writes = 0;
     std::size_t bytes_aos_equivalent = 0;
     double BytesPerClass() const {
       return classes == 0 ? 0.0
@@ -391,10 +555,26 @@ class ComputationSpace {
     std::uint16_t length = 0;
   };
 
+  // Configures the segment store and binds every column to it.  Must run
+  // after num_processes_ is set and before any column grows.
+  void InitColumns(const SegmentOptions& options);
+
+  // Throws when the store runs out-of-core — the deprecated raw-span shims
+  // cannot pin, so they refuse rather than dangle.
+  void RequireFullyResident(const char* what) const;
+
+  // Bucket size without materializing a view (offset subtraction).
+  std::size_t BucketSize(ProcessId p, std::uint32_t cls) const {
+    const auto& offsets = bucket_offsets_[static_cast<std::size_t>(p)];
+    return offsets[cls + 1] - offsets[cls];
+  }
+
   // Builds the per-process CSR buckets from proj_class_ by counting sort
   // (phase 2 of construction); one independent task per process when a pool
-  // is given.  Also finishes the CSR columns of any group indexes whose
-  // cls_ columns are filled and offsets zeroed (SpaceBuilder::Finalize).
+  // is given.  Streams the projection column segment-at-a-time under pins,
+  // trimming residency as it goes when a budget is set.  Also finishes the
+  // CSR columns of any group indexes whose cls_ columns are filled and
+  // offsets zeroed (SpaceBuilder::Finalize).
   static void BuildBuckets(ComputationSpace& space, internal::WorkerPool* pool);
 
   // Fills `index` (mask already set) by replaying the class links in id
@@ -428,21 +608,30 @@ class ComputationSpace {
   int built_depth_ = 0;
   std::string system_name_;
 
-  // Columnar class store (see header comment).
+  // Segment directory shared by the columns below.  unique_ptr keeps the
+  // store's address stable across space moves (columns hold the raw
+  // pointer).
+  std::unique_ptr<internal::SegmentedSpaceStore> store_ =
+      std::make_unique<internal::SegmentedSpaceStore>();
+
+  // Columnar class store (see header comment).  The event pool and the
+  // bucket CSR stay resident by design; everything else is segmented.
   std::vector<Event> event_pool_;
-  std::vector<ClassLink> links_;
-  // Canonical-form index: hashes sorted ascending, ids carried alongside.
-  std::vector<std::size_t> canon_hash_;
-  std::vector<std::uint32_t> canon_id_;
-  std::vector<std::uint32_t> proj_class_;  // size() * num_processes_
+  internal::SegColumn<ClassLink> links_;
+  // Canonical-form index: hashes sorted ascending, ids carried alongside —
+  // segment boundaries are contiguous hash ranges (hash-prefix shards).
+  internal::SegColumn<std::size_t> canon_hash_;
+  internal::SegColumn<std::uint32_t> canon_id_;
+  // Projection rows: num_processes_ elements per class row.
+  internal::SegColumn<std::uint32_t> proj_class_;
   // CSR buckets: bucket_ids_[p][bucket_offsets_[p][cls] ..
   // bucket_offsets_[p][cls+1]) = ids of computations in [p]-class cls.
   std::vector<std::vector<std::uint32_t>> bucket_offsets_;
   std::vector<std::vector<std::uint32_t>> bucket_ids_;
   // CSR successors: parallel (class, event-pool-id) columns.
-  std::vector<std::uint32_t> succ_offsets_;  // size() + 1
-  std::vector<std::uint32_t> succ_class_;
-  std::vector<std::uint32_t> succ_event_;
+  internal::SegColumn<std::uint32_t> succ_offsets_;  // size() + 1
+  internal::SegColumn<std::uint32_t> succ_class_;
+  internal::SegColumn<std::uint32_t> succ_event_;
   // Group-partition cache, keyed by process mask.  unique_ptr values keep
   // GroupIndex addresses stable across rehashes; the mutex guards only the
   // map (indexes are immutable once published).  Held by unique_ptr so the
@@ -477,6 +666,9 @@ class ComputationSpace {
 // successor edge) without touching classes the stream cannot reach.  A
 // builder that minted classes through Ingest can keep ingesting but no
 // longer Deepen — ingested classes break the level-ordered frontier.
+// Ingest mutates columns in place (middle insertions), so it faults the
+// whole store resident first; out-of-core budgets re-apply at the next
+// trim.
 //
 // The space lives behind a stable address: builder.space() remains valid
 // across Deepen/Ingest calls, so long-lived readers (e.g. a
@@ -487,7 +679,7 @@ class ComputationSpace {
 // builder whose Build/Deepen threw is in an unspecified state; rebuild it.
 //
 // Snapshots: serialization.h saves a builder with its frontier
-// (hpl-space-v2) so a served space can be loaded and then deepened;
+// (hpl-space-v2/v3) so a served space can be loaded and then deepened;
 // loading a frontier-less snapshot (v1 files, or a space saved without its
 // builder) yields a sealed builder — Ingest still works, Deepen throws.
 class SpaceBuilder {
@@ -581,6 +773,8 @@ class SpaceBuilder {
   // depth < target_depth, then runs the cap pass (extendability check +
   // empty successor rows for the frontier) and returns with the frontier
   // retained — or marks the build complete when a level comes up empty.
+  // Between levels it trims residency to the budget (cold segments spill
+  // behind the frontier).
   void RunLevels(int target_depth, internal::WorkerPool* pool);
   // Re-derives every sorted/derived column after RunLevels or Ingest:
   // merges the new canonical-index suffix, rebuilds the per-process CSR

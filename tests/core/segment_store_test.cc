@@ -1,0 +1,283 @@
+// The out-of-core segment store (core/segment_store.h): row-grouped
+// columns, LRU spill/fault under a residency budget, pin semantics, and —
+// the contract the snapshot layer leans on — named rejection of every way
+// a segment file can rot on disk: flipped payload bytes (checksum), short
+// files (truncated header/payload), deleted files (missing segment), and
+// files written by a future format (version skew).  Corruption must come
+// back as ModelError naming the file and the defect, never a crash or a
+// silent wrong read.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/segment_store.h"
+#include "core/types.h"
+
+namespace hpl {
+namespace {
+
+namespace fs = std::filesystem;
+using internal::SegColumn;
+using internal::SegmentedSpaceStore;
+using internal::SegmentPin;
+using internal::SegmentState;
+
+// A fresh private spill directory per test, removed on teardown.
+class SegmentStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("hpl-segtest-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  SegmentOptions Options(unsigned shift, std::uint64_t budget) const {
+    SegmentOptions options;
+    options.segment_shift = shift;
+    options.residency_budget_bytes = budget;
+    options.spill_dir = dir_.string();
+    return options;
+  }
+
+  // The column's spill files, oldest registration first (uids in the file
+  // names are store-unique and monotone, so lexicographic-by-length order
+  // is registration order == segment-index order for a single column).
+  std::vector<fs::path> SpillFiles() const {
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::directory_iterator(dir_))
+      if (entry.path().extension() == ".hplseg") files.push_back(entry.path());
+    std::sort(files.begin(), files.end(),
+              [](const fs::path& a, const fs::path& b) {
+                const std::string sa = a.filename().string();
+                const std::string sb = b.filename().string();
+                return sa.size() != sb.size() ? sa.size() < sb.size() : sa < sb;
+              });
+    return files;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(SegmentStoreTest, RowGroupedAppendAndRead) {
+  SegmentedSpaceStore store;
+  store.Configure(Options(/*shift=*/2, /*budget=*/0));
+  // 3 elements per row, 4 rows per segment: segments hold 12 elements and
+  // a row never straddles a boundary.
+  SegColumn<std::uint32_t> column;
+  column.Bind(&store, "rows", /*shift=*/2, /*row_elems=*/3);
+  for (std::uint32_t r = 0; r < 100; ++r) {
+    const std::uint32_t row[3] = {r, r * 10, r * 100};
+    column.Append(row, 3);
+  }
+  EXPECT_EQ(column.size(), 300u);
+  EXPECT_EQ(column.rows(), 100u);
+  EXPECT_EQ(column.num_segments(), (100 + 3) / 4);
+  for (std::uint32_t r = 0; r < 100; ++r) {
+    const std::uint32_t* row = column.Row(r);
+    EXPECT_EQ(row[0], r);
+    EXPECT_EQ(row[1], r * 10);
+    EXPECT_EQ(row[2], r * 100);
+    EXPECT_EQ(column[r * 3 + 1], r * 10);
+  }
+  EXPECT_EQ(column.back(), 99u * 100);
+
+  column.Truncate(3 * 10);
+  EXPECT_EQ(column.rows(), 10u);
+  EXPECT_EQ(column.num_segments(), 3u);
+  const std::uint32_t row[3] = {7, 77, 777};
+  column.Append(row, 3);
+  EXPECT_EQ(column.Row(10)[2], 777u);
+  EXPECT_EQ(column.Row(9)[0], 9u);
+}
+
+TEST_F(SegmentStoreTest, SpillFaultRoundtripUnderBudget) {
+  SegmentedSpaceStore store;
+  store.Configure(Options(/*shift=*/4, /*budget=*/256));
+  ASSERT_TRUE(store.out_of_core());
+  SegColumn<std::uint32_t> column;
+  column.Bind(&store, "data", /*shift=*/4);
+  for (std::uint32_t i = 0; i < 1000; ++i) column.push_back(i * 2654435761u);
+  column.SealAllButTail();
+  EXPECT_GT(store.EnforceBudget(), 0u);
+
+  const auto stats = store.GetStats();
+  EXPECT_EQ(stats.segments, column.num_segments());
+  EXPECT_GT(stats.spilled_segments, 0u);
+  EXPECT_GT(stats.bytes_spilled, 0u);
+  EXPECT_GT(stats.spill_writes, 0u);
+  EXPECT_FALSE(SpillFiles().empty());
+
+  // Every element reads back through fault-in, and faults are counted.
+  for (std::uint32_t i = 0; i < 1000; ++i)
+    ASSERT_EQ(column[i], i * 2654435761u) << i;
+  EXPECT_GT(store.GetStats().spill_faults, 0u);
+
+  // MakeAllResident undoes the spill: everything readable, nothing mapped.
+  store.MakeAllResident();
+  const auto resident = store.GetStats();
+  EXPECT_EQ(resident.spilled_segments, 0u);
+  EXPECT_EQ(resident.mapped_segments, 0u);
+  for (std::uint32_t i = 0; i < 1000; ++i)
+    ASSERT_EQ(column[i], i * 2654435761u) << i;
+}
+
+TEST_F(SegmentStoreTest, PinsBlockEviction) {
+  SegmentedSpaceStore store;
+  store.Configure(Options(/*shift=*/4, /*budget=*/64));
+  SegColumn<std::uint32_t> column;
+  column.Bind(&store, "pinned", /*shift=*/4);
+  for (std::uint32_t i = 0; i < 512; ++i) column.push_back(i);
+  column.SealAllButTail();
+
+  SegmentPin pin;
+  const std::uint32_t* base = column.PinSegment(0, &pin);
+  ASSERT_NE(base, nullptr);
+  EXPECT_EQ(base[5], 5u);
+
+  store.EnforceBudget();
+  // Segment 0 is pinned: still resident, still directly readable.
+  bool seg0_spilled = true;
+  for (const auto& info : store.Residency())
+    if (info.index == 0) seg0_spilled = info.state == SegmentState::kOnDisk;
+  EXPECT_FALSE(seg0_spilled);
+  EXPECT_EQ(base[15], 15u);
+
+  // Released, the same segment is evictable.
+  pin.Release();
+  store.EnforceBudget();
+  bool seg0_now_spilled = false;
+  for (const auto& info : store.Residency())
+    if (info.index == 0) seg0_now_spilled = info.state == SegmentState::kOnDisk;
+  EXPECT_TRUE(seg0_now_spilled);
+  EXPECT_EQ(column[7], 7u);  // faults back in on demand
+}
+
+// Spills everything, then hands each segment file to `corrupt` and expects
+// the next read of that segment to throw a ModelError whose message
+// contains `what`.
+class SegmentCorruptionTest : public SegmentStoreTest {
+ protected:
+  void ExpectNamedError(
+      const std::function<void(const fs::path&)>& corrupt,
+      const std::string& what) {
+    SegmentedSpaceStore store;
+    store.Configure(Options(/*shift=*/4, /*budget=*/1));
+    SegColumn<std::uint32_t> column;
+    column.Bind(&store, "col", /*shift=*/4);
+    for (std::uint32_t i = 0; i < 64; ++i) column.push_back(i + 1);
+    column.SealAllButTail();
+    store.EnforceBudget();
+    const auto files = SpillFiles();
+    ASSERT_FALSE(files.empty());
+    corrupt(files[0]);
+    try {
+      (void)column[0];  // segment 0 faults in from the corrupted file
+      FAIL() << "expected ModelError containing '" << what << "'";
+    } catch (const ModelError& e) {
+      EXPECT_NE(std::string(e.what()).find(what), std::string::npos)
+          << e.what();
+    }
+  }
+};
+
+TEST_F(SegmentCorruptionTest, FlippedPayloadByteFailsChecksum) {
+  ExpectNamedError(
+      [](const fs::path& file) {
+        std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(48 + 7);  // a payload byte, past the 48-byte header
+        char b;
+        f.seekg(48 + 7);
+        f.get(b);
+        f.seekp(48 + 7);
+        f.put(static_cast<char>(b ^ 0x20));
+      },
+      "checksum mismatch (corrupt segment)");
+}
+
+TEST_F(SegmentCorruptionTest, TruncatedPayloadIsNamed) {
+  ExpectNamedError(
+      [](const fs::path& file) {
+        fs::resize_file(file, fs::file_size(file) - 8);
+      },
+      "truncated payload (short read)");
+}
+
+TEST_F(SegmentCorruptionTest, TruncatedHeaderIsNamed) {
+  ExpectNamedError(
+      [](const fs::path& file) { fs::resize_file(file, 20); },
+      "truncated header (short read)");
+}
+
+TEST_F(SegmentCorruptionTest, MissingSegmentFileIsNamed) {
+  ExpectNamedError([](const fs::path& file) { fs::remove(file); },
+                   "missing segment");
+}
+
+TEST_F(SegmentCorruptionTest, VersionSkewIsNamed) {
+  ExpectNamedError(
+      [](const fs::path& file) {
+        // The u32 version lives at byte 8, after the 8-byte magic.
+        std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(8);
+        const char future[4] = {9, 0, 0, 0};
+        f.write(future, 4);
+      },
+      "unsupported segment version 9");
+}
+
+TEST_F(SegmentCorruptionTest, BadMagicIsNamed) {
+  ExpectNamedError(
+      [](const fs::path& file) {
+        std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(0);
+        f.write("NOTASEGM", 8);
+      },
+      "bad magic");
+}
+
+TEST_F(SegmentStoreTest, InsertShiftsAcrossSegments) {
+  SegmentedSpaceStore store;
+  store.Configure(Options(/*shift=*/2, /*budget=*/0));
+  SegColumn<std::uint32_t> column;
+  column.Bind(&store, "ins", /*shift=*/2);
+  for (std::uint32_t i = 0; i < 21; ++i) column.push_back(i * 2);
+  column.Insert(5, 9);
+  ASSERT_EQ(column.size(), 22u);
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(column[i], i * 2);
+  EXPECT_EQ(column[5], 9u);
+  for (std::uint32_t i = 6; i < 22; ++i) EXPECT_EQ(column[i], (i - 1) * 2);
+}
+
+TEST_F(SegmentStoreTest, ResidencyReportsPerSegmentState) {
+  SegmentedSpaceStore store;
+  store.Configure(Options(/*shift=*/3, /*budget=*/64));
+  SegColumn<std::uint32_t> column;
+  column.Bind(&store, "resid", /*shift=*/3);
+  for (std::uint32_t i = 0; i < 64; ++i) column.push_back(i);
+  column.SealAllButTail();
+  store.EnforceBudget();
+  const auto residency = store.Residency();
+  EXPECT_EQ(residency.size(), column.num_segments());
+  std::size_t spilled = 0;
+  for (const auto& info : residency) {
+    EXPECT_EQ(info.tag, "resid");
+    if (info.state == SegmentState::kOnDisk) ++spilled;
+  }
+  EXPECT_GT(spilled, 0u);
+  const auto stats = store.GetStats();
+  EXPECT_EQ(stats.spilled_segments, spilled);
+}
+
+}  // namespace
+}  // namespace hpl

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Integration test: the out-of-core CLI flags on `hpl_cli check`.
+
+Contract under test:
+
+  * `--segment-shift=N --residency-budget=B [--spill-dir=PATH]` must not
+    change a single verdict byte: count + FNV-1a satisfying-hash of every
+    formula are identical to the resident run, even with a budget far
+    below the space's columnar footprint (worst-case thrash),
+  * an explicit `--spill-dir` is honored and left clean: spilled
+    `.hplseg` segment files are removed with the store, so the directory
+    is empty again after exit,
+  * flag values outside the documented ranges (`--residency-budget` >= 1,
+    `--segment-shift` in [2, 26]) exit non-zero with an error naming the
+    flag, and never fall through to a resident run.
+
+Usage: cli_outofcore_test.py <path-to-hpl_cli>
+"""
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+TIMEOUT = 90  # seconds; the whole test is sub-second locally
+
+# (system spec, extra args, formulas) — tokenbus spaces are tiny, so the
+# 1 KiB budget + 4-row segments below genuinely force the spill path.
+CASES = [
+    ("tokenbus:3,3", ["--max-depth=12"],
+     ["K{0} token_at_p0", "K{1} token_at_p0", "CK{0,1} token_at_p0"]),
+    ("tokenbus:4,4", ["--max-depth=20"],
+     ["K{0} token_at_p0", "E{0,1} token_at_p0", "M{2} !token_at_p0"]),
+]
+BUDGET_FLAGS = ["--segment-shift=2", "--residency-budget=1024"]
+
+failures = []
+
+
+def check(ok, message):
+    if not ok:
+        failures.append(message)
+        print(f"FAIL  {message}")
+    else:
+        print(f"ok    {message}")
+
+
+def run_cli(cli, args):
+    try:
+        return subprocess.run([cli] + args, capture_output=True, text=True,
+                              timeout=TIMEOUT)
+    except subprocess.TimeoutExpired:
+        sys.exit(f"FATAL: {' '.join(args)} hung past {TIMEOUT}s")
+
+
+def verdict(proc):
+    """(count, total, satisfying-hash) scraped from `check` output."""
+    count = re.search(r"holds at (\d+)/(\d+) computations", proc.stdout)
+    digest = re.search(r"satisfying-hash: ([0-9a-f]{16})", proc.stdout)
+    if count is None or digest is None:
+        return None
+    return (int(count.group(1)), int(count.group(2)), digest.group(1))
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit("usage: cli_outofcore_test.py <path-to-hpl_cli>")
+    cli = sys.argv[1]
+
+    with tempfile.TemporaryDirectory() as spill_dir:
+        for spec, extra, formulas in CASES:
+            for formula in formulas:
+                resident = run_cli(cli, ["check", spec, formula] + extra)
+                check(resident.returncode == 0,
+                      f"resident check '{formula}' on {spec} exits 0")
+                budgeted = run_cli(
+                    cli, ["check", spec, formula] + extra + BUDGET_FLAGS +
+                    [f"--spill-dir={spill_dir}"])
+                check(budgeted.returncode == 0,
+                      f"budgeted check '{formula}' on {spec} exits 0")
+                want, got = verdict(resident), verdict(budgeted)
+                check(want is not None and want == got,
+                      f"budgeted verdict for '{formula}' on {spec} matches "
+                      f"resident ({want} vs {got})")
+        leftovers = os.listdir(spill_dir)
+        check(not leftovers,
+              f"explicit --spill-dir is empty after the store dies "
+              f"(found {leftovers[:5]})")
+
+    for bad_flag, fragment in [("--residency-budget=0", "--residency-budget"),
+                               ("--residency-budget=x", "--residency-budget"),
+                               ("--segment-shift=1", "--segment-shift"),
+                               ("--segment-shift=27", "--segment-shift")]:
+        proc = run_cli(cli, ["check", "tokenbus:3,3", "K{0} token_at_p0",
+                             bad_flag])
+        check(proc.returncode != 0 and fragment in proc.stderr,
+              f"{bad_flag} exits non-zero naming the flag")
+
+    if failures:
+        print(f"\n{len(failures)} failure(s)")
+        return 1
+    print("\nall checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

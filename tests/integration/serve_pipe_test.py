@@ -12,9 +12,11 @@ Contract under test:
     crash, no hang),
   * a second serve run against the snapshot written by the first starts
     from `loaded snapshot` and produces the exact same response stream,
-  * protocol v2: every response (errors included) carries "v":2; a
+  * protocol v3: every response (errors included) carries "v":3; a
     request's "id" member is echoed verbatim on its response; unknown
-    ops name the offending op in a structured "unknown_op" field,
+    ops name the offending op in a structured "unknown_op" field;
+    {"op":"info"} reports segment/residency fields and {"op":"residency"}
+    reports the out-of-core state of the store,
   * {"op":"deepen"} answers deterministically on a complete space
     (added=0) -- the same bytes whether the space was enumerated fresh
     or loaded from the snapshot.
@@ -112,6 +114,7 @@ def build_request_stream():
     # clean shutdown.
     requests.append(json.dumps({"op": "check", "formulas": FORMULAS}))
     requests.append('{"op":"deepen","levels":1,"id":"grow"}')
+    requests.append('{"op":"residency","id":"res"}')
     requests.append('{"op":"info"}')
     requests.append('{"op":"quit"}')
     return requests
@@ -178,8 +181,8 @@ def main():
         except json.JSONDecodeError:
             well_formed = False
 
-        if response.get("v") != 2:
-            check(False, f'response lacks "v":2: {response_text[:80]}')
+        if response.get("v") != 3:
+            check(False, f'response lacks "v":3: {response_text[:80]}')
             continue
         if well_formed and "id" in request:
             if response.get("id") != request["id"]:
@@ -226,6 +229,20 @@ def main():
                     is not True:
                 check(False, f"deepen on a complete space should add 0: "
                              f"{response_text[:80]}")
+        elif request.get("op") == "residency":
+            for field in ("out_of_core", "segments", "segments_resident",
+                          "bytes_resident"):
+                if field not in response:
+                    check(False, f'residency response lacks "{field}": '
+                                 f"{response_text[:80]}")
+                    break
+        elif request.get("op") == "info":
+            for field in ("out_of_core", "segments", "bytes_resident",
+                          "bytes_spilled"):
+                if field not in response:
+                    check(False, f'v3 info response lacks "{field}": '
+                                 f"{response_text[:80]}")
+                    break
 
     check(ok_checks >= 100,
           f"{ok_checks} warm check verdicts matched standalone check (>=100)")

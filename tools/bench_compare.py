@@ -67,6 +67,15 @@ VOLATILE_PARAMS = {
     # bench_knowledge_scaling kernel_speedup gauge rows (the kernels flag
     # itself stays in the key: it names which engine a row measured).
     "speedup",
+    # bench_outofcore measured outputs (segment_shift/budget_kb/segments
+    # stay in the key: they name the residency configuration a row ran
+    # under; `identical` stays so a verdict divergence cannot hide).
+    "peak_rss_mb",
+    "resident_mb",
+    "spilled_mb",
+    "spill_overhead",
+    "spill_faults",
+    "spill_writes",
 }
 
 

@@ -58,10 +58,17 @@
 //                                        re-warms the evaluator's memo
 //                                        planes (Refresh) instead of
 //                                        rebuilding them.  Serve speaks
-//                                        protocol v2: every response
-//                                        carries "v":2 and echoes the
+//                                        protocol v3: every response
+//                                        carries "v":3 and echoes the
 //                                        request's "id" member (string or
 //                                        number), if present — errors too.
+//                                        v3 adds segment-store fields to
+//                                        "info" (segments, residency and
+//                                        spill bytes) and the
+//                                        {"op":"residency"} op, which
+//                                        reports the out-of-core store's
+//                                        per-state segment counts and byte
+//                                        split.
 //
 // check, check-at, and bench share the flags
 //   --threads=N            ComputationSpace::Enumerate workers
@@ -71,6 +78,11 @@
 //                          interpreted reference engine — see core/kernel.h)
 //   --max-depth=N          override the system's enumeration depth cap
 //   --max-classes=N        override the [D]-class budget
+//   --segment-shift=N      log2 class rows per store segment (default 16)
+//   --residency-budget=B   out-of-core mode: spill cold sealed segments
+//                          once the columns' resident bytes exceed B
+//   --spill-dir=PATH       where spilled segments live (default: a private
+//                          directory under $TMPDIR, removed on exit)
 //   --allow-truncation     keep going at max_depth (knowledge verdicts are
 //                          then approximations; a WARNING is printed)
 //   --group=P0,P1[,...]    materialize the [G]-class index of this process
@@ -369,6 +381,12 @@ struct CliOptions {
   double drop = 0.0;                         // --drop=P, P in [0,1]
   std::vector<sim::FaultEvent> crashes;      // --crash=p[@t] (t -1: unset)
   std::vector<sim::PartitionWindow> partitions;  // --partition=SIDE@B..E
+  // Out-of-core segment store knobs (shared by every enumerating
+  // subcommand).  A budget of 0 keeps the store fully resident — the
+  // default, and bit-for-bit the pre-segmented behavior.
+  int segment_shift = 16;          // --segment-shift=N (log2 rows/segment)
+  long long residency_budget = 0;  // --residency-budget=BYTES (0: resident)
+  std::string spill_dir;           // --spill-dir=PATH ('': private tmp dir)
 };
 
 // Which optional extras a subcommand accepts on top of the shared core.
@@ -417,6 +435,15 @@ CliOptions ParseCliOptions(int argc, char** argv, int first,
                                         std::numeric_limits<long long>::max());
     else if (std::strcmp(arg, "--allow-truncation") == 0)
       options.allow_truncation = true;
+    else if (std::strncmp(arg, "--segment-shift=", 16) == 0)
+      options.segment_shift = static_cast<int>(
+          ParseIntArg("--segment-shift", arg + 16, 2, 26));
+    else if (std::strncmp(arg, "--residency-budget=", 19) == 0)
+      options.residency_budget =
+          ParseIntArg("--residency-budget", arg + 19, 1,
+                      std::numeric_limits<long long>::max());
+    else if (std::strncmp(arg, "--spill-dir=", 12) == 0)
+      options.spill_dir = std::string(arg + 12);
     else if (std::strncmp(arg, "--group=", 8) == 0)
       options.groups.push_back(ParseSet(arg + 8));
     else if (std::strncmp(arg, "--repeat=", 9) == 0) {
@@ -513,6 +540,12 @@ EnumerationLimits LimitsFor(const NamedSystem& named, const CliOptions& flags) {
   limits.canonicalize = named.canonicalize;
   limits.num_threads = flags.threads;
   limits.groups = flags.groups;
+  limits.segments.segment_shift = static_cast<unsigned>(flags.segment_shift);
+  limits.segments.residency_budget_bytes =
+      flags.residency_budget > 0
+          ? static_cast<std::uint64_t>(flags.residency_budget)
+          : 0;
+  limits.segments.spill_dir = flags.spill_dir;
   return limits;
 }
 
@@ -586,6 +619,13 @@ void PrintMemoryStats(const ComputationSpace::MemoryStats& space_memory,
   std::printf("kernels: %zu programs, %zu ops, %.1f KiB compiled+registers\n",
               memo_memory.kernel_programs, memo_memory.kernel_ops,
               static_cast<double>(memo_memory.bytes_kernel) / 1024.0);
+  if (space_memory.bytes_mapped > 0 || space_memory.bytes_spilled > 0)
+    std::printf("store:   %.1f KiB resident, %.1f KiB mmapped, %.1f KiB "
+                "spilled (%zu segments)\n",
+                static_cast<double>(space_memory.bytes_resident) / 1024.0,
+                static_cast<double>(space_memory.bytes_mapped) / 1024.0,
+                static_cast<double>(space_memory.bytes_spilled) / 1024.0,
+                space_memory.segments);
 }
 
 // The enumerate/evaluate phase rows shared by check, check-at, and bench.
@@ -1190,15 +1230,16 @@ std::string HandleServeRequest(ServeContext& ctx, const json::Value& request,
   const std::string& op = RequireString(request, "op");
   ++ctx.requests;
 
-  if (op == "ping") return "{\"ok\":true,\"v\":2,\"op\":\"ping\"" + id + "}";
+  if (op == "ping") return "{\"ok\":true,\"v\":3,\"op\":\"ping\"" + id + "}";
   if (op == "quit") {
     *quit = true;
-    return "{\"ok\":true,\"v\":2,\"op\":\"quit\"" + id + "}";
+    return "{\"ok\":true,\"v\":3,\"op\":\"quit\"" + id + "}";
   }
   if (op == "info") {
     const auto memo = ctx.eval->MemoryUsage();
     const ComputationSpace& space = ctx.space();
-    return "{\"ok\":true,\"v\":2,\"op\":\"info\",\"system\":\"" +
+    const auto seg = space.SegmentStats();
+    return "{\"ok\":true,\"v\":3,\"op\":\"info\",\"system\":\"" +
            json::Escape(space.system_name()) +
            "\",\"classes\":" + std::to_string(space.size()) +
            ",\"truncated\":" + (space.truncated() ? "true" : "false") +
@@ -1211,7 +1252,36 @@ std::string HandleServeRequest(ServeContext& ctx, const json::Value& request,
            ",\"kernel_programs\":" + std::to_string(memo.kernel_programs) +
            ",\"kernel_ops\":" + std::to_string(memo.kernel_ops) +
            ",\"bytes_kernel\":" + std::to_string(memo.bytes_kernel) +
+           ",\"out_of_core\":" + (space.out_of_core() ? "true" : "false") +
+           ",\"segments\":" + std::to_string(seg.segments) +
+           ",\"segments_resident\":" + std::to_string(seg.resident_segments) +
+           ",\"segments_spilled\":" + std::to_string(seg.spilled_segments) +
+           ",\"bytes_resident\":" + std::to_string(seg.bytes_resident) +
+           ",\"bytes_mapped\":" + std::to_string(seg.bytes_mapped) +
+           ",\"bytes_spilled\":" + std::to_string(seg.bytes_spilled) +
            ",\"requests\":" + std::to_string(ctx.requests) + id + "}";
+  }
+  if (op == "residency") {
+    // The out-of-core store's residency split: per-state segment counts,
+    // the byte ledger, and the spill traffic counters.  Meaningful (but
+    // all-resident) for a store with no budget too.
+    const ComputationSpace& space = ctx.space();
+    const auto seg = space.SegmentStats();
+    return "{\"ok\":true,\"v\":3,\"op\":\"residency\",\"out_of_core\":" +
+           std::string(space.out_of_core() ? "true" : "false") +
+           ",\"budget_bytes\":" +
+           std::to_string(space.segment_options().residency_budget_bytes) +
+           ",\"segment_shift\":" +
+           std::to_string(space.segment_options().segment_shift) +
+           ",\"segments\":" + std::to_string(seg.segments) +
+           ",\"segments_resident\":" + std::to_string(seg.resident_segments) +
+           ",\"segments_mapped\":" + std::to_string(seg.mapped_segments) +
+           ",\"segments_spilled\":" + std::to_string(seg.spilled_segments) +
+           ",\"bytes_resident\":" + std::to_string(seg.bytes_resident) +
+           ",\"bytes_mapped\":" + std::to_string(seg.bytes_mapped) +
+           ",\"bytes_spilled\":" + std::to_string(seg.bytes_spilled) +
+           ",\"spill_faults\":" + std::to_string(seg.spill_faults) +
+           ",\"spill_writes\":" + std::to_string(seg.spill_writes) + id + "}";
   }
   if (op == "check") {
     const json::Value* ids = request.Find("ids");
@@ -1230,7 +1300,7 @@ std::string HandleServeRequest(ServeContext& ctx, const json::Value& request,
       }
       // The whole batch runs as ONE fused sweep.
       const auto sets = ctx.eval->SatisfyingSets(formulas);
-      std::string out = "{\"ok\":true,\"v\":2,\"op\":\"check\",\"classes\":" +
+      std::string out = "{\"ok\":true,\"v\":3,\"op\":\"check\",\"classes\":" +
                         std::to_string(ctx.space().size()) + ",\"results\":[";
       for (std::size_t k = 0; k < sets.size(); ++k) {
         if (k) out += ",";
@@ -1239,7 +1309,7 @@ std::string HandleServeRequest(ServeContext& ctx, const json::Value& request,
       return out + "]" + id + "}";
     }
     const auto sat = ctx.eval->SatisfyingSet(FormulaFor(ctx, request));
-    return "{\"ok\":true,\"v\":2,\"op\":\"check\",\"classes\":" +
+    return "{\"ok\":true,\"v\":3,\"op\":\"check\",\"classes\":" +
            std::to_string(ctx.space().size()) + "," +
            CheckResultJson(sat, with_ids) + id + "}";
   }
@@ -1263,7 +1333,7 @@ std::string HandleServeRequest(ServeContext& ctx, const json::Value& request,
     // v2 renames the class-id field "id" -> "class": "id" now belongs to
     // the request-correlation echo.
     return std::string(
-               "{\"ok\":true,\"v\":2,\"op\":\"check-at\",\"verdict\":") +
+               "{\"ok\":true,\"v\":3,\"op\":\"check-at\",\"verdict\":") +
            (verdict ? "true" : "false") +
            ",\"class\":" + std::to_string(*class_id) + id + "}";
   }
@@ -1286,7 +1356,7 @@ std::string HandleServeRequest(ServeContext& ctx, const json::Value& request,
                  "serve: deepen +%d -> depth %d, %zu new classes (%.3f ms)\n",
                  levels, ctx.builder.built_depth(), added,
                  static_cast<double>(timer.ElapsedNs()) / 1e6);
-    return "{\"ok\":true,\"v\":2,\"op\":\"deepen\",\"added\":" +
+    return "{\"ok\":true,\"v\":3,\"op\":\"deepen\",\"added\":" +
            std::to_string(added) +
            ",\"classes\":" + std::to_string(ctx.space().size()) +
            ",\"built_depth\":" + std::to_string(ctx.builder.built_depth()) +
@@ -1296,9 +1366,9 @@ std::string HandleServeRequest(ServeContext& ctx, const json::Value& request,
   // Unknown ops get a STRUCTURED error naming the op, not just prose: a
   // client probing for capabilities can switch on "unknown_op" instead of
   // parsing the message.
-  return "{\"ok\":false,\"v\":2,\"error\":\"unknown op '" + json::Escape(op) +
-         "' (check, check-at, deepen, info, ping, quit)\",\"unknown_op\":\"" +
-         json::Escape(op) + "\"" + id + "}";
+  return "{\"ok\":false,\"v\":3,\"error\":\"unknown op '" + json::Escape(op) +
+         "' (check, check-at, deepen, info, ping, quit, residency)\"," +
+         "\"unknown_op\":\"" + json::Escape(op) + "\"" + id + "}";
 }
 
 int CmdServe(const std::string& spec, const CliOptions& flags) {
@@ -1362,7 +1432,7 @@ int CmdServe(const std::string& spec, const CliOptions& flags) {
       if (request.type == json::Value::Type::kObject) id = IdEcho(request);
       response = HandleServeRequest(ctx, request, id, &quit);
     } catch (const std::exception& error) {
-      response = std::string("{\"ok\":false,\"v\":2,\"error\":\"") +
+      response = std::string("{\"ok\":false,\"v\":3,\"error\":\"") +
                  json::Escape(error.what()) + "\"" + id + "}";
     }
     std::fputs(response.c_str(), stdout);
@@ -1410,6 +1480,12 @@ int CmdSnapshotInfo(const std::string& path) {
   std::printf("group indexes: %llu\n",
               static_cast<unsigned long long>(info.group_indexes));
   std::printf("canonicalize:  %s\n", info.canonicalize ? "yes" : "no");
+  if (info.version >= 3)
+    std::printf("segments:      %llu across %llu columns (saved at "
+                "shift %u: %u class rows/segment)\n",
+                static_cast<unsigned long long>(info.segments),
+                static_cast<unsigned long long>(info.segment_columns),
+                info.segment_shift, 1u << info.segment_shift);
   // Snapshots persist the space only; an evaluator over it starts with an
   // empty kernel cache, so report the per-register-plane footprint a
   // compiled sweep of this space will use (one 64-bit word per 64 classes).
